@@ -1,0 +1,31 @@
+# Convenience targets; dune is the source of truth.
+
+.PHONY: all build test bench verify examples clean loc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+verify:
+	dune exec bin/regemu.exe -- verify
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/cloud_kv.exe
+	dune exec examples/space_planner.exe
+	dune exec examples/adversary_demo.exe
+	dune exec examples/message_abd.exe
+	dune exec examples/bug_hunt.exe
+
+clean:
+	dune clean
+
+loc:
+	@find . \( -name '*.ml' -o -name '*.mli' \) -not -path './_build/*' | xargs wc -l | tail -1

@@ -1,0 +1,657 @@
+(* regemu — command-line front end for the register-emulation
+   reproduction: run any experiment from the paper with chosen
+   parameters, or drive an emulation through a workload and check its
+   history. *)
+
+open Cmdliner
+open Regemu_bounds
+open Regemu_harness
+
+let pr_report r = Fmt.pr "%a@." Report.pp r
+
+(* common args *)
+let k_arg = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of writers.")
+let f_arg = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Failure threshold.")
+let n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of servers.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
+
+let params_of k f n =
+  match Params.make ~k ~f ~n with
+  | Ok p -> Ok p
+  | Error e -> Error (`Msg ("invalid parameters: " ^ e))
+
+let exit_of = function
+  | Ok () -> 0
+  | Error (`Msg m) ->
+      Fmt.epr "error: %s@." m;
+      1
+
+let factories =
+  [
+    ("algorithm2", Regemu_core.Algorithm2.factory);
+    ("abd-max", Regemu_baselines.Abd_max.factory);
+    ("abd-cas", Regemu_baselines.Abd_cas.factory);
+    ("abd-max-atomic", Regemu_baselines.Abd_max_atomic.factory);
+    ("layered", Regemu_baselines.Layered.factory);
+    ("naive-reg", Regemu_baselines.Naive_reg.factory);
+    ("waitall-reg", Regemu_baselines.Waitall_reg.factory);
+  ]
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun (n, f) -> (n, (n, f))) factories))
+        ("algorithm2", Regemu_core.Algorithm2.factory)
+    & info [ "algo" ] ~doc:"Emulation algorithm.")
+
+(* --- table1 ----------------------------------------------------------- *)
+
+let markdown_arg =
+  Arg.(value & flag & info [ "markdown" ] ~doc:"Render as a markdown table.")
+
+let table1_cmd =
+  let run seed markdown =
+    let report = Table1.report (Table1.compute ~seed ()) in
+    if markdown then print_string (Report.to_markdown report)
+    else pr_report report;
+    0
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Reproduce Table 1: object counts per base-object type.")
+    Term.(const run $ seed_arg $ markdown_arg)
+
+(* --- fig1 ------------------------------------------------------------- *)
+
+let fig1_cmd =
+  let run k f n =
+    exit_of
+      (Result.map
+         (fun p -> Fmt.pr "%s@." (Figures.figure1 ~params:p ()))
+         (params_of k f n))
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Reproduce Figure 1: the register layout.")
+    Term.(const run $ k_arg $ f_arg $ n_arg)
+
+(* --- fig2 ------------------------------------------------------------- *)
+
+let fig2_cmd =
+  let run f =
+    exit_of
+      (Result.map_error
+         (fun e -> `Msg e)
+         (Result.map (Fmt.pr "%s@.") (Figures.figure2 ~f ())))
+  in
+  Cmd.v
+    (Cmd.info "fig2"
+       ~doc:
+         "Reproduce Figure 2: the Lemma 4 schedule that breaks the naive \
+          2f+1-register algorithm.")
+    Term.(const run $ f_arg)
+
+(* --- lemma1 ------------------------------------------------------------ *)
+
+let lemma1_cmd =
+  let run (_name, factory) k f n seed =
+    exit_of
+      (Result.bind (params_of k f n) (fun p ->
+           match Theorems.lemma1 ~params:p ~factory ~seed () with
+           | Ok r ->
+               pr_report r;
+               Ok ()
+           | Error e -> Error (`Msg e)))
+  in
+  Cmd.v
+    (Cmd.info "lemma1"
+       ~doc:
+         "Run the Lemma 1 adversarial construction against an emulation and \
+          report the covering growth.")
+    Term.(const run $ algo_arg $ k_arg $ f_arg $ n_arg $ seed_arg)
+
+let timeline_cmd =
+  let run (name, factory) k f n seed =
+    exit_of
+      (Result.bind (params_of k f n) (fun p ->
+           match Regemu_adversary.Lowerbound.execute factory p ~seed () with
+           | Error e -> Error (`Msg e)
+           | Ok run ->
+               Fmt.pr
+                 "Covering timeline under Ad_i (%s at %a, seed %d):@.%s@."
+                 name Params.pp p seed
+                 (Timeline.render run.trace);
+               Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "ASCII chart of |Cov(t)| over an adversarial run: the staircase \
+          that forces the space bound.")
+    Term.(const run $ algo_arg $ k_arg $ f_arg $ n_arg $ seed_arg)
+
+(* --- theorem sweeps ----------------------------------------------------- *)
+
+let thm1_cmd =
+  let n_max =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n-max" ] ~doc:"Largest server count to sweep to.")
+  in
+  let run k f n_max =
+    pr_report (Theorems.theorem1_sweep ~k ~f ?n_max ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "thm1" ~doc:"Sweep the Theorem 1/3 register bounds over n.")
+    Term.(const run $ k_arg $ f_arg $ n_max)
+
+let thm2_cmd =
+  let ks =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "ks" ] ~doc:"Writer counts to evaluate.")
+  in
+  let run ks =
+    pr_report (Theorems.theorem2 ~ks);
+    0
+  in
+  Cmd.v
+    (Cmd.info "thm2"
+       ~doc:"Theorem 2: k-writer max-register needs (and our construction \
+             uses) k registers.")
+    Term.(const run $ ks)
+
+let thm5_cmd =
+  let run f =
+    exit_of
+      (Result.map_error
+         (fun e -> `Msg e)
+         (Result.map (Fmt.pr "%s@.") (Theorems.theorem5 ~f)))
+  in
+  Cmd.v
+    (Cmd.info "thm5"
+       ~doc:"Theorem 5: the partitioning impossibility at n = 2f, executed.")
+    Term.(const run $ f_arg)
+
+let inversion_cmd =
+  let run () =
+    exit_of
+      (Result.map_error
+         (fun e -> `Msg e)
+         (Result.map (Fmt.pr "%s@.") (Theorems.inversion ())))
+  in
+  Cmd.v
+    (Cmd.info "inversion"
+       ~doc:
+         "The new/old read inversion: why atomicity needs readers that \
+          write.")
+    Term.(const run $ const ())
+
+let thm6_cmd =
+  let run k f =
+    pr_report (Theorems.theorem6 ~k ~f);
+    (match Theorems.theorem6_adversarial ~k ~f ~seed:42 with
+    | Ok r -> pr_report r
+    | Error e -> Fmt.epr "adversarial witness failed: %s@." e);
+    0
+  in
+  Cmd.v
+    (Cmd.info "thm6" ~doc:"Theorem 6: per-server register counts at n=2f+1.")
+    Term.(const run $ k_arg $ f_arg)
+
+let thm7_cmd =
+  let caps =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4; 6; 12 ]
+      & info [ "capacities" ] ~doc:"Per-server capacities to evaluate.")
+  in
+  let run k f caps =
+    pr_report (Theorems.theorem7 ~k ~f ~capacities:caps);
+    0
+  in
+  Cmd.v
+    (Cmd.info "thm7"
+       ~doc:"Theorem 7: minimum server count under bounded per-server storage.")
+    Term.(const run $ k_arg $ f_arg $ caps)
+
+let plan_cmd =
+  let capacity =
+    Arg.(
+      value & opt int 4
+      & info [ "capacity" ] ~doc:"Registers each server can store.")
+  in
+  let run k f n capacity =
+    exit_of
+      (Result.map
+         (fun p ->
+           Fmt.pr "emulating a %d-writer register, tolerating %d of %d \
+                   servers crashing:@."
+             p.Params.k p.Params.f p.Params.n;
+           Fmt.pr "  with max-register or CAS servers: %d objects@."
+             (Formulas.maxreg_bound p);
+           Fmt.pr "  with plain registers: %d..%d objects (Theorems 1/3), \
+                   z=%d writers per set@."
+             (Formulas.register_lower_bound p)
+             (Formulas.register_upper_bound p)
+             (Formulas.z p);
+           Fmt.pr "  per-server capacity %d needs at least %d servers \
+                   (Theorem 7)@."
+             capacity
+             (Formulas.min_servers ~k:p.Params.k ~f:p.Params.f ~capacity);
+           Fmt.pr "  extra servers stop helping at n=%d (cost %d)@."
+             (Formulas.saturation_n ~k:p.Params.k ~f:p.Params.f)
+             ((p.Params.k * p.Params.f) + p.Params.f + 1);
+           let budget = capacity * p.Params.n in
+           match Formulas.max_writers ~f:p.Params.f ~n:p.Params.n ~budget with
+           | Some kmax ->
+               Fmt.pr
+                 "  the cluster's total register budget (%d) supports at \
+                  most %d writers@."
+                 budget kmax
+           | None ->
+               Fmt.pr
+                 "  the cluster's total register budget (%d) supports no \
+                  writer at all@."
+                 budget)
+         (params_of k f n))
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Capacity planning with the paper's bounds.")
+    Term.(const run $ k_arg $ f_arg $ n_arg $ capacity)
+
+let thm8_cmd =
+  let run k f n seed =
+    exit_of
+      (Result.bind (params_of k f n) (fun p ->
+           match Theorems.theorem8 ~params:p ~seed () with
+           | Ok r ->
+               pr_report r;
+               Ok ()
+           | Error e -> Error (`Msg e)))
+  in
+  Cmd.v
+    (Cmd.info "thm8"
+       ~doc:"Theorem 8: resource use grows while point contention stays 1.")
+    Term.(const run $ k_arg $ f_arg $ n_arg $ seed_arg)
+
+let classification_cmd =
+  let run k f n =
+    exit_of
+      (Result.map
+         (fun p ->
+           pr_report
+             (Theorems.classification ~k:p.Params.k ~f:p.Params.f ~n:p.Params.n))
+         (params_of k f n))
+  in
+  Cmd.v
+    (Cmd.info "classification"
+       ~doc:
+         "The paper's space-based classification vs Herlihy's consensus \
+          hierarchy.")
+    Term.(const run $ k_arg $ f_arg $ n_arg)
+
+let rspace_cmd =
+  let readers =
+    Arg.(
+      value
+      & opt (list int) [ 0; 1; 2; 4; 8 ]
+      & info [ "readers" ] ~doc:"Reader counts to evaluate.")
+  in
+  let run k f n readers =
+    exit_of
+      (Result.map
+         (fun p ->
+           pr_report
+             (Theorems.reader_space ~k:p.Params.k ~f:p.Params.f ~n:p.Params.n
+                ~readers_list:readers))
+         (params_of k f n))
+  in
+  Cmd.v
+    (Cmd.info "rspace"
+       ~doc:
+         "Does atomicity cost space per reader? (the paper's closing \
+          question, measured)")
+    Term.(const run $ k_arg $ f_arg $ n_arg $ readers)
+
+let alg1_cmd =
+  let writers =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "writers" ] ~doc:"Concurrency levels to evaluate.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 8
+      & info [ "ops" ] ~doc:"write-max operations per writer.")
+  in
+  let run writers ops seed =
+    pr_report (Theorems.algorithm1_time ~writers_list:writers ~ops_per_writer:ops ~seed);
+    0
+  in
+  Cmd.v
+    (Cmd.info "alg1"
+       ~doc:"Algorithm 1: CAS cost of the max-register emulation.")
+    Term.(const run $ writers $ ops $ seed_arg)
+
+let latency_cmd =
+  let rounds =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Write+read rounds.")
+  in
+  let run k f n rounds =
+    exit_of
+      (Result.map
+         (fun p -> pr_report (Latency.report p (Latency.compute p ~rounds)))
+         (params_of k f n))
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"Compare operation latencies (in scheduler steps) across \
+             emulations.")
+    Term.(const run $ k_arg $ f_arg $ n_arg $ rounds)
+
+(* --- run: drive an emulation through a workload ------------------------- *)
+
+let fuzz_cmd =
+  let algo = algo_arg in
+  let runs =
+    Arg.(value & opt int 50 & info [ "runs" ] ~doc:"Number of seeded runs.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("sequential", Regemu_workload.Fuzz.Sequential);
+               ("concurrent", Regemu_workload.Fuzz.Concurrent_reads);
+               ("chaos", Regemu_workload.Fuzz.Chaos);
+             ])
+          Regemu_workload.Fuzz.Concurrent_reads
+      & info [ "scenario" ] ~doc:"Workload shape.")
+  in
+  let procrastinate =
+    Arg.(
+      value & flag
+      & info [ "procrastinate" ]
+          ~doc:
+            "Hold ~40% of responses for 15 steps (the covering-adversary \
+             pattern); finds bugs uniform schedules never hit.")
+  in
+  let run (name, factory) k f n runs scenario seed procrastinate =
+    exit_of
+      (Result.map
+         (fun p ->
+           let policy rng =
+             if procrastinate then
+               Regemu_sim.Policy.procrastinating rng ~hold_percent:40
+                 ~hold_steps:15
+             else Regemu_sim.Policy.uniform rng
+           in
+           let o =
+             Regemu_workload.Fuzz.run factory p ~policy ~scenario ~runs ~seed
+               ()
+           in
+           Fmt.pr "fuzz %s at %a (%a%s): %a@." name Params.pp p
+             Regemu_workload.Fuzz.scenario_pp scenario
+             (if procrastinate then ", procrastinating" else "")
+             Regemu_workload.Fuzz.outcome_pp o;
+           match o.first_bad_history with
+           | Some h ->
+               Fmt.pr "first violating run:@.%a@." Regemu_history.History.pp h
+           | None -> ())
+         (params_of k f n))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Run many seeded random schedules and tally checker verdicts.")
+    Term.(
+      const run $ algo $ k_arg $ f_arg $ n_arg $ runs $ scenario $ seed_arg
+      $ procrastinate)
+
+let explore_cmd =
+  let budget =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "budget" ] ~doc:"Maximum events fired across all replays.")
+  in
+  let writes =
+    Arg.(
+      value & opt int 1
+      & info [ "writes" ] ~doc:"One write per writer; writers = this count.")
+  in
+  let eager =
+    Arg.(
+      value & flag
+      & info [ "eager" ]
+          ~doc:"Invoke operations concurrently instead of sequentially.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ]
+          ~doc:"Also explore crash timings, up to this many crashes.")
+  in
+  let run (name, factory) f n budget writes eager crashes =
+    exit_of
+      (Result.map
+         (fun p ->
+           let scenario =
+             Regemu_mcheck.Explore.emulation_scenario factory p
+               ~mode:
+                 (if eager then Regemu_mcheck.Explore.Eager
+                  else Regemu_mcheck.Explore.Sequential)
+               ~crashes
+               ~writer_ops:
+                 (List.init p.Params.k (fun i ->
+                      [ Regemu_objects.Value.Str (Fmt.str "v%d" i) ]))
+               ~readers:1 ~reads_each:1 ()
+           in
+           let r = Regemu_mcheck.Explore.run scenario ~max_fired:budget in
+           Fmt.pr "explore %s at %a: %a@." name Params.pp p
+             Regemu_mcheck.Explore.result_pp r;
+           List.iter
+             (fun h ->
+               Fmt.pr "violating schedule:@.%a@." Regemu_history.History.pp h)
+             r.ws_safe_violations)
+         (params_of writes f n))
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically enumerate schedules of a small scenario \
+          (exhaustive on tiny configurations).")
+    Term.(
+      const run $ algo_arg $ f_arg $ n_arg $ budget $ writes $ eager
+      $ crashes)
+
+let run_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, f) -> (n, (n, f))) factories))
+          ("algorithm2", Regemu_core.Algorithm2.factory)
+      & info [ "algo" ] ~doc:"Emulation algorithm to drive.")
+  in
+  let rounds =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Rounds of writes.")
+  in
+  let readers =
+    Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Concurrent readers.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~doc:"Servers to crash (at most f).")
+  in
+  let run (name, factory) k f n rounds readers crashes seed =
+    exit_of
+      (Result.bind (params_of k f n) (fun p ->
+           match
+             Regemu_workload.Scenario.concurrent_reads factory p ~rounds
+               ~readers ~crashes ~seed ()
+           with
+           | Error e ->
+               Error (`Msg (Fmt.str "%a" Regemu_workload.Scenario.error_pp e))
+           | Ok r ->
+               Fmt.pr "algorithm: %s at %a, seed %d@." name Params.pp p seed;
+               Fmt.pr "history:@.%a@." Regemu_history.History.pp r.history;
+               Fmt.pr "objects used: %d@." r.objects_used;
+               Fmt.pr "WS-Regular: %a@."
+                 Regemu_history.Ws_check.verdict_pp
+                 (Regemu_history.Ws_check.check_ws_regular r.history);
+               Fmt.pr "WS-Safe: %a@."
+                 Regemu_history.Ws_check.verdict_pp
+                 (Regemu_history.Ws_check.check_ws_safe r.history);
+               Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Drive an emulation through a workload (sequential writes, \
+          concurrent readers, optional crashes) and check its history.")
+    Term.(
+      const run $ algo $ k_arg $ f_arg $ n_arg $ rounds $ readers $ crashes
+      $ seed_arg)
+
+let sweep_cmd =
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Seeded runs per point.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~doc:"Write CSV to this file instead of stdout.")
+  in
+  let run seeds csv =
+    let points = Sweep.run ~grid:Sweep.default_grid ~seeds () in
+    let out = Sweep.to_csv points in
+    (match csv with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc out;
+        close_out oc;
+        Fmt.pr "wrote %d points to %s@." (List.length points) path
+    | None -> print_string out);
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Measure bounds, usage, coverage, and latency over a (k, f, n) \
+          grid; CSV output for plotting.")
+    Term.(const run $ seeds $ csv)
+
+let netabd_cmd =
+  let run k f n seed =
+    pr_report (Wire.abd_messages ~fs:[ 1; 2; 3; 4 ] ~ops:6 ~seed);
+    pr_report
+      (Wire.alg2_messages
+         ~configs:[ (1, 1, 3); (2, 1, 4); (3, 1, 5); (3, 2, 7) ]
+         ~seed);
+    match Wire.staircase ~k ~f ~n ~seed with
+    | Ok r ->
+        pr_report r;
+        0
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "netabd"
+       ~doc:
+         "Message complexity on the wire, and the lower-bound staircase \
+          produced by an adversarial router.")
+    Term.(const run $ k_arg $ f_arg $ n_arg $ seed_arg)
+
+let verify_cmd =
+  let run seed =
+    let summary = Verify.run ~seed in
+    Fmt.pr "%a" Verify.summary_pp summary;
+    if summary.failed = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-establish every headline claim of the reproduction and report \
+          PASS/FAIL per claim.")
+    Term.(const run $ seed_arg)
+
+let all_cmd =
+  let run seed =
+    pr_report (Table1.report (Table1.compute ~seed ()));
+    Fmt.pr "%s@." (Figures.figure1 ());
+    pr_report (Theorems.load_balance ~k:5 ~f:2 ~n:6 ~rounds:2 ~seed);
+    (match Figures.figure2 ~f:2 () with
+    | Ok s -> Fmt.pr "%s@." s
+    | Error e -> Fmt.epr "fig2: %s@." e);
+    (match Theorems.lemma1 ~seed () with
+    | Ok r -> pr_report r
+    | Error e -> Fmt.epr "lemma1: %s@." e);
+    pr_report (Theorems.theorem1_sweep ~k:5 ~f:2 ());
+    pr_report (Theorems.theorem2 ~ks:[ 1; 2; 4; 8; 16 ]);
+    (match Theorems.theorem5 ~f:2 with
+    | Ok s -> Fmt.pr "%s@." s
+    | Error e -> Fmt.epr "thm5: %s@." e);
+    pr_report (Theorems.theorem6 ~k:4 ~f:2);
+    (match Theorems.theorem6_adversarial ~k:4 ~f:2 ~seed with
+    | Ok r -> pr_report r
+    | Error e -> Fmt.epr "thm6 adversarial: %s@." e);
+    (match Theorems.inversion () with
+    | Ok s -> Fmt.pr "%s@." s
+    | Error e -> Fmt.epr "inversion: %s@." e);
+    pr_report (Theorems.theorem7 ~k:6 ~f:2 ~capacities:[ 1; 2; 3; 4; 6; 12 ]);
+    (match Theorems.theorem8 ~seed () with
+    | Ok r -> pr_report r
+    | Error e -> Fmt.epr "thm8: %s@." e);
+    pr_report (Theorems.classification ~k:5 ~f:2 ~n:6);
+    pr_report (Theorems.reader_space ~k:3 ~f:1 ~n:5 ~readers_list:[ 0; 1; 2; 4; 8 ]);
+    pr_report
+      (Theorems.algorithm1_time ~writers_list:[ 1; 2; 4; 8 ] ~ops_per_writer:8
+         ~seed);
+    pr_report (Theorems.maxreg_comparison ~k:4 ~capacity:64 ~ops:6 ~seed);
+    let p = Params.make_exn ~k:3 ~f:1 ~n:5 in
+    pr_report (Latency.report p (Latency.compute p ~rounds:2));
+    pr_report (Wire.abd_messages ~fs:[ 1; 2; 3; 4 ] ~ops:6 ~seed);
+    pr_report
+      (Wire.alg2_messages
+         ~configs:[ (1, 1, 3); (2, 1, 4); (3, 1, 5); (3, 2, 7) ]
+         ~seed);
+    (match Wire.staircase ~k:5 ~f:2 ~n:6 ~seed with
+    | Ok r -> pr_report r
+    | Error e -> Fmt.epr "staircase: %s@." e);
+    0
+  in
+  Cmd.v
+    (Cmd.info "all"
+       ~doc:"Regenerate every table and figure (no micro-benchmarks).")
+    Term.(const run $ seed_arg)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "regemu" ~version:"1.0.0"
+      ~doc:
+        "Space complexity of fault-tolerant register emulations (PODC 2017) \
+         — reproduction toolkit."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            table1_cmd; fig1_cmd; fig2_cmd; lemma1_cmd; timeline_cmd;
+            thm1_cmd; thm2_cmd;
+            thm5_cmd; thm6_cmd; thm7_cmd; thm8_cmd; plan_cmd; alg1_cmd;
+            classification_cmd; rspace_cmd; inversion_cmd;
+            latency_cmd; fuzz_cmd; explore_cmd; run_cmd; verify_cmd;
+            sweep_cmd; netabd_cmd; all_cmd;
+          ]))

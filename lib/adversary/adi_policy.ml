@@ -1,0 +1,69 @@
+open Regemu_objects
+open Regemu_sim
+
+type t = {
+  sim : Sim.t;
+  f_set : Id.Server.Set.t;
+  rng : Rng.t;
+  mutable state : Epoch_state.t;
+  mutable completed : Id.Client.Set.t;
+  mutable epochs : int;
+  mutable cursor : int;  (* trace index scanned for write returns *)
+}
+
+let create sim ~f_set ~rng =
+  {
+    sim;
+    f_set;
+    rng;
+    state = Epoch_state.start sim ~f_set ~completed_clients:Id.Client.Set.empty;
+    completed = Id.Client.Set.empty;
+    epochs = 0;
+    cursor = Sim.now sim;
+  }
+
+(* Rotate the epoch whenever a high-level write returned since the last
+   look: its writer joins C(t_{i-1}) and Definition 1 restarts. *)
+let rotate_epochs t =
+  let entries = Trace.since (Sim.trace t.sim) t.cursor in
+  t.cursor <- Sim.now t.sim;
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Return (c, Trace.H_write _, _) ->
+          t.completed <- Id.Client.Set.add c t.completed;
+          t.epochs <- t.epochs + 1;
+          t.state <-
+            Epoch_state.start t.sim ~f_set:t.f_set
+              ~completed_clients:t.completed
+      | _ -> ())
+    entries
+
+let blocked t ev =
+  match ev with
+  | Sim.Step _ -> false
+  | Sim.Respond lid -> (
+      match
+        List.find_opt
+          (fun (p : Sim.pending_info) -> Id.Lop.equal p.lid lid)
+          (Sim.pending t.sim)
+      with
+      | None -> true
+      | Some p -> Epoch_state.blocked t.state p)
+
+let policy t =
+  {
+    Policy.name = "Ad_i";
+    choose =
+      (fun _sim enabled ->
+        rotate_epochs t;
+        Epoch_state.advance t.state;
+        match List.filter (fun ev -> not (blocked t ev)) enabled with
+        | [] -> None
+        | kept -> Some (Rng.pick t.rng kept));
+  }
+
+let epochs_completed t =
+  rotate_epochs t;
+  t.epochs
+let covered t = Id.Obj.Set.cardinal (Sim.covered_objects t.sim)

@@ -1,0 +1,38 @@
+(** The [Ad_i] adversary packaged as a reusable schedule policy.
+
+    {!Regemu_adversary.Lowerbound} drives its own carefully staged run;
+    this module instead wraps the same blocking rule (Definitions 1–3)
+    as a {!Regemu_sim.Policy.t} that any driver or scenario can use:
+
+    - it tracks epochs automatically: whenever a high-level {e write}
+      returns, the current epoch closes, the writer joins
+      [C(t_{i-1})], and fresh Definition 1 bookkeeping starts;
+    - at every choice it refuses to fire responses of blocked covering
+      writes and picks uniformly among the rest;
+    - reads and client steps are never blocked, so obstruction-free
+      algorithms keep making progress — exactly the environment of the
+      lower bound.
+
+    Driving a workload under this policy shows the covering staircase
+    on any register-based emulation without the bespoke Lemma 1
+    driver; the test suite checks that Algorithm 2 completes
+    write-sequential workloads under it with coverage at least
+    [writes * f]. *)
+
+open Regemu_objects
+open Regemu_sim
+
+type t
+
+(** [create sim ~f_set ~rng] — [f_set] is the protected server set [F]
+    ([|F| = f+1]). *)
+val create : Sim.t -> f_set:Id.Server.Set.t -> rng:Rng.t -> t
+
+(** The policy; stateful, tied to [sim]. *)
+val policy : t -> Policy.t
+
+(** Epochs completed so far (= high-level writes returned). *)
+val epochs_completed : t -> int
+
+(** Currently covered registers (the staircase's current height). *)
+val covered : t -> int

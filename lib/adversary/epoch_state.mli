@@ -1,0 +1,75 @@
+(** The adversary's bookkeeping for one epoch of the Lemma 1
+    construction (Definition 1 of the paper).
+
+    An epoch [i] starts at time [t_{i-1}] (the end of the previous
+    high-level write) and tracks, incrementally from the trace:
+
+    - [Tr_i(t)]: registers with a low-level write triggered in-epoch;
+    - [Rr_i(t)]: registers whose in-epoch write also responded in-epoch;
+    - [Cov_i(t) = Cov(t) \ Cov(t_{i-1})]: newly covered registers;
+    - [Q_i(t)]: the first at-most-[f] newly covered servers outside [F]
+      (sticky once [|delta(Cov_i) \ F| > f], Definition 1.4);
+    - [F_i(t)]: servers of [F] that responded to an in-epoch write;
+    - [M_i(t) = delta(Cov_i) ∩ (F \ F_i)];
+    - [G_i(t) = M_i] when [|Q_i| < |F_i|], else empty.
+
+    Call {!advance} before inspecting any set: it consumes the trace
+    entries recorded since the last call and replays the definitions
+    action by action, so the sticky [Q_i] matches the paper's
+    time-indexed definition exactly. *)
+
+open Regemu_objects
+open Regemu_sim
+
+type t
+
+(** [start sim ~f_set ~completed_clients] opens an epoch at the current
+    time of [sim].  [f_set] is the paper's [F] ([|F| = f+1]);
+    [completed_clients] is [C(t_{i-1})], the clients that completed a
+    high-level write before the epoch. *)
+val start :
+  Sim.t ->
+  f_set:Id.Server.Set.t ->
+  completed_clients:Id.Client.Set.t ->
+  t
+
+val epoch_start_time : t -> int
+val f_set : t -> Id.Server.Set.t
+
+(** Consume newly recorded trace entries. *)
+val advance : t -> unit
+
+(** {2 The sets of Definition 1} — all valid as of the last {!advance}. *)
+
+val tri : t -> Id.Obj.Set.t
+val rri : t -> Id.Obj.Set.t
+val covi : t -> Id.Obj.Set.t
+val qi : t -> Id.Server.Set.t
+val fi : t -> Id.Server.Set.t
+val mi : t -> Id.Server.Set.t
+val gi : t -> Id.Server.Set.t
+
+(** [delta(Cov_i)] and [delta(Rr_i)] — server images of the sets. *)
+val delta_covi : t -> Id.Server.Set.t
+
+val delta_rri : t -> Id.Server.Set.t
+
+(** The failure threshold [f = |F| - 1]. *)
+val f_count : t -> int
+
+(** [Cov(t_{i-1})]: registers covered when the epoch started. *)
+val cov_start : t -> Id.Obj.Set.t
+
+(** Current [Cov(t)] (from the simulator). *)
+val cov_now : t -> Id.Obj.Set.t
+
+(** [blocked t p] decides [BlockedWrites_i] membership for a pending
+    low-level operation (Definition 2): a pending register write is
+    blocked iff it was triggered by a client of [C(t_{i-1})] or on a
+    register mapped to [Q_i ∪ G_i].  Non-write operations are never
+    blocked. *)
+val blocked : t -> Sim.pending_info -> bool
+
+(** Servers of [Tr_i \ Cov(t_{i-1})] — the quantity bounded below by
+    [2f+1] in Lemma 4. *)
+val servers_triggered_fresh : t -> Id.Server.Set.t

@@ -1,0 +1,81 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_history
+
+type outcome = {
+  history : History.t;
+  first_read : Value.t;
+  second_read : Value.t;
+  atomic : bool;
+  weakly_regular : bool;
+  steps : string list;
+}
+
+let ( let* ) = Result.bind
+
+let against_abd_max () =
+  let p = Params.make_exn ~k:1 ~f:1 ~n:3 in
+  let sim = Sim.create ~n:p.n () in
+  let writer = Sim.new_client sim in
+  let r1 = Sim.new_client sim and r2 = Sim.new_client sim in
+  let instance =
+    Regemu_baselines.Abd_max.factory.make sim p ~writers:[ writer ]
+  in
+  let objs = Array.of_list (instance.objects ()) in
+  let steps = ref [] in
+  let note fmt = Fmt.kstr (fun s -> steps := s :: !steps) fmt in
+
+  (* the write gets as far as updating server s0 only *)
+  let w = instance.write writer (Value.Str "new") in
+  let* () =
+    Script.drive_until sim ~keep:Script.keep_reads_and_steps
+      ~goal:(fun () -> List.length (Script.pending_writes_by sim writer) = 3)
+      ~budget:1_000 ~what:"write phase 1"
+  in
+  note "the write picked its timestamp and triggered write-max everywhere";
+  let* () =
+    Script.release_write sim ~client:writer ~obj:objs.(0) ~what:"s0 update"
+  in
+  note "only server s0's max-register has applied the new value so far";
+
+  (* reader 1 is served by {s0, s1}: it observes the new value *)
+  let rd1 = instance.read r1 in
+  let* () =
+    Script.release_reads sim ~client:r1
+      ~objs:[ objs.(0); objs.(1) ]
+      ~what:"reader 1"
+  in
+  let* () = Script.step_to_return sim rd1 ~budget:100 ~what:"rd1 return" in
+  let first_read = Option.get (Sim.call_result rd1) in
+  note "reader 1 (quorum {s0,s1}) returns %a" Value.pp first_read;
+
+  (* reader 2 starts after reader 1 returned, served by {s1, s2} *)
+  let rd2 = instance.read r2 in
+  let* () =
+    Script.release_reads sim ~client:r2
+      ~objs:[ objs.(1); objs.(2) ]
+      ~what:"reader 2"
+  in
+  let* () = Script.step_to_return sim rd2 ~budget:100 ~what:"rd2 return" in
+  let second_read = Option.get (Sim.call_result rd2) in
+  note "reader 2 (quorum {s1,s2}, started after reader 1 finished) returns %a"
+    Value.pp second_read;
+
+  (* let the write finish so the history is tidy *)
+  let* () =
+    Script.release_write sim ~client:writer ~obj:objs.(1) ~what:"s1 update"
+  in
+  let* () = Script.step_to_return sim w ~budget:100 ~what:"write return" in
+  note "the write finally completes";
+
+  let history = History.of_trace (Sim.trace sim) in
+  Ok
+    {
+      history;
+      first_read;
+      second_read;
+      atomic = Regularity.is_atomic history;
+      weakly_regular = Regularity.is_weak_regular history;
+      steps = List.rev !steps;
+    }

@@ -1,0 +1,34 @@
+(** The classic new/old read inversion against ABD {e without} reader
+    write-back.
+
+    The paper proves its upper bounds for WS-Regularity precisely
+    because atomicity usually requires readers to write (Section 1).
+    This module makes the gap concrete: a deterministic schedule in
+    which, while a write is still in flight,
+
+    + reader 1's quorum includes the one server already holding the new
+      value, so it returns the new value;
+    + reader 2 — which starts {e after} reader 1 finished — is served
+      by a quorum of servers that all still hold the old value, so it
+      returns the old value.
+
+    The resulting history is weakly regular (each read individually
+    linearizes against the writes) but {e not} atomic; the write-back
+    variant {!Regemu_baselines.Abd_max_atomic} closes the gap.  Both
+    facts are asserted in the test suite with the brute-force
+    checkers. *)
+
+open Regemu_history
+
+type outcome = {
+  history : History.t;
+  first_read : Regemu_objects.Value.t;  (** the new value *)
+  second_read : Regemu_objects.Value.t;  (** the stale old value *)
+  atomic : bool;  (** [false] for {!Abd_max}, asserted in tests *)
+  weakly_regular : bool;  (** [true] *)
+  steps : string list;
+}
+
+(** Build the inversion against {!Regemu_baselines.Abd_max} with
+    [k = 1, f = 1, n = 3]. *)
+val against_abd_max : unit -> (outcome, string) result

@@ -1,0 +1,121 @@
+open Regemu_objects
+
+type snapshot = {
+  qi : Id.Server.Set.t;
+  fi : Id.Server.Set.t;
+  mi : Id.Server.Set.t;
+  fresh : bool;
+}
+
+let initial =
+  {
+    qi = Id.Server.Set.empty;
+    fi = Id.Server.Set.empty;
+    mi = Id.Server.Set.empty;
+    fresh = true;
+  }
+
+type failure = { claim : int; detail : string }
+
+let failure_pp ppf { claim; detail } =
+  Fmt.pf ppf "Lemma 2.%d violated: %s" claim detail
+
+let show_servers s =
+  Fmt.str "{%a}" Fmt.(list ~sep:comma Id.Server.pp) (Id.Server.Set.elements s)
+
+let check st ~prev =
+  let f = Epoch_state.f_count st in
+  let qi = Epoch_state.qi st
+  and fi = Epoch_state.fi st
+  and mi = Epoch_state.mi st
+  and f_set = Epoch_state.f_set st in
+  let d_covi_no_f = Id.Server.Set.diff (Epoch_state.delta_covi st) f_set in
+  let d_rri = Epoch_state.delta_rri st in
+  let fail claim detail = Error { claim; detail } in
+  let ( let* ) r k = match r with Error _ as e -> e | Ok () -> k () in
+  let card = Id.Server.Set.cardinal in
+  let* () =
+    (* 1. Q_i ⊆ delta(Cov_i) \ F *)
+    if Id.Server.Set.subset qi d_covi_no_f then Ok ()
+    else
+      fail 1
+        (Fmt.str "Qi=%s not within delta(Covi)\\F=%s" (show_servers qi)
+           (show_servers d_covi_no_f))
+  in
+  let* () =
+    (* 2. Q_i monotone *)
+    if prev.fresh || Id.Server.Set.subset prev.qi qi then Ok ()
+    else
+      fail 2
+        (Fmt.str "Qi shrank: %s -> %s" (show_servers prev.qi)
+           (show_servers qi))
+  in
+  let* () =
+    (* 3. F_i monotone *)
+    if prev.fresh || Id.Server.Set.subset prev.fi fi then Ok ()
+    else
+      fail 3
+        (Fmt.str "Fi shrank: %s -> %s" (show_servers prev.fi)
+           (show_servers fi))
+  in
+  let* () =
+    (* 4. |F_i| - |Q_i| <= 1 *)
+    if card fi - card qi <= 1 then Ok ()
+    else fail 4 (Fmt.str "|Fi|=%d, |Qi|=%d" (card fi) (card qi))
+  in
+  let* () =
+    (* 5. |Q_i| <= f *)
+    if card qi <= f then Ok ()
+    else fail 5 (Fmt.str "|Qi|=%d > f=%d" (card qi) f)
+  in
+  let* () =
+    (* 6. |F_i| <= f+1 *)
+    if card fi <= f + 1 then Ok ()
+    else fail 6 (Fmt.str "|Fi|=%d > f+1=%d" (card fi) (f + 1))
+  in
+  let* () =
+    (* 7. F_i unchanged => M_i grows monotonically *)
+    if
+      prev.fresh
+      || (not (Id.Server.Set.equal prev.fi fi))
+      || Id.Server.Set.subset prev.mi mi
+    then Ok ()
+    else
+      fail 7
+        (Fmt.str "Mi shrank under stable Fi: %s -> %s"
+           (show_servers prev.mi) (show_servers mi))
+  in
+  let* () =
+    (* 8. |M_i| <= f+1 *)
+    if card mi <= f + 1 then Ok () else fail 8 (Fmt.str "|Mi|=%d" (card mi))
+  in
+  let* () =
+    (* 9. |delta(Cov_i)\F| >= f => |Q_i| >= f *)
+    if card d_covi_no_f < f || card qi >= f then Ok ()
+    else
+      fail 9
+        (Fmt.str "|delta(Covi)\\F|=%d but |Qi|=%d < f=%d" (card d_covi_no_f)
+           (card qi) f)
+  in
+  let* () =
+    (* 10. |delta(Cov_i)\F| < f => delta(Rr_i)\F = ∅ *)
+    if
+      card d_covi_no_f >= f
+      || Id.Server.Set.is_empty (Id.Server.Set.diff d_rri f_set)
+    then Ok ()
+    else
+      fail 10
+        (Fmt.str "delta(Rri)\\F=%s while |delta(Covi)\\F|=%d < f"
+           (show_servers (Id.Server.Set.diff d_rri f_set))
+           (card d_covi_no_f))
+  in
+  let* () =
+    (* 11. (Q_i ∪ M_i) ∩ delta(Rr_i) = ∅ *)
+    let qm = Id.Server.Set.union qi mi in
+    if Id.Server.Set.is_empty (Id.Server.Set.inter qm d_rri) then Ok ()
+    else
+      fail 11
+        (Fmt.str "(Qi ∪ Mi) ∩ delta(Rri) = %s"
+           (show_servers (Id.Server.Set.inter qm d_rri)))
+  in
+  Ok { qi; fi; mi; fresh = false }

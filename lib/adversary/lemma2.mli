@@ -1,0 +1,21 @@
+(** Runtime monitor for the eleven claims of Lemma 2.
+
+    During an adversarial run, the claims of Lemma 2 are invariants of
+    the {!Epoch_state} bookkeeping.  The monitor checks all of them
+    after every simulator event; claims relating consecutive times
+    (monotonicity of [Q_i], [F_i], and claim 7 on [M_i]) are checked
+    against the previous snapshot. *)
+
+type snapshot
+
+(** Initial snapshot (empty previous state). *)
+val initial : snapshot
+
+type failure = { claim : int; detail : string }
+
+val failure_pp : failure Fmt.t
+
+(** [check state ~prev] verifies all claims of Lemma 2 on the current
+    epoch state ([advance] it first); returns the snapshot to pass as
+    [~prev] next time, or the first failing claim. *)
+val check : Epoch_state.t -> prev:snapshot -> (snapshot, failure) result

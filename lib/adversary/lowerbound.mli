@@ -1,0 +1,72 @@
+(** The Lemma 1 run construction, executable.
+
+    Builds the write-only sequential runs [r_1, ..., r_k]: epoch [i]
+    has a fresh client invoke a high-level write of a fresh value while
+    the environment behaves like [Ad_i] (Definition 3): no failures, no
+    blocked write ever responds, everything else eventually does.
+    After the write returns, the run is extended (still under [Ad_i])
+    until no register of [F] remains newly covered, establishing
+    Lemma 1's invariants (a) [|Cov(t_i)| >= i*f] and
+    (b) [delta(Cov(t_i)) ∩ F = ∅] for algorithms that match the lower
+    bound; for any correct algorithm the construction yields at least
+    these covering counts.
+
+    Optionally monitors the Lemma 2 invariants at every step. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_core
+
+type epoch_stats = {
+  epoch : int;  (** [i], 1-based *)
+  write_returned : bool;
+      (** Lemma 3: the write must return despite the blocking *)
+  cov_total : int;  (** [|Cov(t_i)|] *)
+  cov_new : int;  (** registers newly covered this epoch *)
+  cov_on_f : int;  (** [|delta(Cov(t_i)) ∩ F|] — 0 per Lemma 1(b) *)
+  q_size : int;  (** [|Q_i|] at the write's return — f per Corollary 2 *)
+  f_size : int;  (** [|F_i|] at the write's return *)
+  fresh_servers_triggered : int;
+      (** [|delta(Tr_i \ Cov(t_{i-1}))|] — > 2f per Lemma 4 and
+          extended Lemma 1(c) *)
+  new_cov_servers : int;
+      (** [|delta(Cov(t_i) \ Cov(t_{i-1}))|] — >= f per extended
+          Lemma 1(d) *)
+  cov_monotone : bool;
+      (** [Cov(t_i) ⊇ Cov(t_{i-1})] — extended Lemma 1(e) *)
+  objects_used_total : int;  (** resource consumption so far *)
+  point_contention : int;  (** 1 throughout (Theorem 8's hypothesis) *)
+  lemma2_failure : string option;
+}
+
+val epoch_stats_pp : epoch_stats Fmt.t
+
+type run = {
+  params : Params.t;
+  algo : string;
+  f_set : Id.Server.Set.t;
+  epochs : epoch_stats list;
+  final_cov : int;
+  final_objects_used : int;
+  final_cov_per_server : (Id.Server.t * int) list;
+      (** covered registers per server at the end of the run — the
+          quantity Theorem 6 bounds below by [k] on every server
+          outside [F] when [n = 2f+1] *)
+  trace : Regemu_sim.Trace.t;  (** the full run, for audits *)
+  kind_of : Id.Obj.t -> Regemu_objects.Base_object.kind;
+}
+
+(** [execute factory p ~seed ()] runs the construction for all [k]
+    writers.  [f_set] defaults to the last [f+1] servers.  Fails with a
+    message if some write does not return within the budget (a genuine
+    obstruction-freedom violation under [Ad_i]) or the epoch-end
+    extension cannot clear [F]. *)
+val execute :
+  Emulation.factory ->
+  Params.t ->
+  ?f_set:Id.Server.Set.t ->
+  ?check_lemma2:bool ->
+  ?budget_per_epoch:int ->
+  seed:int ->
+  unit ->
+  (run, string) result

@@ -1,0 +1,106 @@
+open Regemu_objects
+open Regemu_sim
+open Regemu_history
+
+type outcome = {
+  history : History.t;
+  verdict : Ws_check.verdict;
+  read_value : Value.t;
+  written : Value.t;
+  steps : string list;
+}
+
+let ( let* ) = Result.bind
+
+(* An ABD-style register over n = 2f max-registers with quorums of
+   size f — the largest quorum an f-tolerant algorithm can await on 2f
+   servers.  Deliberately doomed; only used to exhibit Theorem 5. *)
+let doomed_emulation sim ~f =
+  let objects =
+    List.init (2 * f) (fun i ->
+        Sim.alloc sim ~server:(Id.Server.of_int i) Base_object.Max_register)
+  in
+  let quorum = f in
+  let phase ~client ~op k =
+    let count = ref 0 in
+    let best = ref Value.v0 in
+    List.iter
+      (fun b ->
+        ignore
+          (Sim.trigger sim ~client b op ~on_response:(fun v ->
+               best := Value.max !best v;
+               incr count)))
+      objects;
+    Sim.wait_until (fun () -> !count >= quorum);
+    k !best
+  in
+  let write client v =
+    Sim.invoke sim ~client (Trace.H_write v) (fun () ->
+        phase ~client ~op:Base_object.Max_read (fun latest ->
+            let ts_val = Value.with_ts (Value.ts latest + 1) v in
+            phase ~client ~op:(Base_object.Max_write ts_val) (fun _ ->
+                Value.Unit)))
+  in
+  let read client =
+    Sim.invoke sim ~client Trace.H_read (fun () ->
+        phase ~client ~op:Base_object.Max_read Value.payload)
+  in
+  (objects, write, read)
+
+let impossibility ~f =
+  if f <= 0 then invalid_arg "Partition.impossibility: f must be positive";
+  let sim = Sim.create ~n:(2 * f) () in
+  let writer = Sim.new_client sim in
+  let reader = Sim.new_client sim in
+  let objects, write, read = doomed_emulation sim ~f in
+  let objs = Array.of_list objects in
+  let half_a = List.init f (fun i -> objs.(i)) in
+  let half_b = List.init f (fun i -> objs.(f + i)) in
+  let steps = ref [] in
+  let note fmt = Fmt.kstr (fun s -> steps := s :: !steps) fmt in
+  let v = Value.Str "v1" in
+
+  note "n = 2f = %d servers; an f-tolerant operation may await only f = %d"
+    (2 * f) f;
+
+  (* the write is served entirely by half A *)
+  let w = write writer v in
+  let* () =
+    Script.release_reads sim ~client:writer ~objs:half_a ~what:"write phase 1"
+  in
+  let* () =
+    Script.drive_until sim ~keep:Script.keep_steps
+      ~goal:(fun () -> Script.pending_writes_by sim writer <> [])
+      ~budget:100 ~what:"write phase 2 trigger"
+  in
+  let* () =
+    Script.release_writes sim ~client:writer ~objs:half_a ~what:"write phase 2"
+  in
+  let* () = Script.step_to_return sim w ~budget:100 ~what:"write return" in
+  note
+    "the write completes using servers s0..s%d only (s%d..s%d appear \
+     crashed — which f-tolerance must allow)"
+    (f - 1) f ((2 * f) - 1);
+
+  (* the read is served entirely by half B *)
+  let rd = read reader in
+  let* () =
+    Script.release_reads sim ~client:reader ~objs:half_b ~what:"read phase"
+  in
+  let* () = Script.step_to_return sim rd ~budget:100 ~what:"read return" in
+  let read_value = Option.get (Sim.call_result rd) in
+  note
+    "the read completes using servers s%d..s%d only (s0..s%d appear \
+     crashed) and returns %a"
+    f ((2 * f) - 1) (f - 1) Value.pp read_value;
+  note "the two halves never intersect: the completed write is invisible";
+
+  let history = History.of_trace (Sim.trace sim) in
+  Ok
+    {
+      history;
+      verdict = Ws_check.check_ws_safe history;
+      read_value;
+      written = v;
+      steps = List.rev !steps;
+    }

@@ -1,0 +1,32 @@
+(** Theorem 5: no [f]-tolerant WS-Safe obstruction-free emulation exists
+    on fewer than [2f+1] servers — the partitioning argument, executed.
+
+    With [n = 2f] servers, an [f]-tolerant operation may wait for at
+    most [n - f = f] servers, so two disjoint "quorums" of [f] servers
+    exist.  The schedule:
+
+    + a write completes using only the first half (the second half
+      appears crashed);
+    + a read completes using only the second half (the first half
+      appears crashed);
+    + neither half has seen the other's traffic, so the read returns
+      the initial value after a completed write — a WS-Safety
+      violation.
+
+    Built against an ABD-style emulation over [2f] max-registers with
+    quorum size [f] (the only quorum size that tolerates [f] crashes on
+    [2f] servers).  Since {!Regemu_bounds.Params} refuses [n <= 2f],
+    the doomed emulation is constructed directly here. *)
+
+open Regemu_objects
+open Regemu_history
+
+type outcome = {
+  history : History.t;
+  verdict : Ws_check.verdict;  (** [Violated _], asserted in tests *)
+  read_value : Value.t;  (** the stale initial value *)
+  written : Value.t;
+  steps : string list;
+}
+
+val impossibility : f:int -> (outcome, string) result

@@ -1,0 +1,90 @@
+open Regemu_objects
+open Regemu_sim
+
+let is_read_op = function
+  | Base_object.Read | Base_object.Max_read -> true
+  | Base_object.Write _ | Base_object.Max_write _
+  | Base_object.Compare_and_swap _ ->
+      false
+
+let pending_info sim lid =
+  List.find_opt
+    (fun (p : Sim.pending_info) -> Id.Lop.equal p.lid lid)
+    (Sim.pending sim)
+
+let pending_writes_by sim client =
+  List.filter
+    (fun (p : Sim.pending_info) ->
+      Id.Client.equal p.client client && not (is_read_op p.op))
+    (Sim.pending sim)
+
+let keep_reads_and_steps sim = function
+  | Sim.Step _ -> true
+  | Sim.Respond lid -> (
+      match pending_info sim lid with
+      | Some p -> is_read_op p.op
+      | None -> false)
+
+let keep_steps _sim = function Sim.Step _ -> true | Sim.Respond _ -> false
+
+let drive_until sim ~keep ~goal ~budget ~what =
+  let rec go budget =
+    if goal () then Ok ()
+    else if budget = 0 then Error (Fmt.str "%s: budget exhausted" what)
+    else
+      match List.filter (keep sim) (Sim.enabled sim) with
+      | [] -> Error (Fmt.str "%s: stuck" what)
+      | ev :: _ ->
+          Sim.fire sim ev;
+          go (budget - 1)
+  in
+  go budget
+
+let release_write sim ~client ~obj ~what =
+  match
+    List.find_opt
+      (fun (p : Sim.pending_info) -> Id.Obj.equal p.obj obj)
+      (pending_writes_by sim client)
+  with
+  | Some p ->
+      Sim.fire sim (Sim.Respond p.lid);
+      Ok ()
+  | None ->
+      Error (Fmt.str "%s: no pending write by %a on %a" what Id.Client.pp
+               client Id.Obj.pp obj)
+
+let ( let* ) = Result.bind
+
+let rec release_writes sim ~client ~objs ~what =
+  match objs with
+  | [] -> Ok ()
+  | o :: rest ->
+      let* () = release_write sim ~client ~obj:o ~what in
+      release_writes sim ~client ~objs:rest ~what
+
+let release_read sim ~client ~obj ~what =
+  match
+    List.find_opt
+      (fun (p : Sim.pending_info) ->
+        Id.Client.equal p.client client
+        && Id.Obj.equal p.obj obj && is_read_op p.op)
+      (Sim.pending sim)
+  with
+  | Some p ->
+      Sim.fire sim (Sim.Respond p.lid);
+      Ok ()
+  | None ->
+      Error (Fmt.str "%s: no pending read by %a on %a" what Id.Client.pp
+               client Id.Obj.pp obj)
+
+let rec release_reads sim ~client ~objs ~what =
+  match objs with
+  | [] -> Ok ()
+  | o :: rest ->
+      let* () = release_read sim ~client ~obj:o ~what in
+      release_reads sim ~client ~objs:rest ~what
+
+let step_to_return sim call ~budget ~what =
+  drive_until sim ~keep:keep_steps
+    ~goal:(fun () -> Sim.call_returned call)
+    ~budget ~what

@@ -1,0 +1,64 @@
+(** Deterministic scripted schedules.
+
+    The proofs in the paper (Lemma 4, and classic results like the
+    new/old read inversion that motivates reader write-back) are
+    specific interleavings.  This module provides the small vocabulary
+    needed to write such interleavings directly against a simulator:
+    fire only events matching a predicate until a goal holds, release
+    the response of a specific pending operation, etc.
+
+    All helpers are deterministic (first enabled match wins) and
+    bounded, returning [Error] with a stage name instead of hanging. *)
+
+open Regemu_objects
+open Regemu_sim
+
+(** [true] for [Read]/[Max_read] low-level operations. *)
+val is_read_op : Base_object.op -> bool
+
+(** Look up a pending operation by trigger id. *)
+val pending_info : Sim.t -> Id.Lop.t -> Sim.pending_info option
+
+(** Pending mutators (register writes / write-max / CAS) by [client]. *)
+val pending_writes_by : Sim.t -> Id.Client.t -> Sim.pending_info list
+
+(** Event filter admitting client steps and read responses only —
+    lets collect/read phases complete while holding all writes. *)
+val keep_reads_and_steps : Sim.t -> Sim.event -> bool
+
+(** Event filter admitting client steps only. *)
+val keep_steps : Sim.t -> Sim.event -> bool
+
+(** [drive_until sim ~keep ~goal ~budget ~what] repeatedly fires the
+    first enabled event satisfying [keep] until [goal ()]. *)
+val drive_until :
+  Sim.t ->
+  keep:(Sim.t -> Sim.event -> bool) ->
+  goal:(unit -> bool) ->
+  budget:int ->
+  what:string ->
+  (unit, string) result
+
+(** Respond to the pending mutator by [client] on [obj]. *)
+val release_write :
+  Sim.t -> client:Id.Client.t -> obj:Id.Obj.t -> what:string ->
+  (unit, string) result
+
+(** Respond to the pending mutators by [client] on each of [objs]. *)
+val release_writes :
+  Sim.t -> client:Id.Client.t -> objs:Id.Obj.t list -> what:string ->
+  (unit, string) result
+
+(** Respond to the pending read by [client] on [obj]. *)
+val release_read :
+  Sim.t -> client:Id.Client.t -> obj:Id.Obj.t -> what:string ->
+  (unit, string) result
+
+(** Respond to the pending reads by [client] on each of [objs]. *)
+val release_reads :
+  Sim.t -> client:Id.Client.t -> objs:Id.Obj.t list -> what:string ->
+  (unit, string) result
+
+(** Step the given client until its current call returns. *)
+val step_to_return :
+  Sim.t -> Sim.call -> budget:int -> what:string -> (unit, string) result

@@ -1,0 +1,104 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_history
+
+type outcome = {
+  history : History.t;
+  verdict : Ws_check.verdict;
+  read_value : Value.t;
+  last_written : Value.t;
+  steps : string list;
+}
+
+let ( let* ) = Result.bind
+
+let against_naive ~f =
+  let p = Params.make_exn ~k:2 ~f ~n:((2 * f) + 1) in
+  let sim = Sim.create ~n:p.n () in
+  let c1 = Sim.new_client sim and c2 = Sim.new_client sim in
+  let reader = Sim.new_client sim in
+  let instance =
+    Regemu_baselines.Naive_reg.factory.make sim p ~writers:[ c1; c2 ]
+  in
+  let objs = Array.of_list (instance.objects ()) in
+  let v1 = Value.Str "v1" and v2 = Value.Str "v2" in
+  let steps = ref [] in
+  let note fmt = Fmt.kstr (fun s -> steps := s :: !steps) fmt in
+  let range a b = List.init (b - a + 1) (fun i -> objs.(a + i)) in
+
+  (* Phase A: W1 *)
+  let w1 = instance.write c1 v1 in
+  let* () =
+    Script.drive_until sim ~keep:Script.keep_reads_and_steps
+      ~goal:(fun () ->
+        List.length (Script.pending_writes_by sim c1) = (2 * f) + 1)
+      ~budget:10_000 ~what:"W1 collect phase"
+  in
+  note "W1 by c1 collected timestamps and triggered writes on all %d registers"
+    ((2 * f) + 1);
+  let* () =
+    Script.release_writes sim ~client:c1 ~objs:(range 0 f) ~what:"W1 quorum"
+  in
+  note "environment responds to W1's writes on b0..b%d (quorum of %d)" f
+    (f + 1);
+  let* () = Script.step_to_return sim w1 ~budget:100 ~what:"W1 return" in
+  note "W1 returns; its writes on b%d..b%d remain pending (covering)" (f + 1)
+    (2 * f);
+
+  (* Phase B: W2 *)
+  let w2 = instance.write c2 v2 in
+  let* () =
+    Script.drive_until sim ~keep:Script.keep_reads_and_steps
+      ~goal:(fun () ->
+        List.length (Script.pending_writes_by sim c2) = (2 * f) + 1)
+      ~budget:10_000 ~what:"W2 collect phase"
+  in
+  note "W2 by c2 collected timestamps and triggered writes everywhere";
+  let* () =
+    Script.release_writes sim ~client:c2
+      ~objs:(range (f + 1) (2 * f) @ [ objs.(0) ])
+      ~what:"W2 quorum"
+  in
+  note
+    "environment responds to W2's writes on b%d..b%d and b0 (quorum of %d); \
+     b1..b%d keep W2's writes pending"
+    (f + 1) (2 * f) (f + 1) f;
+  let* () = Script.step_to_return sim w2 ~budget:100 ~what:"W2 return" in
+  note "W2 returns";
+
+  (* Phase C: the stale covering writes of W1 take effect *)
+  let* () =
+    Script.release_writes sim ~client:c1
+      ~objs:(range (f + 1) (2 * f))
+      ~what:"stale release"
+  in
+  note
+    "W1's stale covering writes on b%d..b%d finally take effect, erasing v2 \
+     there"
+    (f + 1) (2 * f);
+
+  (* Phase D: a read that misses v2 *)
+  let rd = instance.read reader in
+  let* () =
+    Script.release_reads sim ~client:reader
+      ~objs:(range 1 (f + 1))
+      ~what:"reader"
+  in
+  note
+    "a reader's reads respond on b1..b%d only (server s0 appears slow — it \
+     could be crashed)"
+    (f + 1);
+  let* () = Script.step_to_return sim rd ~budget:100 ~what:"read return" in
+  let read_value = Option.get (Sim.call_result rd) in
+  note "the read returns %a although W2=%a completed before it started"
+    Value.pp read_value Value.pp v2;
+  let history = History.of_trace (Sim.trace sim) in
+  Ok
+    {
+      history;
+      verdict = Ws_check.check_ws_safe history;
+      read_value;
+      last_written = v2;
+      steps = List.rev !steps;
+    }

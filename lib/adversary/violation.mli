@@ -1,0 +1,39 @@
+(** The runs of Lemma 4 / Figure 2, constructed concretely against the
+    naive [2f+1]-register algorithm ({!Regemu_baselines.Naive_reg}).
+
+    The schedule, for any [f >= 1] (two writers, one reader,
+    [n = 2f+1], one register [b_j] per server):
+
+    + [W_1 = write(v_1)] by [c_1]: its low-level writes respond on
+      [b_0..b_f]; the remaining [f] stay pending (covering).
+      [W_1] returns with its [f+1]-ack quorum.
+    + [W_2 = write(v_2)] by [c_2]: its low-level writes respond on
+      [b_{f+1}..b_{2f}] and on [b_0]; the writes on [b_1..b_f] stay
+      pending.  [W_2] returns.
+    + The environment now lets [W_1]'s stale covering writes take
+      effect: [b_{f+1}..b_{2f}] are overwritten back to [v_1]'s
+      timestamped value.  Every register except [b_0] now holds [v_1].
+    + A reader runs: its reads respond on [f+1] registers among
+      [b_1..b_{2f}] (server [s_0] appears slow — it may legitimately be
+      one of the [f] crashed servers).  All of them hold [v_1], so the
+      read returns [v_1] even though [W_2] completed long before —
+      a WS-Safety violation.
+
+    This is exactly why a register (unlike a max-register) cannot be
+    reused while it has a pending write, and hence why the register
+    bound grows with [k]. *)
+
+open Regemu_objects
+open Regemu_history
+
+type outcome = {
+  history : History.t;
+  verdict : Ws_check.verdict;  (** [Violated _] — asserted by the tests *)
+  read_value : Value.t;  (** the stale [v_1] *)
+  last_written : Value.t;  (** [v_2] *)
+  steps : string list;  (** human-readable narration of the schedule *)
+}
+
+(** Build the violating run against {!Regemu_baselines.Naive_reg} for
+    the given failure threshold. *)
+val against_naive : f:int -> (outcome, string) result

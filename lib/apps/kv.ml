@@ -1,0 +1,68 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_core
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  factory : Emulation.factory;
+  writers : Id.Client.t list;
+  mutable regs : (string * Emulation.instance) list;  (* first-put order *)
+}
+
+(* the reserved "absent" marker: a Pair value no Str payload collides
+   with *)
+let absent = Value.Pair (Value.Bool false, Value.Bool false)
+
+let create sim (p : Params.t) ~factory ~writers =
+  if List.length writers <> p.k then
+    invalid_arg "Kv.create: writer count must be k";
+  if Sim.num_servers sim <> p.n then
+    invalid_arg "Kv.create: server count mismatch";
+  { sim; params = p; factory; writers; regs = [] }
+
+let keys t = List.map fst t.regs
+let storage_objects t =
+  List.fold_left
+    (fun acc (_, inst) -> acc + List.length (inst.Emulation.objects ()))
+    0 t.regs
+
+let instance t key =
+  match List.assoc_opt key t.regs with
+  | Some inst -> inst
+  | None ->
+      let inst = t.factory.make t.sim t.params ~writers:t.writers in
+      t.regs <- t.regs @ [ (key, inst) ];
+      inst
+
+let put_async t ~client key value =
+  (instance t key).Emulation.write client (Value.Str value)
+
+let get_async t ~client key =
+  match List.assoc_opt key t.regs with
+  | Some inst -> inst.Emulation.read client
+  | None ->
+      (* unknown key: still a real (trivial) operation so callers can
+         treat every get uniformly *)
+      Sim.invoke t.sim ~client Trace.H_read (fun () -> absent)
+
+let finish t ~policy ~what call =
+  match Driver.finish_call t.sim policy ~budget:200_000 call with
+  | Ok v -> v
+  | Error o -> failwith (Fmt.str "Kv.%s: %a" what Driver.outcome_pp o)
+
+let put t ~policy ~client key value =
+  ignore (finish t ~policy ~what:"put" (put_async t ~client key value))
+
+let get t ~policy ~client key =
+  match finish t ~policy ~what:"get" (get_async t ~client key) with
+  | Value.Str s -> Some s
+  | v when Value.equal v absent -> None
+  | v when Value.equal v Value.v0 -> None  (* allocated, never written *)
+  | v -> Some (Value.to_string v)
+
+let delete t ~policy ~client key =
+  ignore
+    (finish t ~policy ~what:"delete"
+       ((instance t key).Emulation.write client absent))

@@ -1,0 +1,50 @@
+(** A replicated key-value store over emulated registers — the
+    cloud-storage application the paper's introduction motivates, built
+    entirely on the public emulation API.
+
+    Each key is one emulated multi-writer register; all keys share the
+    same pool of [n] crash-prone servers, so the store tolerates [f]
+    server crashes as a whole.  The emulation algorithm is pluggable
+    (any {!Regemu_core.Emulation.factory}); with Algorithm 2 the
+    storage budget is [keys * (kf + ceil(k/z)(f+1))] base registers.
+
+    Keys are created lazily on first {!put}; a {!get} of an unknown key
+    is [None].  Writer capacity is [p.k] {e writer clients} per key
+    (the same [k] clients write all keys). *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+
+type t
+
+(** [create sim p ~factory ~writers] — [writers] are the clients
+    allowed to [put]; anyone may [get]. *)
+val create :
+  Sim.t ->
+  Params.t ->
+  factory:Regemu_core.Emulation.factory ->
+  writers:Id.Client.t list ->
+  t
+
+(** Keys currently allocated (in first-put order). *)
+val keys : t -> string list
+
+(** Total base objects allocated across all keys. *)
+val storage_objects : t -> int
+
+(** Asynchronous operations (invoke; drive the sim to complete them). *)
+val put_async : t -> client:Id.Client.t -> string -> string -> Sim.call
+
+val get_async : t -> client:Id.Client.t -> string -> Sim.call
+
+(** Synchronous convenience wrappers: drive the call to completion
+    under the given policy.  Raise [Failure] on liveness failure. *)
+val put :
+  t -> policy:Policy.t -> client:Id.Client.t -> string -> string -> unit
+
+val get :
+  t -> policy:Policy.t -> client:Id.Client.t -> string -> string option
+
+(** Delete is a put of the reserved absent value. *)
+val delete : t -> policy:Policy.t -> client:Id.Client.t -> string -> unit

@@ -1,0 +1,84 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+
+(* one emulated max-register per player: 2f+1 base max-registers on the
+   first 2f+1 servers, quorum f+1 for both phases *)
+type cell = { objs : Id.Obj.t list }
+
+type t = {
+  sim : Sim.t;
+  f : int;
+  mutable cells : (string * cell) list;  (* insertion order *)
+}
+
+let create sim (p : Params.t) () =
+  if Sim.num_servers sim <> p.n then
+    invalid_arg "Leaderboard.create: server count mismatch";
+  { sim; f = p.f; cells = [] }
+
+let objects_per_player t = (2 * t.f) + 1
+
+let storage_objects t =
+  List.fold_left (fun acc (_, c) -> acc + List.length c.objs) 0 t.cells
+
+let cell t player =
+  match List.assoc_opt player t.cells with
+  | Some c -> c
+  | None ->
+      let objs =
+        List.init ((2 * t.f) + 1) (fun i ->
+            Sim.alloc t.sim ~server:(Id.Server.of_int i)
+              Base_object.Max_register)
+      in
+      let c = { objs } in
+      t.cells <- t.cells @ [ (player, c) ];
+      c
+
+(* quorum round: trigger [op] on every object, wait for f+1, fold *)
+let round t ~client c op =
+  let count = ref 0 in
+  let best = ref Value.v0 in
+  List.iter
+    (fun b ->
+      ignore
+        (Sim.trigger t.sim ~client b op ~on_response:(fun v ->
+             best := Value.max !best v;
+             incr count)))
+    c.objs;
+  Sim.wait_until (fun () -> !count >= t.f + 1);
+  !best
+
+let finish t ~policy ~what call =
+  match Driver.finish_call t.sim policy ~budget:200_000 call with
+  | Ok v -> v
+  | Error o -> failwith (Fmt.str "Leaderboard.%s: %a" what Driver.outcome_pp o)
+
+let submit t ~policy ~client player score =
+  if score < 0 then invalid_arg "Leaderboard.submit: negative score";
+  let c = cell t player in
+  let call =
+    Sim.invoke t.sim ~client (Trace.H_write (Value.Int score)) (fun () ->
+        let _ =
+          round t ~client c (Base_object.Max_write (Value.Int score))
+        in
+        Value.Unit)
+  in
+  ignore (finish t ~policy ~what:"submit" call)
+
+let read_best t ~client c =
+  Sim.invoke t.sim ~client Trace.H_read (fun () ->
+      round t ~client c Base_object.Max_read)
+
+let best t ~policy ~client player =
+  match List.assoc_opt player t.cells with
+  | None -> 0
+  | Some c -> (
+      match finish t ~policy ~what:"best" (read_best t ~client c) with
+      | Value.Int i -> i
+      | v when Value.equal v Value.v0 -> 0
+      | v -> invalid_arg (Fmt.str "Leaderboard.best: odd cell %a" Value.pp v))
+
+let standings t ~policy ~client =
+  List.map (fun (player, _) -> (player, best t ~policy ~client player)) t.cells
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)

@@ -1,0 +1,44 @@
+(** A fault-tolerant high-score table — max-registers as an
+    application type.
+
+    A player's best score only ever increases: that is a max-register,
+    the very type whose emulation the paper shows costs just [2f+1]
+    fault-prone objects regardless of how many players submit scores.
+    Each player gets one emulated max-register over the shared server
+    pool ({!Regemu_baselines.Abd_max}-style quorum rounds); submitting
+    a lower score is a semantic no-op, concurrent submissions cannot
+    lose the maximum, and the table survives [f] server crashes.
+
+    Compare {!Kv}: a general register per key costs
+    [kf + ceil(k/z)(f+1)] base objects; the leaderboard's monotone
+    cells cost [2f+1] each — the paper's type separation, felt at the
+    application layer. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+
+type t
+
+(** [create sim p ()] — scores may be submitted by any client;
+    [p] fixes the fault tolerance ([p.k] is irrelevant here, which is
+    the point). *)
+val create : Sim.t -> Params.t -> unit -> t
+
+(** Base objects per player cell: always [2f+1]. *)
+val objects_per_player : t -> int
+
+val storage_objects : t -> int
+
+(** [submit t ~policy ~client player score] records [score] if it beats
+    the player's best. *)
+val submit :
+  t -> policy:Policy.t -> client:Id.Client.t -> string -> int -> unit
+
+(** The player's best score so far ([0] if none). *)
+val best :
+  t -> policy:Policy.t -> client:Id.Client.t -> string -> int
+
+(** All players with their best scores, highest first. *)
+val standings :
+  t -> policy:Policy.t -> client:Id.Client.t -> (string * int) list

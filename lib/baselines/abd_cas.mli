@@ -1,0 +1,10 @@
+(** Multi-writer ABD over CAS objects: the [2f+1] upper bound of
+    Table 1 for the CAS row.
+
+    Structurally {!Abd_max} with each server's max-register replaced by
+    the Algorithm 1 emulation over a single CAS ({!Cas_maxreg}), which
+    is how the paper derives the CAS upper bound from the max-register
+    one.  Space cost is unchanged ([2f+1] objects); the price is time —
+    each per-server write-max may need several CAS round trips. *)
+
+val factory : Regemu_core.Emulation.factory

@@ -1,0 +1,53 @@
+open Regemu_objects
+open Regemu_sim
+
+let bump = function None -> () | Some r -> incr r
+
+let cas_read_op =
+  Base_object.Compare_and_swap { expected = Value.v0; desired = Value.v0 }
+
+let rec attempt ?count sim ~client b v ~on_done =
+  bump count;
+  ignore
+    (Sim.trigger sim ~client b cas_read_op ~on_response:(fun tmp ->
+         if Value.compare tmp v >= 0 then on_done ()
+         else begin
+           bump count;
+           ignore
+             (Sim.trigger sim ~client b
+                (Base_object.Compare_and_swap { expected = tmp; desired = v })
+                ~on_response:(fun _ ->
+                  attempt ?count sim ~client b v ~on_done))
+         end))
+
+let write_max_async sim ~client b v ~on_done =
+  attempt sim ~client b v ~on_done
+
+let read_max_async sim ~client b ~on_value =
+  ignore (Sim.trigger sim ~client b cas_read_op ~on_response:on_value)
+
+type t = { sim : Sim.t; obj : Id.Obj.t; count : int ref }
+
+let create sim ~server =
+  { sim; obj = Sim.alloc sim ~server Base_object.Cas; count = ref 0 }
+
+let obj t = t.obj
+let cas_count t = !(t.count)
+
+let write_max t client v =
+  Sim.invoke t.sim ~client (Trace.H_write v) (fun () ->
+      let finished = ref false in
+      attempt ~count:t.count t.sim ~client t.obj v ~on_done:(fun () ->
+          finished := true);
+      Sim.wait_until (fun () -> !finished);
+      Value.Unit)
+
+let read_max t client =
+  Sim.invoke t.sim ~client Trace.H_read (fun () ->
+      incr t.count;
+      let got = ref None in
+      ignore
+        (Sim.trigger t.sim ~client t.obj cas_read_op ~on_response:(fun v ->
+             got := Some v));
+      Sim.wait_until (fun () -> !got <> None);
+      Option.get !got)

@@ -1,0 +1,56 @@
+(** Algorithm 1 (Appendix B): a wait-free atomic max-register emulated
+    from a single CAS object.
+
+    [write_max v] loops: read the current value with [CAS(v0, v0)]; if
+    it is already [>= v], return; otherwise attempt [CAS(current, v)]
+    and retry.  [read_max] is a single [CAS(v0, v0)].
+
+    Two entry points are provided:
+
+    - the callback-style primitives {!write_max_async} /
+      {!read_max_async}, usable from response handlers, which
+      {!Abd_cas} composes with quorums (one CAS per server);
+    - a standalone {!instance}-like object over one CAS for the
+      atomicity tests (Theorem 4) and the time-complexity benchmark
+      discussed in the paper's Section 5: the number of CAS operations
+      per write-max grows with the number of intervening updates,
+      whereas a native max-register costs one operation. *)
+
+open Regemu_objects
+open Regemu_sim
+
+(** [write_max_async sim ~client b v ~on_done] runs the Algorithm 1
+    write-max loop on CAS object [b]; calls [on_done] once the
+    max-register provably holds a value [>= v].  Never blocks. *)
+val write_max_async :
+  Sim.t ->
+  client:Id.Client.t ->
+  Id.Obj.t ->
+  Value.t ->
+  on_done:(unit -> unit) ->
+  unit
+
+(** [read_max_async sim ~client b ~on_value] reads the current maximum
+    (one CAS).  Never blocks. *)
+val read_max_async :
+  Sim.t -> client:Id.Client.t -> Id.Obj.t -> on_value:(Value.t -> unit) -> unit
+
+(** {2 Standalone single-object max-register} *)
+
+type t
+
+(** [create sim ~server] allocates the single CAS base object. *)
+val create : Sim.t -> server:Id.Server.t -> t
+
+val obj : t -> Id.Obj.t
+
+(** Total CAS operations triggered through this max-register so far —
+    the time-complexity measure. *)
+val cas_count : t -> int
+
+(** High-level operations, recorded in the trace as writes/reads of the
+    emulated max-register so the linearizability checker can consume
+    the history with {!Regemu_history.Linearize.max_register}. *)
+val write_max : t -> Id.Client.t -> Value.t -> Sim.call
+
+val read_max : t -> Id.Client.t -> Sim.call

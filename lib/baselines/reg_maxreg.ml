@@ -1,0 +1,54 @@
+open Regemu_objects
+open Regemu_sim
+open Regemu_core
+
+type writer_state = { reg : Id.Obj.t; mutable local_max : Value.t }
+
+type t = {
+  sim : Sim.t;
+  regs : Id.Obj.t list;
+  states : (int * writer_state) list;  (* client id -> state *)
+}
+
+let create sim ~server ~writers =
+  if writers = [] then invalid_arg "Reg_maxreg.create: no writers";
+  let states =
+    List.map
+      (fun c ->
+        let reg = Sim.alloc sim ~server Base_object.Register in
+        (Id.Client.to_int c, { reg; local_max = Value.v0 }))
+      writers
+  in
+  { sim; regs = List.map (fun (_, st) -> st.reg) states; states }
+
+let objects t = t.regs
+
+let state_of t c =
+  match List.assoc_opt (Id.Client.to_int c) t.states with
+  | Some st -> st
+  | None -> invalid_arg "Reg_maxreg.write_max: not a registered writer"
+
+let write_max t c v =
+  let st = state_of t c in
+  Sim.invoke t.sim ~client:c (Trace.H_write v) (fun () ->
+      if Value.compare v st.local_max > 0 then begin
+        st.local_max <- v;
+        ignore
+          (Emulation.call_sync t.sim ~client:c st.reg (Base_object.Write v))
+      end;
+      Value.Unit)
+
+let read_max t c =
+  Sim.invoke t.sim ~client:c Trace.H_read (fun () ->
+      let remaining = ref (List.length t.regs) in
+      let best = ref Value.v0 in
+      List.iter
+        (fun b ->
+          ignore
+            (Sim.trigger t.sim ~client:c b Base_object.Read
+               ~on_response:(fun v ->
+                 best := Value.max !best v;
+                 decr remaining)))
+        t.regs;
+      Sim.wait_until (fun () -> !remaining = 0);
+      !best)

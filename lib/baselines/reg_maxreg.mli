@@ -1,0 +1,27 @@
+(** A [k]-writer max-register from exactly [k] MWMR atomic registers —
+    the construction matching Theorem 2's lower bound in the standard
+    (failure-free) shared-memory model.
+
+    Writer slot [w] owns register [w]: its write-max writes
+    [max(previous own value, v)] to its own register and waits for the
+    response, so each register holds the monotone maximum of its
+    writer's values.  A read-max collects all [k] registers and returns
+    the overall maximum.  Monotonicity of every register makes the
+    collect linearizable (validated against the brute-force checker in
+    the test suite).
+
+    This is a shared-memory object: it assumes its single hosting
+    server does not crash. *)
+
+open Regemu_objects
+open Regemu_sim
+
+type t
+
+(** [create sim ~server ~writers] allocates [List.length writers]
+    registers on [server]. *)
+val create : Sim.t -> server:Id.Server.t -> writers:Id.Client.t list -> t
+
+val objects : t -> Id.Obj.t list
+val write_max : t -> Id.Client.t -> Value.t -> Sim.call
+val read_max : t -> Id.Client.t -> Sim.call

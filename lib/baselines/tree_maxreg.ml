@@ -1,0 +1,87 @@
+open Regemu_objects
+open Regemu_sim
+open Regemu_core
+
+(* A node covering the value range [0, size). *)
+type node =
+  | Leaf  (* size 1: only the value 0, no storage needed *)
+  | Node of { switch : Id.Obj.t; mid : int; left : node; right : node }
+
+type t = {
+  sim : Sim.t;
+  root : node;
+  cap : int;
+  objs : Id.Obj.t list;
+  steps : int ref;  (* low-level ops of the call in progress *)
+}
+
+let rec build sim ~server ~size acc =
+  if size <= 1 then (Leaf, acc)
+  else begin
+    let mid = (size + 1) / 2 in
+    let switch = Sim.alloc sim ~server Base_object.Register in
+    let left, acc = build sim ~server ~size:mid (switch :: acc) in
+    let right, acc = build sim ~server ~size:(size - mid) acc in
+    (Node { switch; mid; left; right }, acc)
+  end
+
+let create sim ~server ~capacity =
+  if capacity < 1 then invalid_arg "Tree_maxreg.create: capacity >= 1";
+  let root, objs = build sim ~server ~size:capacity [] in
+  { sim; root; cap = capacity; objs = List.rev objs; steps = ref 0 }
+
+let capacity t = t.cap
+let objects t = t.objs
+let last_op_steps t = !(t.steps)
+
+let switch_set v = Value.equal v (Value.Int 1)
+
+(* fiber-side register access, counting steps *)
+let reg_read t c b =
+  incr t.steps;
+  Emulation.call_sync t.sim ~client:c b Base_object.Read
+
+let reg_write t c b v =
+  incr t.steps;
+  ignore (Emulation.call_sync t.sim ~client:c b (Base_object.Write v))
+
+let rec write_node t c node v =
+  match node with
+  | Leaf -> ()
+  | Node { switch; mid; left; right } ->
+      if v >= mid then begin
+        (* store in the right subtree first, then flip the switch, so a
+           reader that sees the switch finds the value in place *)
+        write_node t c right (v - mid);
+        reg_write t c switch (Value.Int 1)
+      end
+      else if not (switch_set (reg_read t c switch)) then
+        (* the switch check is essential, not an optimization: once the
+           switch is set the maximum is at least [mid], and a late write
+           into the left subtree could otherwise be observed by a
+           concurrent reader that passed the switch before it was set,
+           producing a value that contradicts the real-time write order
+           (this exact non-linearizable run was found by the random
+           atomicity test before the check was added) *)
+        write_node t c left v
+
+let rec read_node t c node =
+  match node with
+  | Leaf -> 0
+  | Node { switch; mid; left; right } ->
+      if switch_set (reg_read t c switch) then mid + read_node t c right
+      else read_node t c left
+
+let write_max t c v =
+  if v < 0 || v >= t.cap then
+    invalid_arg
+      (Fmt.str "Tree_maxreg.write_max: %d outside [0, %d)" v t.cap);
+  Sim.invoke t.sim ~client:c (Trace.H_write (Value.Int v)) (fun () ->
+      t.steps := 0;
+      write_node t c t.root v;
+      Value.Unit)
+
+let read_max t c =
+  Sim.invoke t.sim ~client:c Trace.H_read (fun () ->
+      t.steps := 0;
+      Value.Int (read_node t c t.root))

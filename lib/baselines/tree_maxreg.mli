@@ -1,0 +1,43 @@
+(** The Aspnes–Attiya–Censor bounded max-register (the paper's
+    reference [4]): a wait-free linearizable max-register over the
+    domain [0, capacity) built recursively from one-bit atomic
+    registers.
+
+    A max-register of size [m] is a switch bit plus two max-registers
+    of size [ceil(m/2)]: values below the midpoint go left; a writer of
+    a high value first writes into the right subtree and only then sets
+    the switch, so a reader that sees the switch set finds the value
+    already present.  Reads and writes touch [O(log capacity)]
+    registers — compare a flat collect over [k] registers
+    ({!Reg_maxreg}) or the retry loop over one CAS ({!Cas_maxreg}):
+    three implementations of the same type with different space/time
+    trade-offs, the theme of the paper's Section 5.
+
+    Space: [capacity - 1] one-bit registers (a perfect binary tree of
+    switches).  All of them live on a single server: like
+    {!Reg_maxreg} this is a shared-memory construction, used per
+    server. *)
+
+open Regemu_objects
+open Regemu_sim
+
+type t
+
+(** [create sim ~server ~capacity] builds the tree; requires
+    [capacity >= 1].  Values written must lie in [0, capacity). *)
+val create : Sim.t -> server:Id.Server.t -> capacity:int -> t
+
+val capacity : t -> int
+
+(** Number of base registers: [capacity - 1]. *)
+val objects : t -> Id.Obj.t list
+
+(** [write_max t c v] with [0 <= v < capacity]. *)
+val write_max : t -> Id.Client.t -> int -> Sim.call
+
+(** Returns the maximum value written so far (an [Int]), or [Int 0]. *)
+val read_max : t -> Id.Client.t -> Sim.call
+
+(** Low-level operations triggered by the last completed call — the
+    [O(log capacity)] step-complexity measure. *)
+val last_op_steps : t -> int

@@ -1,0 +1,17 @@
+(** The "wait for everyone" strawman: ABD over [2f+1] registers whose
+    writer waits for {e all} of its low-level writes to respond before
+    returning.
+
+    This dodges the covering problem (no write ever leaves a pending
+    low-level write behind), which is exactly why it cannot be
+    [f]-tolerant: a single crashed — or merely silent — server blocks
+    every subsequent write forever.  The test suite shows its write
+    gets stuck both under one real crash and under the [Ad_i]
+    adversary, while the safe schedules keep it correct.
+
+    Together with {!Naive_reg} this brackets Algorithm 2 from both
+    sides: waiting for everything loses liveness; waiting for a quorum
+    without the covering discipline loses safety; the paper's
+    construction pays [kf + ceil(k/z)(f+1)] registers to keep both. *)
+
+val factory : Regemu_core.Emulation.factory

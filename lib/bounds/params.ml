@@ -1,0 +1,29 @@
+type t = { k : int; f : int; n : int }
+
+let pp ppf { k; f; n } = Fmt.pf ppf "(k=%d, f=%d, n=%d)" k f n
+let equal a b = a.k = b.k && a.f = b.f && a.n = b.n
+let compare = Stdlib.compare
+
+let make ~k ~f ~n =
+  if k <= 0 then Error (Fmt.str "k must be positive, got %d" k)
+  else if f <= 0 then Error (Fmt.str "f must be positive, got %d" f)
+  else if n < (2 * f) + 1 then
+    Error (Fmt.str "n must be at least 2f+1 = %d, got %d" ((2 * f) + 1) n)
+  else Ok { k; f; n }
+
+let make_exn ~k ~f ~n =
+  match make ~k ~f ~n with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Params.make_exn: " ^ msg)
+
+let grid ~ks ~fs ~ns =
+  List.concat_map
+    (fun k ->
+      List.concat_map
+        (fun f ->
+          List.filter_map
+            (fun n ->
+              match make ~k ~f ~n with Ok t -> Some t | Error _ -> None)
+            ns)
+        fs)
+    ks

@@ -1,0 +1,29 @@
+(** System parameters of a fault-tolerant register emulation.
+
+    A parameter triple fixes the number of writers [k], the failure
+    threshold [f] (maximum number of servers that may crash), and the
+    number of available servers [n].  The paper assumes [k > 0],
+    [f > 0], and [n >= 2f + 1] throughout (Section 1); the smart
+    constructor {!make} enforces exactly these constraints. *)
+
+type t = private { k : int;  (** number of writers *)
+                   f : int;  (** failure threshold *)
+                   n : int   (** number of servers *) }
+
+val pp : t Fmt.t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [make ~k ~f ~n] validates the triple.  Errors if [k <= 0], [f <= 0],
+    or [n < 2f + 1] (an [f]-tolerant WS-Safe obstruction-free emulation
+    is impossible with fewer than [2f+1] servers, Theorem 5). *)
+val make : k:int -> f:int -> n:int -> (t, string) result
+
+(** [make_exn ~k ~f ~n] is {!make} but raises [Invalid_argument]. *)
+val make_exn : k:int -> f:int -> n:int -> t
+
+(** All valid triples in the cross product of the given lists;
+    invalid combinations are silently dropped. *)
+val grid : ks:int list -> fs:int list -> ns:int list -> t list

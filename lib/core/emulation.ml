@@ -1,0 +1,58 @@
+open Regemu_objects
+open Regemu_bounds
+open Regemu_sim
+
+type instance = {
+  algo : string;
+  kind : Base_object.kind;
+  params : Params.t;
+  write : Id.Client.t -> Value.t -> Sim.call;
+  read : Id.Client.t -> Sim.call;
+  objects : unit -> Id.Obj.t list;
+}
+
+type factory = {
+  name : string;
+  obj_kind : Base_object.kind;
+  expected_objects : Params.t -> int;
+  make : Sim.t -> Params.t -> writers:Id.Client.t list -> instance;
+}
+
+let writer_slot writers c =
+  let rec go i = function
+    | [] ->
+        invalid_arg
+          (Fmt.str "Emulation.writer_slot: %a is not a registered writer"
+             Id.Client.pp c)
+    | w :: rest -> if Id.Client.equal w c then i else go (i + 1) rest
+  in
+  go 0 writers
+
+let collect sim ~client ~objects_on ~n ~f =
+  let scans_done = ref 0 in
+  let best = ref Value.v0 in
+  List.iter
+    (fun s ->
+      match objects_on s with
+      | [] -> incr scans_done
+      | objs ->
+          let remaining = ref (List.length objs) in
+          List.iter
+            (fun b ->
+              ignore
+                (Sim.trigger sim ~client b Base_object.Read
+                   ~on_response:(fun v ->
+                     best := Value.max !best v;
+                     decr remaining;
+                     if !remaining = 0 then incr scans_done)))
+            objs)
+    (Sim.servers sim);
+  Sim.wait_until (fun () -> !scans_done >= n - f);
+  !best
+
+let call_sync sim ~client b op =
+  let result = ref None in
+  ignore
+    (Sim.trigger sim ~client b op ~on_response:(fun v -> result := Some v));
+  Sim.wait_until (fun () -> !result <> None);
+  Option.get !result

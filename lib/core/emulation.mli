@@ -1,0 +1,59 @@
+(** The common interface of all register emulations, plus fiber-side
+    helpers shared by the quorum-based algorithms.
+
+    An {!instance} is a live emulated [k]-register wired to a simulator;
+    a {!factory} knows how to build one.  The harness, the tests, and
+    the lower-bound adversary are all generic over factories, so every
+    algorithm (the paper's Algorithm 2 and all baselines) is driven by
+    the same machinery. *)
+
+open Regemu_objects
+open Regemu_bounds
+open Regemu_sim
+
+type instance = {
+  algo : string;
+  kind : Base_object.kind;  (** base object type the emulation consumes *)
+  params : Params.t;
+  write : Id.Client.t -> Value.t -> Sim.call;
+      (** invoke a high-level write; the client must be one of the [k]
+          registered writers *)
+  read : Id.Client.t -> Sim.call;
+      (** invoke a high-level read; any client *)
+  objects : unit -> Id.Obj.t list;  (** base objects allocated *)
+}
+
+type factory = {
+  name : string;
+  obj_kind : Base_object.kind;
+  expected_objects : Params.t -> int;
+      (** object count the construction promises (Table 1 row) *)
+  make : Sim.t -> Params.t -> writers:Id.Client.t list -> instance;
+      (** requires [Sim.num_servers sim = p.n] and
+          [List.length writers = p.k] *)
+}
+
+(** [writer_slot writers c] is the 0-based position of [c] in the writer
+    list.  Raises [Invalid_argument] if [c] is not a writer. *)
+val writer_slot : Id.Client.t list -> Id.Client.t -> int
+
+(** {2 Fiber-side helpers} *)
+
+(** [collect sim ~client ~objects_on ~n ~f] is the [collect()] of
+    Algorithm 2 (lines 20–26): trigger a read on every object of every
+    server (a per-server {e scan}), wait until [n - f] scans complete
+    (servers with no objects complete vacuously), and return the
+    maximum response.  Must run inside a fiber. *)
+val collect :
+  Sim.t ->
+  client:Id.Client.t ->
+  objects_on:(Id.Server.t -> Id.Obj.t list) ->
+  n:int ->
+  f:int ->
+  Value.t
+
+(** [call_sync sim ~client b op] triggers [op] on [b] and blocks the
+    fiber until the response arrives.  Only safe when [b]'s server
+    cannot crash (used by the shared-memory constructions). *)
+val call_sync :
+  Sim.t -> client:Id.Client.t -> Id.Obj.t -> Base_object.op -> Value.t

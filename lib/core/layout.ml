@@ -1,0 +1,78 @@
+open Regemu_objects
+open Regemu_bounds
+open Regemu_sim
+
+type t = {
+  params : Params.t;
+  sets : Id.Obj.t array array;
+  by_server : Id.Obj.t list array;
+  sim : Sim.t;
+}
+
+let build_with ~placement sim (p : Params.t) =
+  if Sim.num_servers sim <> p.n then
+    invalid_arg
+      (Fmt.str "Layout.build: sim has %d servers but params need %d"
+         (Sim.num_servers sim) p.n);
+  let sizes = Formulas.set_sizes p in
+  let by_server = Array.make p.n [] in
+  let sets =
+    List.mapi
+      (fun i size ->
+        Array.init size (fun j ->
+            let s = Id.Server.of_int (placement ~set:i ~index:j ~n:p.n) in
+            let b = Sim.alloc sim ~server:s Base_object.Register in
+            by_server.(Id.Server.to_int s) <-
+              by_server.(Id.Server.to_int s) @ [ b ];
+            b))
+      sizes
+    |> Array.of_list
+  in
+  { params = p; sets; by_server; sim }
+
+(* register j of set i goes to server (i + j) mod n; sets are smaller
+   than n, so servers within a set are pairwise distinct *)
+let build sim p =
+  build_with ~placement:(fun ~set ~index ~n -> (set + index) mod n) sim p
+
+(* the ablation: two consecutive registers of a set share a server *)
+let build_colocated sim p =
+  build_with
+    ~placement:(fun ~set:_ ~index ~n -> index / 2 mod n)
+    sim p
+
+let params t = t.params
+let num_sets t = Array.length t.sets
+
+let set t i =
+  if i < 0 || i >= num_sets t then invalid_arg "Layout.set: no such set";
+  t.sets.(i)
+
+let set_index_for_slot t ~slot =
+  let p = t.params in
+  if slot < 0 || slot >= p.k then
+    invalid_arg (Fmt.str "Layout.set_index_for_slot: slot %d not in [0,%d)"
+                   slot p.k);
+  slot / Formulas.z p
+
+let set_for_slot t ~slot = t.sets.(set_index_for_slot t ~slot)
+let all_objects t = Array.to_list t.sets |> List.concat_map Array.to_list
+let objects_on t s = t.by_server.(Id.Server.to_int s)
+let size t = Array.fold_left (fun acc s -> acc + Array.length s) 0 t.sets
+
+let pp ppf t =
+  let set_of b =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i s -> if Array.exists (Id.Obj.equal b) s then found := i)
+      t.sets;
+    !found
+  in
+  Array.iteri
+    (fun si objs ->
+      let cells =
+        List.map (fun b -> Fmt.str "%a(R%d)" Id.Obj.pp b (set_of b)) objs
+      in
+      Fmt.pf ppf "%a: %s@." Id.Server.pp (Id.Server.of_int si)
+        (String.concat " " cells))
+    t.by_server

@@ -1,0 +1,52 @@
+open Regemu_objects
+open Regemu_sim
+
+type t = {
+  client : Id.Client.t;
+  rset : Id.Obj.t array;
+  mutable ts_val : Value.t;
+  mutable wr_set : Id.Obj.Set.t;  (* responded, no pending write of ours *)
+  mutable cover_set : Id.Obj.Set.t;  (* ours pending from an older submit *)
+}
+
+let create client rset =
+  {
+    client;
+    rset;
+    ts_val = Value.with_ts 0 Value.v0;
+    wr_set = Id.Obj.set_of_list (Array.to_list rset);
+    cover_set = Id.Obj.Set.empty;
+  }
+
+let client t = t.client
+let registers t = t.rset
+let current t = t.ts_val
+let rset_set t = Id.Obj.set_of_list (Array.to_list t.rset)
+
+(* Algorithm 2 lines 29–34: on a covered register's response, uncover
+   and immediately re-trigger the current value; otherwise count the
+   acknowledgement. *)
+let rec on_response sim t b _ack =
+  if Id.Obj.Set.mem b t.cover_set then begin
+    t.cover_set <- Id.Obj.Set.remove b t.cover_set;
+    trigger_write sim t b
+  end
+  else t.wr_set <- Id.Obj.Set.add b t.wr_set
+
+and trigger_write sim t b =
+  ignore
+    (Sim.trigger sim ~client:t.client b (Base_object.Write t.ts_val)
+       ~on_response:(on_response sim t b))
+
+let submit sim t v ~quorum =
+  if quorum > Array.length t.rset then
+    invalid_arg "Quorum_write.submit: quorum larger than the register set";
+  t.ts_val <- v;
+  (* lines 6–10, atomic within the fiber *)
+  t.cover_set <- Id.Obj.Set.diff (rset_set t) t.wr_set;
+  t.wr_set <- Id.Obj.Set.empty;
+  Array.iter
+    (fun b ->
+      if not (Id.Obj.Set.mem b t.cover_set) then trigger_write sim t b)
+    t.rset;
+  Sim.wait_until (fun () -> Id.Obj.Set.cardinal t.wr_set >= quorum)

@@ -1,0 +1,37 @@
+(** The covering-discipline quorum write — Algorithm 2's lines 6–11 and
+    29–34 as a reusable state machine.
+
+    A {e slot} owns a fixed register set (one of the layout's [R_j])
+    and submits timestamped values to it so that:
+
+    - the slot never has two of its own writes pending on one register
+      (a register still covered by the previous submission is queued
+      and re-triggered by the persistent response handler);
+    - each submission returns once [quorum] registers hold it;
+    - at most [|set| - quorum] registers are left covered.
+
+    Used by Algorithm 2 for writers, and by the reader-write-back
+    variant ({!Regemu_baselines.Algorithm2_rwb}) for readers — the
+    point being that {e any} client that must reliably store a value in
+    fault-prone registers needs its own slot, which is why atomicity
+    makes space grow with the number of readers too. *)
+
+open Regemu_objects
+open Regemu_sim
+
+type t
+
+(** [create client rset] — [rset] registers on pairwise distinct
+    servers.  Initially everything counts as acknowledged. *)
+val create : Id.Client.t -> Id.Obj.t array -> t
+
+val client : t -> Id.Client.t
+val registers : t -> Id.Obj.t array
+
+(** The last submitted timestamped value ([<0, v0>] initially). *)
+val current : t -> Value.t
+
+(** [submit sim t v ~quorum] runs inside a fiber: adopts [v] as the
+    slot's current value, triggers writes per the covering discipline,
+    and blocks until [quorum] registers acknowledged [v]. *)
+val submit : Sim.t -> t -> Value.t -> quorum:int -> unit

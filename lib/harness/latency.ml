@@ -1,0 +1,83 @@
+open Regemu_bounds
+open Regemu_sim
+open Regemu_core
+open Regemu_history
+
+type row = {
+  algo : string;
+  params : Params.t;
+  avg_write : float;
+  max_write : int;
+  avg_read : float;
+  max_read : int;
+}
+
+let standard_factories (p : Params.t) =
+  let base =
+    [
+      Regemu_baselines.Abd_max.factory;
+      Regemu_baselines.Abd_max_atomic.factory;
+      Regemu_baselines.Abd_cas.factory;
+      Algorithm2.factory;
+    ]
+  in
+  if p.n = (2 * p.f) + 1 then base @ [ Regemu_baselines.Layered.factory ]
+  else base
+
+let measure factory (p : Params.t) ~rounds =
+  let sim = Sim.create ~n:p.n () in
+  let writers = List.init p.k (fun _ -> Sim.new_client sim) in
+  let instance = factory.Emulation.make sim p ~writers in
+  let reader = Sim.new_client sim in
+  let policy = Policy.round_robin () in
+  for round = 1 to rounds do
+    List.iteri
+      (fun slot w ->
+        ignore
+          (Driver.finish_call_exn sim policy ~budget:100_000
+             (instance.write w (Regemu_workload.Scenario.value_for ~slot ~round)));
+        ignore
+          (Driver.finish_call_exn sim policy ~budget:100_000
+             (instance.read reader)))
+      writers
+  done;
+  let history = History.of_trace (Sim.trace sim) in
+  let latency (o : History.op) =
+    match o.returned_at with Some r -> r - o.invoked_at | None -> 0
+  in
+  let stats ops =
+    let ls = List.map latency ops in
+    match ls with
+    | [] -> (0.0, 0)
+    | _ ->
+        ( float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (List.length ls),
+          List.fold_left Stdlib.max 0 ls )
+  in
+  let avg_write, max_write = stats (History.writes history) in
+  let avg_read, max_read = stats (History.reads history) in
+  { algo = factory.Emulation.name; params = p; avg_write; max_write; avg_read; max_read }
+
+let compute p ~rounds =
+  List.map (fun f -> measure f p ~rounds) (standard_factories p)
+
+let report p rows =
+  {
+    Report.title =
+      Fmt.str
+        "Operation latency in scheduler steps at %a (round-robin policy, \
+         lower is faster)"
+        Params.pp p;
+    headers =
+      [ "algorithm"; "avg write"; "max write"; "avg read"; "max read" ];
+    rows =
+      List.map
+        (fun r ->
+          [
+            r.algo;
+            Report.cellf "%.1f" r.avg_write;
+            Report.cell_int r.max_write;
+            Report.cellf "%.1f" r.avg_read;
+            Report.cell_int r.max_read;
+          ])
+        rows;
+  }

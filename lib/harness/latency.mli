@@ -1,0 +1,31 @@
+(** Operation latency in simulated steps, per emulation.
+
+    The paper's Section 5 raises time complexity as a companion to its
+    space results ("we showed that although a max-register can be
+    implemented from a single CAS, the time complexity of the
+    implementation is high").  This experiment quantifies that inside
+    the simulator: the number of scheduler steps between an operation's
+    invocation and return, under the deterministic fair round-robin
+    policy, which makes the numbers comparable across emulations.
+
+    Expected shape: ABD over max-registers is the cheapest; the CAS
+    emulation multiplies each server access by the Algorithm 1 retry
+    loop; Algorithm 2's costs grow with its layout size (its collect
+    reads every register). *)
+
+open Regemu_bounds
+
+type row = {
+  algo : string;
+  params : Params.t;
+  avg_write : float;
+  max_write : int;
+  avg_read : float;
+  max_read : int;
+}
+
+(** Measure all applicable standard emulations at the given parameters
+    over [rounds] sequential write+read rounds. *)
+val compute : Params.t -> rounds:int -> row list
+
+val report : Params.t -> row list -> Report.t

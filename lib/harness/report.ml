@@ -1,0 +1,36 @@
+type t = { title : string; headers : string list; rows : string list list }
+
+let cell_int = string_of_int
+let cell_bool b = if b then "yes" else "no"
+let cellf fmt = Fmt.str fmt
+
+let pp ppf { title; headers; rows } =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some c -> Stdlib.max acc (String.length c)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    String.concat "  " (List.mapi (fun i c -> pad c (List.nth widths i)) row)
+  in
+  Fmt.pf ppf "== %s ==@." title;
+  Fmt.pf ppf "%s@." (render_row headers);
+  Fmt.pf ppf "%s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Fmt.pf ppf "%s@." (render_row row)) rows
+
+let to_markdown { title; headers; rows } =
+  let b = Buffer.create 512 in
+  Buffer.add_string b ("## " ^ title ^ "\n\n");
+  let row cells = "| " ^ String.concat " | " cells ^ " |\n" in
+  Buffer.add_string b (row headers);
+  Buffer.add_string b (row (List.map (fun _ -> "---") headers));
+  List.iter (fun r -> Buffer.add_string b (row r)) rows;
+  Buffer.contents b

@@ -1,0 +1,16 @@
+(** Minimal aligned-column table rendering for the experiment output. *)
+
+type t = { title : string; headers : string list; rows : string list list }
+
+(** Render with a title line, a header row, a separator, and aligned
+    columns. *)
+val pp : t Fmt.t
+
+(** GitHub-flavoured markdown rendering (## title + table). *)
+val to_markdown : t -> string
+
+(** Convenience cell constructors. *)
+val cell_int : int -> string
+
+val cell_bool : bool -> string
+val cellf : ('a, Format.formatter, unit, string) format4 -> 'a

@@ -1,0 +1,104 @@
+open Regemu_bounds
+open Regemu_history
+open Regemu_core
+
+type point = {
+  params : Params.t;
+  algo : string;
+  seeds : int;
+  lower_bound : int;
+  upper_bound : int;
+  objects_allocated : int;
+  objects_used_mean : float;
+  adversarial_cov_mean : float;
+  write_latency_mean : float;
+  read_latency_mean : float;
+  all_safe : bool;
+}
+
+let default_grid =
+  Params.grid ~ks:[ 1; 2; 4; 6 ] ~fs:[ 1; 2 ] ~ns:[ 3; 5; 7; 9; 13 ]
+
+let mean = function
+  | [] -> Float.nan
+  | xs ->
+      List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let latencies_of history =
+  let of_ops ops =
+    List.filter_map
+      (fun (o : History.op) ->
+        Option.map (fun r -> float_of_int (r - o.invoked_at)) o.returned_at)
+      ops
+  in
+  (of_ops (History.writes history), of_ops (History.reads history))
+
+let measure (factory : Emulation.factory) (p : Params.t) ~seeds ~lower =
+  let used = ref [] in
+  let cov = ref [] in
+  let wlat = ref [] in
+  let rlat = ref [] in
+  let safe = ref true in
+  let allocated = ref 0 in
+  for seed = 1 to seeds do
+    (match
+       Regemu_workload.Scenario.write_sequential factory p
+         ~read_after_each:true ~rounds:1 ~seed ()
+     with
+    | Error e ->
+        failwith (Fmt.str "Sweep: %a" Regemu_workload.Scenario.error_pp e)
+    | Ok r ->
+        allocated := List.length (r.instance.objects ());
+        used := float_of_int r.objects_used :: !used;
+        let ws, rs = latencies_of r.history in
+        wlat := ws @ !wlat;
+        rlat := rs @ !rlat;
+        if not (Ws_check.is_ws_safe r.history) then safe := false);
+    if factory.obj_kind = Regemu_objects.Base_object.Register then
+      match Regemu_adversary.Lowerbound.execute factory p ~seed () with
+      | Ok run -> cov := float_of_int run.final_cov :: !cov
+      | Error e -> failwith (Fmt.str "Sweep adversarial: %s" e)
+  done;
+  {
+    params = p;
+    algo = factory.name;
+    seeds;
+    lower_bound = lower;
+    upper_bound = factory.expected_objects p;
+    objects_allocated = !allocated;
+    objects_used_mean = mean !used;
+    adversarial_cov_mean = mean !cov;
+    write_latency_mean = mean !wlat;
+    read_latency_mean = mean !rlat;
+    all_safe = !safe;
+  }
+
+let run ~grid ~seeds () =
+  List.concat_map
+    (fun p ->
+      [
+        measure Algorithm2.factory p ~seeds
+          ~lower:(Formulas.register_lower_bound p);
+        measure Regemu_baselines.Abd_max.factory p ~seeds
+          ~lower:(Formulas.maxreg_bound p);
+        measure Regemu_baselines.Abd_cas.factory p ~seeds
+          ~lower:(Formulas.cas_bound p);
+      ])
+    grid
+
+let to_csv points =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "k,f,n,algo,seeds,lower_bound,upper_bound,objects_allocated,\
+     objects_used_mean,adversarial_cov_mean,write_latency_mean,\
+     read_latency_mean,all_safe\n";
+  List.iter
+    (fun pt ->
+      Buffer.add_string b
+        (Fmt.str "%d,%d,%d,%s,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%b\n"
+           pt.params.Params.k pt.params.Params.f pt.params.Params.n pt.algo
+           pt.seeds pt.lower_bound pt.upper_bound pt.objects_allocated
+           pt.objects_used_mean pt.adversarial_cov_mean pt.write_latency_mean
+           pt.read_latency_mean pt.all_safe))
+    points;
+  Buffer.contents b

@@ -1,0 +1,35 @@
+(** Parameter sweeps with CSV output.
+
+    Runs an experiment over a grid of [(k, f, n)] and several seeds and
+    aggregates the measurements — the raw material for plotting the
+    paper's curves (bounds vs [n], usage vs [k], latency vs [f]).
+    Output is CSV so any plotting tool can consume it;
+    [regemu sweep --csv out.csv] writes it. *)
+
+open Regemu_bounds
+
+(** One aggregated measurement point. *)
+type point = {
+  params : Params.t;
+  algo : string;
+  seeds : int;  (** how many seeded runs were aggregated *)
+  lower_bound : int;
+  upper_bound : int;
+  objects_allocated : int;
+  objects_used_mean : float;
+  adversarial_cov_mean : float;
+      (** mean final [|Cov|] of the Lemma 1 run; NaN for non-register
+          emulations *)
+  write_latency_mean : float;  (** scheduler steps *)
+  read_latency_mean : float;
+  all_safe : bool;
+}
+
+(** [run ~grid ~seeds ()] measures Algorithm 2 and the two ABD
+    baselines at every grid point, [seeds] runs each. *)
+val run : grid:Params.t list -> seeds:int -> unit -> point list
+
+(** CSV with a header row; floats with 2 decimals. *)
+val to_csv : point list -> string
+
+val default_grid : Params.t list

@@ -1,0 +1,100 @@
+open Regemu_bounds
+open Regemu_core
+open Regemu_history
+open Regemu_workload
+open Regemu_adversary
+
+type row = {
+  params : Params.t;
+  base : string;
+  bound_lower : int;
+  bound_upper : int;
+  allocated : int;
+  used_fair : int;
+  used_adversarial : int option;
+  safety_ok : bool;
+}
+
+let default_grid =
+  [
+    Params.make_exn ~k:1 ~f:1 ~n:3;
+    Params.make_exn ~k:3 ~f:1 ~n:3;
+    Params.make_exn ~k:5 ~f:1 ~n:4;
+    Params.make_exn ~k:5 ~f:2 ~n:6 (* Figure 1 parameters *);
+    Params.make_exn ~k:5 ~f:2 ~n:13;
+    Params.make_exn ~k:5 ~f:2 ~n:17 (* saturation: kf+f+1 = 13 <= n *);
+    Params.make_exn ~k:8 ~f:3 ~n:12;
+  ]
+
+let fair_run factory p ~seed =
+  match
+    Scenario.write_sequential factory p ~read_after_each:true ~rounds:1 ~seed
+      ()
+  with
+  | Ok r -> r
+  | Error e ->
+      failwith (Fmt.str "Table1: %s at %a: %a" factory.Emulation.name
+                  Params.pp p Scenario.error_pp e)
+
+let measure factory (p : Params.t) ~seed ~lower ~adversarial =
+  let r = fair_run factory p ~seed in
+  let used_adversarial =
+    if adversarial then
+      match Lowerbound.execute factory p ~seed () with
+      | Ok run -> Some run.final_objects_used
+      | Error e ->
+          failwith (Fmt.str "Table1 adversarial run failed: %s" e)
+    else None
+  in
+  {
+    params = p;
+    base = Regemu_objects.Base_object.kind_to_string factory.obj_kind;
+    bound_lower = lower;
+    bound_upper = factory.expected_objects p;
+    allocated = List.length (r.instance.objects ());
+    used_fair = r.objects_used;
+    used_adversarial;
+    safety_ok = Ws_check.is_ws_safe r.history;
+  }
+
+let compute ?(grid = default_grid) ~seed () =
+  List.concat_map
+    (fun p ->
+      [
+        measure Regemu_baselines.Abd_max.factory p ~seed
+          ~lower:(Formulas.maxreg_bound p) ~adversarial:false;
+        measure Regemu_baselines.Abd_cas.factory p ~seed
+          ~lower:(Formulas.cas_bound p) ~adversarial:false;
+        measure Algorithm2.factory p ~seed
+          ~lower:(Formulas.register_lower_bound p) ~adversarial:true;
+      ])
+    grid
+
+let report rows =
+  {
+    Report.title =
+      "Table 1: base objects used by f-tolerant k-register emulations";
+    headers =
+      [
+        "k"; "f"; "n"; "base object"; "lower"; "upper"; "allocated";
+        "used(fair)"; "used(Ad_i)"; "safe";
+      ];
+    rows =
+      List.map
+        (fun r ->
+          [
+            Report.cell_int r.params.Params.k;
+            Report.cell_int r.params.Params.f;
+            Report.cell_int r.params.Params.n;
+            r.base;
+            Report.cell_int r.bound_lower;
+            Report.cell_int r.bound_upper;
+            Report.cell_int r.allocated;
+            Report.cell_int r.used_fair;
+            (match r.used_adversarial with
+            | Some u -> Report.cell_int u
+            | None -> "-");
+            Report.cell_bool r.safety_ok;
+          ])
+        rows;
+  }

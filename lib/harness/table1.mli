@@ -1,0 +1,37 @@
+(** Experiment T1 — reproduce Table 1: the number of base objects used
+    by [f]-tolerant register emulations with [k] writers and [n]
+    servers, per base-object type.
+
+    For every parameter triple we report, per base object type:
+    - the paper's lower and upper bound formulas;
+    - the number of objects the construction allocates;
+    - the number actually used in a fair write-sequential run with
+      interleaved reads;
+    - for the register row, the number used under the lower-bound
+      adversary [Ad_i] (which must be at least Theorem 1's bound);
+    - whether the run's history satisfied the promised safety level.
+
+    The paper's shape to match: max-register and CAS rows are [2f+1]
+    and never depend on [k]; the register row grows linearly in [k]
+    and shrinks with [n] until [kf + f + 1]. *)
+
+open Regemu_bounds
+
+type row = {
+  params : Params.t;
+  base : string;
+  bound_lower : int;
+  bound_upper : int;
+  allocated : int;
+  used_fair : int;
+  used_adversarial : int option;
+  safety_ok : bool;
+}
+
+val default_grid : Params.t list
+
+(** Runs the measurements.  Raises [Failure] if any run fails to
+    complete (a liveness bug). *)
+val compute : ?grid:Params.t list -> seed:int -> unit -> row list
+
+val report : row list -> Report.t

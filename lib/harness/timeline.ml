@@ -1,0 +1,78 @@
+open Regemu_objects
+open Regemu_sim
+
+let coverage_curve tr =
+  let pending : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let covered = ref 0 in
+  let out = ref [] in
+  let bump obj d =
+    let key = Id.Obj.to_int obj in
+    let before = Option.value ~default:0 (Hashtbl.find_opt pending key) in
+    let after = before + d in
+    Hashtbl.replace pending key after;
+    if before = 0 && after > 0 then incr covered;
+    if before > 0 && after = 0 then decr covered
+  in
+  Trace.iter
+    (fun e ->
+      (match e with
+      | Trace.Trigger { obj; op = Base_object.Write _; _ } -> bump obj 1
+      | Trace.Respond { obj; op = Base_object.Write _; _ } -> bump obj (-1)
+      | Trace.Trigger _ | Trace.Respond _ | Trace.Invoke _ | Trace.Return _
+      | Trace.Server_crash _ | Trace.Client_crash _ ->
+          ());
+      out := !covered :: !out)
+    tr;
+  List.rev !out
+
+let render ?(width = 72) tr =
+  let curve = Array.of_list (coverage_curve tr) in
+  let len = Array.length curve in
+  if len = 0 then "(empty trace)"
+  else begin
+    let peak = Array.fold_left Stdlib.max 1 curve in
+    let sample i =
+      (* max over the bucket so short spikes stay visible *)
+      let lo = i * len / width and hi = ((i + 1) * len / width) - 1 in
+      let hi = Stdlib.max lo (Stdlib.min hi (len - 1)) in
+      let m = ref 0 in
+      for j = lo to hi do
+        if curve.(j) > !m then m := curve.(j)
+      done;
+      !m
+    in
+    let samples = List.init width sample in
+    (* write-return markers *)
+    let returns = ref [] in
+    let t = ref 0 in
+    Trace.iter
+      (fun e ->
+        incr t;
+        match e with
+        | Trace.Return (_, Trace.H_write _, _) -> returns := !t :: !returns
+        | _ -> ())
+      tr;
+    let marker_row =
+      String.init width (fun i ->
+          let lo = i * len / width and hi = ((i + 1) * len / width) - 1 in
+          if List.exists (fun r -> r - 1 >= lo && r - 1 <= hi) !returns then
+            'W'
+          else ' ')
+    in
+    let rows = Stdlib.min peak 12 in
+    let b = Buffer.create 1024 in
+    for row = rows downto 1 do
+      let threshold = (row * peak + rows - 1) / rows in
+      Buffer.add_string b (Fmt.str "%3d |" threshold);
+      List.iter
+        (fun v -> Buffer.add_char b (if v >= threshold then '#' else ' '))
+        samples;
+      Buffer.add_char b '\n'
+    done;
+    Buffer.add_string b ("    +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string b ("     " ^ marker_row ^ "\n");
+    Buffer.add_string b
+      (Fmt.str "     |Cov(t)| over %d actions; peak %d; W = write returns\n"
+         len peak);
+    Buffer.contents b
+  end

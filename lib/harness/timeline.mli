@@ -1,0 +1,19 @@
+(** Covering timeline: [|Cov(t)|] as a function of time, rendered as an
+    ASCII step chart.
+
+    This is the visual content of the lower bound: under the adversary,
+    the number of covered registers climbs a staircase — up by [f] with
+    every completed high-level write, never coming back down, because
+    the blocked covering writes are never allowed to respond.  Under a
+    fair schedule the same curve repeatedly returns to zero. *)
+
+open Regemu_sim
+
+(** [coverage_curve trace] is the value of [|Cov(t)|] after every
+    action of the run (index [i] = time [i+1]), counting pending
+    register writes per object. *)
+val coverage_curve : Trace.t -> int list
+
+(** Sampled ASCII rendering: a fixed-width chart with the peak value on
+    the y-axis and write-return markers underneath. *)
+val render : ?width:int -> Trace.t -> string

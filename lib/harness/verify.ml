@@ -1,0 +1,190 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_history
+open Regemu_adversary
+
+type check = { name : string; detail : string; pass : bool }
+type summary = { checks : check list; passed : int; failed : int }
+
+let summary_pp ppf s =
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "[%s] %s — %s@."
+        (if c.pass then "PASS" else "FAIL")
+        c.name c.detail)
+    s.checks;
+  Fmt.pf ppf "%d passed, %d failed@." s.passed s.failed
+
+let guard name f =
+  try f ()
+  with e -> { name; detail = Printexc.to_string e; pass = false }
+
+let table1_check ~seed () =
+  let name = "Table 1: object counts" in
+  let rows =
+    Table1.compute
+      ~grid:
+        [
+          Params.make_exn ~k:1 ~f:1 ~n:3;
+          Params.make_exn ~k:3 ~f:1 ~n:3;
+          Params.make_exn ~k:5 ~f:2 ~n:6;
+        ]
+      ~seed ()
+  in
+  let ok =
+    List.for_all
+      (fun (r : Table1.row) ->
+        r.safety_ok
+        && r.used_fair <= r.bound_upper
+        &&
+        match r.used_adversarial with
+        | Some u -> u >= r.bound_lower
+        | None -> true)
+      rows
+  in
+  {
+    name;
+    detail =
+      Fmt.str "%d rows within bounds, all runs safe" (List.length rows);
+    pass = ok;
+  }
+
+let lemma1_check ~seed () =
+  let name = "Lemma 1/2, Corollary 2, Lemma 4" in
+  let p = Params.make_exn ~k:5 ~f:2 ~n:6 in
+  match Lowerbound.execute Regemu_core.Algorithm2.factory p ~seed () with
+  | Error e -> { name; detail = e; pass = false }
+  | Ok run ->
+      let ok =
+        run.final_cov >= p.k * p.f
+        && List.for_all
+             (fun (s : Lowerbound.epoch_stats) ->
+               s.write_returned && s.cov_on_f = 0 && s.q_size = p.f
+               && s.fresh_servers_triggered > 2 * p.f
+               && s.lemma2_failure = None)
+             run.epochs
+      in
+      {
+        name;
+        detail =
+          Fmt.str "final |Cov|=%d >= kf=%d; all epoch invariants hold"
+            run.final_cov (p.k * p.f);
+        pass = ok;
+      }
+
+let fig2_check () =
+  let name = "Figure 2 / Lemma 4 violation" in
+  match Violation.against_naive ~f:2 with
+  | Error e -> { name; detail = e; pass = false }
+  | Ok o ->
+      let violated =
+        match o.verdict with Ws_check.Violated _ -> true | _ -> false
+      in
+      {
+        name;
+        detail = "naive 2f+1-register algorithm returns a stale value";
+        pass = violated && Value.equal o.read_value (Value.Str "v1");
+      }
+
+let theorem5_check () =
+  let name = "Theorem 5 partitioning at n=2f" in
+  match Partition.impossibility ~f:2 with
+  | Error e -> { name; detail = e; pass = false }
+  | Ok o ->
+      {
+        name;
+        detail = "write invisible to a disjoint read quorum";
+        pass =
+          (match o.verdict with Ws_check.Violated _ -> true | _ -> false);
+      }
+
+let inversion_check () =
+  let name = "New/old inversion (atomicity needs write-back)" in
+  match Inversion.against_abd_max () with
+  | Error e -> { name; detail = e; pass = false }
+  | Ok o ->
+      {
+        name;
+        detail = "plain ABD: regular but not atomic";
+        pass = (not o.atomic) && o.weakly_regular;
+      }
+
+let theorem2_check () =
+  let name = "Theorem 2: k registers for a k-writer max-register" in
+  let ok =
+    List.for_all
+      (fun k ->
+        let sim = Regemu_sim.Sim.create ~n:1 () in
+        let writers = List.init k (fun _ -> Regemu_sim.Sim.new_client sim) in
+        let m =
+          Regemu_baselines.Reg_maxreg.create sim ~server:(Id.Server.of_int 0)
+            ~writers
+        in
+        List.length (Regemu_baselines.Reg_maxreg.objects m) = k)
+      [ 1; 3; 7 ]
+  in
+  { name; detail = "construction is tight"; pass = ok }
+
+let explore_check () =
+  let name = "Exhaustive tiny-scenario exploration" in
+  let p = Params.make_exn ~k:1 ~f:1 ~n:3 in
+  let r =
+    Regemu_mcheck.Explore.run
+      (Regemu_mcheck.Explore.emulation_scenario Regemu_core.Algorithm2.factory
+         p ~mode:Regemu_mcheck.Explore.Sequential
+         ~writer_ops:[ [ Value.Str "a" ] ]
+         ~readers:1 ~reads_each:1 ())
+      ~max_fired:2_000_000
+  in
+  {
+    name;
+    detail =
+      Fmt.str "%d schedules, exhaustive=%b, 0 violations expected"
+        r.terminal_runs r.exhaustive;
+    pass =
+      r.exhaustive && r.ws_safe_violations = [] && r.stuck_runs = 0;
+  }
+
+let netabd_check ~seed () =
+  let name = "ABD over message passing" in
+  let net = Regemu_netsim.Net.create ~n:3 () in
+  let abd = Regemu_netsim.Abd_net.create net ~f:1 () in
+  let w = Regemu_netsim.Net.new_client net in
+  let r = Regemu_netsim.Net.new_client net in
+  let rng = Regemu_sim.Rng.create seed in
+  let finish call =
+    let rec go budget =
+      if Regemu_netsim.Net.call_returned call then true
+      else if budget = 0 then false
+      else
+        match Regemu_netsim.Net.enabled net with
+        | [] -> false
+        | evs ->
+            Regemu_netsim.Net.fire net (Regemu_sim.Rng.pick rng evs);
+            go (budget - 1)
+    in
+    go 50_000
+  in
+  Regemu_netsim.Net.crash_server net (Id.Server.of_int 1);
+  let ok =
+    finish (Regemu_netsim.Abd_net.write abd w (Value.Str "x"))
+    && finish (Regemu_netsim.Abd_net.read abd r)
+    && Ws_check.is_ws_regular (Regemu_netsim.Net.history net)
+  in
+  { name; detail = "write/read survive a crash; WS-Regular"; pass = ok }
+
+let run ~seed =
+  let checks =
+    [
+      guard "Table 1: object counts" (table1_check ~seed);
+      guard "Lemma 1/2, Corollary 2, Lemma 4" (lemma1_check ~seed);
+      guard "Figure 2 / Lemma 4 violation" fig2_check;
+      guard "Theorem 5 partitioning at n=2f" theorem5_check;
+      guard "New/old inversion" inversion_check;
+      guard "Theorem 2" theorem2_check;
+      guard "Exhaustive exploration" explore_check;
+      guard "ABD over message passing" (netabd_check ~seed);
+    ]
+  in
+  let passed = List.length (List.filter (fun c -> c.pass) checks) in
+  { checks; passed; failed = List.length checks - passed }

@@ -1,0 +1,17 @@
+(** A user-facing self-check: re-establish each headline claim of the
+    reproduction in a few seconds and report PASS/FAIL per claim.
+
+    This is a condensed, human-readable version of what the test suite
+    asserts; `regemu verify` runs it.  Useful after porting or
+    modifying the code to see at a glance whether the paper's results
+    still hold. *)
+
+type check = { name : string; detail : string; pass : bool }
+
+type summary = { checks : check list; passed : int; failed : int }
+
+val summary_pp : summary Fmt.t
+
+(** Run all checks with the given seed.  Never raises: a crashing check
+    is reported as failed with the exception text. *)
+val run : seed:int -> summary

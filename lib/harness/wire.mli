@@ -1,0 +1,17 @@
+(** Experiments on the message-passing substrate (the NET row of the
+    experiment index): message complexity of ABD, message complexity of
+    wire-level Algorithm 2, and the lower-bound staircase driven by an
+    adversarial router. *)
+
+(** Messages delivered per high-level ABD operation as [f] grows
+    (two quorum rounds of [2f+1] requests each). *)
+val abd_messages : fs:int list -> ops:int -> seed:int -> Report.t
+
+(** Cells and messages per operation for wire-level Algorithm 2 — with
+    plain register cells both space {e and} messages grow. *)
+val alg2_messages : configs:(int * int * int) list -> seed:int -> Report.t
+
+(** The covering staircase produced by the router that withholds write
+    requests (the Lemma 1 construction on the wire). *)
+val staircase :
+  k:int -> f:int -> n:int -> seed:int -> (Report.t, string) result

@@ -1,0 +1,94 @@
+open Regemu_objects
+open Regemu_sim
+
+type op = {
+  index : int;
+  client : Id.Client.t;
+  hop : Trace.hop;
+  invoked_at : int;
+  returned_at : int option;
+  result : Value.t option;
+}
+
+let op_pp ppf o =
+  let result ppf = function
+    | None -> ()
+    | Some v -> (
+        match o.hop with
+        | Trace.H_write _ -> Fmt.pf ppf " -> ack"
+        | Trace.H_read -> Fmt.pf ppf " -> %a" Value.pp v)
+  in
+  Fmt.pf ppf "#%d %a %a [%d,%a]%a" o.index Id.Client.pp o.client Trace.hop_pp
+    o.hop o.invoked_at
+    Fmt.(option ~none:(any "pending") int)
+    o.returned_at result o.result
+
+let is_write o = Trace.hop_is_write o.hop
+let is_read o = not (is_write o)
+let is_complete o = o.returned_at <> None
+
+let written_value o =
+  match o.hop with Trace.H_write v -> Some v | Trace.H_read -> None
+
+type t = op list
+
+let of_trace tr =
+  (* open invocations per client, most recent first *)
+  let open_ops : (int, op) Hashtbl.t = Hashtbl.create 16 in
+  let finished = ref [] in
+  let index = ref 0 in
+  let time = ref 0 in
+  Trace.iter
+    (fun entry ->
+      incr time;
+      match entry with
+      | Trace.Invoke (c, hop) ->
+          let o =
+            {
+              index = !index;
+              client = c;
+              hop;
+              invoked_at = !time;
+              returned_at = None;
+              result = None;
+            }
+          in
+          incr index;
+          Hashtbl.replace open_ops (Id.Client.to_int c) o
+      | Trace.Return (c, _hop, v) -> (
+          match Hashtbl.find_opt open_ops (Id.Client.to_int c) with
+          | None -> ()
+          | Some o ->
+              Hashtbl.remove open_ops (Id.Client.to_int c);
+              finished :=
+                { o with returned_at = Some !time; result = Some v }
+                :: !finished)
+      | Trace.Trigger _ | Trace.Respond _ | Trace.Server_crash _
+      | Trace.Client_crash _ ->
+          ())
+    tr;
+  let still_open = Hashtbl.fold (fun _ o acc -> o :: acc) open_ops [] in
+  List.sort (fun a b -> Int.compare a.index b.index) (!finished @ still_open)
+
+let complete = List.filter is_complete
+let writes = List.filter is_write
+let reads = List.filter is_read
+
+let precedes a b =
+  match a.returned_at with Some r -> r < b.invoked_at | None -> false
+
+let concurrent a b = (not (precedes a b)) && not (precedes b a)
+
+let write_sequential h =
+  let ws = writes h in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b -> a.index = b.index || precedes a b || precedes b a)
+        ws)
+    ws
+
+let writes_in_order h =
+  List.sort (fun a b -> Int.compare a.invoked_at b.invoked_at) (writes h)
+
+let pp = Fmt.vbox (Fmt.list op_pp)

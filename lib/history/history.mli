@@ -1,0 +1,52 @@
+(** High-level operation histories extracted from run traces.
+
+    A history is the subsequence of a run consisting of the invocations
+    and responses of the emulated register's read and write
+    operations — the schedule the paper's consistency conditions
+    (Appendix A.3) are stated over. *)
+
+open Regemu_objects
+open Regemu_sim
+
+type op = {
+  index : int;  (** invocation order, 0-based *)
+  client : Id.Client.t;
+  hop : Trace.hop;
+  invoked_at : int;  (** trace time of the invocation *)
+  returned_at : int option;  (** trace time of the return, if complete *)
+  result : Value.t option;
+}
+
+val op_pp : op Fmt.t
+val is_write : op -> bool
+val is_read : op -> bool
+val is_complete : op -> bool
+
+(** [written_value op] is the argument of a write. *)
+val written_value : op -> Value.t option
+
+type t = op list
+
+(** Extract the high-level history from a trace.  Matches each [Return]
+    with the unique open invocation of the same client (runs are
+    well-formed: one operation per client at a time). *)
+val of_trace : Trace.t -> t
+
+val complete : t -> op list
+val writes : t -> op list
+val reads : t -> op list
+
+(** [precedes a b]: [a] returns before [b] is invoked (the paper's
+    [a ≺ b]). *)
+val precedes : op -> op -> bool
+
+val concurrent : op -> op -> bool
+
+(** No two writes are concurrent. *)
+val write_sequential : t -> bool
+
+(** Writes sorted by invocation time; in a write-sequential history this
+    is also their precedence order. *)
+val writes_in_order : t -> op list
+
+val pp : t Fmt.t

@@ -1,0 +1,29 @@
+(** Algorithm-level invariants decidable from a trace.
+
+    Unlike {!Wellformed} (substrate correctness), these are properties
+    of specific {e algorithms}, checkable post-hoc on any recorded run:
+
+    - {!single_pending_write_per_writer_register}: a client never has
+      two of its own writes pending on one register.  Algorithm 2's
+      coverSet discipline and the layered construction's queueing
+      guarantee it; the naive algorithm violates it (that is exactly
+      its flaw).
+    - {!max_pending_writes_at_return}: when a high-level write returns,
+      its writer has at most [f] of its own low-level writes pending —
+      the "leaves no more than f covered registers" obligation from the
+      paper's upper-bound argument (Observation 3). *)
+
+open Regemu_objects
+open Regemu_sim
+
+type violation = { at : int; client : Id.Client.t; detail : string }
+
+val violation_pp : violation Fmt.t
+
+val single_pending_write_per_writer_register :
+  Trace.t -> (unit, violation) result
+
+(** [max_pending_writes_at_return tr ~f] checks every high-level write
+    return. *)
+val max_pending_writes_at_return :
+  Trace.t -> f:int -> (unit, violation) result

@@ -1,0 +1,75 @@
+open Regemu_objects
+open Regemu_sim
+
+type semantics = {
+  name : string;
+  init : Value.t;
+  apply : Value.t -> Trace.hop -> Value.t * Value.t;
+}
+
+let register =
+  {
+    name = "register";
+    init = Value.v0;
+    apply =
+      (fun state -> function
+        | Trace.H_write v -> (v, Value.Unit)
+        | Trace.H_read -> (state, state));
+  }
+
+let max_register =
+  {
+    name = "max-register";
+    init = Value.v0;
+    apply =
+      (fun state -> function
+        | Trace.H_write v -> (Value.max state v, Value.Unit)
+        | Trace.H_read -> (state, state));
+  }
+
+module Key = struct
+  type t = int list * Value.t
+
+  let equal (a, va) (b, vb) = a = b && Value.equal va vb
+  let hash (a, v) = Hashtbl.hash (a, Value.to_string v)
+end
+
+module Memo = Hashtbl.Make (Key)
+
+let linearizable sem (h : History.t) =
+  let ops = Array.of_list h in
+  let n = Array.length ops in
+  let memo = Memo.create 64 in
+  (* [remaining] is a sorted list of live op indices. *)
+  let minimal remaining i =
+    let o = ops.(i) in
+    List.for_all (fun j -> not (History.precedes ops.(j) o)) remaining
+  in
+  let rec search remaining state =
+    match remaining with
+    | [] -> true
+    | _ -> (
+        let key = (remaining, state) in
+        match Memo.find_opt memo key with
+        | Some r -> r
+        | None ->
+            let result =
+              List.exists
+                (fun i ->
+                  minimal remaining i
+                  &&
+                  let o = ops.(i) in
+                  let rest = List.filter (fun j -> j <> i) remaining in
+                  let state', response = sem.apply state o.History.hop in
+                  match o.History.result with
+                  | Some expected ->
+                      Value.equal response expected && search rest state'
+                  | None ->
+                      (* pending: either takes effect here or never *)
+                      search rest state' || search rest state)
+                remaining
+            in
+            Memo.add memo key result;
+            result)
+  in
+  search (List.init n Fun.id) sem.init

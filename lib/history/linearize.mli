@@ -1,0 +1,34 @@
+(** Brute-force linearizability (atomicity) checker.
+
+    Decides whether a history has a linearization with respect to a
+    sequential specification over a single {!Value.t} state.  Used to
+    validate atomicity of the max-register-from-CAS construction
+    (Appendix B, Theorem 4) and of the simulator's base objects.
+
+    The search is exponential in history length (Wing–Gong style
+    backtracking with memoization); use it on small histories only —
+    it is the ground truth the fast {!Ws_check} checkers are tested
+    against. *)
+
+open Regemu_objects
+open Regemu_sim
+
+(** A sequential specification: [apply state hop] is
+    [(state', response)]. *)
+type semantics = {
+  name : string;
+  init : Value.t;
+  apply : Value.t -> Trace.hop -> Value.t * Value.t;
+}
+
+(** Read/write register: a read returns the latest written value. *)
+val register : semantics
+
+(** Max-register: [H_write] is write-max, [H_read] is read-max. *)
+val max_register : semantics
+
+(** [linearizable sem h] is [true] iff there is a sequential schedule of
+    all complete operations of [h] plus some subset of its pending
+    operations that respects [h]'s precedence order and [sem], with
+    every complete operation returning its recorded result. *)
+val linearizable : semantics -> History.t -> bool

@@ -1,0 +1,22 @@
+type verdict = Holds | Violated of History.op
+
+let verdict_pp ppf = function
+  | Holds -> Fmt.string ppf "holds"
+  | Violated rd -> Fmt.pf ppf "VIOLATED at %a" History.op_pp rd
+
+let check_weak_regular (h : History.t) =
+  let writes = History.writes h in
+  let complete_reads = History.complete (History.reads h) in
+  let rec go = function
+    | [] -> Holds
+    | rd :: rest ->
+        if Linearize.linearizable Linearize.register (writes @ [ rd ]) then
+          go rest
+        else Violated rd
+  in
+  go complete_reads
+
+let is_weak_regular h =
+  match check_weak_regular h with Holds -> true | Violated _ -> false
+
+let is_atomic h = Linearize.linearizable Linearize.register h

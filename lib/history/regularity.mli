@@ -1,0 +1,31 @@
+(** Per-read regularity for {e arbitrary} (not necessarily
+    write-sequential) histories.
+
+    The paper's WS-Regularity conditions only constrain
+    write-sequential schedules; this module implements the natural
+    generalization in the style of Shao et al. (the paper's [34]): a
+    history is {e weakly regular} if for every complete read [rd] there
+    is a linearization of all the writes together with [rd] (each read
+    may order the concurrent writes differently).
+
+    The check reduces to one brute-force register-linearizability query
+    per read, so it is exponential in the number of concurrent writes —
+    fine for test-sized histories, and exactly the definition, so it
+    serves as ground truth for the stronger conditions.
+
+    Implications verified in the test suite:
+    atomicity ⟹ weak regularity ⟹ WS-Regularity (on write-sequential
+    histories they agree with {!Ws_check}). *)
+
+type verdict = Holds | Violated of History.op
+
+val verdict_pp : verdict Fmt.t
+
+(** [check_weak_regular h] verifies every complete read of [h]. *)
+val check_weak_regular : History.t -> verdict
+
+val is_weak_regular : History.t -> bool
+
+(** Full atomicity of the register history (single linearization for
+    everything) — a convenience wrapper over {!Linearize}. *)
+val is_atomic : History.t -> bool

@@ -1,0 +1,76 @@
+open Regemu_objects
+open Regemu_sim
+
+type violation = { at : int; what : string }
+
+let violation_pp ppf v = Fmt.pf ppf "at t=%d: %s" v.at v.what
+
+let scan ~on_respond tr =
+  let open_triggers : (int, Trace.entry) Hashtbl.t = Hashtbl.create 32 in
+  let client_open : (int, bool) Hashtbl.t = Hashtbl.create 8 in
+  let crashed_servers = ref Id.Server.Set.empty in
+  let time = ref 0 in
+  let error = ref None in
+  let fail what = if !error = None then error := Some { at = !time; what } in
+  Trace.iter
+    (fun entry ->
+      incr time;
+      if !error = None then
+        match entry with
+        | Trace.Trigger { lid; _ } ->
+            if Hashtbl.mem open_triggers (Id.Lop.to_int lid) then
+              fail (Fmt.str "duplicate trigger id %a" Id.Lop.pp lid)
+            else Hashtbl.replace open_triggers (Id.Lop.to_int lid) entry
+        | Trace.Respond { lid; client; obj; op; result } -> (
+            match Hashtbl.find_opt open_triggers (Id.Lop.to_int lid) with
+            | None ->
+                fail
+                  (Fmt.str "respond without matching trigger (%a)" Id.Lop.pp
+                     lid)
+            | Some (Trace.Trigger t) ->
+                Hashtbl.remove open_triggers (Id.Lop.to_int lid);
+                if not (Id.Client.equal t.client client) then
+                  fail "respond delivered to a different client";
+                if not (Id.Obj.equal t.obj obj) then
+                  fail "respond on a different object than triggered";
+                if t.op <> op then fail "respond for a different operation";
+                on_respond ~time:!time ~obj ~op ~result ~fail;
+                ignore crashed_servers
+            | Some _ -> assert false)
+        | Trace.Invoke (c, _) ->
+            if
+              Option.value ~default:false
+                (Hashtbl.find_opt client_open (Id.Client.to_int c))
+            then fail (Fmt.str "%a invokes while busy" Id.Client.pp c)
+            else Hashtbl.replace client_open (Id.Client.to_int c) true
+        | Trace.Return (c, _, _) ->
+            if
+              not
+                (Option.value ~default:false
+                   (Hashtbl.find_opt client_open (Id.Client.to_int c)))
+            then fail (Fmt.str "%a returns without invocation" Id.Client.pp c)
+            else Hashtbl.replace client_open (Id.Client.to_int c) false
+        | Trace.Server_crash s ->
+            if Id.Server.Set.mem s !crashed_servers then
+              fail (Fmt.str "%a crashes twice" Id.Server.pp s)
+            else crashed_servers := Id.Server.Set.add s !crashed_servers
+        | Trace.Client_crash _ -> ())
+    tr;
+  match !error with None -> Ok () | Some v -> Error v
+
+let check tr = scan ~on_respond:(fun ~time:_ ~obj:_ ~op:_ ~result:_ ~fail:_ -> ()) tr
+
+let check_replay tr ~kind_of =
+  (* replay object states in respond order *)
+  let states : (int, Value.t) Hashtbl.t = Hashtbl.create 32 in
+  let state_of obj =
+    Option.value ~default:Value.v0 (Hashtbl.find_opt states (Id.Obj.to_int obj))
+  in
+  scan tr ~on_respond:(fun ~time:_ ~obj ~op ~result ~fail ->
+      let kind = kind_of obj in
+      let state', expected = Base_object.apply kind (state_of obj) op in
+      Hashtbl.replace states (Id.Obj.to_int obj) state';
+      if not (Value.equal expected result) then
+        fail
+          (Fmt.str "respond on %a returned %a, semantics say %a" Id.Obj.pp obj
+             Value.pp result Value.pp expected))

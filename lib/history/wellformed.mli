@@ -1,0 +1,31 @@
+(** Structural well-formedness of run traces.
+
+    These are invariants of the {e simulator}, not of any algorithm:
+    every respond matches exactly one earlier trigger of the same
+    operation on the same object; no operation responds twice; no
+    response follows its object's server crash; per client, high-level
+    invocations and returns alternate; responses carry results
+    consistent with replaying the base-object semantics in respond
+    order (Assumption 1).
+
+    Used as a property-test oracle over random event sequences: if any
+    of this ever fails, the bug is in the substrate and every other
+    result is suspect — so it is checked first. *)
+
+open Regemu_sim
+
+type violation = { at : int;  (** 1-based time of the offending entry *)
+                   what : string }
+
+val violation_pp : violation Fmt.t
+
+(** Full structural check; [Ok ()] or the first violation. *)
+val check : Trace.t -> (unit, violation) result
+
+(** [check_replay] additionally replays every respond against the
+    recorded object kinds and verifies each result value.  Needs the
+    kind of every object, supplied by the simulator. *)
+val check_replay :
+  Trace.t ->
+  kind_of:(Regemu_objects.Id.Obj.t -> Regemu_objects.Base_object.kind) ->
+  (unit, violation) result

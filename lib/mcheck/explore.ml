@@ -1,0 +1,227 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_history
+
+type script = (Id.Client.t * Trace.hop list) list
+
+type mode = Eager | Sequential
+
+type scenario = {
+  params : Params.t;
+  mode : mode;
+  crashes : int;
+  make : unit -> Sim.t * (Id.Client.t -> Trace.hop -> Sim.call) * script;
+}
+
+let emulation_scenario (factory : Regemu_core.Emulation.factory)
+    (p : Params.t) ?(mode = Eager) ?(crashes = 0) ~writer_ops ~readers
+    ~reads_each () =
+  if List.length writer_ops <> p.k then
+    invalid_arg "Explore.emulation_scenario: writer_ops size must be k";
+  let make () =
+    let sim = Sim.create ~n:p.n () in
+    let writers = List.init p.k (fun _ -> Sim.new_client sim) in
+    let instance = factory.make sim p ~writers in
+    let reader_clients = List.init readers (fun _ -> Sim.new_client sim) in
+    let script =
+      List.map2
+        (fun w vs -> (w, List.map (fun v -> Trace.H_write v) vs))
+        writers writer_ops
+      @ List.map
+          (fun r -> (r, List.init reads_each (fun _ -> Trace.H_read)))
+          reader_clients
+    in
+    let invoke1 c hop =
+      match hop with
+      | Trace.H_write v -> instance.write c v
+      | Trace.H_read -> instance.read c
+    in
+    (sim, invoke1, script)
+  in
+  { params = p; mode; crashes; make }
+
+type result = {
+  terminal_runs : int;
+  distinct_histories : int;
+  stuck_runs : int;
+  fired_events : int;
+  exhaustive : bool;
+  max_depth : int;
+  ws_safe_violations : History.t list;
+  ws_regular_violations : History.t list;
+  first_violation_at : int option;
+}
+
+let result_pp ppf r =
+  Fmt.pf ppf
+    "%d terminal runs (%d distinct histories), %d stuck, %d events fired, \
+     exhaustive=%b, max depth %d, %d WS-Safe / %d WS-Regular violations"
+    r.terminal_runs r.distinct_histories r.stuck_runs r.fired_events
+    r.exhaustive r.max_depth
+    (List.length r.ws_safe_violations)
+    (List.length r.ws_regular_violations)
+
+type session = {
+  sim : Sim.t;
+  calls : unit -> Sim.call list;
+  all_invoked : unit -> bool;
+  advance : int -> unit;  (* fire the idx-th enabled event, auto-invoke *)
+}
+
+let run ?(stop_on_violation = false) scenario ~max_fired =
+  let fired = ref 0 in
+  let truncated = ref false in
+  let halted = ref false in
+  let distinct : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let terminal = ref 0 in
+  let stuck = ref 0 in
+  let max_depth = ref 0 in
+  let safe_bad = ref [] in
+  let regular_bad = ref [] in
+  let first_violation = ref None in
+  let keep_violation store h =
+    if !first_violation = None then first_violation := Some !fired;
+    if List.length !store < 3 then store := h :: !store
+  in
+  (* A live run that can be advanced one chosen event at a time,
+     auto-invoking eligible script operations after every event. *)
+  let fresh_session () =
+    let sim, invoke1, script = scenario.make () in
+    let remaining = Hashtbl.create 8 in
+    List.iter
+      (fun (c, ops) -> Hashtbl.replace remaining (Id.Client.to_int c) (c, ops))
+      script;
+    let calls = ref [] in
+    (* script-order queue for Sequential mode *)
+    let seq_queue = ref (List.concat_map (fun (c, ops) -> List.map (fun o -> (c, o)) ops) script) in
+    let rec auto_invoke () =
+      match scenario.mode with
+      | Eager ->
+          let progressed = ref false in
+          Hashtbl.iter
+            (fun key (c, ops) ->
+              match ops with
+              | hop :: rest when not (Sim.client_busy sim c) ->
+                  Hashtbl.replace remaining key (c, rest);
+                  calls := invoke1 c hop :: !calls;
+                  progressed := true
+              | _ -> ())
+            (Hashtbl.copy remaining);
+          if !progressed then auto_invoke ()
+      | Sequential -> (
+          let all_returned = List.for_all Sim.call_returned !calls in
+          match !seq_queue with
+          | (c, hop) :: rest when all_returned ->
+              seq_queue := rest;
+              (match Hashtbl.find_opt remaining (Id.Client.to_int c) with
+              | Some (c', _ :: ops_rest) ->
+                  Hashtbl.replace remaining (Id.Client.to_int c) (c', ops_rest)
+              | _ -> ());
+              calls := invoke1 c hop :: !calls;
+              auto_invoke ()
+          | _ -> ())
+    in
+    auto_invoke ();
+    {
+      sim;
+      calls = (fun () -> !calls);
+      all_invoked =
+        (fun () ->
+          Hashtbl.fold (fun _ (_, ops) acc -> acc && ops = []) remaining true);
+      advance =
+        (fun idx ->
+          let evs = Sim.enabled sim in
+          let n_ev = List.length evs in
+          if idx < n_ev then Sim.fire sim (List.nth evs idx)
+          else begin
+            (* a crash choice: index into the correct servers *)
+            let correct =
+              List.filter
+                (fun s -> not (Sim.server_crashed sim s))
+                (Sim.servers sim)
+            in
+            Sim.crash_server sim (List.nth correct (idx - n_ev))
+          end;
+          incr fired;
+          auto_invoke ());
+    }
+  in
+  let replay prefix =
+    let s = fresh_session () in
+    List.iter s.advance prefix;
+    s
+  in
+  let record_history ?(terminal_run = false) sim =
+    let h = History.of_trace (Sim.trace sim) in
+    if terminal_run then
+      Hashtbl.replace distinct (Fmt.str "%a" History.pp h) ();
+    let violated = ref false in
+    (match Ws_check.check_ws_safe h with
+    | Ws_check.Violated _ ->
+        violated := true;
+        keep_violation safe_bad h
+    | Ws_check.Holds | Ws_check.Vacuous -> ());
+    (match Ws_check.check_ws_regular h with
+    | Ws_check.Violated _ ->
+        violated := true;
+        keep_violation regular_bad h
+    | Ws_check.Holds | Ws_check.Vacuous -> ());
+    if stop_on_violation && !violated then halted := true
+  in
+  (* [session] is live and positioned at [prefix]; the first child is
+     explored by advancing it in place (saving one replay per node), the
+     siblings by replaying their prefixes from scratch. *)
+  let rec dfs session prefix =
+    if !halted then ()
+    else if !fired >= max_fired then truncated := true
+    else begin
+      let depth = List.length prefix in
+      if depth > !max_depth then max_depth := depth;
+      let finished =
+        session.all_invoked ()
+        && List.for_all Sim.call_returned (session.calls ())
+      in
+      if finished then begin
+        incr terminal;
+        record_history ~terminal_run:true session.sim
+      end
+      else
+        let crashes_so_far =
+          Regemu_objects.Id.Server.Set.cardinal
+            (Sim.crashed_servers session.sim)
+        in
+        let crash_choices =
+          if crashes_so_far < scenario.crashes then
+            List.length
+              (List.filter
+                 (fun s -> not (Sim.server_crashed session.sim s))
+                 (Sim.servers session.sim))
+          else 0
+        in
+        match Sim.enabled session.sim with
+        | [] when crash_choices = 0 ->
+            incr stuck;
+            record_history session.sim
+        | evs ->
+            let width = List.length evs + crash_choices in
+            session.advance 0;
+            dfs session (prefix @ [ 0 ]);
+            for i = 1 to width - 1 do
+              if (not !halted) && !fired < max_fired then
+                dfs (replay (prefix @ [ i ])) (prefix @ [ i ])
+            done
+    end
+  in
+  dfs (fresh_session ()) [];
+  {
+    terminal_runs = !terminal;
+    distinct_histories = Hashtbl.length distinct;
+    stuck_runs = !stuck;
+    fired_events = !fired;
+    exhaustive = (not !truncated) && not !halted;
+    max_depth = !max_depth;
+    ws_safe_violations = List.rev !safe_bad;
+    ws_regular_violations = List.rev !regular_bad;
+    first_violation_at = !first_violation;
+  }

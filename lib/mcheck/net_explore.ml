@@ -1,0 +1,151 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_netsim
+open Regemu_history
+
+type scenario = {
+  params : Params.t;
+  protocol : Net_scenario.protocol;
+  ops : [ `Write of Value.t | `Read ] list;
+  crashes : int;
+}
+
+type result = {
+  terminal_runs : int;
+  distinct_histories : int;
+  stuck_runs : int;
+  fired_events : int;
+  exhaustive : bool;
+  max_depth : int;
+  ws_safe_violations : History.t list;
+}
+
+let result_pp ppf r =
+  Fmt.pf ppf
+    "%d terminal runs (%d distinct histories), %d stuck, %d events fired, \
+     exhaustive=%b, max depth %d, %d WS-Safe violations"
+    r.terminal_runs r.distinct_histories r.stuck_runs r.fired_events
+    r.exhaustive r.max_depth
+    (List.length r.ws_safe_violations)
+
+type session = {
+  net : Net.t;
+  calls : unit -> Net.call list;
+  all_invoked : unit -> bool;
+  advance : int -> unit;
+}
+
+let run scenario ~max_fired =
+  let p = scenario.params in
+  let fired = ref 0 in
+  let truncated = ref false in
+  let terminal = ref 0 in
+  let stuck = ref 0 in
+  let max_depth = ref 0 in
+  let distinct : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let violations = ref [] in
+  let fresh_session () =
+    let net = Net.create ~n:p.n () in
+    let writers = List.init p.k (fun _ -> Net.new_client net) in
+    let write, read = scenario.protocol.make net p ~writers in
+    let reader = Net.new_client net in
+    let remaining = ref scenario.ops in
+    let next_writer = ref 0 in
+    let calls = ref [] in
+    let rec auto_invoke () =
+      let all_returned = List.for_all Net.call_returned !calls in
+      match !remaining with
+      | op :: rest when all_returned ->
+          remaining := rest;
+          (match op with
+          | `Write v ->
+              let w = List.nth writers (!next_writer mod p.k) in
+              incr next_writer;
+              calls := write w v :: !calls
+          | `Read -> calls := read reader :: !calls);
+          auto_invoke ()
+      | _ -> ()
+    in
+    auto_invoke ();
+    {
+      net;
+      calls = (fun () -> !calls);
+      all_invoked = (fun () -> !remaining = []);
+      advance =
+        (fun idx ->
+          let evs = Net.enabled net in
+          let n_ev = List.length evs in
+          if idx < n_ev then Net.fire net (List.nth evs idx)
+          else begin
+            let correct =
+              List.filter
+                (fun s -> not (Net.server_crashed net s))
+                (Net.servers net)
+            in
+            Net.crash_server net (List.nth correct (idx - n_ev))
+          end;
+          incr fired;
+          auto_invoke ());
+    }
+  in
+  let replay prefix =
+    let s = fresh_session () in
+    List.iter s.advance prefix;
+    s
+  in
+  let record_terminal net =
+    let h = Net.history net in
+    Hashtbl.replace distinct (Fmt.str "%a" History.pp h) ();
+    match Ws_check.check_ws_safe h with
+    | Ws_check.Violated _ ->
+        if List.length !violations < 3 then violations := h :: !violations
+    | Ws_check.Holds | Ws_check.Vacuous -> ()
+  in
+  let crashed_count net =
+    List.length (List.filter (Net.server_crashed net) (Net.servers net))
+  in
+  let rec dfs session prefix =
+    if !fired >= max_fired then truncated := true
+    else begin
+      let depth = List.length prefix in
+      if depth > !max_depth then max_depth := depth;
+      let finished =
+        session.all_invoked ()
+        && List.for_all Net.call_returned (session.calls ())
+      in
+      if finished then begin
+        incr terminal;
+        record_terminal session.net
+      end
+      else begin
+        let crash_choices =
+          if crashed_count session.net < scenario.crashes then
+            List.length
+              (List.filter
+                 (fun s -> not (Net.server_crashed session.net s))
+                 (Net.servers session.net))
+          else 0
+        in
+        match Net.enabled session.net with
+        | [] when crash_choices = 0 -> incr stuck
+        | evs ->
+            let width = List.length evs + crash_choices in
+            session.advance 0;
+            dfs session (prefix @ [ 0 ]);
+            for i = 1 to width - 1 do
+              if !fired < max_fired then
+                dfs (replay (prefix @ [ i ])) (prefix @ [ i ])
+            done
+      end
+    end
+  in
+  dfs (fresh_session ()) [];
+  {
+    terminal_runs = !terminal;
+    distinct_histories = Hashtbl.length distinct;
+    stuck_runs = !stuck;
+    fired_events = !fired;
+    exhaustive = not !truncated;
+    max_depth = !max_depth;
+    ws_safe_violations = List.rev !violations;
+  }

@@ -1,0 +1,41 @@
+(** Bounded systematic exploration for the message-passing substrate:
+    enumerate every delivery order (and optionally every crash
+    placement) of a tiny wire-protocol scenario.
+
+    The stateless-model-checking twin of {!Explore}, over
+    {!Regemu_netsim.Net}: a choice point offers every deliverable
+    message, every steppable client, and — within the [crashes]
+    budget — crashing any correct server.  High-level operations run
+    sequentially in script order (one at a time), which is where the
+    interesting nondeterminism lives for quorum protocols: which
+    requests a quorum is built from, and which stale datagrams land
+    later.
+
+    Exhaustive runs upgrade "ABD is correct on the wire" from a
+    sampling statement to a verified one for the bounded instance. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_netsim
+
+type scenario = {
+  params : Params.t;
+  protocol : Net_scenario.protocol;
+  ops : [ `Write of Value.t | `Read ] list;
+      (** executed sequentially; writes rotate through the [k] writers *)
+  crashes : int;
+}
+
+type result = {
+  terminal_runs : int;
+  distinct_histories : int;
+  stuck_runs : int;
+  fired_events : int;
+  exhaustive : bool;
+  max_depth : int;
+  ws_safe_violations : Regemu_history.History.t list;
+}
+
+val result_pp : result Fmt.t
+
+val run : scenario -> max_fired:int -> result

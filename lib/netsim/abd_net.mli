@@ -1,0 +1,32 @@
+(** Multi-writer ABD over message passing — the original protocol the
+    paper's [2f+1] upper bounds descend from (its reference [5],
+    multi-writer form per [22, 34, 29]).
+
+    Runs on {!Net} with [2f+1] server processes, each holding one
+    stored value with write-max update semantics.  A write queries a
+    majority for the highest timestamp, then updates a majority with a
+    fresh higher one; a read queries a majority and (in the
+    {!val-atomic} variant) writes the value back to a majority before
+    returning.
+
+    Correctness obligations mirror the shared-memory emulations and are
+    checked in the test suite with the same history checkers:
+    WS-Regularity (and atomicity for the write-back variant), and
+    wait-freedom while at most [f] servers crash — under arbitrary
+    message reordering, since the network delivers in any order. *)
+
+open Regemu_objects
+
+
+type t
+
+(** [create net ~f] uses servers [s0 .. s2f] of [net]; requires
+    [Net.num_servers net >= 2f+1]. *)
+val create : Net.t -> f:int -> ?write_back_reads:bool -> unit -> t
+
+val write : t -> Id.Client.t -> Value.t -> Net.call
+val read : t -> Id.Client.t -> Net.call
+
+(** Messages sent per operation: 2 phases x (2f+1) requests (plus the
+    replies as they arrive). *)
+val replicas : t -> int

@@ -1,0 +1,48 @@
+open Regemu_bounds
+open Regemu_history
+
+type outcome = {
+  runs : int;
+  ws_safe_violations : int;
+  ws_regular_violations : int;
+  liveness_failures : int;
+  first_bad_seed : int option;
+}
+
+let outcome_pp ppf o =
+  Fmt.pf ppf
+    "%d runs: %d WS-Safe violations, %d WS-Regular violations, %d liveness \
+     failures%a"
+    o.runs o.ws_safe_violations o.ws_regular_violations o.liveness_failures
+    Fmt.(option (fun ppf s -> Fmt.pf ppf " (first bad seed %d)" s))
+    o.first_bad_seed
+
+let run ~protocol ~(p : Params.t) ~runs ~seed () =
+  let safe_v = ref 0 and reg_v = ref 0 and live_f = ref 0 in
+  let first_bad = ref None in
+  for i = 0 to runs - 1 do
+    let this_seed = seed + i in
+    let bad b = if b && !first_bad = None then first_bad := Some this_seed in
+    match
+      Net_scenario.write_sequential ~protocol ~p ~rounds:2
+        ~crashes:(this_seed mod (p.f + 1))
+        ~duplication:(this_seed mod 3 = 0)
+        ~seed:this_seed ()
+    with
+    | Error _ ->
+        incr live_f;
+        bad true
+    | Ok r ->
+        let s_bad = not (Ws_check.is_ws_safe r.history) in
+        let r_bad = not (Ws_check.is_ws_regular r.history) in
+        if s_bad then incr safe_v;
+        if r_bad then incr reg_v;
+        bad (s_bad || r_bad)
+  done;
+  {
+    runs;
+    ws_safe_violations = !safe_v;
+    ws_regular_violations = !reg_v;
+    liveness_failures = !live_f;
+    first_bad_seed = !first_bad;
+  }

@@ -1,0 +1,28 @@
+(** Seeded random fuzzing for wire protocols — the network twin of
+    {!Regemu_workload.Fuzz}: many independent runs of a
+    {!Net_scenario}, with crash and duplication injection, tallied by
+    checker verdict. *)
+
+open Regemu_bounds
+
+type outcome = {
+  runs : int;
+  ws_safe_violations : int;
+  ws_regular_violations : int;
+  liveness_failures : int;
+  first_bad_seed : int option;
+}
+
+val outcome_pp : outcome Fmt.t
+
+(** [run ~protocol ~p ~runs ~seed ()] executes [runs] sequential
+    write+read scenarios seeded [seed, seed+1, ...]; each run crashes
+    [seed mod (f+1)] servers and duplicates messages on seeds divisible
+    by 3. *)
+val run :
+  protocol:Net_scenario.protocol ->
+  p:Params.t ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  outcome

@@ -1,0 +1,185 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+
+type epoch_stats = {
+  epoch : int;
+  write_returned : bool;
+  covered_total : int;
+  covered_on_f : int;
+  q_size : int;
+}
+
+let epoch_stats_pp ppf s =
+  Fmt.pf ppf "epoch %d: returned=%b covered=%d on-F=%d |Qi|=%d" s.epoch
+    s.write_returned s.covered_total s.covered_on_f s.q_size
+
+type run = {
+  params : Params.t;
+  epochs : epoch_stats list;
+  final_covered : int;
+  cells : int;
+}
+
+module Cell = struct
+  type t = int * int  (* server, reg *)
+
+  let compare = Stdlib.compare
+end
+
+module Cell_set = Set.Make (Cell)
+
+(* cells with an undelivered Reg_write request *)
+let covered_cells net =
+  List.fold_left
+    (fun acc (_, dest, payload) ->
+      match (dest, payload) with
+      | Net.To_server s, Net.Reg_write { reg; _ } ->
+          Cell_set.add (Id.Server.to_int s, reg) acc
+      | _ -> acc)
+    Cell_set.empty (Net.flight net)
+
+let servers_of cells =
+  Cell_set.fold
+    (fun (s, _) acc -> Id.Server.Set.add (Id.Server.of_int s) acc)
+    cells Id.Server.Set.empty
+
+let default_f_set (p : Params.t) =
+  Id.Server.set_of_list
+    (List.init (p.f + 1) (fun i -> Id.Server.of_int (p.n - 1 - i)))
+
+let execute (p : Params.t) ?f_set ?(budget_per_epoch = 400_000) ~seed () =
+  let f_set = Option.value f_set ~default:(default_f_set p) in
+  if Id.Server.Set.cardinal f_set <> p.f + 1 then
+    invalid_arg "Net_lowerbound.execute: |F| must be f+1";
+  let net = Net.create ~n:p.n () in
+  let writers = List.init p.k (fun _ -> Net.new_client net) in
+  let t = Alg2_net.create net p ~writers () in
+  let rng = Rng.create seed in
+  let completed = ref Id.Client.Set.empty in
+  let run_epoch i writer =
+    let cov_start = covered_cells net in
+    let qi = ref Id.Server.Set.empty in
+    (* F_i on the wire: servers of F whose cell received an in-epoch
+       write request (the delivery is the respond/linearization) *)
+    let fi = ref Id.Server.Set.empty in
+    let update_sets () =
+      let covi = Cell_set.diff (covered_cells net) cov_start in
+      let d = Id.Server.Set.diff (servers_of covi) f_set in
+      if Id.Server.Set.cardinal d <= p.f then qi := d
+    in
+    let note_delivery mid =
+      (* called just before a Deliver fires: record F_i growth *)
+      match List.find_opt (fun (m, _, _) -> m = mid) (Net.flight net) with
+      | Some (_, Net.To_server s, Net.Reg_write _)
+        when Id.Server.Set.mem s f_set ->
+          fi := Id.Server.Set.add s !fi
+      | _ -> ()
+    in
+    let mi () =
+      let covi = Cell_set.diff (covered_cells net) cov_start in
+      Id.Server.Set.inter (servers_of covi)
+        (Id.Server.Set.diff f_set !fi)
+    in
+    let gi () =
+      if Id.Server.Set.cardinal !qi < Id.Server.Set.cardinal !fi then mi ()
+      else Id.Server.Set.empty
+    in
+    (* Definition 2 on the wire: hold write requests of completed
+       clients (rule 1), and write requests to cells on Q_i ∪ G_i
+       servers (rule 2) *)
+    let blocked ev =
+      match ev with
+      | Net.Step _ -> false
+      | Net.Deliver mid -> (
+          match
+            List.find_opt (fun (m, _, _) -> m = mid) (Net.flight net)
+          with
+          | Some (_, Net.To_server s, Net.Reg_write _) ->
+              (match Net.src_of net mid with
+              | Some c when Id.Client.Set.mem c !completed -> true
+              | _ -> false)
+              || Id.Server.Set.mem s (Id.Server.Set.union !qi (gi ()))
+          | _ -> false)
+    in
+    let step () =
+      update_sets ();
+      match List.filter (fun ev -> not (blocked ev)) (Net.enabled net) with
+      | [] -> false
+      | evs ->
+          let ev = Rng.pick rng evs in
+          (match ev with Net.Deliver mid -> note_delivery mid | _ -> ());
+          Net.fire net ev;
+          true
+    in
+    let call = Alg2_net.write t writer (Value.Str (Fmt.str "v%d" i)) in
+    let rec drive budget =
+      if Net.call_returned call then Ok budget
+      else if budget = 0 then
+        Error (Fmt.str "epoch %d: write exhausted its budget" i)
+      else if step () then drive (budget - 1)
+      else Error (Fmt.str "epoch %d: write is stuck under the router" i)
+    in
+    match drive budget_per_epoch with
+    | Error _ as e -> e
+    | Ok budget_left ->
+        update_sets ();
+        let q_size = Id.Server.Set.cardinal !qi in
+        (* drain the allowed traffic so nothing newly covered stays on F *)
+        let rec drain budget =
+          update_sets ();
+          let allowed =
+            List.filter
+              (fun ev ->
+                (match ev with Net.Deliver _ -> true | Net.Step _ -> false)
+                && not (blocked ev))
+              (Net.enabled net)
+          in
+          if allowed = [] then Ok ()
+          else if budget = 0 then
+            Error (Fmt.str "epoch %d: drain exhausted its budget" i)
+          else begin
+            let ev = Rng.pick rng allowed in
+            (match ev with Net.Deliver mid -> note_delivery mid | _ -> ());
+            Net.fire net ev;
+            drain (budget - 1)
+          end
+        in
+        (match drain budget_left with
+        | Error _ as e -> e
+        | Ok () ->
+            completed := Id.Client.Set.add writer !completed;
+            let covered = covered_cells net in
+            let on_f =
+              Cell_set.cardinal
+                (Cell_set.filter
+                   (fun (s, _) ->
+                     Id.Server.Set.mem (Id.Server.of_int s) f_set)
+                   covered)
+            in
+            Ok
+              {
+                epoch = i;
+                write_returned = true;
+                covered_total = Cell_set.cardinal covered;
+                covered_on_f = on_f;
+                q_size;
+              })
+  in
+  let rec epochs i acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> (
+        match run_epoch i w with
+        | Error _ as e -> e
+        | Ok stats -> epochs (i + 1) (stats :: acc) rest)
+  in
+  match epochs 1 [] writers with
+  | Error _ as e -> e
+  | Ok eps ->
+      Ok
+        {
+          params = p;
+          epochs = eps;
+          final_covered = Cell_set.cardinal (covered_cells net);
+          cells = Alg2_net.cells t;
+        }

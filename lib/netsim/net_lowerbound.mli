@@ -1,0 +1,50 @@
+(** The Lemma 1 lower-bound construction on the message-passing
+    substrate: the adversary is a router.
+
+    In the shared-memory model the adversary withholds {e responses};
+    on the wire it withholds {e request datagrams}.  An undelivered
+    [Reg_write] request covers its cell: whenever the router finally
+    delivers it, it overwrites the cell.  The blocking rule is
+    Definition 2 verbatim with "pending write on register b" read as
+    "undelivered [Reg_write] to cell b":
+
+    - requests sent by clients that already completed a write are held
+      forever (rule 1);
+    - requests to cells on the sticky first-[f] newly covered servers
+      outside [F] are held (rule 2, the [Q_i] set);
+
+    everything else — reads, replies, steps — flows.  Driving
+    {!Alg2_net} through [k] sequential writes under this router
+    reproduces the covering staircase on the network: at least [i·f]
+    cells hold undelivered requests after write [i], none on [F], so
+    the space bound is forced by nothing more than slow datagrams. *)
+
+open Regemu_bounds
+open Regemu_objects
+
+type epoch_stats = {
+  epoch : int;
+  write_returned : bool;
+  covered_total : int;  (** cells with undelivered write requests *)
+  covered_on_f : int;
+  q_size : int;
+}
+
+val epoch_stats_pp : epoch_stats Fmt.t
+
+type run = {
+  params : Params.t;
+  epochs : epoch_stats list;
+  final_covered : int;
+  cells : int;
+}
+
+(** [execute p ~seed ()] builds {!Alg2_net} on a fresh network and runs
+    the construction.  [f_set] defaults to the last [f+1] servers. *)
+val execute :
+  Params.t ->
+  ?f_set:Id.Server.Set.t ->
+  ?budget_per_epoch:int ->
+  seed:int ->
+  unit ->
+  (run, string) result

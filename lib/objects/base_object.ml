@@ -1,0 +1,53 @@
+type kind = Register | Max_register | Cas
+
+let kind_equal a b =
+  match (a, b) with
+  | Register, Register | Max_register, Max_register | Cas, Cas -> true
+  | (Register | Max_register | Cas), _ -> false
+
+let kind_to_string = function
+  | Register -> "register"
+  | Max_register -> "max-register"
+  | Cas -> "CAS"
+
+let kind_pp ppf k = Fmt.string ppf (kind_to_string k)
+
+type op =
+  | Read
+  | Write of Value.t
+  | Max_read
+  | Max_write of Value.t
+  | Compare_and_swap of { expected : Value.t; desired : Value.t }
+
+let op_pp ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write v -> Fmt.pf ppf "write(%a)" Value.pp v
+  | Max_read -> Fmt.string ppf "read-max"
+  | Max_write v -> Fmt.pf ppf "write-max(%a)" Value.pp v
+  | Compare_and_swap { expected; desired } ->
+      Fmt.pf ppf "CAS(%a,%a)" Value.pp expected Value.pp desired
+
+let is_mutator = function
+  | Write _ | Max_write _ | Compare_and_swap _ -> true
+  | Read | Max_read -> false
+
+let matches kind op =
+  match (kind, op) with
+  | Register, (Read | Write _) -> true
+  | Max_register, (Max_read | Max_write _) -> true
+  | Cas, Compare_and_swap _ -> true
+  | (Register | Max_register | Cas), _ -> false
+
+let apply kind state op =
+  if not (matches kind op) then
+    invalid_arg
+      (Fmt.str "Base_object.apply: %a not supported by %a" op_pp op kind_pp
+         kind);
+  match op with
+  | Read -> (state, state)
+  | Write v -> (v, Value.Unit)
+  | Max_read -> (state, state)
+  | Max_write v -> (Value.max state v, Value.Unit)
+  | Compare_and_swap { expected; desired } ->
+      let state' = if Value.equal state expected then desired else state in
+      (state', state)

@@ -1,0 +1,44 @@
+(** Sequential semantics of the three base object types studied in the
+    paper: read/write registers, max-registers, and CAS.
+
+    All three store a single {!Value.t}.  {!apply} is the object's
+    sequential specification: it maps (state, operation) to
+    (new state, response).  The simulator calls {!apply} exactly once
+    per low-level operation, at the operation's respond step — which is
+    its linearization point (the paper's Assumption 1). *)
+
+type kind =
+  | Register  (** plain MWMR read/write register *)
+  | Max_register
+      (** write-max / read-max (Aspnes–Attiya–Censor max register) *)
+  | Cas  (** compare-and-swap conditional register (Appendix B) *)
+
+val kind_equal : kind -> kind -> bool
+val kind_pp : kind Fmt.t
+val kind_to_string : kind -> string
+
+(** A low-level operation on a base object. *)
+type op =
+  | Read  (** register read; responds with the current value *)
+  | Write of Value.t  (** register write; responds with ack ([Unit]) *)
+  | Max_read  (** max-register read-max; responds with the max so far *)
+  | Max_write of Value.t  (** max-register write-max; responds with ack *)
+  | Compare_and_swap of { expected : Value.t; desired : Value.t }
+      (** sets state to [desired] iff state equals [expected]; always
+          responds with the {e old} value (Appendix B semantics) *)
+
+val op_pp : op Fmt.t
+
+(** [is_mutator op] is [true] for operations whose pending instances
+    cover a base object: register writes, write-max, and CAS.
+    (For the lower-bound adversary only pending register {e writes}
+    matter, but the covering tracker records all mutators.) *)
+val is_mutator : op -> bool
+
+(** [matches kind op] checks that [op] belongs to [kind]'s interface. *)
+val matches : kind -> op -> bool
+
+(** [apply kind state op] is [(state', response)] per the sequential
+    specification of [kind].  Raises [Invalid_argument] when
+    [not (matches kind op)]. *)
+val apply : kind -> Value.t -> op -> Value.t * Value.t

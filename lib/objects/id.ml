@@ -1,0 +1,49 @@
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+
+  val range : int -> t list
+  val set_of_list : t list -> Set.t
+end
+
+module Make (P : sig
+  val prefix : string
+end) : S = struct
+  type t = int
+
+  let of_int i = i
+  let to_int i = i
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp ppf i = Fmt.pf ppf "%s%d" P.prefix i
+
+  module Set = Set.Make (Int)
+  module Map = Map.Make (Int)
+
+  let range n = List.init n Fun.id
+  let set_of_list = Set.of_list
+end
+
+module Obj = Make (struct
+  let prefix = "b"
+end)
+
+module Server = Make (struct
+  let prefix = "s"
+end)
+
+module Client = Make (struct
+  let prefix = "c"
+end)
+
+module Lop = Make (struct
+  let prefix = "op"
+end)

@@ -1,0 +1,36 @@
+(** Integer-backed identifiers for the three kinds of system components.
+
+    Separate abstract types prevent accidentally using a server id where
+    an object id is expected.  Each module also provides [Set] and [Map]
+    instances, which the adversary bookkeeping (sets [Q_i], [F_i], ...)
+    relies on heavily. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+
+  (** [range n] is [[of_int 0; ...; of_int (n-1)]]. *)
+  val range : int -> t list
+
+  val set_of_list : t list -> Set.t
+end
+
+(** Identifier of a base object ([b] in the paper's [B]). *)
+module Obj : S
+
+(** Identifier of a server ([s] in the paper's [S]). *)
+module Server : S
+
+(** Identifier of a client ([c] in the paper's [C]). *)
+module Client : S
+
+(** Identifier of a low-level operation instance (a trigger). *)
+module Lop : S

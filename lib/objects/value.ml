@@ -1,0 +1,41 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+
+let v0 = Unit
+
+let rank = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Str _ -> 3
+  | Pair _ -> 4
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Pair (x1, x2), Pair (y1, y2) ->
+      let c = compare x1 y1 in
+      if c <> 0 then c else compare x2 y2
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let max a b = if compare a b >= 0 then a else b
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "v0"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.pf ppf "%S" s
+  | Pair (a, b) -> Fmt.pf ppf "<%a,%a>" pp a pp b
+
+let to_string v = Fmt.str "%a" pp v
+let with_ts ts v = Pair (Int ts, v)
+let ts = function Pair (Int ts, _) -> ts | _ -> 0
+let payload = function Pair (Int _, v) -> v | v -> v

@@ -1,0 +1,54 @@
+type outcome = Satisfied | Stuck | Budget_exhausted
+
+let outcome_pp ppf = function
+  | Satisfied -> Fmt.string ppf "satisfied"
+  | Stuck -> Fmt.string ppf "stuck"
+  | Budget_exhausted -> Fmt.string ppf "budget-exhausted"
+
+let outcome_equal a b =
+  match (a, b) with
+  | Satisfied, Satisfied | Stuck, Stuck | Budget_exhausted, Budget_exhausted
+    ->
+      true
+  | (Satisfied | Stuck | Budget_exhausted), _ -> false
+
+let step sim (policy : Policy.t) =
+  match Sim.enabled sim with
+  | [] -> false
+  | enabled -> (
+      match policy.choose sim enabled with
+      | None -> false
+      | Some ev ->
+          Sim.fire sim ev;
+          true)
+
+let run_until sim policy ~budget goal =
+  let rec go remaining =
+    if goal () then Satisfied
+    else if remaining = 0 then Budget_exhausted
+    else if step sim policy then go (remaining - 1)
+    else Stuck
+  in
+  go budget
+
+let finish_call sim policy ~budget call =
+  match run_until sim policy ~budget (fun () -> Sim.call_returned call) with
+  | Satisfied -> Ok (Option.get (Sim.call_result call))
+  | (Stuck | Budget_exhausted) as o -> Error o
+
+let finish_call_exn sim policy ~budget call =
+  match finish_call sim policy ~budget call with
+  | Ok v -> v
+  | Error o ->
+      failwith
+        (Fmt.str "high-level %a by %a did not return: %a (policy %s)"
+           Trace.hop_pp (Sim.call_hop call) Regemu_objects.Id.Client.pp
+           (Sim.call_client call) outcome_pp o policy.Policy.name)
+
+let quiesce sim policy ~budget =
+  let rec go remaining =
+    if remaining = 0 then Budget_exhausted
+    else if step sim policy then go (remaining - 1)
+    else Satisfied
+  in
+  go budget

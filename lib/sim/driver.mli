@@ -1,0 +1,39 @@
+(** Run drivers: loops that repeatedly ask a policy for the next event
+    and fire it, under an explicit step budget.
+
+    Budgets turn liveness claims into testable properties: a wait-free
+    operation must return within the budget under any fair policy; a
+    run that exhausts a generous budget is reported as such rather than
+    looping forever. *)
+
+type outcome =
+  | Satisfied  (** the goal predicate became true *)
+  | Stuck
+      (** no event was enabled, or the policy declined to choose one
+          (e.g. the adversary blocked everything remaining) *)
+  | Budget_exhausted
+
+val outcome_pp : outcome Fmt.t
+val outcome_equal : outcome -> outcome -> bool
+
+(** [run_until sim policy ~budget goal] fires events until [goal ()]
+    holds (checked before each step), no progress is possible, or
+    [budget] events have fired. *)
+val run_until :
+  Sim.t -> Policy.t -> budget:int -> (unit -> bool) -> outcome
+
+(** [finish_call sim policy ~budget call] drives until [call] returns.
+    [Ok v] on success, [Error outcome] otherwise. *)
+val finish_call :
+  Sim.t -> Policy.t -> budget:int -> Sim.call -> (Regemu_objects.Value.t, outcome) result
+
+(** [finish_call_exn] raises [Failure] with diagnostics on failure. *)
+val finish_call_exn :
+  Sim.t -> Policy.t -> budget:int -> Sim.call -> Regemu_objects.Value.t
+
+(** Drive until no event is enabled (all responses delivered, all
+    runnable fibers stepped). *)
+val quiesce : Sim.t -> Policy.t -> budget:int -> outcome
+
+(** Fire exactly one policy-chosen event; [false] if none possible. *)
+val step : Sim.t -> Policy.t -> bool

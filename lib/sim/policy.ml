@@ -1,0 +1,154 @@
+type t = {
+  name : string;
+  choose : Sim.t -> Sim.event list -> Sim.event option;
+}
+
+let first = function [] -> None | e :: _ -> Some e
+
+let uniform rng =
+  {
+    name = "uniform";
+    choose =
+      (fun _sim enabled ->
+        match enabled with [] -> None | es -> Some (Rng.pick rng es));
+  }
+
+let is_respond = function Sim.Respond _ -> true | Sim.Step _ -> false
+
+let responds_first =
+  {
+    name = "responds-first";
+    choose =
+      (fun _sim enabled ->
+        match List.filter is_respond enabled with
+        | r :: _ -> Some r
+        | [] -> first enabled);
+  }
+
+let steps_first =
+  {
+    name = "steps-first";
+    choose =
+      (fun _sim enabled ->
+        match List.filter (fun e -> not (is_respond e)) enabled with
+        | s :: _ -> Some s
+        | [] -> first enabled);
+  }
+
+let biased rng ~respond_bias =
+  {
+    name = Fmt.str "biased(%.2f)" respond_bias;
+    choose =
+      (fun _sim enabled ->
+        let responds, steps = List.partition is_respond enabled in
+        let roll =
+          float_of_int (Rng.int rng ~bound:1_000_000) /. 1_000_000.
+        in
+        match (responds, steps) with
+        | [], [] -> None
+        | [], ss -> Some (Rng.pick rng ss)
+        | rs, [] -> Some (Rng.pick rng rs)
+        | rs, ss ->
+            if roll < respond_bias then Some (Rng.pick rng rs)
+            else Some (Rng.pick rng ss));
+  }
+
+let event_key = function
+  | Sim.Step c -> (0, Regemu_objects.Id.Client.to_int c)
+  | Sim.Respond l -> (1, Regemu_objects.Id.Lop.to_int l)
+
+(* Deterministic and fair: serve the event that has been continuously
+   enabled the longest (FIFO by first-enabled time). *)
+let round_robin () =
+  let ages : ((int * int), int) Hashtbl.t = Hashtbl.create 64 in
+  let clock = ref 0 in
+  {
+    name = "round-robin";
+    choose =
+      (fun _sim enabled ->
+        match enabled with
+        | [] -> None
+        | evs ->
+            let keyed =
+              List.map
+                (fun ev ->
+                  let key = event_key ev in
+                  let age =
+                    match Hashtbl.find_opt ages key with
+                    | Some a -> a
+                    | None ->
+                        incr clock;
+                        Hashtbl.replace ages key !clock;
+                        !clock
+                  in
+                  (age, key, ev))
+                evs
+            in
+            (* drop ages of events no longer enabled so the table stays
+               bounded by the live event set *)
+            let live = List.map (fun (_, k, _) -> k) keyed in
+            Hashtbl.iter
+              (fun k _ -> if not (List.mem k live) then Hashtbl.remove ages k)
+              (Hashtbl.copy ages);
+            let _, key, ev =
+              List.fold_left
+                (fun ((ba, _, _) as best) ((a, _, _) as cur) ->
+                  if a < ba then cur else best)
+                (List.hd keyed) (List.tl keyed)
+            in
+            Hashtbl.remove ages key;
+            Some ev);
+  }
+
+let procrastinating rng ~hold_percent ~hold_steps =
+  let held : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let clock = ref 0 in
+  {
+    name = Fmt.str "procrastinating(%d%%,%d)" hold_percent hold_steps;
+    choose =
+      (fun _sim enabled ->
+        incr clock;
+        (* decide the fate of responses seen for the first time *)
+        List.iter
+          (fun ev ->
+            match ev with
+            | Sim.Respond l ->
+                let key = Regemu_objects.Id.Lop.to_int l in
+                if not (Hashtbl.mem held key) then
+                  Hashtbl.replace held key
+                    (if Rng.int rng ~bound:100 < hold_percent then
+                       !clock + hold_steps
+                     else !clock)
+            | Sim.Step _ -> ())
+          enabled;
+        let eligible =
+          List.filter
+            (fun ev ->
+              match ev with
+              | Sim.Step _ -> true
+              | Sim.Respond l -> (
+                  match
+                    Hashtbl.find_opt held (Regemu_objects.Id.Lop.to_int l)
+                  with
+                  | Some release -> release <= !clock
+                  | None -> true))
+            enabled
+        in
+        match (eligible, enabled) with
+        | [], [] -> None
+        | [], all ->
+            (* everything is held: release one anyway so the run cannot
+               starve (holds are delays, not refusals) *)
+            Some (Rng.pick rng all)
+        | es, _ -> Some (Rng.pick rng es));
+  }
+
+let filtered ~name ~keep base =
+  {
+    name;
+    choose =
+      (fun sim enabled ->
+        match List.filter (keep sim) enabled with
+        | [] -> None
+        | kept -> base.choose sim kept);
+  }

@@ -1,0 +1,52 @@
+(** Schedule policies: the environment of the formal model.
+
+    A policy picks, at every step of a run, which enabled event fires.
+    The lower-bound adversary [Ad_i] is built as a {!filtered} policy in
+    [Regemu_adversary]; the fair policies here drive liveness and
+    safety tests. *)
+
+type t = {
+  name : string;
+  choose : Sim.t -> Sim.event list -> Sim.event option;
+      (** [choose sim enabled] picks one of [enabled] (never an event
+          outside it), or [None] to stop the run.  [enabled] is never
+          the empty list. *)
+}
+
+(** Uniformly random among enabled events.  Fair with probability 1:
+    every continuously-enabled event is eventually chosen. *)
+val uniform : Rng.t -> t
+
+(** Deterministic: fire the oldest pending response first; if none,
+    step the lowest-id runnable client.  Responses drain before fibers
+    advance, which makes runs maximally synchronous. *)
+val responds_first : t
+
+(** Deterministic: step clients before letting responses fire, which
+    maximizes the number of outstanding low-level operations. *)
+val steps_first : t
+
+(** Random, but responses fire with probability [respond_bias] when both
+    kinds are enabled.  Low bias stresses algorithms with many
+    outstanding operations. *)
+val biased : Rng.t -> respond_bias:float -> t
+
+(** Deterministic {e and} fair: always fire the event that has been
+    continuously enabled the longest (FIFO by first-enabled time).
+    Stateful — create one per run. *)
+val round_robin : unit -> t
+
+(** The procrastinator: each pending response is, with probability
+    [hold_percent]/100, {e held} for [hold_steps] scheduler steps before
+    it becomes eligible again — a randomized version of the covering
+    adversary's trick of releasing old writes late.  Still fair (holds
+    expire), so wait-free algorithms terminate; algorithms that reuse
+    covered registers can be caught red-handed (the fuzzer finds the
+    Figure 2 violation with this policy, without any scripting).
+    Stateful — create one per run. *)
+val procrastinating : Rng.t -> hold_percent:int -> hold_steps:int -> t
+
+(** [filtered ~name ~keep base] restricts [base] to events satisfying
+    [keep].  If no enabled event survives the filter, chooses [None]
+    (the run is stuck by adversarial blocking). *)
+val filtered : name:string -> keep:(Sim.t -> Sim.event -> bool) -> t -> t

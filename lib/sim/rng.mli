@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized schedule policy and workload generator takes an
+    explicit [Rng.t], so a run is fully reproducible from its seed.
+    We deliberately avoid [Stdlib.Random] to keep the stream stable
+    across OCaml versions. *)
+
+type t
+
+val create : int -> t
+
+(** Independent generator split off [t] (advances [t]). *)
+val split : t -> t
+
+(** [int t ~bound] is uniform in [0, bound); requires [bound > 0]. *)
+val int : t -> bound:int -> int
+
+val bool : t -> bool
+
+(** [pick t xs] is a uniformly chosen element; requires [xs] non-empty. *)
+val pick : t -> 'a list -> 'a
+
+(** In-place Fisher–Yates shuffle of a fresh copy of the list. *)
+val shuffle : t -> 'a list -> 'a list

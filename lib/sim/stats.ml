@@ -1,0 +1,97 @@
+open Regemu_objects
+
+type t = {
+  triggers : int;
+  responds : int;
+  invocations : int;
+  returns : int;
+  server_crashes : int;
+  client_crashes : int;
+  triggers_per_object : int Id.Obj.Map.t;
+  triggers_per_client : int Id.Client.Map.t;
+  max_outstanding : int;
+  point_contention : int;
+}
+
+let bump key m = Id.Obj.Map.update key (fun v -> Some (Option.value ~default:0 v + 1)) m
+
+let bump_client key m =
+  Id.Client.Map.update key (fun v -> Some (Option.value ~default:0 v + 1)) m
+
+let of_trace tr =
+  let triggers = ref 0
+  and responds = ref 0
+  and invocations = ref 0
+  and returns = ref 0
+  and server_crashes = ref 0
+  and client_crashes = ref 0 in
+  let per_object = ref Id.Obj.Map.empty in
+  let per_client = ref Id.Client.Map.empty in
+  let outstanding = ref 0
+  and max_outstanding = ref 0 in
+  let open_hops = ref 0
+  and point_contention = ref 0 in
+  Trace.iter
+    (fun e ->
+      match e with
+      | Trace.Trigger { obj; client; _ } ->
+          incr triggers;
+          per_object := bump obj !per_object;
+          per_client := bump_client client !per_client;
+          incr outstanding;
+          if !outstanding > !max_outstanding then
+            max_outstanding := !outstanding
+      | Trace.Respond _ ->
+          incr responds;
+          decr outstanding
+      | Trace.Invoke _ ->
+          incr invocations;
+          incr open_hops;
+          if !open_hops > !point_contention then
+            point_contention := !open_hops
+      | Trace.Return _ ->
+          incr returns;
+          decr open_hops
+      | Trace.Server_crash _ -> incr server_crashes
+      | Trace.Client_crash _ -> incr client_crashes)
+    tr;
+  {
+    triggers = !triggers;
+    responds = !responds;
+    invocations = !invocations;
+    returns = !returns;
+    server_crashes = !server_crashes;
+    client_crashes = !client_crashes;
+    triggers_per_object = !per_object;
+    triggers_per_client = !per_client;
+    max_outstanding = !max_outstanding;
+    point_contention = !point_contention;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "triggers=%d responds=%d invocations=%d returns=%d crashes=%d/%d \
+     max-outstanding=%d point-contention=%d"
+    s.triggers s.responds s.invocations s.returns s.server_crashes
+    s.client_crashes s.max_outstanding s.point_contention
+
+let latencies tr =
+  let open_at = Hashtbl.create 8 in
+  let out = ref [] in
+  let time = ref 0 in
+  Trace.iter
+    (fun e ->
+      incr time;
+      match e with
+      | Trace.Invoke (c, _) -> Hashtbl.replace open_at (Id.Client.to_int c) !time
+      | Trace.Return (c, _, _) -> (
+          match Hashtbl.find_opt open_at (Id.Client.to_int c) with
+          | Some t0 ->
+              Hashtbl.remove open_at (Id.Client.to_int c);
+              out := (t0, !time - t0) :: !out
+          | None -> ())
+      | Trace.Trigger _ | Trace.Respond _ | Trace.Server_crash _
+      | Trace.Client_crash _ ->
+          ())
+    tr;
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !out |> List.map snd

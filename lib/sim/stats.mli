@@ -1,0 +1,30 @@
+(** Run statistics computed from a trace.
+
+    Everything here is derived purely from the recorded trace, so it
+    can be computed after the fact for any run, including adversarial
+    ones.  Used by the harness for operation counts and latencies and
+    by tests for precise accounting. *)
+
+open Regemu_objects
+
+type t = {
+  triggers : int;  (** low-level operations triggered *)
+  responds : int;  (** low-level operations that took effect *)
+  invocations : int;  (** high-level operations invoked *)
+  returns : int;  (** high-level operations completed *)
+  server_crashes : int;
+  client_crashes : int;
+  triggers_per_object : int Id.Obj.Map.t;
+  triggers_per_client : int Id.Client.Map.t;
+  max_outstanding : int;
+      (** largest number of simultaneously pending low-level ops *)
+  point_contention : int;
+      (** largest number of simultaneously open high-level ops *)
+}
+
+val of_trace : Trace.t -> t
+val pp : t Fmt.t
+
+(** Steps between invocation and return for each completed high-level
+    operation, in invocation order — the simulated-time latency. *)
+val latencies : Trace.t -> int list

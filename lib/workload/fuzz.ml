@@ -1,0 +1,82 @@
+open Regemu_bounds
+open Regemu_history
+
+type scenario = Sequential | Concurrent_reads | Chaos
+
+let scenario_pp ppf = function
+  | Sequential -> Fmt.string ppf "sequential"
+  | Concurrent_reads -> Fmt.string ppf "concurrent-reads"
+  | Chaos -> Fmt.string ppf "chaos"
+
+type outcome = {
+  runs : int;
+  ws_safe_violations : int;
+  ws_regular_violations : int;
+  liveness_failures : int;
+  first_bad_seed : int option;
+  first_bad_history : Regemu_history.History.t option;
+}
+
+let outcome_pp ppf o =
+  Fmt.pf ppf
+    "%d runs: %d WS-Safe violations, %d WS-Regular violations, %d liveness \
+     failures%a"
+    o.runs o.ws_safe_violations o.ws_regular_violations o.liveness_failures
+    Fmt.(option (fun ppf s -> Fmt.pf ppf " (first bad seed %d)" s))
+    o.first_bad_seed
+
+let one factory (p : Params.t) ~policy ~scenario ~seed =
+  match scenario with
+  | Sequential ->
+      Scenario.write_sequential factory p ~read_after_each:true ~rounds:2
+        ~policy ~seed ()
+  | Concurrent_reads ->
+      Scenario.concurrent_reads factory p ~rounds:2 ~readers:2
+        ~crashes:(seed mod (p.f + 1))
+        ~policy ~seed ()
+  | Chaos ->
+      Scenario.chaos factory p ~writes_per_writer:2 ~readers:2
+        ~reads_per_reader:2
+        ~crashes:(seed mod (p.f + 1))
+        ~policy ~seed ()
+
+let run factory p ?(policy = Regemu_sim.Policy.uniform) ~scenario ~runs ~seed
+    () =
+  let safe_v = ref 0 and reg_v = ref 0 and live_f = ref 0 in
+  let first_bad = ref None in
+  let first_history = ref None in
+  for i = 0 to runs - 1 do
+    let this_seed = seed + i in
+    let bad ?history b =
+      if b && !first_bad = None then begin
+        first_bad := Some this_seed;
+        first_history := history
+      end
+    in
+    match one factory p ~policy ~scenario ~seed:this_seed with
+    | Error _ ->
+        incr live_f;
+        bad true
+    | Ok r ->
+        let s_bad =
+          match Ws_check.check_ws_safe r.history with
+          | Ws_check.Violated _ -> true
+          | Ws_check.Holds | Ws_check.Vacuous -> false
+        in
+        let r_bad =
+          match Ws_check.check_ws_regular r.history with
+          | Ws_check.Violated _ -> true
+          | Ws_check.Holds | Ws_check.Vacuous -> false
+        in
+        if s_bad then incr safe_v;
+        if r_bad then incr reg_v;
+        bad ~history:r.history (s_bad || r_bad)
+  done;
+  {
+    runs;
+    ws_safe_violations = !safe_v;
+    ws_regular_violations = !reg_v;
+    liveness_failures = !live_f;
+    first_bad_seed = !first_bad;
+    first_bad_history = !first_history;
+  }

@@ -1,0 +1,49 @@
+(** Schedule fuzzing: run an emulation under many seeded random
+    schedules (with crash injection) and tally checker verdicts.
+
+    This is the falsification half of the test strategy: the paper's
+    positive claims are asserted over fixed seeds in the test suite,
+    and the fuzzer gives a cheap way to hunt for counterexamples with
+    fresh randomness — for the shipped algorithms it should find none,
+    and for the intentionally broken ones it may (the deterministic
+    violations in [Regemu_adversary] are the guaranteed way). *)
+
+open Regemu_bounds
+open Regemu_core
+
+type scenario =
+  | Sequential  (** sequential writes, a read after each *)
+  | Concurrent_reads  (** sequential writes, concurrent readers, crashes *)
+  | Chaos  (** fully concurrent, crashes *)
+
+val scenario_pp : scenario Fmt.t
+
+type outcome = {
+  runs : int;
+  ws_safe_violations : int;
+  ws_regular_violations : int;
+  liveness_failures : int;
+      (** runs where some operation failed to complete *)
+  first_bad_seed : int option;
+      (** seed of the first run with any violation or liveness failure *)
+  first_bad_history : Regemu_history.History.t option;
+      (** the first violating run's history, for inspection *)
+}
+
+val outcome_pp : outcome Fmt.t
+
+(** [run factory p ~scenario ~runs ~seed] executes [runs] independent
+    runs seeded [seed, seed+1, ...].  [?policy] selects the schedule
+    policy per run (default [Policy.uniform]); pass
+    [Policy.procrastinating] with moderate hold parameters to hunt for
+    covering bugs — it finds the naive algorithm's Figure 2 violation
+    in a handful of runs where uniform schedules never do. *)
+val run :
+  Emulation.factory ->
+  Params.t ->
+  ?policy:(Regemu_sim.Rng.t -> Regemu_sim.Policy.t) ->
+  scenario:scenario ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  outcome

@@ -1,0 +1,47 @@
+open Regemu_sim
+
+type log = { mutable rev_events : Sim.event list }
+
+let length l = List.length l.rev_events
+let events l = List.rev l.rev_events
+
+let recording (base : Policy.t) =
+  let log = { rev_events = [] } in
+  let policy =
+    {
+      Policy.name = base.name ^ "+recording";
+      choose =
+        (fun sim enabled ->
+          match base.choose sim enabled with
+          | Some ev ->
+              log.rev_events <- ev :: log.rev_events;
+              Some ev
+          | None -> None);
+    }
+  in
+  (policy, log)
+
+let replay sim log =
+  let rec go i = function
+    | [] -> Ok ()
+    | ev :: rest ->
+        if List.exists (Sim.event_equal ev) (Sim.enabled sim) then begin
+          Sim.fire sim ev;
+          go (i + 1) rest
+        end
+        else
+          Error
+            (Fmt.str "replay diverged at step %d: %a not enabled" i
+               Sim.event_pp ev)
+  in
+  go 0 (events log)
+
+let traces_equal a b =
+  let la = Trace.to_list a and lb = Trace.to_list b in
+  List.length la = List.length lb
+  && List.for_all2
+       (fun x y -> Fmt.str "%a" Trace.entry_pp x = Fmt.str "%a" Trace.entry_pp y)
+       la lb
+
+let same_trace run1 run2 =
+  traces_equal (Sim.trace (run1 ())) (Sim.trace (run2 ()))

@@ -1,0 +1,35 @@
+(** Schedule recording and replay.
+
+    The simulator is deterministic: given the same initial system and
+    the same sequence of fired events, it produces the identical trace.
+    This module makes that property operational — {!recording} wraps a
+    policy so the chosen events are logged, and {!replay} re-drives a
+    fresh system following the log — and testable: the determinism
+    check re-runs a scenario and compares traces entry by entry.
+
+    Replay logs are also the debugging artifact: a violation found by
+    the fuzzer can be replayed step by step on a fresh system. *)
+
+open Regemu_sim
+
+(** A recorded schedule: the events fired, in order. *)
+type log
+
+val length : log -> int
+val events : log -> Sim.event list
+
+(** [recording base] is a policy that behaves like [base] and a handle
+    to the log of every event it chose. *)
+val recording : Policy.t -> Policy.t * log
+
+(** [replay sim log] fires the logged events on [sim].  The caller must
+    have re-issued the same high-level invocations at the same points —
+    for a run whose operations were all invoked before driving started,
+    rebuilding the system and re-invoking suffices.  Fails with the
+    position and event if one is not enabled, meaning [sim] was not
+    prepared identically to the recorded system. *)
+val replay : Sim.t -> log -> (unit, string) result
+
+(** [same_trace run1 run2] executes both and compares their traces
+    entry by entry — the end-to-end determinism check. *)
+val same_trace : (unit -> Sim.t) -> (unit -> Sim.t) -> bool

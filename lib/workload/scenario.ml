@@ -1,0 +1,224 @@
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_core
+open Regemu_history
+
+type result = {
+  sim : Sim.t;
+  instance : Emulation.instance;
+  writers : Id.Client.t list;
+  history : History.t;
+  objects_used : int;
+}
+
+type error = { stage : string; outcome : Driver.outcome }
+
+let error_pp ppf e =
+  Fmt.pf ppf "stage %S did not complete: %a" e.stage Driver.outcome_pp
+    e.outcome
+
+let setup (factory : Emulation.factory) (p : Params.t) =
+  let sim = Sim.create ~n:p.n () in
+  let writers = List.init p.k (fun _ -> Sim.new_client sim) in
+  let instance = factory.make sim p ~writers in
+  (sim, instance, writers)
+
+let value_for ~slot ~round = Value.Str (Fmt.str "w%d.r%d" slot round)
+
+let finish ~stage sim policy ~budget call k =
+  match Driver.finish_call sim policy ~budget call with
+  | Ok _ -> k ()
+  | Error outcome -> Error { stage; outcome }
+
+let mk_result sim instance writers =
+  {
+    sim;
+    instance;
+    writers;
+    history = History.of_trace (Sim.trace sim);
+    objects_used = Id.Obj.Set.cardinal (Sim.used_objects sim);
+  }
+
+let write_sequential factory (p : Params.t) ?(read_after_each = false)
+    ?(budget_per_op = 50_000) ?(policy = Policy.uniform) ~rounds ~seed () =
+  let sim, instance, writers = setup factory p in
+  let reader = Sim.new_client sim in
+  let policy = policy (Rng.create seed) in
+  let rec rounds_loop round =
+    if round > rounds then Ok (mk_result sim instance writers)
+    else
+      let rec writers_loop slot = function
+        | [] -> rounds_loop (round + 1)
+        | w :: rest ->
+            let call = instance.write w (value_for ~slot ~round) in
+            finish
+              ~stage:(Fmt.str "write slot=%d round=%d" slot round)
+              sim policy ~budget:budget_per_op call (fun () ->
+                if read_after_each then
+                  let rd = instance.read reader in
+                  finish
+                    ~stage:(Fmt.str "read after slot=%d round=%d" slot round)
+                    sim policy ~budget:budget_per_op rd (fun () ->
+                      writers_loop (slot + 1) rest)
+                else writers_loop (slot + 1) rest)
+      in
+      writers_loop 0 writers
+  in
+  rounds_loop 1
+
+(* Crash a random correct server with probability 1/50 per step, while
+   the crash budget lasts. *)
+let maybe_crash sim rng ~crashes ~crashed =
+  if !crashed < crashes && Rng.int rng ~bound:50 = 0 then begin
+    let candidates =
+      List.filter (fun s -> not (Sim.server_crashed sim s)) (Sim.servers sim)
+    in
+    if candidates <> [] then begin
+      Sim.crash_server sim (Rng.pick rng candidates);
+      incr crashed
+    end
+  end
+
+let concurrent_reads factory (p : Params.t) ?(budget_per_op = 50_000)
+    ?(policy = Policy.uniform) ~rounds ~readers ~crashes ~seed () =
+  if crashes > p.f then invalid_arg "Scenario.concurrent_reads: crashes > f";
+  let sim, instance, writers = setup factory p in
+  let reader_clients = List.init readers (fun _ -> Sim.new_client sim) in
+  let rng = Rng.create seed in
+  let policy = policy (Rng.split rng) in
+  let crashed = ref 0 in
+  let read_calls = ref [] in
+  let maybe_read () =
+    if Rng.int rng ~bound:10 = 0 then
+      match
+        List.filter (fun c -> not (Sim.client_busy sim c)) reader_clients
+      with
+      | [] -> ()
+      | idle -> read_calls := instance.read (Rng.pick rng idle) :: !read_calls
+  in
+  let drive_write stage call =
+    let rec go budget =
+      if Sim.call_returned call then Ok ()
+      else if budget = 0 then Error { stage; outcome = Driver.Budget_exhausted }
+      else begin
+        maybe_crash sim rng ~crashes ~crashed;
+        maybe_read ();
+        if Driver.step sim policy then go (budget - 1)
+        else Error { stage; outcome = Driver.Stuck }
+      end
+    in
+    go budget_per_op
+  in
+  let rec rounds_loop round =
+    if round > rounds then Ok ()
+    else
+      let rec writers_loop slot = function
+        | [] -> rounds_loop (round + 1)
+        | w :: rest -> (
+            let call = instance.write w (value_for ~slot ~round) in
+            match
+              drive_write (Fmt.str "write slot=%d round=%d" slot round) call
+            with
+            | Ok () -> writers_loop (slot + 1) rest
+            | Error e -> Error e)
+      in
+      writers_loop 0 writers
+  in
+  match rounds_loop 1 with
+  | Error e -> Error e
+  | Ok () -> (
+      (* drain outstanding reads *)
+      let all_done () = List.for_all Sim.call_returned !read_calls in
+      match
+        Driver.run_until sim policy
+          ~budget:(budget_per_op * (1 + List.length !read_calls))
+          all_done
+      with
+      | Driver.Satisfied -> Ok (mk_result sim instance writers)
+      | outcome -> Error { stage = "drain reads"; outcome })
+
+let chaos factory (p : Params.t) ?(budget_per_op = 50_000)
+    ?(policy = Policy.uniform) ~writes_per_writer ~readers ~reads_per_reader
+    ~crashes ~seed () =
+  if crashes > p.f then invalid_arg "Scenario.chaos: crashes > f";
+  let sim, instance, writers = setup factory p in
+  let reader_clients = List.init readers (fun _ -> Sim.new_client sim) in
+  let rng = Rng.create seed in
+  let policy = policy (Rng.split rng) in
+  let crashed = ref 0 in
+  let remaining_writes =
+    ref (List.concat_map (fun w -> List.init writes_per_writer (fun r -> (w, r))) writers)
+  in
+  let remaining_reads =
+    ref
+      (List.concat_map
+         (fun c -> List.init reads_per_reader (fun _ -> c))
+         reader_clients)
+  in
+  let calls = ref [] in
+  let try_invoke () =
+    let invocable_writes =
+      List.filter (fun (w, _) -> not (Sim.client_busy sim w)) !remaining_writes
+    in
+    let invocable_reads =
+      List.filter (fun c -> not (Sim.client_busy sim c)) !remaining_reads
+    in
+    match (invocable_writes, invocable_reads) with
+    | [], [] -> false
+    | ws, rs ->
+        let pick_write = rs = [] || (ws <> [] && Rng.bool rng) in
+        if pick_write then begin
+          let ((w, r) as job) = Rng.pick rng ws in
+          remaining_writes :=
+            (* remove one occurrence *)
+            (let removed = ref false in
+             List.filter
+               (fun j ->
+                 if (not !removed) && j = job then begin
+                   removed := true;
+                   false
+                 end
+                 else true)
+               !remaining_writes);
+          calls :=
+            instance.write w (value_for ~slot:(Id.Client.to_int w) ~round:r)
+            :: !calls;
+          true
+        end
+        else begin
+          let c = Rng.pick rng rs in
+          remaining_reads :=
+            (let removed = ref false in
+             List.filter
+               (fun c' ->
+                 if (not !removed) && Id.Client.equal c' c then begin
+                   removed := true;
+                   false
+                 end
+                 else true)
+               !remaining_reads);
+          calls := instance.read c :: !calls;
+          true
+        end
+  in
+  let total_ops =
+    (List.length writers * writes_per_writer) + (readers * reads_per_reader)
+  in
+  let rec loop budget =
+    let planned = !remaining_writes <> [] || !remaining_reads <> [] in
+    let outstanding = List.exists (fun c -> not (Sim.call_returned c)) !calls in
+    if (not planned) && not outstanding then
+      Ok (mk_result sim instance writers)
+    else if budget = 0 then
+      Error { stage = "chaos"; outcome = Driver.Budget_exhausted }
+    else begin
+      maybe_crash sim rng ~crashes ~crashed;
+      let invoked = if Rng.int rng ~bound:4 = 0 then try_invoke () else false in
+      if invoked then loop (budget - 1)
+      else if Driver.step sim policy then loop (budget - 1)
+      else if try_invoke () then loop (budget - 1)
+      else Error { stage = "chaos"; outcome = Driver.Stuck }
+    end
+  in
+  loop (budget_per_op * Stdlib.max 1 total_ops)

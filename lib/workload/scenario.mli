@@ -1,0 +1,89 @@
+(** Workload scenarios: reproducible end-to-end runs of an emulation
+    under a schedule policy, with optional crash injection.
+
+    Every scenario returns the {!result}: the simulator (for
+    inspection), the extracted high-level history, and the measured
+    resource consumption.  Scenarios never raise on liveness failures;
+    they surface them as [Error] so tests can assert wait-freedom. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_core
+open Regemu_history
+
+type result = {
+  sim : Sim.t;
+  instance : Emulation.instance;
+  writers : Id.Client.t list;
+  history : History.t;
+  objects_used : int;
+      (** distinct base objects triggered during the run *)
+}
+
+type error = {
+  stage : string;  (** which operation failed to return *)
+  outcome : Regemu_sim.Driver.outcome;
+}
+
+val error_pp : error Fmt.t
+
+(** Fresh simulator with [p.n] servers, an instance of [factory], and
+    [p.k] registered writer clients. *)
+val setup :
+  Emulation.factory -> Params.t -> Sim.t * Emulation.instance * Id.Client.t list
+
+(** Distinct value written by writer [slot] in [round]. *)
+val value_for : slot:int -> round:int -> Value.t
+
+(** [write_sequential factory p ~rounds ~seed ()] runs
+    [rounds * p.k] high-level writes, one at a time (writer 0, 1, ...,
+    k-1, then round 2, ...), each driven to completion under a seeded
+    policy ([Policy.uniform] unless [?policy] builds another, e.g.
+    [Policy.procrastinating]).  With [~read_after_each:true] a
+    dedicated reader client performs a (non-concurrent) read after
+    every write — the histories WS-Safety constrains. *)
+val write_sequential :
+  Emulation.factory ->
+  Params.t ->
+  ?read_after_each:bool ->
+  ?budget_per_op:int ->
+  ?policy:(Rng.t -> Policy.t) ->
+  rounds:int ->
+  seed:int ->
+  unit ->
+  (result, error) Result.t
+
+(** [concurrent_reads factory p ~rounds ~readers ~crashes ~seed ()]
+    keeps the writes sequential (so WS-Regularity applies) while
+    [readers] clients read concurrently at random moments, and
+    [crashes <= p.f] randomly chosen servers crash at random times.
+    All invoked operations are driven to completion (reads invoked
+    while a write is in flight genuinely overlap it). *)
+val concurrent_reads :
+  Emulation.factory ->
+  Params.t ->
+  ?budget_per_op:int ->
+  ?policy:(Rng.t -> Policy.t) ->
+  rounds:int ->
+  readers:int ->
+  crashes:int ->
+  seed:int ->
+  unit ->
+  (result, error) Result.t
+
+(** Fully concurrent writes and reads — histories are generally not
+    write-sequential (WS conditions are vacuous); used for liveness
+    (wait-freedom) testing under contention and crashes. *)
+val chaos :
+  Emulation.factory ->
+  Params.t ->
+  ?budget_per_op:int ->
+  ?policy:(Rng.t -> Policy.t) ->
+  writes_per_writer:int ->
+  readers:int ->
+  reads_per_reader:int ->
+  crashes:int ->
+  seed:int ->
+  unit ->
+  (result, error) Result.t

@@ -1,0 +1,173 @@
+(* Tests for the reusable Ad_i policy: the covering staircase appears
+   under ordinary scenario driving, not just the bespoke Lemma 1
+   runner. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_adversary
+
+let test name f = Alcotest.test_case name `Quick f
+
+let default_f_set (p : Params.t) =
+  Id.Server.set_of_list
+    (List.init (p.f + 1) (fun i -> Id.Server.of_int (p.n - 1 - i)))
+
+let drive_writes factory (p : Params.t) ~seed =
+  let sim = Sim.create ~n:p.n () in
+  let writers = List.init p.k (fun _ -> Sim.new_client sim) in
+  let instance = factory.Regemu_core.Emulation.make sim p ~writers in
+  let adi = Adi_policy.create sim ~f_set:(default_f_set p) ~rng:(Rng.create seed) in
+  let policy = Adi_policy.policy adi in
+  List.iteri
+    (fun i w ->
+      ignore
+        (Driver.finish_call_exn sim policy ~budget:200_000
+           (instance.write w (Value.Str (Fmt.str "v%d" i)))))
+    writers;
+  (sim, adi)
+
+let adi_tests =
+  [
+    test "algorithm2 completes k writes under the Ad_i policy" (fun () ->
+        let p = Params.make_exn ~k:4 ~f:2 ~n:7 in
+        let _, adi = drive_writes Regemu_core.Algorithm2.factory p ~seed:5 in
+        Alcotest.(check int) "epochs" p.Params.k (Adi_policy.epochs_completed adi));
+    test "coverage reaches at least kf" (fun () ->
+        let p = Params.make_exn ~k:4 ~f:2 ~n:7 in
+        let _, adi = drive_writes Regemu_core.Algorithm2.factory p ~seed:5 in
+        if Adi_policy.covered adi < p.Params.k * p.Params.f then
+          Alcotest.failf "covered %d < kf=%d" (Adi_policy.covered adi)
+            (p.Params.k * p.Params.f));
+    test "no covered register lands on F" (fun () ->
+        let p = Params.make_exn ~k:3 ~f:1 ~n:5 in
+        let sim, _ = drive_writes Regemu_core.Algorithm2.factory p ~seed:9 in
+        let f_set = default_f_set p in
+        Id.Obj.Set.iter
+          (fun b ->
+            if Id.Server.Set.mem (Sim.delta sim b) f_set then
+              Alcotest.failf "covered register %a on F" Id.Obj.pp b)
+          (Sim.covered_objects sim));
+    test "reads still complete between adversarial writes" (fun () ->
+        let p = Params.make_exn ~k:2 ~f:1 ~n:4 in
+        let sim = Sim.create ~n:p.Params.n () in
+        let writers = List.init p.Params.k (fun _ -> Sim.new_client sim) in
+        let instance = Regemu_core.Algorithm2.factory.make sim p ~writers in
+        let adi =
+          Adi_policy.create sim ~f_set:(default_f_set p) ~rng:(Rng.create 3)
+        in
+        let policy = Adi_policy.policy adi in
+        ignore
+          (Driver.finish_call_exn sim policy ~budget:100_000
+             (instance.write (List.hd writers) (Value.Str "a")));
+        let reader = Sim.new_client sim in
+        let v =
+          Driver.finish_call_exn sim policy ~budget:100_000
+            (instance.read reader)
+        in
+        Alcotest.(check bool) "a" true (Value.equal v (Value.Str "a")));
+    test "wait-all gets stuck under the policy (not f-tolerant)" (fun () ->
+        let p = Params.make_exn ~k:1 ~f:1 ~n:3 in
+        let sim = Sim.create ~n:3 () in
+        let w = Sim.new_client sim in
+        let instance =
+          Regemu_baselines.Waitall_reg.factory.make sim p ~writers:[ w ]
+        in
+        let adi =
+          Adi_policy.create sim ~f_set:(default_f_set p) ~rng:(Rng.create 1)
+        in
+        let call = instance.write w (Value.Int 1) in
+        match
+          Driver.finish_call sim (Adi_policy.policy adi) ~budget:50_000 call
+        with
+        | Error Driver.Stuck -> ()
+        | Ok _ -> Alcotest.fail "wait-all should not survive Ad_i"
+        | Error o -> Alcotest.failf "expected Stuck, got %a" Driver.outcome_pp o);
+  ]
+
+(* --- Lemma 3, executed: the blocked run is indistinguishable from a
+   crash run, where f-tolerance forces the write to return ------------- *)
+
+let lemma3_tests =
+  [
+    test "branching a blocked run into a crash run still completes the write"
+      (fun () ->
+        let p = Params.make_exn ~k:1 ~f:1 ~n:4 in
+        let build () =
+          let sim = Sim.create ~n:p.Params.n () in
+          let w = Sim.new_client sim in
+          let instance =
+            Regemu_core.Algorithm2.factory.make sim p ~writers:[ w ]
+          in
+          let call = instance.write w (Value.Str "v") in
+          (sim, call)
+        in
+        (* Run A: drive under Ad_i, recording, until the write phase has
+           all its low-level writes outstanding (none responded). *)
+        let sim_a, call_a = build () in
+        let adi =
+          Adi_policy.create sim_a ~f_set:(default_f_set p)
+            ~rng:(Rng.create 21)
+        in
+        let rec_policy, log =
+          Regemu_workload.Replay.recording (Adi_policy.policy adi)
+        in
+        let write_phase_open () =
+          (not (Sim.call_returned call_a))
+          && List.length
+               (List.filter
+                  (fun (pd : Sim.pending_info) ->
+                    match pd.op with
+                    | Regemu_objects.Base_object.Write _ -> true
+                    | _ -> false)
+                  (Sim.pending sim_a))
+             >= 3
+          (* |R_0| = zf+f+1 with z=2: 4 registers; >=3 outstanding *)
+        in
+        (match
+           Driver.run_until sim_a rec_policy ~budget:10_000 write_phase_open
+         with
+        | Driver.Satisfied -> ()
+        | o -> Alcotest.failf "never reached the write phase: %a" Driver.outcome_pp o);
+        (* Branch (a): continue under Ad_i — Lemma 3 says it returns. *)
+        (match
+           Driver.finish_call sim_a (Adi_policy.policy adi) ~budget:50_000
+             call_a
+         with
+        | Ok _ -> ()
+        | Error o -> Alcotest.failf "Ad_i branch: %a" Driver.outcome_pp o);
+        (* Branch (b): rebuild, replay the same prefix, then crash a
+           server holding an outstanding write and finish FAIRLY. *)
+        let sim_b, call_b = build () in
+        (match Regemu_workload.Replay.replay sim_b log with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Alcotest.(check bool)
+          "prefix left the write open" false
+          (Sim.call_returned call_b);
+        let victim =
+          match
+            List.find_opt
+              (fun (pd : Sim.pending_info) ->
+                match pd.op with
+                | Regemu_objects.Base_object.Write _ -> true
+                | _ -> false)
+              (Sim.pending sim_b)
+          with
+          | Some pd -> Sim.delta sim_b pd.obj
+          | None -> Alcotest.fail "no outstanding write after replay"
+        in
+        Sim.crash_server sim_b victim;
+        match
+          Driver.finish_call sim_b
+            (Policy.uniform (Rng.create 5))
+            ~budget:50_000 call_b
+        with
+        | Ok _ -> ()
+        | Error o ->
+            Alcotest.failf
+              "crash branch did not complete (f-tolerance violated): %a"
+              Driver.outcome_pp o);
+  ]
+
+let suites = [ ("adi-policy", adi_tests); ("adi-policy:lemma3", lemma3_tests) ]

@@ -1,0 +1,189 @@
+(* Tests for the pure bound formulas (Table 1, Theorems 1, 3, 6, 7). *)
+
+open Regemu_bounds
+
+let params k f n = Params.make_exn ~k ~f ~n
+
+let check_int = Alcotest.(check int)
+let test name f = Alcotest.test_case name `Quick f
+
+(* --- Params ------------------------------------------------------- *)
+
+let params_tests =
+  [
+    test "valid triple accepted" (fun () ->
+        let p = params 3 1 3 in
+        check_int "k" 3 p.k;
+        check_int "f" 1 p.f;
+        check_int "n" 3 p.n);
+    test "k = 0 rejected" (fun () ->
+        Alcotest.(check bool)
+          "error" true
+          (Result.is_error (Params.make ~k:0 ~f:1 ~n:3)));
+    test "f = 0 rejected" (fun () ->
+        Alcotest.(check bool)
+          "error" true
+          (Result.is_error (Params.make ~k:1 ~f:0 ~n:3)));
+    test "n = 2f rejected (Theorem 5)" (fun () ->
+        Alcotest.(check bool)
+          "error" true
+          (Result.is_error (Params.make ~k:1 ~f:2 ~n:4)));
+    test "n = 2f+1 accepted" (fun () ->
+        Alcotest.(check bool)
+          "ok" true
+          (Result.is_ok (Params.make ~k:1 ~f:2 ~n:5)));
+    test "grid drops invalid combinations" (fun () ->
+        let g = Params.grid ~ks:[ 1; 2 ] ~fs:[ 1; 2 ] ~ns:[ 3; 5 ] in
+        (* (f=1,n=3), (f=1,n=5), (f=2,n=5) valid for each k: 6 total *)
+        check_int "size" 6 (List.length g));
+  ]
+
+(* --- Formulas ----------------------------------------------------- *)
+
+let formulas_tests =
+  [
+    test "ceil_div exact" (fun () -> check_int "6/3" 2 (Formulas.ceil_div 6 3));
+    test "ceil_div rounds up" (fun () ->
+        check_int "7/3" 3 (Formulas.ceil_div 7 3));
+    test "ceil_div zero numerator" (fun () ->
+        check_int "0/3" 0 (Formulas.ceil_div 0 3));
+    test "z at n=2f+1 is 1" (fun () ->
+        check_int "z" 1 (Formulas.z (params 4 2 5)));
+    test "z for figure 1 parameters (n=6,k=5,f=2)" (fun () ->
+        check_int "z" 1 (Formulas.z (params 5 2 6)));
+    test "y = zf+f+1" (fun () ->
+        let p = params 5 2 6 in
+        check_int "y" 5 (Formulas.y p));
+    test "figure 1 layout: five sets of five registers" (fun () ->
+        let p = params 5 2 6 in
+        Alcotest.(check (list int))
+          "sizes" [ 5; 5; 5; 5; 5 ] (Formulas.set_sizes p));
+    test "overflow set size" (fun () ->
+        (* n=10, f=2 -> z=3; k=5 -> one full set of 3f+f+1=9 and an
+           overflow set of (5-3)f+f+1 = 7 *)
+        let p = params 5 2 10 in
+        Alcotest.(check (list int)) "sizes" [ 9; 7 ] (Formulas.set_sizes p));
+    test "set sizes sum to upper bound" (fun () ->
+        List.iter
+          (fun p ->
+            check_int
+              (Fmt.str "sum at %a" Params.pp p)
+              (Formulas.register_upper_bound p)
+              (List.fold_left ( + ) 0 (Formulas.set_sizes p)))
+          (Params.grid ~ks:[ 1; 2; 3; 5; 8 ] ~fs:[ 1; 2; 3 ]
+             ~ns:[ 3; 5; 7; 9; 12; 20 ]));
+    test "lower bound at n=2f+1 is kf+k(f+1)" (fun () ->
+        let p = params 4 2 5 in
+        check_int "lb" ((4 * 2) + (4 * 3)) (Formulas.register_lower_bound p));
+    test "upper bound at n=2f+1 is kf+k(f+1)" (fun () ->
+        let p = params 4 2 5 in
+        check_int "ub" ((4 * 2) + (4 * 3)) (Formulas.register_upper_bound p));
+    test "bounds coincide at saturation (n >= kf+f+1)" (fun () ->
+        let k = 4 and f = 2 in
+        let n = Formulas.saturation_n ~k ~f in
+        let p = params k f n in
+        check_int "lb" ((k * f) + f + 1) (Formulas.register_lower_bound p);
+        check_int "ub" ((k * f) + f + 1) (Formulas.register_upper_bound p));
+    test "max-register and CAS bounds are 2f+1" (fun () ->
+        let p = params 7 3 9 in
+        check_int "maxreg" 7 (Formulas.maxreg_bound p);
+        check_int "cas" 7 (Formulas.cas_bound p));
+    test "Theorem 7 example" (fun () ->
+        (* k=4, f=2, capacity 3: ceil(8/3)+3 = 6 *)
+        check_int "min servers" 6 (Formulas.min_servers ~k:4 ~f:2 ~capacity:3));
+    test "Theorem 6 requires n=2f+1" (fun () ->
+        Alcotest.check_raises "invalid"
+          (Invalid_argument
+             "per_server_lower_bound_at_minimum_n: requires n = 2f+1")
+          (fun () ->
+            ignore (Formulas.per_server_lower_bound_at_minimum_n (params 3 1 4))));
+    test "Theorem 6 value is k" (fun () ->
+        check_int "per server" 6
+          (Formulas.per_server_lower_bound_at_minimum_n (params 6 2 5)));
+  ]
+
+(* --- Properties ---------------------------------------------------- *)
+
+let gen_params =
+  QCheck.Gen.(
+    let* f = int_range 1 4 in
+    let* k = int_range 1 12 in
+    let* n = int_range ((2 * f) + 1) 25 in
+    return (Params.make_exn ~k ~f ~n))
+
+let arb_params =
+  QCheck.make gen_params ~print:(fun p -> Fmt.str "%a" Params.pp p)
+
+let prop name p = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 arb_params p)
+
+let property_tests =
+  [
+    prop "upper bound >= lower bound" (fun p ->
+        Formulas.register_upper_bound p >= Formulas.register_lower_bound p);
+    prop "lower bound >= kf + f + 1" (fun p ->
+        Formulas.register_lower_bound p >= (p.k * p.f) + p.f + 1);
+    prop "bounds coincide at n=2f+1 and at saturation" (fun p ->
+        let at_min = Params.make_exn ~k:p.k ~f:p.f ~n:((2 * p.f) + 1) in
+        let at_sat =
+          Params.make_exn ~k:p.k ~f:p.f ~n:(Formulas.saturation_n ~k:p.k ~f:p.f)
+        in
+        Formulas.bounds_coincide at_min && Formulas.bounds_coincide at_sat);
+    prop "lower bound non-increasing in n" (fun p ->
+        let p' = Params.make_exn ~k:p.k ~f:p.f ~n:(p.n + 1) in
+        Formulas.register_lower_bound p' <= Formulas.register_lower_bound p);
+    prop "upper bound non-increasing in n" (fun p ->
+        let p' = Params.make_exn ~k:p.k ~f:p.f ~n:(p.n + 1) in
+        Formulas.register_upper_bound p' <= Formulas.register_upper_bound p);
+    prop "bounds increase by at least f per writer" (fun p ->
+        let p' = Params.make_exn ~k:(p.k + 1) ~f:p.f ~n:p.n in
+        Formulas.register_lower_bound p' - Formulas.register_lower_bound p
+        >= p.f
+        && Formulas.register_upper_bound p' - Formulas.register_upper_bound p
+           >= p.f);
+    prop "set sizes: all within [2f+1, n], distinct-server feasible" (fun p ->
+        List.for_all
+          (fun s -> s >= (2 * p.f) + 1 && s <= p.n)
+          (Formulas.set_sizes p));
+    prop "number of sets matches ceil(k/z)" (fun p ->
+        List.length (Formulas.set_sizes p) = Formulas.num_sets p);
+    prop "Theorem 7 consistent with Theorem 1 at unit capacity" (fun p ->
+        (* with capacity m = 1, at least kf + f + 1 servers: the count of
+           registers outside F plus |F| itself *)
+        Formulas.min_servers ~k:p.k ~f:p.f ~capacity:1
+        = (p.k * p.f) + p.f + 1);
+  ]
+
+
+let inverse_tests =
+  [
+    test "max_writers inverts the upper bound" (fun () ->
+        List.iter
+          (fun (f, n) ->
+            List.iter
+              (fun k ->
+                let p = Params.make_exn ~k ~f ~n in
+                let budget = Formulas.register_upper_bound p in
+                match Formulas.max_writers ~f ~n ~budget with
+                | None -> Alcotest.failf "no k fits budget %d" budget
+                | Some k' ->
+                    if k' < k then
+                      Alcotest.failf "max_writers says %d but %d fits" k' k;
+                    (* one more writer must not fit within the budget of k *)
+                    let p'' = Params.make_exn ~k:(k' + 1) ~f ~n in
+                    if Formulas.register_upper_bound p'' <= budget then
+                      Alcotest.fail "max_writers not maximal")
+              [ 1; 2; 5; 9 ])
+          [ (1, 3); (2, 6); (2, 13) ]);
+    test "max_writers is None below the minimum budget" (fun () ->
+        Alcotest.(check (option int))
+          "tiny budget" None
+          (Formulas.max_writers ~f:2 ~n:5 ~budget:3));
+  ]
+
+let suites =
+  [
+    ("bounds:params", params_tests);
+    ("bounds:formulas", formulas_tests);
+    ("bounds:properties", property_tests);
+    ("bounds:inverse", inverse_tests);
+  ]

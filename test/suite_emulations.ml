@@ -1,0 +1,424 @@
+(* End-to-end tests shared by all emulations: safety (WS-Safe /
+   WS-Regular), liveness (wait-freedom under <= f crashes), and
+   resource consumption (Table 1). *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_core
+open Regemu_history
+open Regemu_baselines
+open Regemu_workload
+
+let test name f = Alcotest.test_case name `Quick f
+let params k f n = Params.make_exn ~k ~f ~n
+
+(* every factory, with a parameter filter for when it applies *)
+let factories : (Emulation.factory * (Params.t -> bool)) list =
+  [
+    (Regemu_core.Algorithm2.factory, fun _ -> true);
+    (Abd_max.factory, fun _ -> true);
+    (Abd_cas.factory, fun _ -> true);
+    (Abd_max_atomic.factory, fun _ -> true);
+    (Layered.factory, fun p -> p.Params.n = (2 * p.Params.f) + 1);
+  ]
+
+let ok_or_fail label = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s: %a" label Scenario.error_pp e
+
+let check_holds label verdict =
+  match verdict with
+  | Ws_check.Holds | Ws_check.Vacuous -> ()
+  | Ws_check.Violated v ->
+      Alcotest.failf "%s: %a" label Ws_check.violation_pp v
+
+let param_grid =
+  [ params 1 1 3; params 3 1 3; params 2 2 5; params 5 2 6; params 4 1 8 ]
+
+let for_all_factories name check =
+  List.concat_map
+    (fun (factory, applies) ->
+      List.filter_map
+        (fun p ->
+          if applies p then
+            Some
+              (test
+                 (Fmt.str "%s: %s at %a" factory.Emulation.name name Params.pp p)
+                 (fun () -> check factory p))
+          else None)
+        param_grid)
+    factories
+
+(* --- WS-Safety on sequential runs ------------------------------------ *)
+
+let ws_safe_tests =
+  for_all_factories "WS-Safe on sequential writes+reads" (fun factory p ->
+      let r =
+        ok_or_fail "scenario"
+          (Scenario.write_sequential factory p ~read_after_each:true ~rounds:2
+             ~seed:11 ())
+      in
+      check_holds "ws-safe" (Ws_check.check_ws_safe r.history);
+      (* sanity: the run really is write-sequential and has reads *)
+      Alcotest.(check bool)
+        "write-sequential" true
+        (History.write_sequential r.history);
+      Alcotest.(check bool)
+        "has reads" true
+        (History.reads r.history <> []))
+
+(* --- WS-Regularity with concurrent reads and crashes ------------------ *)
+
+let ws_regular_tests =
+  for_all_factories "WS-Regular with concurrent reads and f crashes"
+    (fun factory p ->
+      let r =
+        ok_or_fail "scenario"
+          (Scenario.concurrent_reads factory p ~rounds:2 ~readers:2
+             ~crashes:p.Params.f ~seed:23 ())
+      in
+      check_holds "ws-regular" (Ws_check.check_ws_regular r.history))
+
+(* --- Wait-freedom under chaos ----------------------------------------- *)
+
+let liveness_tests =
+  for_all_factories "wait-free under concurrent chaos and f crashes"
+    (fun factory p ->
+      let r =
+        ok_or_fail "chaos"
+          (Scenario.chaos factory p ~writes_per_writer:2 ~readers:2
+             ~reads_per_reader:2 ~crashes:p.Params.f ~seed:37 ())
+      in
+      (* every op completed: of_trace found no pending high-level ops *)
+      let pending =
+        List.filter (fun o -> not (History.is_complete o)) r.history
+      in
+      Alcotest.(check int) "no pending ops" 0 (List.length pending))
+
+(* --- Resource consumption (Table 1) ----------------------------------- *)
+
+let usage_tests =
+  for_all_factories "resource consumption matches Table 1" (fun factory p ->
+      let r =
+        ok_or_fail "scenario"
+          (Scenario.write_sequential factory p ~read_after_each:true ~rounds:1
+             ~seed:3 ())
+      in
+      let expected = factory.expected_objects p in
+      Alcotest.(check int)
+        (Fmt.str "objects allocated (%s)" factory.name)
+        expected
+        (List.length (r.instance.objects ()));
+      if r.objects_used > expected then
+        Alcotest.failf "used %d > promised %d" r.objects_used expected;
+      (* ABD-style emulations must be independent of k *)
+      match factory.obj_kind with
+      | Base_object.Max_register | Base_object.Cas ->
+          Alcotest.(check int) "2f+1" ((2 * p.Params.f) + 1) expected
+      | Base_object.Register -> ())
+
+(* --- Per-algorithm specifics ------------------------------------------ *)
+
+let misc_tests =
+  [
+    test "abd-max: usage independent of number of writers" (fun () ->
+        let usage k =
+          let p = params k 2 6 in
+          let r =
+            ok_or_fail "scenario"
+              (Scenario.write_sequential Abd_max.factory p
+                 ~read_after_each:false ~rounds:1 ~seed:5 ())
+          in
+          r.objects_used
+        in
+        Alcotest.(check int) "k=1 vs k=6" (usage 1) (usage 6));
+    test "algorithm2: usage grows with number of writers" (fun () ->
+        let usage k =
+          let p = params k 2 6 in
+          let r =
+            ok_or_fail "scenario"
+              (Scenario.write_sequential Regemu_core.Algorithm2.factory p
+                 ~read_after_each:false ~rounds:1 ~seed:5 ())
+          in
+          List.length (r.instance.objects ())
+        in
+        Alcotest.(check bool) "monotone" true (usage 6 > usage 1));
+    test "layered rejects n <> 2f+1" (fun () ->
+        let p = params 2 1 4 in
+        let sim = Sim.create ~n:4 () in
+        let ws = List.init 2 (fun _ -> Sim.new_client sim) in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Layered.factory.make sim p ~writers:ws);
+             false
+           with Invalid_argument _ -> true));
+    test "naive-reg is fine under a benign synchronous schedule" (fun () ->
+        let p = params 2 1 3 in
+        let r =
+          ok_or_fail "scenario"
+            (Scenario.write_sequential Naive_reg.factory p
+               ~read_after_each:true ~rounds:3 ~seed:7 ())
+        in
+        check_holds "ws-safe" (Ws_check.check_ws_safe r.history));
+    test "crashing more than f servers can block liveness" (fun () ->
+        let p = params 1 1 3 in
+        let sim, instance, writers =
+          Scenario.setup Regemu_core.Algorithm2.factory p
+        in
+        List.iter (Sim.crash_server sim) (Sim.servers sim);
+        let call = instance.write (List.hd writers) (Value.Int 1) in
+        match
+          Driver.finish_call sim Policy.responds_first ~budget:10_000 call
+        with
+        | Error Driver.Stuck -> ()
+        | Ok _ -> Alcotest.fail "write should not return with all servers down"
+        | Error o -> Alcotest.failf "expected Stuck, got %a" Driver.outcome_pp o);
+  ]
+
+(* --- Standalone max-register constructions ----------------------------- *)
+
+let drive_all sim policy calls =
+  match
+    Driver.run_until sim policy ~budget:100_000 (fun () ->
+        List.for_all Sim.call_returned calls)
+  with
+  | Driver.Satisfied -> ()
+  | o -> Alcotest.failf "drive_all: %a" Driver.outcome_pp o
+
+(* random concurrent run of a standalone max-register; returns history *)
+let random_maxreg_run ~write_max ~read_max ~clients ~sim ~seed ~ops =
+  let rng = Regemu_sim.Rng.create seed in
+  let policy = Policy.uniform (Regemu_sim.Rng.split rng) in
+  let calls = ref [] in
+  let planned = ref ops in
+  let rec loop guard =
+    if guard = 0 then Alcotest.fail "maxreg run did not finish";
+    let idle = List.filter (fun c -> not (Sim.client_busy sim c)) clients in
+    if !planned > 0 && idle <> [] && Regemu_sim.Rng.int rng ~bound:3 = 0 then begin
+      let c = Regemu_sim.Rng.pick rng idle in
+      decr planned;
+      let call =
+        if Regemu_sim.Rng.bool rng then
+          write_max c (Value.Int (Regemu_sim.Rng.int rng ~bound:8))
+        else read_max c
+      in
+      calls := call :: !calls;
+      loop (guard - 1)
+    end
+    else if Driver.step sim policy then loop (guard - 1)
+    else if !planned > 0 then loop (guard - 1)
+    else ()
+  in
+  loop 100_000;
+  drive_all sim policy !calls;
+  History.of_trace (Sim.trace sim)
+
+let cas_maxreg_tests =
+  [
+    test "cas-maxreg: sequential write-max/read-max" (fun () ->
+        let sim = Sim.create ~n:1 () in
+        let m = Cas_maxreg.create sim ~server:(Id.Server.of_int 0) in
+        let c = Sim.new_client sim in
+        let policy = Policy.responds_first in
+        let w v =
+          ignore
+            (Driver.finish_call_exn sim policy ~budget:1_000
+               (Cas_maxreg.write_max m c (Value.Int v)))
+        in
+        let r () =
+          Driver.finish_call_exn sim policy ~budget:1_000
+            (Cas_maxreg.read_max m c)
+        in
+        w 3;
+        w 1;
+        Alcotest.(check bool) "max is 3" true (Value.equal (r ()) (Value.Int 3));
+        w 9;
+        Alcotest.(check bool) "max is 9" true (Value.equal (r ()) (Value.Int 9)));
+    test "cas-maxreg: single CAS object only" (fun () ->
+        let sim = Sim.create ~n:1 () in
+        let m = Cas_maxreg.create sim ~server:(Id.Server.of_int 0) in
+        let c = Sim.new_client sim in
+        ignore
+          (Driver.finish_call_exn sim Policy.responds_first ~budget:1_000
+             (Cas_maxreg.write_max m c (Value.Int 5)));
+        Alcotest.(check int)
+          "one object" 1
+          (Id.Obj.Set.cardinal (Sim.used_objects sim)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"cas-maxreg: atomic under random schedules"
+         ~count:150
+         QCheck.(small_int)
+         (fun seed ->
+           let sim = Sim.create ~n:1 () in
+           let m = Cas_maxreg.create sim ~server:(Id.Server.of_int 0) in
+           let clients = List.init 3 (fun _ -> Sim.new_client sim) in
+           let h =
+             random_maxreg_run
+               ~write_max:(Cas_maxreg.write_max m)
+               ~read_max:(Cas_maxreg.read_max m)
+               ~clients ~sim ~seed ~ops:6
+           in
+           Linearize.linearizable Linearize.max_register h));
+  ]
+
+let reg_maxreg_tests =
+  [
+    test "reg-maxreg: uses exactly k registers (Theorem 2 upper side)"
+      (fun () ->
+        let sim = Sim.create ~n:1 () in
+        let writers = List.init 4 (fun _ -> Sim.new_client sim) in
+        let m = Reg_maxreg.create sim ~server:(Id.Server.of_int 0) ~writers in
+        Alcotest.(check int) "k registers" 4 (List.length (Reg_maxreg.objects m)));
+    test "reg-maxreg: sequential semantics" (fun () ->
+        let sim = Sim.create ~n:1 () in
+        let writers = List.init 2 (fun _ -> Sim.new_client sim) in
+        let m = Reg_maxreg.create sim ~server:(Id.Server.of_int 0) ~writers in
+        let policy = Policy.responds_first in
+        let w c v =
+          ignore
+            (Driver.finish_call_exn sim policy ~budget:1_000
+               (Reg_maxreg.write_max m c (Value.Int v)))
+        in
+        let r c =
+          Driver.finish_call_exn sim policy ~budget:1_000
+            (Reg_maxreg.read_max m c)
+        in
+        let c0 = List.nth writers 0 and c1 = List.nth writers 1 in
+        w c0 5;
+        w c1 3;
+        Alcotest.(check bool) "sees 5" true (Value.equal (r c1) (Value.Int 5));
+        w c1 8;
+        Alcotest.(check bool) "sees 8" true (Value.equal (r c0) (Value.Int 8)));
+    test "reg-maxreg: non-writer rejected" (fun () ->
+        let sim = Sim.create ~n:1 () in
+        let writers = [ Sim.new_client sim ] in
+        let m = Reg_maxreg.create sim ~server:(Id.Server.of_int 0) ~writers in
+        let stranger = Sim.new_client sim in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Reg_maxreg.write_max m stranger (Value.Int 1));
+             false
+           with Invalid_argument _ -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"reg-maxreg: atomic under random schedules (monotone collect)"
+         ~count:150
+         QCheck.(small_int)
+         (fun seed ->
+           let sim = Sim.create ~n:1 () in
+           let writers = List.init 3 (fun _ -> Sim.new_client sim) in
+           let m = Reg_maxreg.create sim ~server:(Id.Server.of_int 0) ~writers in
+           let h =
+             random_maxreg_run
+               ~write_max:(Reg_maxreg.write_max m)
+               ~read_max:(Reg_maxreg.read_max m)
+               ~clients:writers ~sim ~seed ~ops:6
+           in
+           Linearize.linearizable Linearize.max_register h));
+  ]
+
+(* --- Randomized property: safety for random parameters ----------------- *)
+
+let arb_seed_params =
+  let gen =
+    QCheck.Gen.(
+      let* f = int_range 1 2 in
+      let* k = int_range 1 4 in
+      let* n = int_range ((2 * f) + 1) 9 in
+      let* seed = int_range 0 1_000_000 in
+      return (Params.make_exn ~k ~f ~n, seed))
+  in
+  QCheck.make gen ~print:(fun (p, seed) ->
+      Fmt.str "%a seed=%d" Params.pp p seed)
+
+let random_safety_tests =
+  List.map
+    (fun (factory, applies) ->
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make
+           ~name:
+             (Fmt.str "%s: WS-Regular on random runs" factory.Emulation.name)
+           ~count:60 arb_seed_params
+           (fun (p, seed) ->
+             QCheck.assume (applies p);
+             match
+               Scenario.concurrent_reads factory p ~rounds:1 ~readers:2
+                 ~crashes:(seed mod (p.Params.f + 1))
+                 ~seed ()
+             with
+             | Error e -> QCheck.Test.fail_reportf "%a" Scenario.error_pp e
+             | Ok r -> Ws_check.is_ws_regular r.history)))
+    factories
+
+
+(* --- layered construction: the per-server queueing discipline --------- *)
+
+let layered_queueing_tests =
+  [
+    test "layered: a writer's second value is queued behind its own \
+          pending write and converges" (fun () ->
+        let p = params 1 1 3 in
+        let sim = Sim.create ~n:3 () in
+        let w = Sim.new_client sim in
+        let inst = Layered.factory.make sim p ~writers:[ w ] in
+        (* hold every response on server s0 while two writes complete via
+           the other servers *)
+        let block_s0 =
+          Policy.filtered ~name:"hold-s0"
+            ~keep:(fun sim' ev ->
+              match ev with
+              | Sim.Step _ -> true
+              | Sim.Respond lid -> (
+                  match
+                    List.find_opt
+                      (fun (pd : Sim.pending_info) -> Id.Lop.equal pd.lid lid)
+                      (Sim.pending sim')
+                  with
+                  | Some pd ->
+                      not
+                        (Id.Server.equal (Sim.delta sim' pd.obj)
+                           (Id.Server.of_int 0))
+                  | None -> false))
+            (Policy.uniform (Rng.create 4))
+        in
+        ignore
+          (Driver.finish_call_exn sim block_s0 ~budget:50_000
+             (inst.write w (Value.Int 1)));
+        ignore
+          (Driver.finish_call_exn sim block_s0 ~budget:50_000
+             (inst.write w (Value.Int 2)));
+        (* the writer never had two of its own writes pending on one
+           register, despite s0 being silent the whole time *)
+        (match
+           Regemu_history.Invariants.single_pending_write_per_writer_register
+             (Sim.trace sim)
+         with
+        | Ok () -> ()
+        | Error v ->
+            Alcotest.failf "%a" Regemu_history.Invariants.violation_pp v);
+        (* now let s0 catch up under a fair policy; the queued current
+           value reaches it and a reader sees the latest value *)
+        let fair = Policy.uniform (Rng.create 9) in
+        ignore (Driver.quiesce sim fair ~budget:1_000);
+        let reader = Sim.new_client sim in
+        let v =
+          Driver.finish_call_exn sim fair ~budget:50_000 (inst.read reader)
+        in
+        Alcotest.(check bool) "latest" true (Value.equal v (Value.Int 2)));
+  ]
+
+let suites =
+  [
+    ("emulations:ws-safe", ws_safe_tests);
+    ("emulations:ws-regular", ws_regular_tests);
+    ("emulations:liveness", liveness_tests);
+    ("emulations:usage", usage_tests);
+    ("emulations:misc", misc_tests);
+    ("emulations:cas-maxreg", cas_maxreg_tests);
+    ("emulations:reg-maxreg", reg_maxreg_tests);
+    ("emulations:random-safety", random_safety_tests);
+    ("emulations:layered-queueing", layered_queueing_tests);
+  ]

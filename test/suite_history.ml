@@ -1,0 +1,342 @@
+(* Tests for history extraction and the consistency checkers. *)
+
+open Regemu_objects
+open Regemu_sim
+open Regemu_history
+
+let test name f = Alcotest.test_case name `Quick f
+let c i = Id.Client.of_int i
+
+(* Hand-built history ops.  Times are arbitrary integers; only their
+   order matters. *)
+let op ?result ~index ~client ~hop ~inv ?ret () =
+  {
+    History.index;
+    client = c client;
+    hop;
+    invoked_at = inv;
+    returned_at = ret;
+    result;
+  }
+
+let w ?ret ~index ~client ~inv value =
+  op ~index ~client ~hop:(Trace.H_write (Value.Str value)) ~inv ?ret
+    ?result:(if ret = None then None else Some Value.Unit) ()
+
+let r ~index ~client ~inv ~ret value =
+  op ~index ~client ~hop:Trace.H_read ~inv ~ret
+    ~result:(Value.Str value) ()
+
+let r_v0 ~index ~client ~inv ~ret =
+  op ~index ~client ~hop:Trace.H_read ~inv ~ret ~result:Value.v0 ()
+
+let verdict = Alcotest.testable Ws_check.verdict_pp Ws_check.verdict_equal
+
+(* --- History basics -------------------------------------------------- *)
+
+let history_tests =
+  [
+    test "of_trace pairs invokes with returns" (fun () ->
+        let tr = Trace.create () in
+        Trace.record tr (Trace.Invoke (c 0, Trace.H_read));
+        Trace.record tr (Trace.Invoke (c 1, Trace.H_write (Value.Int 1)));
+        Trace.record tr (Trace.Return (c 1, Trace.H_write (Value.Int 1), Value.Unit));
+        Trace.record tr (Trace.Return (c 0, Trace.H_read, Value.Int 1));
+        let h = History.of_trace tr in
+        Alcotest.(check int) "two ops" 2 (List.length h);
+        let rd = List.nth h 0 and wr = List.nth h 1 in
+        Alcotest.(check bool) "read first" true (History.is_read rd);
+        Alcotest.(check bool) "write second" true (History.is_write wr);
+        Alcotest.(check bool) "overlap" true (History.concurrent rd wr));
+    test "of_trace keeps pending ops" (fun () ->
+        let tr = Trace.create () in
+        Trace.record tr (Trace.Invoke (c 0, Trace.H_read));
+        let h = History.of_trace tr in
+        Alcotest.(check int) "one op" 1 (List.length h);
+        Alcotest.(check int) "none complete" 0 (List.length (History.complete h)));
+    test "precedes uses return < invoke" (fun () ->
+        let a = w ~index:0 ~client:0 ~inv:1 ~ret:2 "a" in
+        let b = w ~index:1 ~client:1 ~inv:3 ~ret:4 "b" in
+        Alcotest.(check bool) "a<b" true (History.precedes a b);
+        Alcotest.(check bool) "not b<a" false (History.precedes b a));
+    test "pending op precedes nothing" (fun () ->
+        let a = w ~index:0 ~client:0 ~inv:1 "a" in
+        let b = w ~index:1 ~client:1 ~inv:5 ~ret:6 "b" in
+        Alcotest.(check bool) "not a<b" false (History.precedes a b);
+        Alcotest.(check bool) "concurrent" true (History.concurrent a b));
+    test "write_sequential detects overlap" (fun () ->
+        let seq =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:3 ~ret:4 "b" ]
+        in
+        let conc =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:3 "a";
+            w ~index:1 ~client:1 ~inv:2 ~ret:4 "b" ]
+        in
+        Alcotest.(check bool) "seq" true (History.write_sequential seq);
+        Alcotest.(check bool) "conc" false (History.write_sequential conc));
+  ]
+
+(* --- WS-Safety -------------------------------------------------------- *)
+
+let ws_safe_tests =
+  [
+    test "read of last preceding write holds" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:3 ~ret:4 "b";
+            r ~index:2 ~client:2 ~inv:5 ~ret:6 "b" ]
+        in
+        Alcotest.check verdict "holds" Ws_check.Holds (Ws_check.check_ws_safe h));
+    test "read of an overwritten value is flagged" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:3 ~ret:4 "b";
+            r ~index:2 ~client:2 ~inv:5 ~ret:6 "a" ]
+        in
+        match Ws_check.check_ws_safe h with
+        | Ws_check.Violated v ->
+            Alcotest.(check bool) "got a" true (Value.equal v.got (Value.Str "a"))
+        | v -> Alcotest.failf "expected violation, got %a" Ws_check.verdict_pp v);
+    test "read concurrent with a write is unconstrained by WS-Safety"
+      (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:4 ~ret:6 "b";
+            (* read overlaps the second write and returns garbage *)
+            r ~index:2 ~client:2 ~inv:5 ~ret:7 "zzz" ]
+        in
+        Alcotest.check verdict "holds" Ws_check.Holds (Ws_check.check_ws_safe h));
+    test "initial value allowed before any write" (fun () ->
+        let h =
+          [ r_v0 ~index:0 ~client:2 ~inv:1 ~ret:2;
+            w ~index:1 ~client:0 ~inv:3 ~ret:4 "a" ]
+        in
+        Alcotest.check verdict "holds" Ws_check.Holds (Ws_check.check_ws_safe h));
+    test "initial value after a complete write is flagged" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            r_v0 ~index:1 ~client:2 ~inv:3 ~ret:4 ]
+        in
+        match Ws_check.check_ws_safe h with
+        | Ws_check.Violated _ -> ()
+        | v -> Alcotest.failf "expected violation, got %a" Ws_check.verdict_pp v);
+    test "not write-sequential is vacuous" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:5 "a";
+            w ~index:1 ~client:1 ~inv:2 ~ret:6 "b";
+            r ~index:2 ~client:2 ~inv:7 ~ret:8 "zzz" ]
+        in
+        Alcotest.check verdict "vacuous" Ws_check.Vacuous
+          (Ws_check.check_ws_safe h));
+    test "pending read unconstrained" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            op ~index:1 ~client:2 ~hop:Trace.H_read ~inv:3 () ]
+        in
+        Alcotest.check verdict "holds" Ws_check.Holds (Ws_check.check_ws_safe h));
+  ]
+
+(* --- WS-Regularity ---------------------------------------------------- *)
+
+let ws_regular_tests =
+  [
+    test "read concurrent with write may return either value" (fun () ->
+        let mk result =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:4 ~ret:6 "b";
+            r ~index:2 ~client:2 ~inv:5 ~ret:7 result ]
+        in
+        Alcotest.check verdict "old ok" Ws_check.Holds
+          (Ws_check.check_ws_regular (mk "a"));
+        Alcotest.check verdict "new ok" Ws_check.Holds
+          (Ws_check.check_ws_regular (mk "b")));
+    test "read concurrent with write may not return older-than-last-complete"
+      (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:3 ~ret:4 "b";
+            w ~index:2 ~client:0 ~inv:6 ~ret:8 "c";
+            (* concurrent with write "c" but "a" is two writes back *)
+            r ~index:3 ~client:2 ~inv:7 ~ret:9 "a" ]
+        in
+        match Ws_check.check_ws_regular h with
+        | Ws_check.Violated _ -> ()
+        | v -> Alcotest.failf "expected violation, got %a" Ws_check.verdict_pp v);
+    test "read overlapping a pending write may see it" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:3 "b" (* pending forever *);
+            r ~index:2 ~client:2 ~inv:4 ~ret:5 "b" ]
+        in
+        Alcotest.check verdict "holds" Ws_check.Holds
+          (Ws_check.check_ws_regular h));
+    test "read may also ignore a pending write" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:3 "b";
+            r ~index:2 ~client:2 ~inv:4 ~ret:5 "a" ]
+        in
+        Alcotest.check verdict "holds" Ws_check.Holds
+          (Ws_check.check_ws_regular h));
+    test "read must not see a write invoked after it returned" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            r ~index:1 ~client:2 ~inv:3 ~ret:4 "b";
+            w ~index:2 ~client:1 ~inv:5 ~ret:6 "b" ]
+        in
+        match Ws_check.check_ws_regular h with
+        | Ws_check.Violated _ -> ()
+        | v -> Alcotest.failf "expected violation, got %a" Ws_check.verdict_pp v);
+    test "two sequential reads may both be valid with different values"
+      (fun () ->
+        (* regularity famously allows new/old inversion across readers
+           only when both overlap the write; here read1 precedes the
+           write's return but read2 starts after read1 — both overlap *)
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:10 "a";
+            r ~index:1 ~client:2 ~inv:2 ~ret:3 "a";
+            r ~index:2 ~client:3 ~inv:4 ~ret:5 "" ]
+        in
+        let h =
+          List.map
+            (fun (o : History.op) ->
+              if o.index = 2 then { o with result = Some Value.v0 } else o)
+            h
+        in
+        Alcotest.check verdict "holds" Ws_check.Holds
+          (Ws_check.check_ws_regular h));
+  ]
+
+(* --- Brute-force linearizability -------------------------------------- *)
+
+let lin_tests =
+  [
+    test "register: sequential write/read linearizable" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            r ~index:1 ~client:1 ~inv:3 ~ret:4 "a" ]
+        in
+        Alcotest.(check bool) "lin" true (Linearize.linearizable Linearize.register h));
+    test "register: stale read not linearizable" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:3 ~ret:4 "b";
+            r ~index:2 ~client:2 ~inv:5 ~ret:6 "a" ]
+        in
+        Alcotest.(check bool) "not lin" false
+          (Linearize.linearizable Linearize.register h));
+    test "register: new-old inversion not linearizable" (fun () ->
+        (* both reads overlap nothing; r1 sees b then r2 sees a *)
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "a";
+            w ~index:1 ~client:1 ~inv:3 ~ret:4 "b";
+            r ~index:2 ~client:2 ~inv:5 ~ret:6 "b";
+            r ~index:3 ~client:3 ~inv:7 ~ret:8 "a" ]
+        in
+        Alcotest.(check bool) "not lin" false
+          (Linearize.linearizable Linearize.register h));
+    test "register: concurrent reads may disagree if both overlap the write"
+      (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:10 "b";
+            r ~index:1 ~client:2 ~inv:2 ~ret:3 "b";
+            r_v0 ~index:2 ~client:3 ~inv:4 ~ret:5 ]
+        in
+        (* r1 before r2 in real time: linearizing w before r1 forces the
+           register to already hold b when r2 runs -> not linearizable *)
+        Alcotest.(check bool) "not lin" false
+          (Linearize.linearizable Linearize.register h));
+    test "max-register: stale read-max not linearizable" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "b";
+            w ~index:1 ~client:1 ~inv:3 ~ret:4 "a";
+            r ~index:2 ~client:2 ~inv:5 ~ret:6 "a" ]
+        in
+        (* write-max keeps the max: "b" > "a", so read-max must see b *)
+        Alcotest.(check bool) "not lin" false
+          (Linearize.linearizable Linearize.max_register h));
+    test "max-register: max retained across smaller writes" (fun () ->
+        let h =
+          [ w ~index:0 ~client:0 ~inv:1 ~ret:2 "b";
+            w ~index:1 ~client:1 ~inv:3 ~ret:4 "a";
+            r ~index:2 ~client:2 ~inv:5 ~ret:6 "b" ]
+        in
+        Alcotest.(check bool) "lin" true
+          (Linearize.linearizable Linearize.max_register h));
+    test "pending write may be linearized or dropped" (fun () ->
+        let base =
+          [ w ~index:0 ~client:0 ~inv:1 "a" (* pending *) ]
+        in
+        let see = base @ [ r ~index:1 ~client:1 ~inv:2 ~ret:3 "a" ] in
+        let miss = base @ [ r_v0 ~index:1 ~client:1 ~inv:2 ~ret:3 ] in
+        Alcotest.(check bool) "see" true
+          (Linearize.linearizable Linearize.register see);
+        Alcotest.(check bool) "miss" true
+          (Linearize.linearizable Linearize.register miss));
+    test "empty history linearizable" (fun () ->
+        Alcotest.(check bool) "lin" true
+          (Linearize.linearizable Linearize.register []));
+  ]
+
+(* --- Cross-validation: WS checkers agree with brute force ------------- *)
+
+(* Random small write-sequential histories with one reader; WS-Regular
+   must agree with the existence of a linearization of writes ∪ {read}
+   (that is literally its definition). *)
+let gen_ws_history =
+  QCheck.Gen.(
+    let* num_writes = int_range 0 4 in
+    let* gap = int_range 0 (2 * Stdlib.max 1 num_writes) in
+    let* len = int_range 1 3 in
+    let* v_ix = int_range 0 (Stdlib.max 0 (num_writes - 1)) in
+    let* use_v0 = bool in
+    (* writes at times (2i+1, 2i+2); read spans [gap, gap+len] *)
+    let writes =
+      List.init num_writes (fun i ->
+          w ~index:i ~client:i
+            ~inv:((2 * i) + 1)
+            ~ret:((2 * i) + 2)
+            (Fmt.str "v%d" i))
+    in
+    let read =
+      if use_v0 || num_writes = 0 then
+        r_v0 ~index:num_writes ~client:99 ~inv:gap ~ret:(gap + len)
+      else
+        r ~index:num_writes ~client:99 ~inv:gap ~ret:(gap + len)
+          (Fmt.str "v%d" v_ix)
+    in
+    return (writes @ [ read ]))
+
+let arb_ws_history =
+  QCheck.make gen_ws_history ~print:(fun h -> Fmt.str "%a" History.pp h)
+
+let cross_validation_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"WS-Regular checker = brute-force linearization"
+         ~count:1000 arb_ws_history (fun h ->
+           let fast =
+             match Ws_check.check_ws_regular h with
+             | Ws_check.Holds | Ws_check.Vacuous -> true
+             | Ws_check.Violated _ -> false
+           in
+           let slow = Linearize.linearizable Linearize.register h in
+           fast = slow));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"WS-Safe is implied by WS-Regular on the same history"
+         ~count:1000 arb_ws_history (fun h ->
+           match (Ws_check.check_ws_regular h, Ws_check.check_ws_safe h) with
+           | (Ws_check.Holds | Ws_check.Vacuous), Ws_check.Violated _ -> false
+           | _ -> true));
+  ]
+
+let suites =
+  [
+    ("history:basics", history_tests);
+    ("history:ws-safe", ws_safe_tests);
+    ("history:ws-regular", ws_regular_tests);
+    ("history:linearize", lin_tests);
+    ("history:cross-validation", cross_validation_tests);
+  ]

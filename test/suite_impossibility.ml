@@ -1,0 +1,98 @@
+(* Tests for the impossibility constructions: Theorem 5 (partitioning)
+   and the wait-all liveness failure. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_adversary
+
+let test name f = Alcotest.test_case name `Quick f
+
+let partition_tests =
+  [
+    test "Theorem 5: n = 2f loses safety (f = 1..3)" (fun () ->
+        List.iter
+          (fun f ->
+            match Partition.impossibility ~f with
+            | Error e -> Alcotest.failf "f=%d: %s" f e
+            | Ok o -> (
+                Alcotest.(check bool)
+                  "stale read" true
+                  (Value.equal o.read_value Value.v0);
+                match o.verdict with
+                | Regemu_history.Ws_check.Violated _ -> ()
+                | v ->
+                    Alcotest.failf "f=%d: expected violation, got %a" f
+                      Regemu_history.Ws_check.verdict_pp v))
+          [ 1; 2; 3 ]);
+    test "Theorem 5 narration mentions the disjoint halves" (fun () ->
+        match Partition.impossibility ~f:2 with
+        | Error e -> Alcotest.failf "failed: %s" e
+        | Ok o ->
+            Alcotest.(check bool)
+              "has steps" true
+              (List.length o.steps >= 3));
+    test "f = 0 rejected" (fun () ->
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Partition.impossibility ~f:0);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let waitall_tests =
+  [
+    test "wait-all write blocks forever after one crash" (fun () ->
+        let p = Params.make_exn ~k:1 ~f:1 ~n:3 in
+        let sim = Sim.create ~n:3 () in
+        let w = Sim.new_client sim in
+        let inst = Regemu_baselines.Waitall_reg.factory.make sim p ~writers:[ w ] in
+        Sim.crash_server sim (Id.Server.of_int 0);
+        let call = inst.write w (Value.Int 1) in
+        (match
+           Driver.finish_call sim Policy.responds_first ~budget:10_000 call
+         with
+        | Error Driver.Stuck -> ()
+        | Ok _ -> Alcotest.fail "write returned despite the crash"
+        | Error o -> Alcotest.failf "expected Stuck, got %a" Driver.outcome_pp o));
+    test "wait-all write blocks under the Ad_i adversary (no crash at all)"
+      (fun () ->
+        (* the adversary merely withholds responses from f registers;
+           obstruction-freedom demands the write return anyway, and
+           wait-all cannot *)
+        let p = Params.make_exn ~k:1 ~f:1 ~n:3 in
+        match
+          Lowerbound.execute Regemu_baselines.Waitall_reg.factory p ~seed:1
+            ~budget_per_epoch:20_000 ()
+        with
+        | Ok _ -> Alcotest.fail "wait-all should not survive Ad_i"
+        | Error msg ->
+            Alcotest.(check bool)
+              "diagnosed as stuck or starved" true
+              (Astring_contains.contains msg "stuck"
+              || Astring_contains.contains msg "budget"));
+    test "wait-all is fine without failures (it is safe, just not live)"
+      (fun () ->
+        let p = Params.make_exn ~k:2 ~f:1 ~n:3 in
+        match
+          Regemu_workload.Scenario.write_sequential
+            Regemu_baselines.Waitall_reg.factory p ~read_after_each:true
+            ~rounds:2 ~seed:5 ()
+        with
+        | Error e ->
+            Alcotest.failf "failure-free run failed: %a"
+              Regemu_workload.Scenario.error_pp e
+        | Ok r -> (
+            match Regemu_history.Ws_check.check_ws_safe r.history with
+            | Regemu_history.Ws_check.Holds -> ()
+            | v ->
+                Alcotest.failf "ws-safe: %a"
+                  Regemu_history.Ws_check.verdict_pp v));
+  ]
+
+let suites =
+  [
+    ("impossibility:theorem5", partition_tests);
+    ("impossibility:wait-all", waitall_tests);
+  ]

@@ -1,0 +1,178 @@
+(* Tests for the replicated key-value store built on the emulation API. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_apps
+
+let test name f = Alcotest.test_case name `Quick f
+
+let setup ?(factory = Regemu_core.Algorithm2.factory) ~k ~f ~n () =
+  let p = Params.make_exn ~k ~f ~n in
+  let sim = Sim.create ~n () in
+  let writers = List.init k (fun _ -> Sim.new_client sim) in
+  let kv = Kv.create sim p ~factory ~writers in
+  let reader = Sim.new_client sim in
+  let policy = Policy.uniform (Rng.create 12) in
+  (sim, kv, writers, reader, policy)
+
+let kv_tests =
+  [
+    test "put then get round-trips" (fun () ->
+        let _, kv, writers, reader, policy = setup ~k:2 ~f:1 ~n:4 () in
+        Kv.put kv ~policy ~client:(List.hd writers) "a" "1";
+        Alcotest.(check (option string))
+          "a" (Some "1")
+          (Kv.get kv ~policy ~client:reader "a"));
+    test "unknown keys read as absent without allocating storage" (fun () ->
+        let _, kv, _, reader, policy = setup ~k:1 ~f:1 ~n:3 () in
+        Alcotest.(check (option string))
+          "missing" None
+          (Kv.get kv ~policy ~client:reader "ghost");
+        Alcotest.(check int) "no storage" 0 (Kv.storage_objects kv);
+        Alcotest.(check (list string)) "no keys" [] (Kv.keys kv));
+    test "storage grows per key by the Algorithm 2 budget" (fun () ->
+        let p = Params.make_exn ~k:2 ~f:1 ~n:4 in
+        let per_key = Regemu_bounds.Formulas.register_upper_bound p in
+        let _, kv, writers, _, policy = setup ~k:2 ~f:1 ~n:4 () in
+        Kv.put kv ~policy ~client:(List.hd writers) "x" "1";
+        Kv.put kv ~policy ~client:(List.hd writers) "y" "2";
+        Alcotest.(check int) "2 keys" (2 * per_key) (Kv.storage_objects kv));
+    test "latest put wins per key; keys are independent" (fun () ->
+        let _, kv, writers, reader, policy = setup ~k:2 ~f:1 ~n:4 () in
+        let w1 = List.nth writers 0 and w2 = List.nth writers 1 in
+        Kv.put kv ~policy ~client:w1 "a" "1";
+        Kv.put kv ~policy ~client:w2 "a" "2";
+        Kv.put kv ~policy ~client:w1 "b" "solo";
+        Alcotest.(check (option string))
+          "a=2" (Some "2")
+          (Kv.get kv ~policy ~client:reader "a");
+        Alcotest.(check (option string))
+          "b" (Some "solo")
+          (Kv.get kv ~policy ~client:reader "b"));
+    test "delete makes a key read as absent" (fun () ->
+        let _, kv, writers, reader, policy = setup ~k:1 ~f:1 ~n:3 () in
+        let w = List.hd writers in
+        Kv.put kv ~policy ~client:w "a" "1";
+        Kv.delete kv ~policy ~client:w "a";
+        Alcotest.(check (option string))
+          "gone" None
+          (Kv.get kv ~policy ~client:reader "a");
+        (* and can be re-created *)
+        Kv.put kv ~policy ~client:w "a" "again";
+        Alcotest.(check (option string))
+          "back" (Some "again")
+          (Kv.get kv ~policy ~client:reader "a"));
+    test "survives f crashes" (fun () ->
+        let sim, kv, writers, reader, policy = setup ~k:2 ~f:2 ~n:6 () in
+        let w = List.hd writers in
+        Kv.put kv ~policy ~client:w "a" "before";
+        Sim.crash_server sim (Id.Server.of_int 0);
+        Sim.crash_server sim (Id.Server.of_int 3);
+        Kv.put kv ~policy ~client:w "a" "after";
+        Alcotest.(check (option string))
+          "after" (Some "after")
+          (Kv.get kv ~policy ~client:reader "a"));
+    test "works over abd-max too (pluggable factory)" (fun () ->
+        let _, kv, writers, reader, policy =
+          setup ~factory:Regemu_baselines.Abd_max.factory ~k:2 ~f:1 ~n:3 ()
+        in
+        Kv.put kv ~policy ~client:(List.hd writers) "a" "x";
+        Alcotest.(check (option string))
+          "a" (Some "x")
+          (Kv.get kv ~policy ~client:reader "a");
+        (* max-register budget: 2f+1 per key *)
+        Alcotest.(check int) "storage" 3 (Kv.storage_objects kv));
+    test "non-writer put rejected" (fun () ->
+        let sim, kv, _, _, policy = setup ~k:1 ~f:1 ~n:3 () in
+        let stranger = Sim.new_client sim in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             Kv.put kv ~policy ~client:stranger "a" "1";
+             false
+           with Invalid_argument _ -> true));
+    test "wrong writer count rejected at creation" (fun () ->
+        let p = Params.make_exn ~k:2 ~f:1 ~n:4 in
+        let sim = Sim.create ~n:4 () in
+        let w = Sim.new_client sim in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore
+               (Kv.create sim p ~factory:Regemu_core.Algorithm2.factory
+                  ~writers:[ w ]);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"kv agrees with an in-memory map under random sequential ops"
+         ~count:60
+         (QCheck.make
+            QCheck.Gen.(
+              let* seed = int_range 0 1_000_000 in
+              let* ops =
+                list_size (int_range 1 15)
+                  (triple (int_range 0 2) (int_range 0 2) (int_range 0 9))
+              in
+              return (seed, ops))
+            ~print:(fun (s, ops) ->
+              Fmt.str "seed=%d ops=%d" s (List.length ops)))
+         (fun (seed, ops) ->
+           let _, kv, writers, reader, _ = setup ~k:2 ~f:1 ~n:4 () in
+           let policy = Policy.uniform (Rng.create seed) in
+           let model : (string, string) Hashtbl.t = Hashtbl.create 4 in
+           List.for_all
+             (fun (kind, key_ix, v) ->
+               let key = Fmt.str "k%d" key_ix in
+               match kind with
+               | 0 ->
+                   Kv.put kv ~policy
+                     ~client:(List.nth writers (v mod 2))
+                     key (string_of_int v);
+                   Hashtbl.replace model key (string_of_int v);
+                   true
+               | 1 ->
+                   Kv.delete kv ~policy ~client:(List.hd writers) key;
+                   Hashtbl.remove model key;
+                   true
+               | _ ->
+                   Kv.get kv ~policy ~client:reader key
+                   = Hashtbl.find_opt model key)
+             ops));
+  ]
+
+
+
+let failure_path_tests =
+  [
+    Alcotest.test_case "get fails loudly when the store loses its majority"
+      `Quick
+      (fun () ->
+        let p = Params.make_exn ~k:1 ~f:1 ~n:3 in
+        let sim = Sim.create ~n:3 () in
+        let writers = [ Sim.new_client sim ] in
+        let kv =
+          Kv.create sim p ~factory:Regemu_core.Algorithm2.factory ~writers
+        in
+        let policy = Policy.responds_first in
+        Kv.put kv ~policy ~client:(List.hd writers) "a" "1";
+        List.iter (Sim.crash_server sim) (Sim.servers sim);
+        match Kv.get kv ~policy ~client:(List.hd writers) "a" with
+        | exception Failure msg ->
+            Alcotest.(check bool)
+              "diagnosed" true
+              (Astring_contains.contains msg "stuck")
+        | _ -> Alcotest.fail "expected Failure");
+  ]
+
+let suites =
+  [
+    ("kv:unit", kv_tests);
+    ("kv:model", property_tests);
+    ("kv:failures", failure_path_tests);
+  ]

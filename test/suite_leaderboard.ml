@@ -1,0 +1,93 @@
+(* Tests for the leaderboard app: max-registers at the application
+   layer. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_apps
+
+let test name f = Alcotest.test_case name `Quick f
+
+let setup ~f ~n =
+  let p = Params.make_exn ~k:1 ~f ~n in
+  let sim = Sim.create ~n () in
+  let lb = Leaderboard.create sim p () in
+  let policy = Policy.uniform (Rng.create 6) in
+  (sim, lb, policy)
+
+let leaderboard_tests =
+  [
+    test "scores only go up" (fun () ->
+        let sim, lb, policy = setup ~f:1 ~n:3 in
+        let c = Sim.new_client sim in
+        Leaderboard.submit lb ~policy ~client:c "ada" 100;
+        Leaderboard.submit lb ~policy ~client:c "ada" 40;
+        Alcotest.(check int) "best" 100 (Leaderboard.best lb ~policy ~client:c "ada");
+        Leaderboard.submit lb ~policy ~client:c "ada" 250;
+        Alcotest.(check int) "new best" 250
+          (Leaderboard.best lb ~policy ~client:c "ada"));
+    test "unknown players score 0" (fun () ->
+        let sim, lb, policy = setup ~f:1 ~n:3 in
+        let c = Sim.new_client sim in
+        Alcotest.(check int) "zero" 0 (Leaderboard.best lb ~policy ~client:c "ghost"));
+    test "standings are sorted and complete" (fun () ->
+        let sim, lb, policy = setup ~f:1 ~n:4 in
+        let c = Sim.new_client sim in
+        Leaderboard.submit lb ~policy ~client:c "ada" 10;
+        Leaderboard.submit lb ~policy ~client:c "bob" 30;
+        Leaderboard.submit lb ~policy ~client:c "eve" 20;
+        Alcotest.(check (list (pair string int)))
+          "sorted"
+          [ ("bob", 30); ("eve", 20); ("ada", 10) ]
+          (Leaderboard.standings lb ~policy ~client:c));
+    test "storage is 2f+1 per player, independent of submitters" (fun () ->
+        let sim, lb, policy = setup ~f:2 ~n:5 in
+        let clients = List.init 4 (fun _ -> Sim.new_client sim) in
+        List.iteri
+          (fun i c -> Leaderboard.submit lb ~policy ~client:c "ada" (10 * i))
+          clients;
+        Alcotest.(check int) "per player" 5 (Leaderboard.objects_per_player lb);
+        Alcotest.(check int) "total" 5 (Leaderboard.storage_objects lb);
+        Leaderboard.submit lb ~policy ~client:(List.hd clients) "bob" 1;
+        Alcotest.(check int) "two players" 10 (Leaderboard.storage_objects lb));
+    test "survives f crashes" (fun () ->
+        let sim, lb, policy = setup ~f:2 ~n:6 in
+        let c = Sim.new_client sim in
+        Leaderboard.submit lb ~policy ~client:c "ada" 11;
+        Sim.crash_server sim (Id.Server.of_int 0);
+        Sim.crash_server sim (Id.Server.of_int 2);
+        Leaderboard.submit lb ~policy ~client:c "ada" 22;
+        Alcotest.(check int) "best" 22 (Leaderboard.best lb ~policy ~client:c "ada"));
+    test "negative scores rejected" (fun () ->
+        let sim, lb, policy = setup ~f:1 ~n:3 in
+        let c = Sim.new_client sim in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             Leaderboard.submit lb ~policy ~client:c "ada" (-1);
+             false
+           with Invalid_argument _ -> true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"best always equals the maximum submitted (random sequences)"
+         ~count:60
+         (QCheck.make
+            QCheck.Gen.(
+              pair (int_range 0 1_000_000)
+                (list_size (int_range 1 10) (int_range 0 100)))
+            ~print:(fun (s, xs) -> Fmt.str "seed=%d n=%d" s (List.length xs)))
+         (fun (seed, scores) ->
+           let sim, lb, _ = setup ~f:1 ~n:3 in
+           let policy = Policy.uniform (Rng.create seed) in
+           let clients = List.init 2 (fun _ -> Sim.new_client sim) in
+           List.iteri
+             (fun i s ->
+               Leaderboard.submit lb ~policy
+                 ~client:(List.nth clients (i mod 2))
+                 "p" s)
+             scores;
+           Leaderboard.best lb ~policy ~client:(List.hd clients) "p"
+           = List.fold_left Stdlib.max 0 scores));
+  ]
+
+let suites = [ ("leaderboard", leaderboard_tests) ]

@@ -1,0 +1,215 @@
+(* Tests for values, identifiers, and base-object sequential semantics. *)
+
+open Regemu_objects
+
+let test name f = Alcotest.test_case name `Quick f
+
+let value_t = Alcotest.testable Value.pp Value.equal
+
+(* --- Value --------------------------------------------------------- *)
+
+let value_tests =
+  [
+    test "v0 is minimal" (fun () ->
+        List.iter
+          (fun v ->
+            Alcotest.(check bool)
+              (Fmt.str "v0 <= %a" Value.pp v)
+              true
+              (Value.compare Value.v0 v <= 0))
+          [
+            Value.Unit;
+            Value.Bool false;
+            Value.Int (-100);
+            Value.Str "";
+            Value.Pair (Value.Unit, Value.Unit);
+          ]);
+    test "compare is total on mixed constructors" (fun () ->
+        Alcotest.(check bool)
+          "Int < Str" true
+          (Value.compare (Value.Int 5) (Value.Str "a") < 0);
+        Alcotest.(check bool)
+          "Bool < Int" true
+          (Value.compare (Value.Bool true) (Value.Int 0) < 0));
+    test "pairs compare lexicographically" (fun () ->
+        Alcotest.(check bool)
+          "ts dominates" true
+          (Value.compare
+             (Value.with_ts 2 (Value.Str "a"))
+             (Value.with_ts 1 (Value.Str "z"))
+           > 0));
+    test "max picks larger" (fun () ->
+        Alcotest.check value_t "max" (Value.Int 5)
+          (Value.max (Value.Int 3) (Value.Int 5)));
+    test "with_ts / ts / payload roundtrip" (fun () ->
+        let v = Value.with_ts 7 (Value.Str "x") in
+        Alcotest.(check int) "ts" 7 (Value.ts v);
+        Alcotest.check value_t "payload" (Value.Str "x") (Value.payload v));
+    test "ts of v0 is 0" (fun () ->
+        Alcotest.(check int) "ts" 0 (Value.ts Value.v0));
+    test "payload of plain value is itself" (fun () ->
+        Alcotest.check value_t "payload" (Value.Int 3)
+          (Value.payload (Value.Int 3)));
+  ]
+
+let gen_value =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let base =
+          oneof
+            [
+              return Value.Unit;
+              map (fun b -> Value.Bool b) bool;
+              map (fun i -> Value.Int i) small_signed_int;
+              map (fun s -> Value.Str s) (string_size (int_range 0 4));
+            ]
+        in
+        if size <= 1 then base
+        else
+          frequency
+            [
+              (3, base);
+              ( 1,
+                map2
+                  (fun a b -> Value.Pair (a, b))
+                  (self (size / 2)) (self (size / 2)) );
+            ]))
+
+let arb_value = QCheck.make gen_value ~print:Value.to_string
+
+let prop name arb p =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 arb p)
+
+let value_property_tests =
+  [
+    prop "compare reflexive" arb_value (fun v -> Value.compare v v = 0);
+    prop "compare antisymmetric" (QCheck.pair arb_value arb_value)
+      (fun (a, b) ->
+        let c = Value.compare a b and c' = Value.compare b a in
+        (c = 0 && c' = 0) || (c > 0 && c' < 0) || (c < 0 && c' > 0));
+    prop "compare transitive"
+      (QCheck.triple arb_value arb_value arb_value)
+      (fun (a, b, c) ->
+        let sorted = List.sort Value.compare [ a; b; c ] in
+        match sorted with
+        | [ x; y; z ] ->
+            Value.compare x y <= 0 && Value.compare y z <= 0
+            && Value.compare x z <= 0
+        | _ -> false);
+    prop "max is commutative and idempotent"
+      (QCheck.pair arb_value arb_value) (fun (a, b) ->
+        Value.equal (Value.max a b) (Value.max b a)
+        && Value.equal (Value.max a a) a);
+    prop "equal agrees with compare" (QCheck.pair arb_value arb_value)
+      (fun (a, b) -> Value.equal a b = (Value.compare a b = 0));
+  ]
+
+(* --- Ids ----------------------------------------------------------- *)
+
+let id_tests =
+  [
+    test "roundtrip" (fun () ->
+        Alcotest.(check int) "obj" 42 Id.Obj.(to_int (of_int 42)));
+    test "range" (fun () ->
+        Alcotest.(check (list int))
+          "range" [ 0; 1; 2 ]
+          (List.map Id.Server.to_int (Id.Server.range 3)));
+    test "set_of_list deduplicates" (fun () ->
+        let s = Id.Client.set_of_list (List.map Id.Client.of_int [ 1; 1; 2 ]) in
+        Alcotest.(check int) "card" 2 (Id.Client.Set.cardinal s));
+  ]
+
+(* --- Base object semantics ----------------------------------------- *)
+
+let apply_tests =
+  let open Base_object in
+  [
+    test "register read returns state" (fun () ->
+        let state', resp = apply Register (Value.Int 3) Read in
+        Alcotest.check value_t "state" (Value.Int 3) state';
+        Alcotest.check value_t "resp" (Value.Int 3) resp);
+    test "register write overwrites unconditionally" (fun () ->
+        let state', resp = apply Register (Value.Int 9) (Write (Value.Int 1)) in
+        Alcotest.check value_t "state" (Value.Int 1) state';
+        Alcotest.check value_t "ack" Value.Unit resp);
+    test "write-max keeps max" (fun () ->
+        let state', _ =
+          apply Max_register (Value.Int 9) (Max_write (Value.Int 1))
+        in
+        Alcotest.check value_t "state" (Value.Int 9) state';
+        let state', _ =
+          apply Max_register (Value.Int 9) (Max_write (Value.Int 12))
+        in
+        Alcotest.check value_t "state" (Value.Int 12) state');
+    test "read-max returns state" (fun () ->
+        let _, resp = apply Max_register (Value.Int 4) Max_read in
+        Alcotest.check value_t "resp" (Value.Int 4) resp);
+    test "CAS succeeds on expected match, returns old value" (fun () ->
+        let state', resp =
+          apply Cas (Value.Int 1)
+            (Compare_and_swap { expected = Value.Int 1; desired = Value.Int 2 })
+        in
+        Alcotest.check value_t "state" (Value.Int 2) state';
+        Alcotest.check value_t "old" (Value.Int 1) resp);
+    test "CAS fails on mismatch, state unchanged" (fun () ->
+        let state', resp =
+          apply Cas (Value.Int 5)
+            (Compare_and_swap { expected = Value.Int 1; desired = Value.Int 2 })
+        in
+        Alcotest.check value_t "state" (Value.Int 5) state';
+        Alcotest.check value_t "old" (Value.Int 5) resp);
+    test "kind mismatch rejected" (fun () ->
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (apply Register Value.Unit Max_read);
+             false
+           with Invalid_argument _ -> true));
+    test "is_mutator classification" (fun () ->
+        Alcotest.(check bool) "write" true (is_mutator (Write Value.Unit));
+        Alcotest.(check bool) "max-write" true (is_mutator (Max_write Value.Unit));
+        Alcotest.(check bool)
+          "cas" true
+          (is_mutator
+             (Compare_and_swap { expected = Value.Unit; desired = Value.Unit }));
+        Alcotest.(check bool) "read" false (is_mutator Read);
+        Alcotest.(check bool) "read-max" false (is_mutator Max_read));
+    test "matches table" (fun () ->
+        Alcotest.(check bool) "reg/read" true (matches Register Read);
+        Alcotest.(check bool) "reg/max" false (matches Register Max_read);
+        Alcotest.(check bool) "max/max" true (matches Max_register Max_read);
+        Alcotest.(check bool)
+          "cas/cas" true
+          (matches Cas
+             (Compare_and_swap { expected = Value.Unit; desired = Value.Unit })));
+  ]
+
+let apply_property_tests =
+  [
+    prop "write-max is monotone" (QCheck.pair arb_value arb_value)
+      (fun (state, v) ->
+        let state', _ = Base_object.apply Max_register state (Max_write v) in
+        Value.compare state' state >= 0 && Value.compare state' v >= 0);
+    prop "register write result is the written value" arb_value (fun v ->
+        let state', _ = Base_object.apply Register Value.Unit (Write v) in
+        Value.equal state' v);
+    prop "CAS either installs desired or keeps state"
+      (QCheck.triple arb_value arb_value arb_value)
+      (fun (state, expected, desired) ->
+        let state', old =
+          Base_object.apply Cas state (Compare_and_swap { expected; desired })
+        in
+        Value.equal old state
+        &&
+        if Value.equal state expected then Value.equal state' desired
+        else Value.equal state' state);
+  ]
+
+let suites =
+  [
+    ("objects:value", value_tests);
+    ("objects:value-props", value_property_tests);
+    ("objects:ids", id_tests);
+    ("objects:semantics", apply_tests);
+    ("objects:semantics-props", apply_property_tests);
+  ]

@@ -1,0 +1,92 @@
+(* Tests for schedule recording, replay, and end-to-end determinism. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_workload
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* a system with all invocations issued up front, so replay needs no
+   re-invocation logic *)
+let build_invoked p ~seed:_ =
+  let sim = Sim.create ~n:p.Params.n () in
+  let writers = List.init p.Params.k (fun _ -> Sim.new_client sim) in
+  let inst = Regemu_core.Algorithm2.factory.make sim p ~writers in
+  let reader = Sim.new_client sim in
+  let calls =
+    List.mapi (fun i w -> inst.write w (Value.Int i)) writers
+    @ [ inst.read reader ]
+  in
+  (sim, calls)
+
+let p = Params.make_exn ~k:2 ~f:1 ~n:4
+
+let replay_tests =
+  [
+    test "recorded schedule replays to the identical trace" (fun () ->
+        let sim1, calls1 = build_invoked p ~seed:3 in
+        let policy, log = Replay.recording (Policy.uniform (Rng.create 3)) in
+        (match
+           Driver.run_until sim1 policy ~budget:100_000 (fun () ->
+               List.for_all Sim.call_returned calls1)
+         with
+        | Driver.Satisfied -> ()
+        | o -> Alcotest.failf "drive failed: %a" Driver.outcome_pp o);
+        Alcotest.(check bool) "log non-empty" true (Replay.length log > 0);
+        let sim2, calls2 = build_invoked p ~seed:3 in
+        (match Replay.replay sim2 log with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Alcotest.(check bool)
+          "all ops returned on replay" true
+          (List.for_all Sim.call_returned calls2);
+        (* identical traces entry for entry *)
+        let render sim =
+          List.map
+            (fun e -> Fmt.str "%a" Trace.entry_pp e)
+            (Trace.to_list (Sim.trace sim))
+        in
+        Alcotest.(check (list string)) "traces" (render sim1) (render sim2));
+    test "replay on a differently-built system diverges with a message"
+      (fun () ->
+        let sim1, calls1 = build_invoked p ~seed:3 in
+        let policy, log = Replay.recording (Policy.uniform (Rng.create 3)) in
+        ignore
+          (Driver.run_until sim1 policy ~budget:100_000 (fun () ->
+               List.for_all Sim.call_returned calls1));
+        (* different parameters => different object ids => divergence *)
+        let sim2, _ = build_invoked (Params.make_exn ~k:1 ~f:1 ~n:3) ~seed:3 in
+        match Replay.replay sim2 log with
+        | Error e ->
+            Alcotest.(check bool)
+              "mentions divergence" true
+              (Astring_contains.contains e "diverged")
+        | Ok () -> Alcotest.fail "expected divergence");
+    test "same_trace: identical seeded scenarios" (fun () ->
+        let run () =
+          match
+            Scenario.chaos Regemu_core.Algorithm2.factory p
+              ~writes_per_writer:2 ~readers:1 ~reads_per_reader:2 ~crashes:1
+              ~seed:17 ()
+          with
+          | Ok r -> r.sim
+          | Error e -> Alcotest.failf "chaos: %a" Scenario.error_pp e
+        in
+        Alcotest.(check bool) "deterministic" true (Replay.same_trace run run));
+    test "same_trace: different seeds differ" (fun () ->
+        let run seed () =
+          match
+            Scenario.chaos Regemu_core.Algorithm2.factory p
+              ~writes_per_writer:2 ~readers:1 ~reads_per_reader:2 ~crashes:0
+              ~seed ()
+          with
+          | Ok r -> r.sim
+          | Error e -> Alcotest.failf "chaos: %a" Scenario.error_pp e
+        in
+        Alcotest.(check bool)
+          "differ" false
+          (Replay.same_trace (run 1) (run 2)));
+  ]
+
+let suites = [ ("replay", replay_tests) ]

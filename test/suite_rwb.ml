@@ -1,0 +1,133 @@
+(* Tests for the reader-write-back variant of Algorithm 2: atomicity
+   from plain registers, at a space cost linear in the readers. *)
+
+open Regemu_bounds
+open Regemu_objects
+open Regemu_sim
+open Regemu_baselines
+
+let test name f = Alcotest.test_case name `Quick f
+
+let setup ~k ~f ~n ~readers =
+  let p = Params.make_exn ~k ~f ~n in
+  let sim = Sim.create ~n () in
+  let writers = List.init k (fun _ -> Sim.new_client sim) in
+  let reader_clients = List.init readers (fun _ -> Sim.new_client sim) in
+  let t = Algorithm2_rwb.create sim p ~writers ~readers:reader_clients in
+  (p, sim, t, writers, reader_clients)
+
+let unit_tests =
+  [
+    test "space grows linearly with the number of readers" (fun () ->
+        let count readers =
+          let _, _, t, _, _ = setup ~k:2 ~f:1 ~n:4 ~readers in
+          List.length (Algorithm2_rwb.objects t)
+        in
+        let p = Params.make_exn ~k:2 ~f:1 ~n:4 in
+        List.iter
+          (fun r ->
+            Alcotest.(check int)
+              (Fmt.str "%d readers" r)
+              (Algorithm2_rwb.expected_objects p ~readers:r)
+              (count r))
+          [ 1; 2; 4 ];
+        (* strictly increasing in r *)
+        Alcotest.(check bool) "monotone" true (count 4 > count 1));
+    test "reads and writes work sequentially, under a crash" (fun () ->
+        let _, sim, t, writers, readers = setup ~k:2 ~f:1 ~n:5 ~readers:2 in
+        let policy = Policy.uniform (Rng.create 8) in
+        let go call = Driver.finish_call_exn sim policy ~budget:100_000 call in
+        ignore (go (Algorithm2_rwb.write t (List.nth writers 0) (Value.Str "a")));
+        Sim.crash_server sim (Id.Server.of_int 1);
+        ignore (go (Algorithm2_rwb.write t (List.nth writers 1) (Value.Str "b")));
+        let v = go (Algorithm2_rwb.read t (List.nth readers 0)) in
+        Alcotest.(check bool) "b" true (Value.equal v (Value.Str "b"));
+        let v2 = go (Algorithm2_rwb.read t (List.nth readers 1)) in
+        Alcotest.(check bool) "b again" true (Value.equal v2 (Value.Str "b")));
+    test "unregistered readers are rejected" (fun () ->
+        let _, sim, t, _, _ = setup ~k:1 ~f:1 ~n:3 ~readers:1 in
+        let stranger = Sim.new_client sim in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Algorithm2_rwb.read t stranger);
+             false
+           with Invalid_argument _ -> true));
+    test "zero readers rejected" (fun () ->
+        let p = Params.make_exn ~k:1 ~f:1 ~n:3 in
+        let sim = Sim.create ~n:3 () in
+        let w = Sim.new_client sim in
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore (Algorithm2_rwb.create sim p ~writers:[ w ] ~readers:[]);
+             false
+           with Invalid_argument _ -> true));
+    test "readers keep the covering discipline too" (fun () ->
+        let _, sim, t, writers, readers = setup ~k:1 ~f:1 ~n:3 ~readers:2 in
+        let policy = Policy.uniform (Rng.create 5) in
+        let go call = Driver.finish_call_exn sim policy ~budget:100_000 call in
+        ignore (go (Algorithm2_rwb.write t (List.hd writers) (Value.Str "x")));
+        List.iter
+          (fun r -> ignore (go (Algorithm2_rwb.read t r)))
+          (readers @ readers);
+        match
+          Regemu_history.Invariants.single_pending_write_per_writer_register
+            (Sim.trace sim)
+        with
+        | Ok () -> ()
+        | Error v ->
+            Alcotest.failf "%a" Regemu_history.Invariants.violation_pp v);
+  ]
+
+(* the headline: histories are atomic, not merely WS-Regular *)
+let drive_concurrent ~seed =
+  let _, sim, t, writers, readers = setup ~k:2 ~f:1 ~n:4 ~readers:2 in
+  let rng = Rng.create seed in
+  let policy = Policy.uniform (Rng.split rng) in
+  let reads = ref [] in
+  let maybe_read () =
+    if Rng.int rng ~bound:8 = 0 then
+      match
+        List.filter (fun c -> not (Sim.client_busy sim c)) readers
+      with
+      | [] -> ()
+      | idle -> reads := Algorithm2_rwb.read t (Rng.pick rng idle) :: !reads
+  in
+  (* sequential writes, concurrent reads *)
+  List.iteri
+    (fun i w ->
+      let call = Algorithm2_rwb.write t w (Value.Int i) in
+      let rec drive budget =
+        if budget = 0 then Alcotest.fail "write stalled";
+        if not (Sim.call_returned call) then begin
+          maybe_read ();
+          ignore (Driver.step sim policy);
+          drive (budget - 1)
+        end
+      in
+      drive 100_000)
+    (writers @ writers);
+  (match
+     Driver.run_until sim policy ~budget:200_000 (fun () ->
+         List.for_all Sim.call_returned !reads)
+   with
+  | Driver.Satisfied -> ()
+  | o -> Alcotest.failf "drain: %a" Driver.outcome_pp o);
+  Regemu_history.History.of_trace (Sim.trace sim)
+
+let atomicity_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "reader write-back makes Algorithm 2 atomic (sequential writes, \
+            concurrent reads)"
+         ~count:60
+         (QCheck.make QCheck.Gen.(int_range 0 1_000_000) ~print:string_of_int)
+         (fun seed ->
+           Regemu_history.Regularity.is_atomic (drive_concurrent ~seed)));
+  ]
+
+let suites =
+  [ ("rwb:unit", unit_tests); ("rwb:atomicity", atomicity_tests) ]

@@ -1,0 +1,164 @@
+(* Tests for run statistics and the deterministic fair policy. *)
+
+open Regemu_objects
+open Regemu_sim
+
+let test name f = Alcotest.test_case name `Quick f
+let s0 = Id.Server.of_int 0
+
+let stats_tests =
+  [
+    test "counts triggers/responds/invokes/returns" (fun () ->
+        let sim = Sim.create ~n:2 () in
+        let b = Sim.alloc sim ~server:s0 Base_object.Register in
+        let c = Sim.new_client sim in
+        let call =
+          Sim.invoke sim ~client:c (Trace.H_write (Value.Int 1)) (fun () ->
+              let d = ref false in
+              ignore
+                (Sim.trigger sim ~client:c b (Base_object.Write (Value.Int 1))
+                   ~on_response:(fun _ -> d := true));
+              Sim.wait_until (fun () -> !d);
+              Value.Unit)
+        in
+        ignore (Driver.finish_call_exn sim Policy.responds_first ~budget:10 call);
+        let s = Stats.of_trace (Sim.trace sim) in
+        Alcotest.(check int) "triggers" 1 s.triggers;
+        Alcotest.(check int) "responds" 1 s.responds;
+        Alcotest.(check int) "invocations" 1 s.invocations;
+        Alcotest.(check int) "returns" 1 s.returns;
+        Alcotest.(check int) "max outstanding" 1 s.max_outstanding;
+        Alcotest.(check int) "pc" 1 s.point_contention);
+    test "max_outstanding tracks simultaneous pending ops" (fun () ->
+        let sim = Sim.create ~n:2 () in
+        let b = Sim.alloc sim ~server:s0 Base_object.Register in
+        let c = Sim.new_client sim in
+        let l1 =
+          Sim.trigger sim ~client:c b (Base_object.Write (Value.Int 1))
+            ~on_response:ignore
+        in
+        let l2 =
+          Sim.trigger sim ~client:c b (Base_object.Write (Value.Int 2))
+            ~on_response:ignore
+        in
+        Sim.fire sim (Sim.Respond l1);
+        Sim.fire sim (Sim.Respond l2);
+        let s = Stats.of_trace (Sim.trace sim) in
+        Alcotest.(check int) "max outstanding" 2 s.max_outstanding);
+    test "per-object and per-client trigger counts" (fun () ->
+        let sim = Sim.create ~n:2 () in
+        let a = Sim.alloc sim ~server:s0 Base_object.Register in
+        let b = Sim.alloc sim ~server:s0 Base_object.Register in
+        let c = Sim.new_client sim in
+        ignore (Sim.trigger sim ~client:c a Base_object.Read ~on_response:ignore);
+        ignore (Sim.trigger sim ~client:c a Base_object.Read ~on_response:ignore);
+        ignore (Sim.trigger sim ~client:c b Base_object.Read ~on_response:ignore);
+        let s = Stats.of_trace (Sim.trace sim) in
+        Alcotest.(check (option int))
+          "a" (Some 2)
+          (Id.Obj.Map.find_opt a s.triggers_per_object);
+        Alcotest.(check (option int))
+          "b" (Some 1)
+          (Id.Obj.Map.find_opt b s.triggers_per_object);
+        Alcotest.(check (option int))
+          "client" (Some 3)
+          (Id.Client.Map.find_opt c s.triggers_per_client));
+    test "latencies in invocation order" (fun () ->
+        let tr = Trace.create () in
+        let c0 = Id.Client.of_int 0 and c1 = Id.Client.of_int 1 in
+        Trace.record tr (Trace.Invoke (c0, Trace.H_read));
+        Trace.record tr (Trace.Invoke (c1, Trace.H_read));
+        Trace.record tr (Trace.Return (c1, Trace.H_read, Value.Unit));
+        Trace.record tr (Trace.Return (c0, Trace.H_read, Value.Unit));
+        Alcotest.(check (list int)) "latencies" [ 3; 1 ] (Stats.latencies tr));
+    test "point contention counts overlapping high-level ops" (fun () ->
+        let tr = Trace.create () in
+        let c0 = Id.Client.of_int 0 and c1 = Id.Client.of_int 1 in
+        Trace.record tr (Trace.Invoke (c0, Trace.H_read));
+        Trace.record tr (Trace.Invoke (c1, Trace.H_read));
+        Trace.record tr (Trace.Return (c0, Trace.H_read, Value.Unit));
+        Trace.record tr (Trace.Return (c1, Trace.H_read, Value.Unit));
+        let s = Stats.of_trace tr in
+        Alcotest.(check int) "pc" 2 s.point_contention);
+  ]
+
+let round_robin_tests =
+  [
+    test "round robin is deterministic" (fun () ->
+        let run () =
+          let sim = Sim.create ~n:2 () in
+          let b = Sim.alloc sim ~server:s0 Base_object.Register in
+          let c = Sim.new_client sim in
+          for i = 1 to 5 do
+            ignore
+              (Sim.trigger sim ~client:c b (Base_object.Write (Value.Int i))
+                 ~on_response:ignore)
+          done;
+          let policy = Policy.round_robin () in
+          ignore (Driver.quiesce sim policy ~budget:100);
+          Sim.peek sim b
+        in
+        Alcotest.(check bool) "same" true (Value.equal (run ()) (run ())));
+    test "round robin serves oldest-enabled first (FIFO responses)" (fun () ->
+        let sim = Sim.create ~n:2 () in
+        let b = Sim.alloc sim ~server:s0 Base_object.Register in
+        let c = Sim.new_client sim in
+        for i = 1 to 3 do
+          ignore
+            (Sim.trigger sim ~client:c b (Base_object.Write (Value.Int i))
+               ~on_response:ignore)
+        done;
+        let policy = Policy.round_robin () in
+        ignore (Driver.quiesce sim policy ~budget:100);
+        (* responses fired in trigger order, so the last write wins *)
+        Alcotest.(check bool)
+          "last write wins" true
+          (Value.equal (Sim.peek sim b) (Value.Int 3)));
+    test "round robin interleaves steps and responses fairly" (fun () ->
+        (* a client whose wait predicate is immediately true must not be
+           starved by a stream of responses *)
+        let sim = Sim.create ~n:2 () in
+        let b = Sim.alloc sim ~server:s0 Base_object.Register in
+        let c1 = Sim.new_client sim and c2 = Sim.new_client sim in
+        let call =
+          Sim.invoke sim ~client:c1 Trace.H_read (fun () ->
+              Sim.wait_until (fun () -> true);
+              Value.Int 42)
+        in
+        (* keep a response stream alive from another client *)
+        let rec feed n _ =
+          if n > 0 then
+            ignore
+              (Sim.trigger sim ~client:c2 b (Base_object.Write (Value.Int n))
+                 ~on_response:(feed (n - 1)))
+        in
+        feed 20 Value.Unit;
+        let policy = Policy.round_robin () in
+        let o =
+          Driver.run_until sim policy ~budget:10 (fun () ->
+              Sim.call_returned call)
+        in
+        Alcotest.(check bool)
+          "client stepped promptly" true
+          (Driver.outcome_equal o Driver.Satisfied));
+    test "all emulations stay WS-Safe under round robin" (fun () ->
+        let p = Regemu_bounds.Params.make_exn ~k:2 ~f:1 ~n:4 in
+        let sim = Sim.create ~n:4 () in
+        let writers = List.init 2 (fun _ -> Sim.new_client sim) in
+        let inst = Regemu_core.Algorithm2.factory.make sim p ~writers in
+        let policy = Policy.round_robin () in
+        List.iteri
+          (fun i w ->
+            ignore
+              (Driver.finish_call_exn sim policy ~budget:50_000
+                 (inst.write w (Value.Int i))))
+          writers;
+        let reader = Sim.new_client sim in
+        let v =
+          Driver.finish_call_exn sim policy ~budget:50_000 (inst.read reader)
+        in
+        Alcotest.(check bool) "latest" true (Value.equal v (Value.Int 1)));
+  ]
+
+let suites =
+  [ ("sim:stats", stats_tests); ("sim:round-robin", round_robin_tests) ]

@@ -1,0 +1,150 @@
+(* Tests for the Aspnes–Attiya–Censor bounded max-register. *)
+
+open Regemu_objects
+open Regemu_sim
+open Regemu_baselines
+
+let test name f = Alcotest.test_case name `Quick f
+let s0 = Id.Server.of_int 0
+
+let mk capacity =
+  let sim = Sim.create ~n:1 () in
+  (sim, Tree_maxreg.create sim ~server:s0 ~capacity)
+
+let run_op sim call =
+  Driver.finish_call_exn sim Policy.responds_first ~budget:10_000 call
+
+let unit_tests =
+  [
+    test "uses capacity - 1 registers" (fun () ->
+        List.iter
+          (fun cap ->
+            let _, m = mk cap in
+            Alcotest.(check int)
+              (Fmt.str "cap %d" cap)
+              (cap - 1)
+              (List.length (Tree_maxreg.objects m)))
+          [ 1; 2; 3; 4; 7; 8; 16; 33 ]);
+    test "sequential write-max/read-max semantics" (fun () ->
+        let sim, m = mk 16 in
+        let c = Sim.new_client sim in
+        let w v = ignore (run_op sim (Tree_maxreg.write_max m c v)) in
+        let r () =
+          match run_op sim (Tree_maxreg.read_max m c) with
+          | Value.Int i -> i
+          | v -> Alcotest.failf "unexpected %a" Value.pp v
+        in
+        Alcotest.(check int) "initial" 0 (r ());
+        w 5;
+        Alcotest.(check int) "5" 5 (r ());
+        w 3;
+        Alcotest.(check int) "still 5" 5 (r ());
+        w 15;
+        Alcotest.(check int) "15" 15 (r ());
+        w 0;
+        Alcotest.(check int) "still 15" 15 (r ()));
+    test "capacity 1 stores nothing and reads 0" (fun () ->
+        let sim, m = mk 1 in
+        let c = Sim.new_client sim in
+        ignore (run_op sim (Tree_maxreg.write_max m c 0));
+        Alcotest.(check bool)
+          "0" true
+          (Value.equal (run_op sim (Tree_maxreg.read_max m c)) (Value.Int 0)));
+    test "out-of-range writes rejected" (fun () ->
+        let sim, m = mk 8 in
+        let c = Sim.new_client sim in
+        List.iter
+          (fun v ->
+            Alcotest.(check bool)
+              (Fmt.str "%d" v) true
+              (try
+                 ignore (Tree_maxreg.write_max m c v);
+                 false
+               with Invalid_argument _ -> true))
+          [ -1; 8; 100 ]);
+    test "step complexity is logarithmic" (fun () ->
+        let steps_for cap v =
+          let sim, m = mk cap in
+          let c = Sim.new_client sim in
+          ignore (run_op sim (Tree_maxreg.write_max m c v));
+          Tree_maxreg.last_op_steps m
+        in
+        (* writing the maximum touches one switch per level *)
+        Alcotest.(check bool)
+          "cap 1024 wmax <= 11" true
+          (steps_for 1024 1023 <= 11);
+        Alcotest.(check bool)
+          "cap 16 wmax <= 5" true
+          (steps_for 16 15 <= 5);
+        (* far below linear in capacity *)
+        Alcotest.(check bool)
+          "sublinear" true
+          (steps_for 1024 1023 < 1024 / 4));
+    test "read steps are logarithmic too" (fun () ->
+        let sim, m = mk 256 in
+        let c = Sim.new_client sim in
+        ignore (run_op sim (Tree_maxreg.write_max m c 200));
+        ignore (run_op sim (Tree_maxreg.read_max m c));
+        Alcotest.(check bool)
+          "<= 9" true
+          (Tree_maxreg.last_op_steps m <= 9));
+  ]
+
+(* random concurrent runs are linearizable (AAC's theorem) *)
+let atomicity_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"tree max-register is atomic (AAC)" ~count:120
+         (QCheck.make QCheck.Gen.(int_range 0 1_000_000) ~print:string_of_int)
+         (fun seed ->
+           let sim, m = mk 8 in
+           let clients = List.init 3 (fun _ -> Sim.new_client sim) in
+           let rng = Rng.create seed in
+           let policy = Policy.uniform (Rng.split rng) in
+           let calls = ref [] in
+           let planned = ref 6 in
+           let rec loop guard =
+             if guard = 0 then Alcotest.fail "did not finish";
+             let idle =
+               List.filter (fun c -> not (Sim.client_busy sim c)) clients
+             in
+             if !planned > 0 && idle <> [] && Rng.int rng ~bound:3 = 0 then begin
+               decr planned;
+               let c = Rng.pick rng idle in
+               let call =
+                 if Rng.bool rng then
+                   Tree_maxreg.write_max m c (Rng.int rng ~bound:8)
+                 else Tree_maxreg.read_max m c
+               in
+               calls := call :: !calls;
+               loop (guard - 1)
+             end
+             else if Driver.step sim policy then loop (guard - 1)
+             else if !planned > 0 then loop (guard - 1)
+             else ()
+           in
+           loop 100_000;
+           (match
+              Driver.run_until sim policy ~budget:100_000 (fun () ->
+                  List.for_all Sim.call_returned !calls)
+            with
+           | Driver.Satisfied -> ()
+           | o -> Alcotest.failf "drain: %a" Driver.outcome_pp o);
+           let h = Regemu_history.History.of_trace (Sim.trace sim) in
+           (* same max-register spec but over the integer domain: the
+              tree's initial value is Int 0, not the generic v0 *)
+           let int_max_register =
+             {
+               Regemu_history.Linearize.max_register with
+               name = "int-max-register";
+               init = Value.Int 0;
+             }
+           in
+           Regemu_history.Linearize.linearizable int_max_register h));
+  ]
+
+let suites =
+  [
+    ("tree-maxreg:unit", unit_tests);
+    ("tree-maxreg:atomicity", atomicity_tests);
+  ]

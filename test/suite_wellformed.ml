@@ -1,0 +1,162 @@
+(* Tests for the trace well-formedness oracle, plus the property that
+   every run the simulator can produce is well-formed. *)
+
+open Regemu_objects
+open Regemu_sim
+open Regemu_history
+
+let test name f = Alcotest.test_case name `Quick f
+let c0 = Id.Client.of_int 0
+let s0 = Id.Server.of_int 0
+let lid i = Id.Lop.of_int i
+let b0 = Id.Obj.of_int 0
+
+let trig i op =
+  Trace.Trigger { lid = lid i; client = c0; obj = b0; op }
+
+let resp i op result =
+  Trace.Respond { lid = lid i; client = c0; obj = b0; op; result }
+
+let mk entries =
+  let tr = Trace.create () in
+  List.iter (Trace.record tr) entries;
+  tr
+
+let expect_ok tr =
+  match Wellformed.check tr with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "unexpected: %a" Wellformed.violation_pp v
+
+let expect_bad tr what =
+  match Wellformed.check tr with
+  | Ok () -> Alcotest.failf "expected violation (%s)" what
+  | Error _ -> ()
+
+let unit_tests =
+  [
+    test "empty trace is well-formed" (fun () -> expect_ok (mk []));
+    test "trigger then respond is well-formed" (fun () ->
+        expect_ok
+          (mk
+             [
+               trig 0 (Base_object.Write (Value.Int 1));
+               resp 0 (Base_object.Write (Value.Int 1)) Value.Unit;
+             ]));
+    test "respond without trigger rejected" (fun () ->
+        expect_bad (mk [ resp 0 Base_object.Read Value.Unit ]) "orphan");
+    test "double respond rejected" (fun () ->
+        expect_bad
+          (mk
+             [
+               trig 0 Base_object.Read;
+               resp 0 Base_object.Read Value.Unit;
+               resp 0 Base_object.Read Value.Unit;
+             ])
+          "double");
+    test "respond for different op rejected" (fun () ->
+        expect_bad
+          (mk
+             [
+               trig 0 Base_object.Read;
+               resp 0 (Base_object.Write (Value.Int 1)) Value.Unit;
+             ])
+          "op mismatch");
+    test "double invoke rejected" (fun () ->
+        expect_bad
+          (mk [ Trace.Invoke (c0, Trace.H_read); Trace.Invoke (c0, Trace.H_read) ])
+          "busy");
+    test "return without invoke rejected" (fun () ->
+        expect_bad
+          (mk [ Trace.Return (c0, Trace.H_read, Value.Unit) ])
+          "no invoke");
+    test "double crash rejected" (fun () ->
+        expect_bad
+          (mk [ Trace.Server_crash s0; Trace.Server_crash s0 ])
+          "double crash");
+    test "replay check catches a wrong response value" (fun () ->
+        let tr =
+          mk
+            [
+              trig 0 (Base_object.Write (Value.Int 1));
+              resp 0 (Base_object.Write (Value.Int 1)) Value.Unit;
+              trig 1 Base_object.Read;
+              resp 1 Base_object.Read (Value.Int 99) (* should be 1 *);
+            ]
+        in
+        match Wellformed.check_replay tr ~kind_of:(fun _ -> Base_object.Register) with
+        | Ok () -> Alcotest.fail "expected replay violation"
+        | Error _ -> ());
+    test "replay check accepts a consistent trace" (fun () ->
+        let tr =
+          mk
+            [
+              trig 0 (Base_object.Write (Value.Int 1));
+              resp 0 (Base_object.Write (Value.Int 1)) Value.Unit;
+              trig 1 Base_object.Read;
+              resp 1 Base_object.Read (Value.Int 1);
+            ]
+        in
+        match Wellformed.check_replay tr ~kind_of:(fun _ -> Base_object.Register) with
+        | Ok () -> ()
+        | Error v -> Alcotest.failf "unexpected: %a" Wellformed.violation_pp v);
+  ]
+
+(* Every run the simulator can produce is well-formed, including the
+   replayed semantics: this validates Assumption 1's implementation. *)
+let arb_run_config =
+  QCheck.make
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* crashes = int_range 0 1 in
+      return (seed, crashes))
+    ~print:(fun (s, c) -> Fmt.str "seed=%d crashes=%d" s c)
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"all simulator runs are structurally well-formed" ~count:80
+         arb_run_config
+         (fun (seed, crashes) ->
+           let p = Regemu_bounds.Params.make_exn ~k:2 ~f:1 ~n:4 in
+           match
+             Regemu_workload.Scenario.chaos Regemu_core.Algorithm2.factory p
+               ~writes_per_writer:2 ~readers:1 ~reads_per_reader:2 ~crashes
+               ~seed ()
+           with
+           | Error _ -> false
+           | Ok r -> (
+               let tr = Sim.trace r.sim in
+               match
+                 ( Wellformed.check tr,
+                   Wellformed.check_replay tr ~kind_of:(Sim.kind_of r.sim) )
+               with
+               | Ok (), Ok () -> true
+               | Error v, _ | _, Error v ->
+                   QCheck.Test.fail_reportf "%a" Wellformed.violation_pp v)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"adversarial runs are structurally well-formed too" ~count:30
+         arb_run_config
+         (fun (seed, _) ->
+           let p = Regemu_bounds.Params.make_exn ~k:3 ~f:1 ~n:5 in
+           match
+             Regemu_adversary.Lowerbound.execute Regemu_core.Algorithm2.factory
+               p ~seed ()
+           with
+           | Error _ -> false
+           | Ok run -> (
+               match
+                 ( Wellformed.check run.trace,
+                   Wellformed.check_replay run.trace ~kind_of:run.kind_of )
+               with
+               | Ok (), Ok () -> true
+               | Error v, _ | _, Error v ->
+                   QCheck.Test.fail_reportf "%a" Wellformed.violation_pp v)));
+  ]
+
+let suites =
+  [
+    ("wellformed:unit", unit_tests);
+    ("wellformed:properties", property_tests);
+  ]

@@ -1,0 +1,94 @@
+(* Tests for the workload scenarios themselves. *)
+
+open Regemu_bounds
+open Regemu_history
+open Regemu_workload
+
+let test name f = Alcotest.test_case name `Quick f
+let p = Params.make_exn ~k:2 ~f:1 ~n:4
+
+let algo = Regemu_core.Algorithm2.factory
+
+let ok = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "scenario failed: %a" Scenario.error_pp e
+
+let scenario_tests =
+  [
+    test "write_sequential produces a write-sequential history" (fun () ->
+        let r = ok (Scenario.write_sequential algo p ~rounds:3 ~seed:1 ()) in
+        Alcotest.(check bool) "ws" true (History.write_sequential r.history);
+        Alcotest.(check int)
+          "writes" (3 * p.Params.k)
+          (List.length (History.writes r.history)));
+    test "write_sequential with reads interleaves one read per write"
+      (fun () ->
+        let r =
+          ok
+            (Scenario.write_sequential algo p ~read_after_each:true ~rounds:2
+               ~seed:1 ())
+        in
+        Alcotest.(check int)
+          "reads" (2 * p.Params.k)
+          (List.length (History.reads r.history)));
+    test "value_for is injective over slots and rounds" (fun () ->
+        let vs =
+          List.concat_map
+            (fun s -> List.init 5 (fun r -> Scenario.value_for ~slot:s ~round:r))
+            [ 0; 1; 2 ]
+        in
+        let distinct = List.sort_uniq compare vs in
+        Alcotest.(check int) "distinct" (List.length vs) (List.length distinct));
+    test "concurrent_reads keeps writes sequential" (fun () ->
+        let r =
+          ok
+            (Scenario.concurrent_reads algo p ~rounds:2 ~readers:3 ~crashes:1
+               ~seed:5 ())
+        in
+        Alcotest.(check bool) "ws" true (History.write_sequential r.history));
+    test "concurrent_reads rejects crashes > f" (fun () ->
+        Alcotest.(check bool)
+          "raises" true
+          (try
+             ignore
+               (Scenario.concurrent_reads algo p ~rounds:1 ~readers:1
+                  ~crashes:2 ~seed:1 ());
+             false
+           with Invalid_argument _ -> true));
+    test "chaos completes every planned operation" (fun () ->
+        let r =
+          ok
+            (Scenario.chaos algo p ~writes_per_writer:3 ~readers:2
+               ~reads_per_reader:3 ~crashes:1 ~seed:11 ())
+        in
+        Alcotest.(check int)
+          "ops" ((3 * p.Params.k) + (2 * 3))
+          (List.length r.history);
+        Alcotest.(check int) "all complete"
+          (List.length r.history)
+          (List.length (History.complete r.history)));
+    test "chaos is deterministic given the seed" (fun () ->
+        let run () =
+          let r =
+            ok
+              (Scenario.chaos algo p ~writes_per_writer:2 ~readers:1
+                 ~reads_per_reader:2 ~crashes:1 ~seed:7 ())
+          in
+          List.map
+            (fun (o : History.op) -> (o.index, o.invoked_at, o.returned_at))
+            r.history
+        in
+        Alcotest.(check bool) "equal" true (run () = run ()));
+    test "different seeds give different schedules" (fun () ->
+        let run seed =
+          let r =
+            ok
+              (Scenario.chaos algo p ~writes_per_writer:2 ~readers:1
+                 ~reads_per_reader:2 ~crashes:0 ~seed ())
+          in
+          List.map (fun (o : History.op) -> o.invoked_at) r.history
+        in
+        Alcotest.(check bool) "differ" false (run 1 = run 2));
+  ]
+
+let suites = [ ("workload:scenarios", scenario_tests) ]
