@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test bench verify examples clean loc
+.PHONY: all build test bench live-bench verify examples clean loc
 
 all: build
 
@@ -12,6 +12,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# real threads, fault injection, online checking; writes BENCH_live.json
+live-bench:
+	dune exec bin/regemu.exe -- live --bench --json BENCH_live.json
 
 verify:
 	dune exec bin/regemu.exe -- verify

@@ -300,7 +300,50 @@ let bench_tests =
                 ~seed:1)));
   ]
 
-let run_benchmarks () =
+(* the regemu-bench/1 schema documented in EXPERIMENTS.md: OLS
+   ns-per-run estimate and r² per benchmark, per measure *)
+let json_of_results results =
+  let open Regemu_live in
+  let benchmarks = ref [] in
+  Hashtbl.iter
+    (fun measure per_test ->
+      Hashtbl.iter
+        (fun name ols ->
+          let ns_per_run =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Json.Float e
+            | Some [] | None -> Json.Null
+          in
+          let r_square =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Json.Float r
+            | None -> Json.Null
+          in
+          benchmarks :=
+            Json.Obj
+              [
+                ("name", Json.Str name);
+                ("measure", Json.Str measure);
+                ("ns_per_run", ns_per_run);
+                ("r_square", r_square);
+              ]
+            :: !benchmarks)
+        per_test)
+    results;
+  let by_name a b =
+    match (a, b) with
+    | Json.Obj (("name", Json.Str x) :: _), Json.Obj (("name", Json.Str y) :: _)
+      ->
+        String.compare x y
+    | _ -> 0
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "regemu-bench/1");
+      ("benchmarks", Json.List (List.sort by_name !benchmarks));
+    ]
+
+let run_benchmarks ?json () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -324,19 +367,32 @@ let run_benchmarks () =
       ~predictor:Measure.run results
   in
   Fmt.pr "== Micro-benchmarks (monotonic clock per run) ==@.";
-  Notty_unix.output_image (Notty_unix.eol img)
+  Notty_unix.output_image (Notty_unix.eol img);
+  match json with
+  | None -> ()
+  | Some path ->
+      Regemu_live.Json.to_file path (json_of_results results);
+      Fmt.pr "wrote %s@." path
 
 let usage () =
-  Fmt.pr "usage: main.exe [all|bench|%s]@."
+  Fmt.pr "usage: main.exe [all|bench|%s] [--json FILE]@."
     (String.concat "|" (List.map fst sections))
 
 let () =
-  match Sys.argv with
-  | [| _ |] | [| _; "all" |] ->
+  (* peel off a trailing [--json FILE] before dispatching *)
+  let argv = Array.to_list Sys.argv in
+  let rec split acc = function
+    | "--json" :: path :: rest -> (List.rev_append acc rest, Some path)
+    | a :: rest -> split (a :: acc) rest
+    | [] -> (List.rev acc, None)
+  in
+  let args, json = split [] argv in
+  match args with
+  | [ _ ] | [ _; "all" ] ->
       List.iter (fun (_, f) -> f ()) sections;
-      run_benchmarks ()
-  | [| _; "bench" |] -> run_benchmarks ()
-  | [| _; name |] -> (
+      run_benchmarks ?json ()
+  | [ _; "bench" ] -> run_benchmarks ?json ()
+  | [ _; name ] -> (
       match List.assoc_opt name sections with
       | Some f -> f ()
       | None -> usage ())

@@ -634,6 +634,117 @@ let all_cmd =
        ~doc:"Regenerate every table and figure (no micro-benchmarks).")
     Term.(const run $ seed_arg)
 
+(* --- live --------------------------------------------------------------- *)
+
+let live_cmd =
+  let open Regemu_live in
+  let algo_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("abd", Live_bench.Abd);
+               ("abd-wb", Live_bench.Abd_wb);
+               ("algorithm2", Live_bench.Alg2);
+             ])
+          Live_bench.Abd
+      & info [ "algo" ] ~doc:"Protocol to run: $(b,abd), $(b,abd-wb), or \
+                              $(b,algorithm2).")
+  in
+  let bench_arg =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:"Benchmark mode: quiet and chaos runs of every protocol.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Bounded, seed-fixed smoke suite (used by dune runtest).")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:"Inject crash/restart faults plus message delays and \
+                duplication.")
+  in
+  let readers_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "readers" ] ~doc:"Number of reader threads.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 150
+      & info [ "ops" ] ~doc:"Operations per client thread.")
+  in
+  let couriers_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "couriers" ] ~doc:"Transport delivery threads.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the results as JSON (regemu-live-bench/1 schema).")
+  in
+  let run bench smoke chaos algo k readers f n ops couriers json seed =
+    let specs =
+      if smoke then Live_bench.smoke_suite ()
+      else if bench then Live_bench.suite ~ops_per_client:ops ~seed ()
+      else
+        [
+          {
+            Live_bench.algo; k; readers; f; n; ops_per_client = ops;
+            couriers; chaos; seed;
+          };
+        ]
+    in
+    match
+      List.map
+        (fun spec ->
+          let o = Live_bench.run spec in
+          Fmt.pr "%a@." Live_bench.outcome_pp o;
+          o)
+        specs
+    with
+    | exception Invalid_argument m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | outcomes -> (
+        match
+          Option.iter
+            (fun path -> Json.to_file path (Live_bench.to_json outcomes))
+            json
+        with
+        | exception Sys_error m ->
+            Fmt.epr "error: %s@." m;
+            1
+        | () ->
+            if List.for_all Live_bench.clean outcomes then 0
+            else (
+              Fmt.epr
+                "error: a live run failed its online consistency checks@.";
+              1))
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:
+         "Run a real concurrent cluster: server threads, load-generator \
+          client threads, fault injection, and online consistency checking.")
+    Term.(
+      const run $ bench_arg $ smoke_arg $ chaos_arg $ algo_arg
+      $ Arg.(value & opt int 1 & info [ "k" ] ~doc:"Number of writer threads.")
+      $ readers_arg
+      $ Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure threshold.")
+      $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of server threads.")
+      $ ops_arg $ couriers_arg $ json_arg $ seed_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -653,5 +764,5 @@ let () =
             thm5_cmd; thm6_cmd; thm7_cmd; thm8_cmd; plan_cmd; alg1_cmd;
             classification_cmd; rspace_cmd; inversion_cmd;
             latency_cmd; fuzz_cmd; explore_cmd; run_cmd; verify_cmd;
-            sweep_cmd; netabd_cmd; all_cmd;
+            sweep_cmd; netabd_cmd; live_cmd; all_cmd;
           ]))

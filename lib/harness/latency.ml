@@ -8,8 +8,10 @@ type row = {
   params : Params.t;
   avg_write : float;
   max_write : int;
+  write_pcts : (float * int) list;
   avg_read : float;
   max_read : int;
+  read_pcts : (float * int) list;
 }
 
 let standard_factories (p : Params.t) =
@@ -48,14 +50,24 @@ let measure factory (p : Params.t) ~rounds =
   let stats ops =
     let ls = List.map latency ops in
     match ls with
-    | [] -> (0.0, 0)
+    | [] -> (0.0, 0, Stats.percentiles [])
     | _ ->
         ( float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (List.length ls),
-          List.fold_left Stdlib.max 0 ls )
+          List.fold_left Stdlib.max 0 ls,
+          Stats.percentiles ls )
   in
-  let avg_write, max_write = stats (History.writes history) in
-  let avg_read, max_read = stats (History.reads history) in
-  { algo = factory.Emulation.name; params = p; avg_write; max_write; avg_read; max_read }
+  let avg_write, max_write, write_pcts = stats (History.writes history) in
+  let avg_read, max_read, read_pcts = stats (History.reads history) in
+  {
+    algo = factory.Emulation.name;
+    params = p;
+    avg_write;
+    max_write;
+    write_pcts;
+    avg_read;
+    max_read;
+    read_pcts;
+  }
 
 let compute p ~rounds =
   List.map (fun f -> measure f p ~rounds) (standard_factories p)
@@ -68,15 +80,23 @@ let report p rows =
          lower is faster)"
         Params.pp p;
     headers =
-      [ "algorithm"; "avg write"; "max write"; "avg read"; "max read" ];
+      [
+        "algorithm"; "avg write"; "p95 write"; "max write"; "avg read";
+        "p95 read"; "max read";
+      ];
     rows =
       List.map
         (fun r ->
+          let p95 pcts =
+            Report.cell_int (try List.assoc 0.95 pcts with Not_found -> 0)
+          in
           [
             r.algo;
             Report.cellf "%.1f" r.avg_write;
+            p95 r.write_pcts;
             Report.cell_int r.max_write;
             Report.cellf "%.1f" r.avg_read;
+            p95 r.read_pcts;
             Report.cell_int r.max_read;
           ])
         rows;

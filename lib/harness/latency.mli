@@ -20,8 +20,11 @@ type row = {
   params : Params.t;
   avg_write : float;
   max_write : int;
+  write_pcts : (float * int) list;
+      (** p50/p95/p99 from {!Regemu_sim.Stats.percentiles} *)
   avg_read : float;
   max_read : int;
+  read_pcts : (float * int) list;
 }
 
 (** Measure all applicable standard emulations at the given parameters

@@ -1,0 +1,23 @@
+(** Multi-writer ABD over a live {!Cluster} — the same quorum protocol
+    as {!Regemu_netsim.Abd_net}, with blocking awaits in place of
+    simulator fibers.
+
+    A write queries [2f+1] servers for the largest timestamped value,
+    waits for [f+1] replies, then updates the servers with a larger
+    timestamp and waits for [f+1] acks.  A read performs the query
+    round and, with [write_back_reads], also the update round (the
+    atomic variant).  Wait-free with at most [f] crashed servers. *)
+
+open Regemu_objects
+
+type t
+
+(** Needs at least [2f+1] servers; uses the first [2f+1]. *)
+val create : Cluster.t -> f:int -> ?write_back_reads:bool -> unit -> t
+
+val replicas : t -> int
+
+(** Blocking; records the operation in the cluster history. *)
+val write : t -> Cluster.client -> Value.t -> unit
+
+val read : t -> Cluster.client -> Value.t

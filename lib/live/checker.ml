@@ -1,0 +1,76 @@
+open Regemu_history
+
+type result = {
+  checks : int;
+  ws : Ws_check.verdict;
+  atomic : bool option;
+  ops_checked : int;
+}
+
+let ok r =
+  (match r.ws with Ws_check.Violated _ -> false | _ -> true)
+  && match r.atomic with Some false -> false | _ -> true
+
+let result_pp ppf r =
+  Fmt.pf ppf "%d online checks over %d ops: WS-Regular %a%a" r.checks
+    r.ops_checked Ws_check.verdict_pp r.ws
+    Fmt.(
+      option (fun ppf a ->
+          Fmt.pf ppf ", atomic %s" (if a then "yes" else "NO")))
+    r.atomic
+
+type t = {
+  cluster : Cluster.t;
+  interval_s : float;
+  final_atomic : bool;
+  atomic_limit : int;
+  mutable running : bool;
+  mutable thread : Thread.t option;
+  mutable checks : int;
+  mutable violation : Ws_check.verdict option;  (* first Violated seen *)
+}
+
+let check_once t =
+  let h = Cluster.history t.cluster in
+  let v = Ws_check.check_ws_regular h in
+  t.checks <- t.checks + 1;
+  (match v with
+  | Ws_check.Violated _ when t.violation = None -> t.violation <- Some v
+  | _ -> ());
+  (h, v)
+
+let checker_loop t =
+  while t.running do
+    Thread.delay t.interval_s;
+    if t.running then ignore (check_once t)
+  done
+
+let spawn cluster ?(interval_s = 0.02) ?(final_atomic = false)
+    ?(atomic_limit = 600) () =
+  let t =
+    {
+      cluster;
+      interval_s;
+      final_atomic;
+      atomic_limit;
+      running = true;
+      thread = None;
+      checks = 0;
+      violation = None;
+    }
+  in
+  t.thread <- Some (Thread.create checker_loop t);
+  t
+
+let stop t =
+  t.running <- false;
+  Option.iter Thread.join t.thread;
+  t.thread <- None;
+  let h, final = check_once t in
+  let ws = match t.violation with Some v -> v | None -> final in
+  let atomic =
+    if t.final_atomic && List.length h <= t.atomic_limit then
+      Some (Linearize.linearizable Linearize.register h)
+    else None
+  in
+  { checks = t.checks; ws; atomic; ops_checked = List.length h }

@@ -1,0 +1,46 @@
+(** Online consistency checking of a live run.
+
+    A checker thread periodically snapshots the cluster history —
+    completed {e and} pending operations, in wall-clock real-time order
+    — and runs the paper's WS-Regularity checker on it, so a violation
+    is caught while the run is still in progress, not post-mortem.
+    [stop] performs a final check on the complete history and, when
+    requested, the brute-force atomicity (linearizability) check for
+    write-back variants.
+
+    Mid-run snapshots are sound: the checkers treat a pending write as
+    concurrent with everything after its invocation, which is exactly
+    its status in real time. *)
+
+type result = {
+  checks : int;  (** snapshots checked (including the final one) *)
+  ws : Regemu_history.Ws_check.verdict;
+      (** first violation seen, otherwise the final verdict *)
+  atomic : bool option;
+      (** final linearizability verdict, when requested and the
+          history is small enough to brute-force *)
+  ops_checked : int;  (** operations in the final history *)
+}
+
+(** [true] when nothing was violated. *)
+val ok : result -> bool
+
+val result_pp : result Fmt.t
+
+type t
+
+(** [spawn cluster ()] starts the checker thread.
+    [final_atomic] additionally runs {!Regemu_history.Linearize} with
+    register semantics on the final history when it has at most
+    [atomic_limit] operations (default 600 — the brute force is
+    exponential in concurrency, not length, but stay modest). *)
+val spawn :
+  Cluster.t ->
+  ?interval_s:float ->
+  ?final_atomic:bool ->
+  ?atomic_limit:int ->
+  unit ->
+  t
+
+(** Final checks, then join the checker thread. *)
+val stop : t -> result

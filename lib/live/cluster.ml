@@ -1,0 +1,330 @@
+open Regemu_objects
+open Regemu_netsim
+
+type config = {
+  n : int;
+  transport : Transport.config;
+  op_timeout_s : float;
+}
+
+let default_config ~n ~seed =
+  { n; transport = Transport.default_config ~seed; op_timeout_s = 30.0 }
+
+exception Timeout of string
+
+type server = {
+  sid : int;
+  store : Proto.store;
+  mailbox : (int * Proto.payload) Mailbox.t;
+  sm : Mutex.t;
+  sc : Condition.t;
+  mutable up : bool;
+  mutable closing : bool;
+  mutable sthread : Thread.t option;
+}
+
+type client = {
+  id : Id.Client.t;
+  cm : Mutex.t;
+  cc : Condition.t;
+  handlers : (int, Proto.payload -> unit) Hashtbl.t;
+}
+
+type t = {
+  cfg : config;
+  servers : server array;
+  mutable clients : client array;
+  gm : Mutex.t;  (* guards [clients] growth and fault counters *)
+  rid : int Atomic.t;
+  log : Histlog.t;
+  mutable transport : Transport.t option;
+  mutable heartbeat : Thread.t option;
+  mutable running : bool;
+  mutable shut : bool;
+  mutable crashes : int;
+  mutable restarts : int;
+}
+
+let transport t =
+  match t.transport with
+  | Some tr -> tr
+  | None -> invalid_arg "Cluster: torn down"
+
+(* --- routing ----------------------------------------------------------- *)
+
+let dispatch_to_client t cid payload =
+  let clients = t.clients in
+  if cid >= 0 && cid < Array.length clients then begin
+    let cl = clients.(cid) in
+    Mutex.lock cl.cm;
+    (match Hashtbl.find_opt cl.handlers (Proto.rid_of payload) with
+    | Some f ->
+        (* one-shot: a duplicated reply must not double-count toward a
+           quorum *)
+        Hashtbl.remove cl.handlers (Proto.rid_of payload);
+        f payload
+    | None -> ());
+    Condition.broadcast cl.cc;
+    Mutex.unlock cl.cm
+  end
+
+let deliver t (env : Transport.envelope) =
+  match env.dest with
+  | Transport.To_server i ->
+      Mailbox.push t.servers.(i).mailbox (env.src, env.payload)
+  | Transport.To_client c -> dispatch_to_client t c env.payload
+
+(* --- servers ----------------------------------------------------------- *)
+
+let server_loop t srv =
+  let rec go () =
+    match Mailbox.pop srv.mailbox with
+    | None -> ()  (* mailbox closed: teardown *)
+    | Some (src, payload) ->
+        Mutex.lock srv.sm;
+        while (not srv.up) && not srv.closing do
+          Condition.wait srv.sc srv.sm
+        done;
+        let closing = srv.closing in
+        Mutex.unlock srv.sm;
+        if not closing then begin
+          let replies = Proto.step srv.store payload in
+          List.iter
+            (fun reply ->
+              Transport.send (transport t)
+                {
+                  Transport.src = srv.sid;
+                  dest = Transport.To_client src;
+                  payload = reply;
+                })
+            replies;
+          go ()
+        end
+  in
+  go ()
+
+(* --- construction ------------------------------------------------------ *)
+
+let create cfg =
+  if cfg.n <= 0 then invalid_arg "Cluster.create: n must be positive";
+  let servers =
+    Array.init cfg.n (fun sid ->
+        {
+          sid;
+          store = Proto.store_create ();
+          mailbox = Mailbox.create ();
+          sm = Mutex.create ();
+          sc = Condition.create ();
+          up = true;
+          closing = false;
+          sthread = None;
+        })
+  in
+  let t =
+    {
+      cfg;
+      servers;
+      clients = [||];
+      gm = Mutex.create ();
+      rid = Atomic.make 0;
+      log = Histlog.create ();
+      transport = None;
+      heartbeat = None;
+      running = false;
+      shut = false;
+      crashes = 0;
+      restarts = 0;
+    }
+  in
+  t.transport <- Some (Transport.create cfg.transport ~deliver:(deliver t));
+  t
+
+let heartbeat_loop t =
+  (* periodically wake every awaiting client so deadlines are checked
+     even when no reply arrives *)
+  while t.running do
+    Thread.delay 0.05;
+    Array.iter
+      (fun cl ->
+        Mutex.lock cl.cm;
+        Condition.broadcast cl.cc;
+        Mutex.unlock cl.cm)
+      t.clients
+  done
+
+let start t =
+  t.running <- true;
+  Array.iter
+    (fun srv -> srv.sthread <- Some (Thread.create (server_loop t) srv))
+    t.servers;
+  Transport.start (transport t);
+  t.heartbeat <- Some (Thread.create heartbeat_loop t)
+
+let num_servers t = t.cfg.n
+
+let new_client t =
+  Mutex.lock t.gm;
+  let cl =
+    {
+      id = Id.Client.of_int (Array.length t.clients);
+      cm = Mutex.create ();
+      cc = Condition.create ();
+      handlers = Hashtbl.create 32;
+    }
+  in
+  t.clients <- Array.append t.clients [| cl |];
+  Mutex.unlock t.gm;
+  cl
+
+let client_id cl = cl.id
+
+let alloc_reg t ~server =
+  if server < 0 || server >= t.cfg.n then invalid_arg "Cluster: unknown server";
+  Proto.alloc_reg t.servers.(server).store
+
+(* --- client primitives -------------------------------------------------- *)
+
+let fresh_rid t = Atomic.fetch_and_add t.rid 1
+
+let locked cl f =
+  Mutex.lock cl.cm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cl.cm) f
+
+let on_reply cl ~rid f = Hashtbl.replace cl.handlers rid f
+
+let send t ~src server payload =
+  if server < 0 || server >= t.cfg.n then invalid_arg "Cluster: unknown server";
+  Transport.send (transport t)
+    {
+      Transport.src = Id.Client.to_int src.id;
+      dest = Transport.To_server server;
+      payload;
+    }
+
+let await t cl pred =
+  let deadline = Unix.gettimeofday () +. t.cfg.op_timeout_s in
+  locked cl (fun () ->
+      let rec go () =
+        if pred () then ()
+        else if Unix.gettimeofday () > deadline then
+          raise
+            (Timeout
+               (Fmt.str "client %a: no quorum within %.1fs" Id.Client.pp cl.id
+                  t.cfg.op_timeout_s))
+        else begin
+          Condition.wait cl.cc cl.cm;
+          go ()
+        end
+      in
+      go ())
+
+let invoke t cl hop body =
+  let ticket = Histlog.invoke t.log ~client:cl.id hop in
+  let v = body () in
+  Histlog.return t.log ticket v;
+  v
+
+(* --- failures ----------------------------------------------------------- *)
+
+let check_server t i =
+  if i < 0 || i >= t.cfg.n then invalid_arg "Cluster: unknown server"
+
+let crash t i =
+  check_server t i;
+  let srv = t.servers.(i) in
+  Mutex.lock srv.sm;
+  let was_up = srv.up in
+  srv.up <- false;
+  Mutex.unlock srv.sm;
+  if was_up then begin
+    Mutex.lock t.gm;
+    t.crashes <- t.crashes + 1;
+    Mutex.unlock t.gm
+  end
+
+let restart t i =
+  check_server t i;
+  let srv = t.servers.(i) in
+  Mutex.lock srv.sm;
+  let was_down = not srv.up in
+  srv.up <- true;
+  Condition.broadcast srv.sc;
+  Mutex.unlock srv.sm;
+  if was_down then begin
+    Mutex.lock t.gm;
+    t.restarts <- t.restarts + 1;
+    Mutex.unlock t.gm
+  end
+
+let is_up t i =
+  check_server t i;
+  let srv = t.servers.(i) in
+  Mutex.lock srv.sm;
+  let v = srv.up in
+  Mutex.unlock srv.sm;
+  v
+
+let crashed_count t =
+  let n = ref 0 in
+  Array.iteri (fun i _ -> if not (is_up t i) then incr n) t.servers;
+  !n
+
+(* --- observation -------------------------------------------------------- *)
+
+let history t = Histlog.snapshot t.log
+let latencies_ns t = Histlog.latencies_ns t.log
+let completed_ops t = Histlog.completed t.log
+
+type stats = {
+  msgs_sent : int;
+  msgs_delivered : int;
+  msgs_duplicated : int;
+  msgs_delayed : int;
+  crashes : int;
+  restarts : int;
+  ops_completed : int;
+}
+
+let stats t =
+  let tr = transport t in
+  Mutex.lock t.gm;
+  let crashes = t.crashes and restarts = t.restarts in
+  Mutex.unlock t.gm;
+  {
+    msgs_sent = Transport.sent tr;
+    msgs_delivered = Transport.delivered tr;
+    msgs_duplicated = Transport.duplicated tr;
+    msgs_delayed = Transport.delayed tr;
+    crashes;
+    restarts;
+    ops_completed = Histlog.completed t.log;
+  }
+
+let peek_reg t ~server reg =
+  check_server t server;
+  Proto.peek_reg t.servers.(server).store reg
+
+(* --- teardown ----------------------------------------------------------- *)
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    t.running <- false;
+    Option.iter Thread.join t.heartbeat;
+    t.heartbeat <- None;
+    (* wake crashed servers and tell every server loop to exit *)
+    Array.iter
+      (fun srv ->
+        Mutex.lock srv.sm;
+        srv.closing <- true;
+        Condition.broadcast srv.sc;
+        Mutex.unlock srv.sm;
+        Mailbox.close srv.mailbox)
+      t.servers;
+    Transport.stop (transport t);
+    Array.iter
+      (fun srv ->
+        Option.iter Thread.join srv.sthread;
+        srv.sthread <- None)
+      t.servers
+  end

@@ -1,0 +1,122 @@
+(** A live cluster: every server of the network model as a real OS
+    thread draining a {!Mailbox}, clients as caller threads blocking on
+    per-client [Condition]s, and the environment as the {!Transport}
+    couriers plus whatever crash/restart faults are injected.
+
+    The servers execute {!Regemu_netsim.Proto.step} — byte-for-byte the
+    same protocol core as the scripted simulator in
+    {!Regemu_netsim.Net}.  What changes is only the environment: the OS
+    scheduler and the transport's seeded faults replace the scripted
+    event choice.
+
+    {2 Crash semantics}
+
+    {!crash} halts a server's message processing; its mailbox keeps
+    queueing.  {!restart} resumes it (its storage survives, like a
+    reboot with a persistent disk).  In the asynchronous model a
+    crashed process is indistinguishable from an arbitrarily slow one,
+    so "stop consuming, never lose" is the faithful translation: a
+    server crashed forever equals the paper's crash, and the protocols
+    must — and do — tolerate [f] of those.
+
+    {2 Locking discipline}
+
+    Each client has one mutex guarding its reply-handler table and any
+    protocol state owned by that client.  Reply handlers run {e under}
+    that mutex (on courier threads), so handler bodies and the
+    client's own thread never race; client code wraps its accesses in
+    {!locked}.  The only lock nesting is client-mutex → transport/
+    mailbox-mutex, so the system is deadlock-free by ordering. *)
+
+open Regemu_objects
+open Regemu_netsim
+
+type config = {
+  n : int;  (** number of server threads *)
+  transport : Transport.config;
+  op_timeout_s : float;
+      (** an operation awaiting longer than this raises [Timeout] —
+          turns a liveness bug into a test failure instead of a hang *)
+}
+
+val default_config : n:int -> seed:int -> config
+
+exception Timeout of string
+
+type t
+type client
+
+val create : config -> t
+
+(** Spawn server, courier, and heartbeat threads.  Allocate clients
+    and register cells before starting. *)
+val start : t -> unit
+
+val num_servers : t -> int
+val new_client : t -> client
+val client_id : client -> Id.Client.t
+
+(** Allocate a plain register cell on a server (before {!start}). *)
+val alloc_reg : t -> server:int -> int
+
+(** {2 Client-side primitives (the live analogue of {!Net}'s API)} *)
+
+(** Globally fresh request id. *)
+val fresh_rid : t -> int
+
+(** Run [f] under the client's mutex.  All client-side protocol state
+    must be touched only under it. *)
+val locked : client -> (unit -> 'a) -> 'a
+
+(** Register a one-shot reply handler for [rid].  The caller must hold
+    the client's mutex ({!locked}); handlers themselves already do. *)
+val on_reply : client -> rid:int -> (Proto.payload -> unit) -> unit
+
+(** Send a request to a server.  Safe with or without the client
+    mutex held. *)
+val send : t -> src:client -> int -> Proto.payload -> unit
+
+(** Block the calling thread until [pred] holds.  [pred] is evaluated
+    under the client's mutex; it is re-checked whenever a reply is
+    dispatched to this client and on a periodic heartbeat.  Raises
+    {!Timeout} after [op_timeout_s]. *)
+val await : t -> client -> (unit -> bool) -> unit
+
+(** {2 High-level operations}
+
+    [invoke t cl hop body] records the operation in the cluster history
+    (real-time invocation ticket), runs [body] on the calling thread,
+    records the return, and yields the result. *)
+val invoke : t -> client -> Regemu_sim.Trace.hop -> (unit -> Value.t) -> Value.t
+
+(** {2 Failures} *)
+
+val crash : t -> int -> unit
+val restart : t -> int -> unit
+val is_up : t -> int -> bool
+val crashed_count : t -> int
+
+(** {2 Observation} *)
+
+val history : t -> Regemu_history.History.t
+val latencies_ns : t -> int list
+val completed_ops : t -> int
+
+type stats = {
+  msgs_sent : int;
+  msgs_delivered : int;
+  msgs_duplicated : int;
+  msgs_delayed : int;
+  crashes : int;
+  restarts : int;
+  ops_completed : int;
+}
+
+val stats : t -> stats
+
+(** Peek a server's storage (assertions/debugging only). *)
+val peek_reg : t -> server:int -> int -> Value.t
+
+(** Stop everything: revive crashed servers so they can exit, close
+    mailboxes, stop the transport, join all threads.  Idempotent. *)
+val shutdown : t -> unit

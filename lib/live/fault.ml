@@ -1,0 +1,87 @@
+type config = {
+  f : int;
+  pool : int;
+  period_s : float;
+  leave_crashed : int;
+  seed : int;
+}
+
+let default_config ~f ~pool ~seed =
+  { f; pool; period_s = 0.002; leave_crashed = min f 1; seed }
+
+type t = {
+  cfg : config;
+  cluster : Cluster.t;
+  mutable running : bool;
+  mutable thread : Thread.t option;
+  mutable crashed : int list;  (* injector-thread private *)
+  mutable crashes : int;
+  mutable restarts : int;
+}
+
+let jitter rng p =
+  (* 0.5x .. 1.5x the period *)
+  p *. (0.5 +. float_of_int (Regemu_sim.Rng.int rng ~bound:1000) /. 1000.)
+
+let injector_loop t =
+  let rng = Regemu_sim.Rng.create t.cfg.seed in
+  while t.running do
+    Thread.delay (jitter rng t.cfg.period_s);
+    if t.running then begin
+      let up =
+        List.filter
+          (fun s -> not (List.mem s t.crashed))
+          (List.init t.cfg.pool Fun.id)
+      in
+      let may_crash = List.length t.crashed < t.cfg.f && up <> [] in
+      let may_restart = t.crashed <> [] in
+      match (may_crash, may_restart) with
+      | false, false -> ()
+      | true, false | true, true when Regemu_sim.Rng.bool rng || not may_restart
+        ->
+          let s = Regemu_sim.Rng.pick rng up in
+          Cluster.crash t.cluster s;
+          t.crashed <- s :: t.crashed;
+          t.crashes <- t.crashes + 1
+      | _ ->
+          let s = Regemu_sim.Rng.pick rng t.crashed in
+          Cluster.restart t.cluster s;
+          t.crashed <- List.filter (fun x -> x <> s) t.crashed;
+          t.restarts <- t.restarts + 1
+    end
+  done
+
+let spawn cluster cfg =
+  if cfg.leave_crashed > cfg.f then
+    invalid_arg "Fault.spawn: leave_crashed must be <= f";
+  let t =
+    {
+      cfg;
+      cluster;
+      running = true;
+      thread = None;
+      crashed = [];
+      crashes = 0;
+      restarts = 0;
+    }
+  in
+  t.thread <- Some (Thread.create injector_loop t);
+  t
+
+let stop t =
+  t.running <- false;
+  Option.iter Thread.join t.thread;
+  t.thread <- None;
+  (* leave at most [leave_crashed] down; revive the rest *)
+  let rec revive = function
+    | [] -> []
+    | keep when List.length keep <= t.cfg.leave_crashed -> keep
+    | s :: rest ->
+        Cluster.restart t.cluster s;
+        t.restarts <- t.restarts + 1;
+        revive rest
+  in
+  t.crashed <- revive t.crashed
+
+let crashes t = t.crashes
+let restarts t = t.restarts

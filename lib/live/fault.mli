@@ -1,0 +1,30 @@
+(** The chaos thread: crashes and restarts servers while a live run is
+    in progress, keeping at most [f] servers down at any instant so the
+    protocols' wait-freedom guarantee is exactly exercised, never
+    exceeded.
+
+    Message-level faults (delay / duplication / reordering) are
+    configured on the {!Transport}; this module owns process faults. *)
+
+type config = {
+  f : int;  (** never more than this many down at once *)
+  pool : int;  (** target servers [0 .. pool-1] *)
+  period_s : float;  (** mean delay between fault actions *)
+  leave_crashed : int;  (** servers left permanently down on [stop], ≤ f *)
+  seed : int;
+}
+
+val default_config : f:int -> pool:int -> seed:int -> config
+
+type t
+
+val spawn : Cluster.t -> config -> t
+
+(** Stop injecting; restarts all but [leave_crashed] of the currently
+    crashed servers, then joins the injector thread. *)
+val stop : t -> unit
+
+(** Counters (stable once [stop] has returned). *)
+val crashes : t -> int
+
+val restarts : t -> int

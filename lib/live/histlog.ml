@@ -1,0 +1,89 @@
+open Regemu_objects
+open Regemu_sim
+
+type cell = {
+  index : int;
+  client : Id.Client.t;
+  hop : Trace.hop;
+  invoked_at : int;
+  invoked_ns : float;
+  mutable returned_at : int option;
+  mutable result : Value.t option;
+  mutable latency_ns : int;
+}
+
+type ticket = cell
+
+type t = {
+  m : Mutex.t;
+  mutable cells : cell list;  (* newest first *)
+  mutable count : int;
+  mutable completed : int;
+  clock : int Atomic.t;  (* the real-time event order *)
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    cells = [];
+    count = 0;
+    completed = 0;
+    clock = Atomic.make 1;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let tick t = Atomic.fetch_and_add t.clock 1
+
+let invoke t ~client hop =
+  locked t (fun () ->
+      let cell =
+        {
+          index = t.count;
+          client;
+          hop;
+          invoked_at = tick t;
+          invoked_ns = Unix.gettimeofday ();
+          returned_at = None;
+          result = None;
+          latency_ns = 0;
+        }
+      in
+      t.count <- t.count + 1;
+      t.cells <- cell :: t.cells;
+      cell)
+
+let return t cell v =
+  locked t (fun () ->
+      cell.returned_at <- Some (tick t);
+      cell.result <- Some v;
+      cell.latency_ns <-
+        int_of_float ((Unix.gettimeofday () -. cell.invoked_ns) *. 1e9);
+      t.completed <- t.completed + 1)
+
+let snapshot t =
+  locked t (fun () ->
+      List.rev_map
+        (fun (c : cell) ->
+          {
+            Regemu_history.History.index = c.index;
+            client = c.client;
+            hop = c.hop;
+            invoked_at = c.invoked_at;
+            returned_at = c.returned_at;
+            result = c.result;
+          })
+        t.cells)
+
+let completed t = locked t (fun () -> t.completed)
+let invoked t = locked t (fun () -> t.count)
+
+let latencies_ns t =
+  locked t (fun () ->
+      (* cells are newest first; fold rebuilds invocation order *)
+      List.fold_left
+        (fun acc c ->
+          match c.returned_at with Some _ -> c.latency_ns :: acc | None -> acc)
+        [] t.cells)

@@ -1,0 +1,40 @@
+(** Lock-protected history of high-level operations for a live run.
+
+    Plays the role the trace plays in the simulator: every [write]/
+    [read] on the emulated register takes a ticket at invocation and
+    completes it at return.  Event order is a shared atomic counter, so
+    the [invoked_at]/[returned_at] fields of the resulting
+    {!Regemu_history.History.t} reflect {e wall-clock real-time order}:
+    operation [a] precedes operation [b] exactly when [a] returned
+    before [b] was invoked, which is what the WS-Regularity and
+    atomicity checkers need.  Wall-clock latency is recorded alongside
+    for throughput/percentile reporting. *)
+
+open Regemu_objects
+open Regemu_sim
+
+type t
+type ticket
+
+val create : unit -> t
+
+(** Take an invocation ticket.  Must be called before the operation
+    sends its first message. *)
+val invoke : t -> client:Id.Client.t -> Trace.hop -> ticket
+
+(** Complete a ticket with the operation's result.  Must be called
+    after the operation's last await. *)
+val return : t -> ticket -> Value.t -> unit
+
+(** Consistent snapshot of all operations so far (completed and
+    pending), in invocation order, ready for the checkers. *)
+val snapshot : t -> Regemu_history.History.t
+
+(** Number of completed operations. *)
+val completed : t -> int
+
+(** Number of invoked operations. *)
+val invoked : t -> int
+
+(** Wall-clock latency of each completed operation, in nanoseconds. *)
+val latencies_ns : t -> int list

@@ -1,0 +1,77 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_str f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let rec emit b indent v =
+  let pad n = String.make (2 * n) ' ' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_str f)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 1));
+          emit b (indent + 1) x)
+        xs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 1));
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          emit b (indent + 1) x)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  emit b 0 v;
+  Buffer.contents b
+
+let to_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,16 @@
+(** A minimal JSON emitter — enough for the benchmark trajectory files
+    without pulling in a dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Pretty-printed with two-space indentation and a trailing newline. *)
+val to_file : string -> t -> unit

@@ -1,0 +1,223 @@
+open Regemu_bounds
+
+type algo = Abd | Abd_wb | Alg2
+
+let algo_name = function
+  | Abd -> "abd"
+  | Abd_wb -> "abd-wb"
+  | Alg2 -> "algorithm2"
+
+let algo_of_name = function
+  | "abd" -> Some Abd
+  | "abd-wb" -> Some Abd_wb
+  | "algorithm2" | "alg2" -> Some Alg2
+  | _ -> None
+
+type spec = {
+  algo : algo;
+  k : int;
+  readers : int;
+  f : int;
+  n : int;
+  ops_per_client : int;
+  couriers : int;
+  chaos : bool;
+  seed : int;
+}
+
+let default_spec ~algo ~chaos ~seed =
+  { algo; k = 1; readers = 3; f = 1; n = 3; ops_per_client = 150;
+    couriers = 3; chaos; seed }
+
+type outcome = {
+  spec : spec;
+  ops : int;
+  wall_s : float;
+  throughput : float;
+  mean_us : float;
+  pcts_us : (float * float) list;
+  msgs_sent : int;
+  msgs_delivered : int;
+  msgs_duplicated : int;
+  msgs_delayed : int;
+  crashes : int;
+  restarts : int;
+  check : Checker.result;
+}
+
+let clean o =
+  Checker.ok o.check
+  && o.ops = (o.spec.k + o.spec.readers) * o.spec.ops_per_client
+
+let outcome_pp ppf o =
+  Fmt.pf ppf
+    "%-10s %s k=%d readers=%d f=%d n=%d: %d ops in %.3fs (%.0f ops/s), \
+     latency µs mean=%.0f %a; %d msgs (%d dup, %d delayed), %d crashes / %d \
+     restarts; %a"
+    (algo_name o.spec.algo)
+    (if o.spec.chaos then "chaos" else "quiet")
+    o.spec.k o.spec.readers o.spec.f o.spec.n o.ops o.wall_s o.throughput
+    o.mean_us
+    Fmt.(
+      list ~sep:(any " ") (fun ppf (p, v) ->
+          Fmt.pf ppf "p%.0f=%.0f" (p *. 100.) v))
+    o.pcts_us o.msgs_sent o.msgs_duplicated o.msgs_delayed o.crashes
+    o.restarts Checker.result_pp o.check
+
+let run spec =
+  let transport =
+    {
+      Transport.couriers = spec.couriers;
+      delay_prob = (if spec.chaos then 0.05 else 0.0);
+      max_delay_us = (if spec.chaos then 500 else 0);
+      dup_prob = (if spec.chaos then 0.05 else 0.0);
+      reorder = true;
+      seed = spec.seed;
+    }
+  in
+  let cluster =
+    Cluster.create { Cluster.n = spec.n; transport; op_timeout_s = 30.0 }
+  in
+  let writers = List.init spec.k (fun _ -> Cluster.new_client cluster) in
+  let readers = List.init spec.readers (fun _ -> Cluster.new_client cluster) in
+  let write, read =
+    match spec.algo with
+    | Abd | Abd_wb ->
+        let abd =
+          Abd_live.create cluster ~f:spec.f
+            ~write_back_reads:(spec.algo = Abd_wb) ()
+        in
+        (Abd_live.write abd, Abd_live.read abd)
+    | Alg2 ->
+        let p = Params.make_exn ~k:spec.k ~f:spec.f ~n:spec.n in
+        let alg2 = Alg2_live.create cluster p ~writers () in
+        (Alg2_live.write alg2, Alg2_live.read alg2)
+  in
+  Cluster.start cluster;
+  (* atomicity is only promised by the write-back variant, and the
+     brute-force checker needs a write-sequential-ish history: check it
+     for single-writer write-back runs *)
+  let checker =
+    Checker.spawn cluster ~interval_s:0.01
+      ~final_atomic:(spec.algo = Abd_wb && spec.k = 1)
+      ()
+  in
+  let injector =
+    if spec.chaos then
+      Some
+        (Fault.spawn cluster
+           (Fault.default_config ~f:spec.f ~pool:spec.n ~seed:(spec.seed + 1)))
+    else None
+  in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    try
+      Load.run ~write ~read ~writers ~readers
+        ~ops_per_client:spec.ops_per_client;
+      Ok ()
+    with e -> Error e
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Option.iter Fault.stop injector;
+  let check = Checker.stop checker in
+  let stats = Cluster.stats cluster in
+  let lats = Cluster.latencies_ns cluster in
+  Cluster.shutdown cluster;
+  (match result with Ok () -> () | Error e -> raise e);
+  let ops = stats.Cluster.ops_completed in
+  let mean_us =
+    match lats with
+    | [] -> 0.0
+    | _ ->
+        List.fold_left (fun a l -> a +. float_of_int l) 0.0 lats
+        /. float_of_int (List.length lats) /. 1e3
+  in
+  {
+    spec;
+    ops;
+    wall_s;
+    throughput = (if wall_s > 0.0 then float_of_int ops /. wall_s else 0.0);
+    mean_us;
+    pcts_us =
+      List.map
+        (fun (p, ns) -> (p, float_of_int ns /. 1e3))
+        (Regemu_sim.Stats.percentiles lats);
+    msgs_sent = stats.Cluster.msgs_sent;
+    msgs_delivered = stats.Cluster.msgs_delivered;
+    msgs_duplicated = stats.Cluster.msgs_duplicated;
+    msgs_delayed = stats.Cluster.msgs_delayed;
+    crashes = stats.Cluster.crashes;
+    restarts = stats.Cluster.restarts;
+    check;
+  }
+
+let suite ?(ops_per_client = 150) ~seed () =
+  List.concat_map
+    (fun algo ->
+      List.map
+        (fun chaos -> { (default_spec ~algo ~chaos ~seed) with ops_per_client })
+        [ false; true ])
+    [ Abd; Abd_wb; Alg2 ]
+
+let smoke_suite () =
+  [
+    { (default_spec ~algo:Abd ~chaos:true ~seed:42) with ops_per_client = 40 };
+    {
+      (default_spec ~algo:Alg2 ~chaos:true ~seed:43) with ops_per_client = 40;
+    };
+  ]
+
+let spec_json s =
+  Json.Obj
+    [
+      ("algo", Json.Str (algo_name s.algo));
+      ("writers", Json.Int s.k);
+      ("readers", Json.Int s.readers);
+      ("f", Json.Int s.f);
+      ("n", Json.Int s.n);
+      ("ops_per_client", Json.Int s.ops_per_client);
+      ("couriers", Json.Int s.couriers);
+      ("chaos", Json.Bool s.chaos);
+      ("seed", Json.Int s.seed);
+    ]
+
+let outcome_json o =
+  let pct name p =
+    ( name,
+      Json.Float
+        (try List.assoc p o.pcts_us with Not_found -> 0.0) )
+  in
+  Json.Obj
+    [
+      ("spec", spec_json o.spec);
+      ("ops", Json.Int o.ops);
+      ("wall_s", Json.Float o.wall_s);
+      ("ops_per_s", Json.Float o.throughput);
+      ("latency_mean_us", Json.Float o.mean_us);
+      pct "latency_p50_us" 0.50;
+      pct "latency_p95_us" 0.95;
+      pct "latency_p99_us" 0.99;
+      ("msgs_sent", Json.Int o.msgs_sent);
+      ("msgs_delivered", Json.Int o.msgs_delivered);
+      ("msgs_duplicated", Json.Int o.msgs_duplicated);
+      ("msgs_delayed", Json.Int o.msgs_delayed);
+      ("crashes", Json.Int o.crashes);
+      ("restarts", Json.Int o.restarts);
+      ("online_checks", Json.Int o.check.Checker.checks);
+      ( "ws_regular",
+        Json.Str
+          (Fmt.str "%a" Regemu_history.Ws_check.verdict_pp o.check.Checker.ws)
+      );
+      ( "atomic",
+        match o.check.Checker.atomic with
+        | None -> Json.Null
+        | Some b -> Json.Bool b );
+      ("clean", Json.Bool (clean o));
+    ]
+
+let to_json outcomes =
+  Json.Obj
+    [
+      ("schema", Json.Str "regemu-live-bench/1");
+      ("results", Json.List (List.map outcome_json outcomes));
+    ]

@@ -1,0 +1,63 @@
+(** Throughput/latency benchmark of the live cluster runtime: ABD (and
+    its atomic write-back variant) vs the paper's Algorithm 2, across
+    client-thread counts and fault rates, every run validated online by
+    the consistency checkers.
+
+    A run spawns [n] server threads, [k] writer + [readers] reader
+    threads, an online {!Checker}, optionally a {!Fault} injector, and
+    measures wall-clock ops/s and p50/p95/p99 operation latency
+    (via {!Regemu_sim.Stats.percentiles}). *)
+
+type algo = Abd | Abd_wb | Alg2
+
+val algo_name : algo -> string
+val algo_of_name : string -> algo option
+
+type spec = {
+  algo : algo;
+  k : int;  (** writer threads *)
+  readers : int;
+  f : int;
+  n : int;
+  ops_per_client : int;
+  couriers : int;
+  chaos : bool;  (** crash/restart injector + delays + duplication *)
+  seed : int;
+}
+
+(** [k + readers = 4] client threads, [n = 2f+1] servers by default. *)
+val default_spec : algo:algo -> chaos:bool -> seed:int -> spec
+
+type outcome = {
+  spec : spec;
+  ops : int;  (** completed operations *)
+  wall_s : float;
+  throughput : float;  (** completed ops per second *)
+  mean_us : float;
+  pcts_us : (float * float) list;  (** (level, latency µs) for p50/p95/p99 *)
+  msgs_sent : int;
+  msgs_delivered : int;
+  msgs_duplicated : int;
+  msgs_delayed : int;
+  crashes : int;
+  restarts : int;
+  check : Checker.result;
+}
+
+(** [true] when the run completed all operations and no checker
+    violation was found. *)
+val clean : outcome -> bool
+
+val outcome_pp : outcome Fmt.t
+
+(** Run one specification to completion (spawns and joins all threads). *)
+val run : spec -> outcome
+
+(** The standard suite: quiet and chaos runs of each algorithm. *)
+val suite : ?ops_per_client:int -> seed:int -> unit -> spec list
+
+(** The bounded, seed-fixed smoke suite for CI. *)
+val smoke_suite : unit -> spec list
+
+(** The [BENCH_live.json] document: schema id, specs, and results. *)
+val to_json : outcome list -> Json.t

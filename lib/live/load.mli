@@ -1,0 +1,19 @@
+(** The load generator: a pool of client threads driving an emulated
+    register as fast as it will go.
+
+    Each writer thread performs [ops_per_client] writes of distinct
+    values ("w<writer>-<seq>"), each reader thread [ops_per_client]
+    reads, all concurrently.  Exceptions raised by any worker (e.g.
+    {!Cluster.Timeout}) are re-raised on the calling thread after all
+    workers have been joined, so a liveness failure surfaces as a test
+    failure. *)
+
+open Regemu_objects
+
+val run :
+  write:(Cluster.client -> Value.t -> unit) ->
+  read:(Cluster.client -> Value.t) ->
+  writers:Cluster.client list ->
+  readers:Cluster.client list ->
+  ops_per_client:int ->
+  unit

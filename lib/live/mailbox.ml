@@ -1,0 +1,63 @@
+type 'a t = {
+  m : Mutex.t;
+  c : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+  mutable pushed : int;
+  mutable popped : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    c = Condition.create ();
+    q = Queue.create ();
+    closed = false;
+    pushed = 0;
+    popped = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let push t x =
+  locked t (fun () ->
+      if not t.closed then begin
+        Queue.push x t.q;
+        t.pushed <- t.pushed + 1;
+        Condition.signal t.c
+      end)
+
+let pop t =
+  locked t (fun () ->
+      let rec go () =
+        if t.closed then None
+        else if Queue.is_empty t.q then begin
+          Condition.wait t.c t.m;
+          go ()
+        end
+        else begin
+          t.popped <- t.popped + 1;
+          Some (Queue.pop t.q)
+        end
+      in
+      go ())
+
+let try_pop t =
+  locked t (fun () ->
+      if t.closed || Queue.is_empty t.q then None
+      else begin
+        t.popped <- t.popped + 1;
+        Some (Queue.pop t.q)
+      end)
+
+let length t = locked t (fun () -> Queue.length t.q)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.c)
+
+let pushed t = locked t (fun () -> t.pushed)
+let popped t = locked t (fun () -> t.popped)

@@ -1,0 +1,33 @@
+(** A thread-safe FIFO mailbox built on [Mutex]/[Condition].
+
+    The unit of server-side asynchrony in the live runtime: every
+    server thread drains one mailbox, every courier thread pushes into
+    them.  Delivery is exactly-once — an item pushed before [close] is
+    popped by exactly one consumer (the transport layer, not the
+    mailbox, is where duplication and reordering are injected). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push t x] appends [x].  A no-op after {!close}. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop t] blocks until an item is available and removes it.  [None]
+    once the mailbox has been closed (pending items are discarded — a
+    closed mailbox belongs to a cluster being torn down). *)
+val pop : 'a t -> 'a option
+
+(** Non-blocking variant: [None] when currently empty or closed. *)
+val try_pop : 'a t -> 'a option
+
+val length : 'a t -> int
+
+(** Wake all blocked poppers; they (and future pops) return [None]. *)
+val close : 'a t -> unit
+
+(** Total items accepted by [push] (monotone; for accounting tests). *)
+val pushed : 'a t -> int
+
+(** Total items handed out by [pop]/[try_pop]. *)
+val popped : 'a t -> int

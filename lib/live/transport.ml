@@ -1,0 +1,147 @@
+type dest = To_server of int | To_client of int
+
+type envelope = { src : int; dest : dest; payload : Regemu_netsim.Proto.payload }
+
+type config = {
+  couriers : int;
+  delay_prob : float;
+  max_delay_us : int;
+  dup_prob : float;
+  reorder : bool;
+  seed : int;
+}
+
+let default_config ~seed =
+  {
+    couriers = 2;
+    delay_prob = 0.0;
+    max_delay_us = 0;
+    dup_prob = 0.0;
+    reorder = true;
+    seed;
+  }
+
+type t = {
+  cfg : config;
+  deliver : envelope -> unit;
+  m : Mutex.t;
+  c : Condition.t;
+  q : envelope Queue.t;
+  rng : Regemu_sim.Rng.t;  (* protected by [m] *)
+  mutable stopped : bool;
+  mutable threads : Thread.t list;
+  mutable sent : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  delivered : int Atomic.t;
+}
+
+let create cfg ~deliver =
+  if cfg.couriers < 1 then invalid_arg "Transport.create: need >= 1 courier";
+  {
+    cfg;
+    deliver;
+    m = Mutex.create ();
+    c = Condition.create ();
+    q = Queue.create ();
+    rng = Regemu_sim.Rng.create cfg.seed;
+    stopped = false;
+    threads = [];
+    sent = 0;
+    duplicated = 0;
+    delayed = 0;
+    delivered = Atomic.make 0;
+  }
+
+(* [p] as an event on a seeded integer rng *)
+let hit rng p =
+  p > 0.0 && Regemu_sim.Rng.int rng ~bound:1_000_000 < int_of_float (p *. 1e6)
+
+(* remove the [i]-th element of the queue *)
+let take_nth q i =
+  let tmp = Queue.create () in
+  let rec skip k =
+    if k = 0 then ()
+    else begin
+      Queue.push (Queue.pop q) tmp;
+      skip (k - 1)
+    end
+  in
+  skip i;
+  let x = Queue.pop q in
+  Queue.transfer q tmp;
+  Queue.transfer tmp q;
+  x
+
+let rec courier_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.stopped do
+    Condition.wait t.c t.m
+  done;
+  if t.stopped then Mutex.unlock t.m
+  else begin
+    let env =
+      if t.cfg.reorder && Queue.length t.q > 1 then
+        take_nth t.q (Regemu_sim.Rng.int t.rng ~bound:(Queue.length t.q))
+      else Queue.pop t.q
+    in
+    let delay_us =
+      if hit t.rng t.cfg.delay_prob && t.cfg.max_delay_us > 0 then begin
+        t.delayed <- t.delayed + 1;
+        1 + Regemu_sim.Rng.int t.rng ~bound:t.cfg.max_delay_us
+      end
+      else 0
+    in
+    Mutex.unlock t.m;
+    if delay_us > 0 then Thread.delay (float_of_int delay_us *. 1e-6);
+    t.deliver env;
+    Atomic.incr t.delivered;
+    courier_loop t
+  end
+
+let start t =
+  t.threads <- List.init t.cfg.couriers (fun _ -> Thread.create courier_loop t)
+
+let send t env =
+  Mutex.lock t.m;
+  if not t.stopped then begin
+    Queue.push env t.q;
+    t.sent <- t.sent + 1;
+    Condition.signal t.c;
+    if hit t.rng t.cfg.dup_prob then begin
+      Queue.push env t.q;
+      t.sent <- t.sent + 1;
+      t.duplicated <- t.duplicated + 1;
+      Condition.signal t.c
+    end
+  end;
+  Mutex.unlock t.m
+
+let stop t =
+  Mutex.lock t.m;
+  t.stopped <- true;
+  Queue.clear t.q;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m;
+  List.iter Thread.join t.threads;
+  t.threads <- []
+
+let sent t =
+  Mutex.lock t.m;
+  let v = t.sent in
+  Mutex.unlock t.m;
+  v
+
+let delivered t = Atomic.get t.delivered
+
+let duplicated t =
+  Mutex.lock t.m;
+  let v = t.duplicated in
+  Mutex.unlock t.m;
+  v
+
+let delayed t =
+  Mutex.lock t.m;
+  let v = t.delayed in
+  Mutex.unlock t.m;
+  v

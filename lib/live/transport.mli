@@ -1,0 +1,59 @@
+(** The live message fabric: an asynchronous, reordering, duplicating,
+    delaying network made of real threads.
+
+    [send] enqueues an envelope into a shared outbox; a pool of
+    {e courier} threads drains it and hands each envelope to the
+    [deliver] callback supplied at creation (the cluster routes it to a
+    server mailbox or a client reply handler).  The faults of the
+    paper's asynchronous model are injected here, with configurable
+    rates drawn from a seeded deterministic RNG:
+
+    - {e reorder}: couriers pick a random queued envelope instead of
+      the oldest (and with several couriers, delivery interleaves even
+      in FIFO mode);
+    - {e delay}: a courier sleeps before delivering, holding exactly
+      the message it carries — other couriers keep delivering past it;
+    - {e duplicate}: an envelope is enqueued twice (at-least-once
+      delivery; the protocol layer must tolerate it).
+
+    Messages are never dropped: a request to a crashed server waits in
+    its mailbox, indistinguishable from an arbitrarily slow server —
+    exactly the asynchronous model's treatment of crashes. *)
+
+type dest = To_server of int | To_client of int
+
+type envelope = { src : int; dest : dest; payload : Regemu_netsim.Proto.payload }
+
+type config = {
+  couriers : int;  (** delivery threads; ≥ 2 gives interleaving *)
+  delay_prob : float;  (** chance a delivery sleeps first *)
+  max_delay_us : int;  (** uniform sleep bound, microseconds *)
+  dup_prob : float;  (** chance a send is enqueued twice *)
+  reorder : bool;  (** couriers pick a random queued envelope *)
+  seed : int;
+}
+
+val default_config : seed:int -> config
+(** 2 couriers, reorder on, no delays, no duplication. *)
+
+type t
+
+(** [create cfg ~deliver] builds the fabric; no thread runs until
+    {!start}.  [deliver] is called from courier threads. *)
+val create : config -> deliver:(envelope -> unit) -> t
+
+val start : t -> unit
+
+(** Enqueue an envelope (dropped silently after {!stop}). *)
+val send : t -> envelope -> unit
+
+(** Stop accepting sends, discard the queue, join the couriers. *)
+val stop : t -> unit
+
+(** {2 Accounting} *)
+
+val sent : t -> int  (** envelopes accepted, duplicates included *)
+
+val delivered : t -> int
+val duplicated : t -> int
+val delayed : t -> int

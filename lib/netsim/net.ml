@@ -1,6 +1,8 @@
 open Regemu_objects
 
-type payload =
+(* the wire payloads and the server step live in Proto, shared verbatim
+   with the live threaded runtime *)
+type payload = Proto.payload =
   | Query of { rid : int }
   | Query_reply of { rid : int; stored : Value.t }
   | Update of { rid : int; proposed : Value.t }
@@ -10,19 +12,7 @@ type payload =
   | Reg_write of { rid : int; reg : int; proposed : Value.t }
   | Reg_write_reply of { rid : int }
 
-let payload_pp ppf = function
-  | Query { rid } -> Fmt.pf ppf "query#%d" rid
-  | Query_reply { rid; stored } ->
-      Fmt.pf ppf "query-reply#%d(%a)" rid Value.pp stored
-  | Update { rid; proposed } ->
-      Fmt.pf ppf "update#%d(%a)" rid Value.pp proposed
-  | Update_reply { rid } -> Fmt.pf ppf "update-reply#%d" rid
-  | Reg_read { rid; reg } -> Fmt.pf ppf "reg-read#%d[r%d]" rid reg
-  | Reg_read_reply { rid; stored } ->
-      Fmt.pf ppf "reg-read-reply#%d(%a)" rid Value.pp stored
-  | Reg_write { rid; reg; proposed } ->
-      Fmt.pf ppf "reg-write#%d[r%d](%a)" rid reg Value.pp proposed
-  | Reg_write_reply { rid } -> Fmt.pf ppf "reg-write-reply#%d" rid
+let payload_pp = Proto.payload_pp
 
 type dest = To_server of Id.Server.t | To_client of Id.Client.t
 
@@ -63,8 +53,7 @@ type call = {
 
 type t = {
   n : int;
-  server_state : Value.t array;  (* the built-in max-register, one per server *)
-  server_regs : Value.t array array;  (* plain register cells, per server *)
+  stores : Proto.store array;  (* per-server storage, shared with live *)
   server_down : bool array;
   mutable clients : client_rec list;
   mutable flight : message list;  (* newest first *)
@@ -81,8 +70,7 @@ let create ~n () =
   if n <= 0 then invalid_arg "Net.create: n must be positive";
   {
     n;
-    server_state = Array.make n Value.v0;
-    server_regs = Array.make n [||];
+    stores = Array.init n (fun _ -> Proto.store_create ());
     server_down = Array.make n false;
     clients = [];
     flight = [];
@@ -116,18 +104,15 @@ let check_server t s =
 
 let alloc_reg t s =
   check_server t s;
-  let i = Id.Server.to_int s in
-  let ix = Array.length t.server_regs.(i) in
-  t.server_regs.(i) <- Array.append t.server_regs.(i) [| Value.v0 |];
-  ix
+  Proto.alloc_reg t.stores.(Id.Server.to_int s)
 
 let regs_on t s =
   check_server t s;
-  Array.length t.server_regs.(Id.Server.to_int s)
+  Proto.num_regs t.stores.(Id.Server.to_int s)
 
 let peek_reg t s reg =
   check_server t s;
-  t.server_regs.(Id.Server.to_int s).(reg)
+  Proto.peek_reg t.stores.(Id.Server.to_int s) reg
 
 let crash_server t s =
   check_server t s;
@@ -230,24 +215,11 @@ let enabled t =
   in
   steps @ delivers
 
-(* the built-in server behaviour: a max-register per server, exactly the
-   code the paper observes inside multi-writer ABD *)
+(* the built-in server behaviour — the shared protocol core applied to
+   this server's store *)
 let server_process t s payload =
-  let i = Id.Server.to_int s in
-  match payload with
-  | Query { rid } ->
-      [ (rid, Query_reply { rid; stored = t.server_state.(i) }) ]
-  | Update { rid; proposed } ->
-      t.server_state.(i) <- Value.max t.server_state.(i) proposed;
-      [ (rid, Update_reply { rid }) ]
-  | Reg_read { rid; reg } ->
-      [ (rid, Reg_read_reply { rid; stored = t.server_regs.(i).(reg) }) ]
-  | Reg_write { rid; reg; proposed } ->
-      (* plain register: last delivered write wins, whenever it lands *)
-      t.server_regs.(i).(reg) <- proposed;
-      [ (rid, Reg_write_reply { rid }) ]
-  | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _ ->
-      []
+  Proto.step t.stores.(Id.Server.to_int s) payload
+  |> List.map (fun reply -> (Proto.rid_of reply, reply))
 
 let client_of_rid t rid =
   (* handlers are keyed by (client, rid); rids are globally unique so a

@@ -29,8 +29,11 @@ open Regemu_objects
     read/write-only interfaces, the setting of the paper's reference
     [2] and of its register lower bound.  A delayed [Reg_write]
     request is a covering write on the wire: it overwrites whatever
-    the cell holds when it is finally delivered. *)
-type payload =
+    the cell holds when it is finally delivered.
+
+    The type (and the server behaviour) is shared with the live
+    threaded runtime; see {!Proto}. *)
+type payload = Proto.payload =
   | Query of { rid : int }  (** read the server's stored value *)
   | Query_reply of { rid : int; stored : Value.t }
   | Update of { rid : int; proposed : Value.t }

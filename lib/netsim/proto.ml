@@ -1,0 +1,67 @@
+open Regemu_objects
+
+type payload =
+  | Query of { rid : int }
+  | Query_reply of { rid : int; stored : Value.t }
+  | Update of { rid : int; proposed : Value.t }
+  | Update_reply of { rid : int }
+  | Reg_read of { rid : int; reg : int }
+  | Reg_read_reply of { rid : int; stored : Value.t }
+  | Reg_write of { rid : int; reg : int; proposed : Value.t }
+  | Reg_write_reply of { rid : int }
+
+let payload_pp ppf = function
+  | Query { rid } -> Fmt.pf ppf "query#%d" rid
+  | Query_reply { rid; stored } ->
+      Fmt.pf ppf "query-reply#%d(%a)" rid Value.pp stored
+  | Update { rid; proposed } ->
+      Fmt.pf ppf "update#%d(%a)" rid Value.pp proposed
+  | Update_reply { rid } -> Fmt.pf ppf "update-reply#%d" rid
+  | Reg_read { rid; reg } -> Fmt.pf ppf "reg-read#%d[r%d]" rid reg
+  | Reg_read_reply { rid; stored } ->
+      Fmt.pf ppf "reg-read-reply#%d(%a)" rid Value.pp stored
+  | Reg_write { rid; reg; proposed } ->
+      Fmt.pf ppf "reg-write#%d[r%d](%a)" rid reg Value.pp proposed
+  | Reg_write_reply { rid } -> Fmt.pf ppf "reg-write-reply#%d" rid
+
+let rid_of = function
+  | Query { rid }
+  | Query_reply { rid; _ }
+  | Update { rid; _ }
+  | Update_reply { rid }
+  | Reg_read { rid; _ }
+  | Reg_read_reply { rid; _ }
+  | Reg_write { rid; _ }
+  | Reg_write_reply { rid } ->
+      rid
+
+let is_reply = function
+  | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _ ->
+      true
+  | Query _ | Update _ | Reg_read _ | Reg_write _ -> false
+
+type store = { mutable maxreg : Value.t; mutable regs : Value.t array }
+
+let store_create () = { maxreg = Value.v0; regs = [||] }
+
+let alloc_reg st =
+  let ix = Array.length st.regs in
+  st.regs <- Array.append st.regs [| Value.v0 |];
+  ix
+
+let num_regs st = Array.length st.regs
+let peek_reg st reg = st.regs.(reg)
+let peek_max st = st.maxreg
+
+let step st = function
+  | Query { rid } -> [ Query_reply { rid; stored = st.maxreg } ]
+  | Update { rid; proposed } ->
+      st.maxreg <- Value.max st.maxreg proposed;
+      [ Update_reply { rid } ]
+  | Reg_read { rid; reg } -> [ Reg_read_reply { rid; stored = st.regs.(reg) } ]
+  | Reg_write { rid; reg; proposed } ->
+      (* plain register: last delivered write wins, whenever it lands *)
+      st.regs.(reg) <- proposed;
+      [ Reg_write_reply { rid } ]
+  | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _ ->
+      []

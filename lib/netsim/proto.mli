@@ -1,0 +1,67 @@
+(** The server-side protocol core shared by the scripted network
+    simulator ({!Net}) and the live threaded runtime ([Regemu_live]).
+
+    A server — whether a simulated process stepped by a scripted
+    environment or a real OS thread draining a mailbox — is a {!store}
+    (one built-in max-register plus dynamically allocated plain
+    register cells) together with the {!step} function mapping each
+    delivered request to its effect on the store and the replies to
+    send back.  Factoring this out guarantees the two runtimes execute
+    exactly the same protocol: any divergence between a simulated and a
+    live run is a property of the environment, never of the server
+    code. *)
+
+open Regemu_objects
+
+(** Wire payloads.  [rid] is a client-chosen request id used to match
+    replies to requests.
+
+    [Query]/[Update] talk to the server's built-in {e max-register}
+    (the ABD server); [Reg_read]/[Reg_write] talk to plain {e register
+    cells} allocated with {!alloc_reg}.  A delayed [Reg_write] request
+    is a covering write on the wire: it overwrites whatever the cell
+    holds when it is finally delivered. *)
+type payload =
+  | Query of { rid : int }  (** read the server's stored value *)
+  | Query_reply of { rid : int; stored : Value.t }
+  | Update of { rid : int; proposed : Value.t }
+      (** store [max(stored, proposed)] — the server-side write-max the
+          paper observes inside ABD *)
+  | Update_reply of { rid : int }
+  | Reg_read of { rid : int; reg : int }
+  | Reg_read_reply of { rid : int; stored : Value.t }
+  | Reg_write of { rid : int; reg : int; proposed : Value.t }
+      (** plain overwrite: last delivered wins *)
+  | Reg_write_reply of { rid : int }
+
+val payload_pp : payload Fmt.t
+
+(** The request id carried by any payload. *)
+val rid_of : payload -> int
+
+(** [true] for server-to-client payloads. *)
+val is_reply : payload -> bool
+
+(** One server's storage: the built-in max-register plus its plain
+    register cells.  Not thread-safe by itself — in the live runtime
+    each store is owned by exactly one server thread. *)
+type store
+
+val store_create : unit -> store
+
+(** Allocate a fresh register cell, initially {!Value.v0}; returns its
+    per-store index. *)
+val alloc_reg : store -> int
+
+val num_regs : store -> int
+val peek_reg : store -> int -> Value.t
+
+(** Current content of the built-in max-register. *)
+val peek_max : store -> Value.t
+
+(** Apply one delivered request to the store, returning the replies to
+    send back.  Replies delivered to a server by mistake produce no
+    output.  The update is idempotent for [Update] (write-max) and
+    last-write-wins for [Reg_write], so at-least-once delivery is
+    tolerated. *)
+val step : store -> payload -> payload list

@@ -75,6 +75,20 @@ let pp ppf s =
     s.triggers s.responds s.invocations s.returns s.server_crashes
     s.client_crashes s.max_outstanding s.point_contention
 
+let percentile_levels = [ 0.50; 0.95; 0.99 ]
+
+let percentiles samples =
+  let arr = Array.of_list (List.sort Int.compare samples) in
+  let n = Array.length arr in
+  List.map
+    (fun p ->
+      if n = 0 then (p, 0)
+      else
+        (* nearest-rank: the ceil(p*n)-th smallest sample *)
+        let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+        (p, arr.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))))
+    percentile_levels
+
 let latencies tr =
   let open_at = Hashtbl.create 8 in
   let out = ref [] in

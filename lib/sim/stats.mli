@@ -28,3 +28,12 @@ val pp : t Fmt.t
 (** Steps between invocation and return for each completed high-level
     operation, in invocation order — the simulated-time latency. *)
 val latencies : Trace.t -> int list
+
+(** The percentile levels reported across the repo: p50, p95, p99. *)
+val percentile_levels : float list
+
+(** [percentiles samples] is the nearest-rank p50/p95/p99 of the
+    samples as [(level, value)] pairs ([(level, 0)] on an empty list).
+    Shared by the harness latency tables and the live benchmark, so
+    every latency report in the repo uses the same percentile math. *)
+val percentiles : int list -> (float * int) list

@@ -1,0 +1,228 @@
+(* Tests for the live cluster runtime: real threads, real faults,
+   online checking. *)
+
+open Regemu_objects
+open Regemu_live
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* wait for a counter to reach [target] (couriers are asynchronous) *)
+let settle ?(deadline_s = 5.0) read target =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if read () >= target then true
+    else if Unix.gettimeofday () -. t0 > deadline_s then false
+    else (
+      Thread.delay 0.001;
+      go ())
+  in
+  go ()
+
+(* --- mailbox ------------------------------------------------------------ *)
+
+let mailbox_tests =
+  [
+    test "fifo in the single-threaded case" (fun () ->
+        let mb = Mailbox.create () in
+        List.iter (Mailbox.push mb) [ 1; 2; 3 ];
+        let pop1 = Mailbox.try_pop mb in
+        let pop2 = Mailbox.try_pop mb in
+        let pop3 = Mailbox.try_pop mb in
+        let pop4 = Mailbox.try_pop mb in
+        let pops = [ pop1; pop2; pop3; pop4 ] in
+        Alcotest.(check (list (option int)))
+          "popped in order"
+          [ Some 1; Some 2; Some 3; None ]
+          pops);
+    test "exactly-once under contention" (fun () ->
+        let mb = Mailbox.create () in
+        let pushers = 4 and per_pusher = 250 in
+        let threads =
+          List.init pushers (fun i ->
+              Thread.create
+                (fun () ->
+                  for j = 0 to per_pusher - 1 do
+                    Mailbox.push mb ((i * per_pusher) + j)
+                  done)
+                ())
+        in
+        List.iter Thread.join threads;
+        let seen = Hashtbl.create 64 in
+        let rec drain () =
+          match Mailbox.try_pop mb with
+          | None -> ()
+          | Some x ->
+              Alcotest.(check bool)
+                "no duplicate delivery" false (Hashtbl.mem seen x);
+              Hashtbl.replace seen x ();
+              drain ()
+        in
+        drain ();
+        Alcotest.(check int)
+          "every push delivered once" (pushers * per_pusher)
+          (Hashtbl.length seen);
+        Alcotest.(check int) "accounting agrees"
+          (Mailbox.pushed mb) (Mailbox.popped mb));
+    test "close wakes blocked poppers" (fun () ->
+        let mb = Mailbox.create () in
+        let got = ref (Some 99) in
+        let t = Thread.create (fun () -> got := Mailbox.pop mb) () in
+        Thread.delay 0.01;
+        Mailbox.close mb;
+        Thread.join t;
+        Alcotest.(check (option int)) "pop returned None" None !got;
+        Mailbox.push mb 1;
+        Alcotest.(check (option int))
+          "push after close is a no-op" None (Mailbox.try_pop mb));
+  ]
+
+(* --- transport ---------------------------------------------------------- *)
+
+let query i = Regemu_netsim.Proto.Query { rid = i }
+
+let transport_tests =
+  [
+    test "no loss: every send is delivered exactly once" (fun () ->
+        let seen = Hashtbl.create 64 in
+        let lock = Mutex.create () in
+        let deliver (e : Transport.envelope) =
+          Mutex.lock lock;
+          let rid = Regemu_netsim.Proto.rid_of e.payload in
+          Hashtbl.replace seen rid (1 + Option.value ~default:0 (Hashtbl.find_opt seen rid));
+          Mutex.unlock lock
+        in
+        let tr =
+          Transport.create
+            { (Transport.default_config ~seed:7) with couriers = 3 }
+            ~deliver
+        in
+        Transport.start tr;
+        let total = 500 in
+        for i = 0 to total - 1 do
+          Transport.send tr
+            { Transport.src = 0; dest = To_server 0; payload = query i }
+        done;
+        Alcotest.(check bool)
+          "all deliveries arrived" true
+          (settle (fun () -> Transport.delivered tr) total);
+        Transport.stop tr;
+        Alcotest.(check int) "each rid seen" total (Hashtbl.length seen);
+        Hashtbl.iter
+          (fun _ c -> Alcotest.(check int) "exactly once" 1 c)
+          seen);
+    test "dup_prob=1 duplicates every send" (fun () ->
+        let seen = Hashtbl.create 64 in
+        let lock = Mutex.create () in
+        let deliver (e : Transport.envelope) =
+          Mutex.lock lock;
+          let rid = Regemu_netsim.Proto.rid_of e.payload in
+          Hashtbl.replace seen rid (1 + Option.value ~default:0 (Hashtbl.find_opt seen rid));
+          Mutex.unlock lock
+        in
+        let tr =
+          Transport.create
+            { (Transport.default_config ~seed:11) with dup_prob = 1.0 }
+            ~deliver
+        in
+        Transport.start tr;
+        let total = 100 in
+        for i = 0 to total - 1 do
+          Transport.send tr
+            { Transport.src = 0; dest = To_server 0; payload = query i }
+        done;
+        Alcotest.(check bool)
+          "both copies of everything arrived" true
+          (settle (fun () -> Transport.delivered tr) (2 * total));
+        Transport.stop tr;
+        Hashtbl.iter
+          (fun _ c -> Alcotest.(check int) "exactly twice" 2 c)
+          seen;
+        Alcotest.(check int) "duplications counted" total
+          (Transport.duplicated tr));
+  ]
+
+(* --- live cluster runs -------------------------------------------------- *)
+
+let check_clean what (r : Checker.result) =
+  (match r.ws with
+  | Regemu_history.Ws_check.Violated v ->
+      Alcotest.failf "%s: WS-Regularity violated: %a" what
+        Regemu_history.Ws_check.violation_pp v
+  | Holds | Vacuous -> ());
+  match r.atomic with
+  | Some false -> Alcotest.failf "%s: final history not linearizable" what
+  | Some true | None -> ()
+
+let cluster_tests =
+  [
+    test "ABD smoke: concurrent clients, checker-clean" (fun () ->
+        let o =
+          Live_bench.run
+            {
+              (Live_bench.default_spec ~algo:Live_bench.Abd_wb ~chaos:false
+                 ~seed:1)
+              with k = 1; readers = 2; ops_per_client = 60;
+            }
+        in
+        check_clean "abd-wb smoke" o.check;
+        Alcotest.(check int) "every op completed" (3 * 60) o.ops;
+        Alcotest.(check bool) "outcome is clean" true (Live_bench.clean o));
+    test "algorithm 2 smoke: checker-clean" (fun () ->
+        let o =
+          Live_bench.run
+            {
+              (Live_bench.default_spec ~algo:Live_bench.Alg2 ~chaos:false
+                 ~seed:2)
+              with readers = 2; ops_per_client = 50;
+            }
+        in
+        check_clean "alg2 smoke" o.check;
+        Alcotest.(check int) "every op completed" (3 * 50) o.ops);
+    test "deterministic crashes: ops complete with <= f down" (fun () ->
+        let cfg = Cluster.default_config ~n:3 ~seed:3 in
+        let cluster = Cluster.create cfg in
+        let abd = Abd_live.create cluster ~f:1 () in
+        let w = Cluster.new_client cluster in
+        let r = Cluster.new_client cluster in
+        Cluster.start cluster;
+        let checker = Checker.spawn cluster () in
+        Abd_live.write abd w (Value.Str "pre-crash");
+        Cluster.crash cluster 0;
+        (* quorum f+1 = 2 of the remaining servers: still wait-free *)
+        for i = 1 to 20 do
+          Abd_live.write abd w (Value.Str (Printf.sprintf "during-%d" i));
+          ignore (Abd_live.read abd r)
+        done;
+        Alcotest.(check int) "one server down" 1 (Cluster.crashed_count cluster);
+        Cluster.restart cluster 0;
+        Cluster.crash cluster 2;
+        for i = 1 to 20 do
+          ignore (Abd_live.read abd r);
+          Abd_live.write abd w (Value.Str (Printf.sprintf "after-%d" i))
+        done;
+        Alcotest.(check bool)
+          "never more than f down" true
+          (Cluster.crashed_count cluster <= 1);
+        let res = Checker.stop checker in
+        Cluster.shutdown cluster;
+        check_clean "crash run" res;
+        Alcotest.(check int) "all 81 ops completed" 81
+          ((Cluster.stats cluster).Cluster.ops_completed));
+    test "chaos run survives injected faults" (fun () ->
+        let o =
+          Live_bench.run
+            {
+              (Live_bench.default_spec ~algo:Live_bench.Abd ~chaos:true ~seed:4)
+              with readers = 2; ops_per_client = 40;
+            }
+        in
+        check_clean "abd chaos" o.check;
+        Alcotest.(check int) "every op completed" (3 * 40) o.ops);
+  ]
+
+let suites =
+  [
+    ("live.mailbox", mailbox_tests);
+    ("live.transport", transport_tests);
+    ("live.cluster", cluster_tests);
+  ]
