@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test bench live-bench verify examples clean loc
+.PHONY: all build test bench live-bench chaos-bench verify examples clean loc
 
 all: build
 
@@ -16,6 +16,10 @@ bench:
 # real threads, fault injection, online checking; writes BENCH_live.json
 live-bench:
 	dune exec bin/regemu.exe -- live --bench --json BENCH_live.json
+
+# the full nemesis campaign against the live cluster; writes BENCH_chaos.json
+chaos-bench:
+	dune exec bin/regemu.exe -- chaos --json BENCH_chaos.json
 
 verify:
 	dune exec bin/regemu.exe -- verify

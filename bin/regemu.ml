@@ -745,6 +745,113 @@ let live_cmd =
       $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of server threads.")
       $ ops_arg $ couriers_arg $ json_arg $ seed_arg)
 
+(* --- chaos --------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let open Regemu_chaos in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Bounded campaign subset (used by dune runtest).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the campaign's scenarios and exit.")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Run a single scenario from the campaign.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON (regemu-chaos/1 schema).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress per-phase progress lines.")
+  in
+  let run smoke list scenario json quiet seed =
+    if list then begin
+      List.iter
+        (fun s ->
+          Fmt.pr "%-22s %-10s expect=%-9s %s@." s.Campaign.name
+            (Campaign.algo_name s.Campaign.algo)
+            (Campaign.expectation_name s.Campaign.expect)
+            s.Campaign.descr)
+        (Campaign.campaign ~seed);
+      0
+    end
+    else
+      let scenarios =
+        match scenario with
+        | Some name -> (
+            match Campaign.by_name ~seed name with
+            | Some s -> Ok [ s ]
+            | None ->
+                Error
+                  (Fmt.str "unknown scenario %S (try --list); known: %s" name
+                     (String.concat ", " (Campaign.names ()))))
+        | None ->
+            Ok (if smoke then Campaign.smoke ~seed else Campaign.campaign ~seed)
+      in
+      match scenarios with
+      | Error m ->
+          Fmt.epr "error: %s@." m;
+          1
+      | Ok scenarios -> (
+          let log = if quiet then ignore else fun m -> Fmt.pr "  %s@." m in
+          match
+            List.map
+              (fun s ->
+                let o = Campaign.run ~log s in
+                Fmt.pr "%a@." Campaign.outcome_pp o;
+                List.iter
+                  (fun p -> Fmt.pr "    %a@." Campaign.phase_outcome_pp p)
+                  o.Campaign.phases;
+                o)
+              scenarios
+          with
+          | exception Invalid_argument m ->
+              Fmt.epr "error: %s@." m;
+              1
+          | outcomes -> (
+              match
+                Option.iter
+                  (fun path ->
+                    Regemu_live.Json.to_file path
+                      (Campaign.to_json ~seed ~smoke outcomes))
+                  json
+              with
+              | exception Sys_error m ->
+                  Fmt.epr "error: %s@." m;
+                  1
+              | () ->
+                  if Campaign.all_pass outcomes then 0
+                  else (
+                    Fmt.epr
+                      "error: a chaos scenario did not match its \
+                       expectation@.";
+                    1)))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run deterministic nemesis campaigns against the live cluster: \
+          lossy transport, partitions, crash-recovery, and beyond-f \
+          outages, judged by the online consistency checker.")
+    Term.(
+      const run $ smoke_arg $ list_arg $ scenario_arg $ json_arg $ quiet_arg
+      $ seed_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -764,5 +871,5 @@ let () =
             thm5_cmd; thm6_cmd; thm7_cmd; thm8_cmd; plan_cmd; alg1_cmd;
             classification_cmd; rspace_cmd; inversion_cmd;
             latency_cmd; fuzz_cmd; explore_cmd; run_cmd; verify_cmd;
-            sweep_cmd; netabd_cmd; live_cmd; all_cmd;
+            sweep_cmd; netabd_cmd; live_cmd; chaos_cmd; all_cmd;
           ]))

@@ -1,0 +1,74 @@
+open Regemu_live
+
+type counters = {
+  crashes : int;
+  restarts : int;
+  partitions : int;
+  heals : int;
+  drop_changes : int;
+}
+
+let counters_pp ppf c =
+  Fmt.pf ppf "%d crashes, %d restarts, %d partitions, %d heals, %d drop changes"
+    c.crashes c.restarts c.partitions c.heals c.drop_changes
+
+let counters_json c =
+  Json.Obj
+    [
+      ("crashes", Json.Int c.crashes);
+      ("restarts", Json.Int c.restarts);
+      ("partitions", Json.Int c.partitions);
+      ("heals", Json.Int c.heals);
+      ("drop_changes", Json.Int c.drop_changes);
+    ]
+
+type t = { thread : Thread.t; counters : counters ref }
+
+let apply cluster counters { Schedule.ev; _ } =
+  let c = !counters in
+  match ev with
+  | Schedule.Crash s ->
+      Cluster.crash cluster s;
+      counters := { c with crashes = c.crashes + 1 }
+  | Schedule.Restart s ->
+      Cluster.restart cluster s;
+      counters := { c with restarts = c.restarts + 1 }
+  | Schedule.Partition groups ->
+      Cluster.split cluster ~groups ~clients_with:0;
+      counters := { c with partitions = c.partitions + 1 }
+  | Schedule.Heal ->
+      Cluster.heal cluster;
+      counters := { c with heals = c.heals + 1 }
+  | Schedule.Drop_rate p ->
+      Cluster.set_drop cluster ~requests:p ~replies:p ();
+      counters := { c with drop_changes = c.drop_changes + 1 }
+
+let start cluster sched =
+  Schedule.validate ~n:(Cluster.num_servers cluster) sched;
+  let sched = List.stable_sort (fun a b -> compare a.Schedule.at_ms b.Schedule.at_ms) sched in
+  let counters =
+    ref { crashes = 0; restarts = 0; partitions = 0; heals = 0; drop_changes = 0 }
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun ev ->
+            let due = t0 +. (float_of_int ev.Schedule.at_ms /. 1e3) in
+            let rec sleep_until () =
+              let now = Unix.gettimeofday () in
+              if now < due then (
+                Thread.delay (min 0.02 (due -. now));
+                sleep_until ())
+            in
+            sleep_until ();
+            apply cluster counters ev)
+          sched)
+      ()
+  in
+  { thread; counters }
+
+let join t =
+  Thread.join t.thread;
+  !(t.counters)

@@ -1,0 +1,30 @@
+(** The nemesis: a thread that replays a {!Schedule} against a live
+    {!Regemu_live.Cluster} in real time, applying each fault event at
+    its scheduled offset from {!start}.
+
+    The nemesis only {e applies} faults; it never waits for their
+    effects.  Whether the cluster rides them out is for the load
+    threads (which may observe {!Regemu_live.Cluster.Unavailable}) and
+    the online checker to decide. *)
+
+type counters = {
+  crashes : int;
+  restarts : int;
+  partitions : int;
+  heals : int;
+  drop_changes : int;
+}
+
+val counters_pp : counters Fmt.t
+val counters_json : counters -> Regemu_live.Json.t
+
+type t
+
+(** Validate the schedule against the cluster size, then start the
+    replay thread.  Events fire in [at_ms] order regardless of the
+    order given. *)
+val start : Regemu_live.Cluster.t -> Schedule.t -> t
+
+(** Wait for every event to have been applied; returns how many of
+    each kind fired. *)
+val join : t -> counters

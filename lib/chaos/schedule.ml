@@ -1,0 +1,177 @@
+type event =
+  | Crash of int
+  | Restart of int
+  | Partition of int list list
+  | Heal
+  | Drop_rate of float
+
+type timed = { at_ms : int; ev : event }
+type t = timed list
+
+let event_pp ppf = function
+  | Crash s -> Fmt.pf ppf "crash %d" s
+  | Restart s -> Fmt.pf ppf "restart %d" s
+  | Partition groups ->
+      Fmt.pf ppf "partition %a"
+        Fmt.(list ~sep:(any "|") (brackets (list ~sep:comma int)))
+        groups
+  | Heal -> Fmt.string ppf "heal"
+  | Drop_rate p -> Fmt.pf ppf "drop-rate %.2f" p
+
+let pp ppf sched =
+  Fmt.pf ppf "%a"
+    Fmt.(
+      list ~sep:(any "; ") (fun ppf { at_ms; ev } ->
+          Fmt.pf ppf "@%dms %a" at_ms event_pp ev))
+    sched
+
+let validate ~n sched =
+  let check_server s =
+    if s < 0 || s >= n then
+      invalid_arg (Fmt.str "Schedule: server %d out of range [0,%d)" s n)
+  in
+  List.iter
+    (fun { at_ms; ev } ->
+      if at_ms < 0 then invalid_arg "Schedule: negative event time";
+      match ev with
+      | Crash s | Restart s -> check_server s
+      | Heal -> ()
+      | Drop_rate p ->
+          if not (p >= 0.0 && p <= 1.0) then
+            invalid_arg (Fmt.str "Schedule: drop rate %g not in [0,1]" p)
+      | Partition groups ->
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (List.iter (fun s ->
+                 check_server s;
+                 if Hashtbl.mem seen s then
+                   invalid_arg
+                     (Fmt.str "Schedule: server %d in two partition groups" s);
+                 Hashtbl.replace seen s ()))
+            groups)
+    sched
+
+let duration_ms sched = List.fold_left (fun a { at_ms; _ } -> max a at_ms) 0 sched
+
+(* the largest number of servers simultaneously crashed while the
+   schedule runs (partitions not counted) *)
+let max_down sched =
+  let worst = ref 0 and down = ref 0 in
+  List.iter
+    (fun { ev; _ } ->
+      match ev with
+      | Crash _ ->
+          incr down;
+          worst := max !worst !down
+      | Restart _ -> down := max 0 (!down - 1)
+      | Partition _ | Heal | Drop_rate _ -> ())
+    (List.stable_sort (fun a b -> compare a.at_ms b.at_ms) sched);
+  !worst
+
+(* --- generators --------------------------------------------------------- *)
+
+let rolling_crashes ~n ?(start_ms = 50) ?(gap_ms = 120) ~rounds () =
+  List.concat
+    (List.init rounds (fun r ->
+         List.concat
+           (List.init n (fun s ->
+                let base = start_ms + (((r * n) + s) * 2 * gap_ms) in
+                [
+                  { at_ms = base; ev = Crash s };
+                  { at_ms = base + gap_ms; ev = Restart s };
+                ]))))
+
+(* isolate the minority (the last ⌈(n-1)/2⌉ ≤ f' servers for odd n);
+   clients stay with the majority, so quorums keep forming *)
+let minority_partition ~n ~at_ms ~heal_at_ms =
+  if n < 2 then invalid_arg "Schedule.minority_partition: need n >= 2";
+  if heal_at_ms <= at_ms then
+    invalid_arg "Schedule.minority_partition: heal must come after the split";
+  let minority = (n - 1) / 2 in
+  let majority = n - minority in
+  [
+    {
+      at_ms;
+      ev =
+        Partition
+          [
+            List.init majority Fun.id;
+            List.init minority (fun i -> majority + i);
+          ];
+    };
+    { at_ms = heal_at_ms; ev = Heal };
+  ]
+
+(* cut the clients off from all but [reach] servers — with
+   [reach < n - f] no operation can assemble a quorum until [Heal] *)
+let beyond_f ~n ~reach ~at_ms ~heal_at_ms =
+  if reach < 0 || reach >= n then
+    invalid_arg "Schedule.beyond_f: reach must be in [0, n)";
+  if heal_at_ms <= at_ms then
+    invalid_arg "Schedule.beyond_f: heal must come after the split";
+  [
+    {
+      at_ms;
+      ev =
+        Partition
+          [
+            List.init reach Fun.id;
+            List.init (n - reach) (fun i -> reach + i);
+          ];
+    };
+    { at_ms = heal_at_ms; ev = Heal };
+  ]
+
+(* alternating drop-rate pulses and single-server crash/restart flips,
+   seeded: the flapping network *)
+let flapping ~n ~flips ~gap_ms ~seed =
+  let rng = Regemu_sim.Rng.create seed in
+  List.concat
+    (List.init flips (fun i ->
+         let base = (i * 3 * gap_ms) + gap_ms in
+         let s = Regemu_sim.Rng.int rng ~bound:n in
+         let rate =
+           0.15 +. (float_of_int (Regemu_sim.Rng.int rng ~bound:30) /. 100.)
+         in
+         [
+           { at_ms = base; ev = Drop_rate rate };
+           { at_ms = base + gap_ms; ev = Crash s };
+           { at_ms = base + (2 * gap_ms); ev = Restart s };
+           { at_ms = base + (5 * gap_ms / 2); ev = Drop_rate 0.0 };
+         ]))
+
+(* crash and immediately restart every server in turn — under
+   [Recovery.Amnesia] this erases the whole cluster's state without
+   ever exceeding one simultaneous failure *)
+let wipe_all ~n ?(start_ms = 30) ?(gap_ms = 80) () =
+  List.concat
+    (List.init n (fun s ->
+         [
+           { at_ms = start_ms + (s * 2 * gap_ms); ev = Crash s };
+           { at_ms = start_ms + (s * 2 * gap_ms) + gap_ms; ev = Restart s };
+         ]))
+
+(* --- serialization ------------------------------------------------------ *)
+
+open Regemu_live
+
+let event_json = function
+  | Crash s -> Json.Obj [ ("crash", Json.Int s) ]
+  | Restart s -> Json.Obj [ ("restart", Json.Int s) ]
+  | Partition groups ->
+      Json.Obj
+        [
+          ( "partition",
+            Json.List
+              (List.map (fun g -> Json.List (List.map (fun s -> Json.Int s) g))
+                 groups) );
+        ]
+  | Heal -> Json.Str "heal"
+  | Drop_rate p -> Json.Obj [ ("drop_rate", Json.Float p) ]
+
+let to_json sched =
+  Json.List
+    (List.map
+       (fun { at_ms; ev } ->
+         Json.Obj [ ("at_ms", Json.Int at_ms); ("event", event_json ev) ])
+       sched)

@@ -1,0 +1,61 @@
+(** The nemesis schedule DSL: a declarative timeline of faults, fully
+    determined by its arguments (and, for the seeded generators, the
+    seed) — the same seed always yields the same campaign.
+
+    Times are milliseconds from the start of the phase the schedule is
+    attached to.  Events map 1:1 onto the cluster's fault surface:
+    {!Regemu_live.Cluster.crash}/[restart] (whose semantics depend on
+    the cluster's {!Regemu_live.Recovery.mode}),
+    [split]/[heal] (partitions; clients travel with group 0), and
+    [set_drop] (symmetric message-loss rate). *)
+
+type event =
+  | Crash of int
+  | Restart of int
+  | Partition of int list list
+      (** reachability groups; the clients are attached to the first *)
+  | Heal
+  | Drop_rate of float  (** set both request and reply loss to this *)
+
+type timed = { at_ms : int; ev : event }
+type t = timed list
+
+val event_pp : event Fmt.t
+val pp : t Fmt.t
+
+(** Raises [Invalid_argument] on a server id outside [0,n), a negative
+    time, a drop rate outside [0,1], or overlapping partition groups. *)
+val validate : n:int -> t -> unit
+
+(** Time of the last event. *)
+val duration_ms : t -> int
+
+(** Largest number of servers simultaneously crashed, replaying the
+    schedule in time order (partitions not counted). *)
+val max_down : t -> int
+
+(** {2 Generators} *)
+
+(** Crash then restart each server in turn, [rounds] times over. *)
+val rolling_crashes :
+  n:int -> ?start_ms:int -> ?gap_ms:int -> rounds:int -> unit -> t
+
+(** Split off the minority ⌊(n-1)/2⌋ servers at [at_ms]; clients stay
+    with the majority, so quorums keep forming.  Heal later. *)
+val minority_partition : n:int -> at_ms:int -> heal_at_ms:int -> t
+
+(** Leave the clients only [reach] reachable servers.  With
+    [reach < n - f] this deliberately exceeds the fault bound: every
+    operation must fail fast with [Unavailable] until the heal. *)
+val beyond_f : n:int -> reach:int -> at_ms:int -> heal_at_ms:int -> t
+
+(** Seeded flapping: drop-rate pulses interleaved with single-server
+    crash/restart flips.  Identical seeds give identical timelines. *)
+val flapping : n:int -> flips:int -> gap_ms:int -> seed:int -> t
+
+(** Crash + restart every server in turn — under amnesia recovery this
+    erases all cluster state while never exceeding one simultaneous
+    failure. *)
+val wipe_all : n:int -> ?start_ms:int -> ?gap_ms:int -> unit -> t
+
+val to_json : t -> Regemu_live.Json.t

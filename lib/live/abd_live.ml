@@ -19,7 +19,8 @@ let create cluster ~f ?(write_back_reads = false) () =
 let replicas t = List.length t.replicas
 
 (* broadcast a request built from a fresh rid per server, await [f+1]
-   replies, fold them *)
+   replies, fold them.  [rpc] retransmits lost requests; replies are
+   deduplicated per rid, so a reply counts toward the quorum once. *)
 let quorum_round t cl ~request ~fold ~init =
   let quorum = t.f + 1 in
   let count = ref 0 in
@@ -27,13 +28,14 @@ let quorum_round t cl ~request ~fold ~init =
   Cluster.locked cl (fun () ->
       List.iter
         (fun s ->
-          let rid = Cluster.fresh_rid t.cluster in
-          Cluster.on_reply cl ~rid (fun reply ->
+          Cluster.rpc t.cluster ~src:cl s ~make:request
+            ~handler:(fun reply ->
               acc := fold !acc reply;
-              incr count);
-          Cluster.send t.cluster ~src:cl s (request rid))
+              incr count))
         t.replicas);
-  Cluster.await t.cluster cl (fun () -> !count >= quorum);
+  Cluster.await t.cluster cl
+    ~need:(t.replicas, quorum)
+    (fun () -> !count >= quorum);
   Cluster.locked cl (fun () -> !acc)
 
 let query_max t cl =

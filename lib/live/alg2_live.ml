@@ -104,13 +104,17 @@ let slot_of t c what =
 
 (* send the slot's current value to rset index [i]; register the
    covering-discipline acknowledgement handler.  Caller holds the
-   client mutex (reply handlers do by construction). *)
+   client mutex (reply handlers do by construction).  The request is
+   [sticky]: its acknowledgement matters across operations, so it is
+   retransmitted until acked even if the submitting operation has
+   long returned. *)
 let rec send_current t slot i =
   let cell = slot.rset.(i) in
   let v = slot.ts_val in
   Hashtbl.replace slot.outstanding i v;
-  let rid = Cluster.fresh_rid t.cluster in
-  Cluster.on_reply slot.client ~rid (fun _ ->
+  Cluster.rpc t.cluster ~src:slot.client ~sticky:true cell.server
+    ~make:(fun rid -> Proto.Reg_write { rid; reg = cell.reg; proposed = v })
+    ~handler:(fun _ ->
       match Hashtbl.find_opt slot.outstanding i with
       | None -> ()  (* naive mode: a superseded acknowledgement *)
       | Some sent ->
@@ -121,9 +125,7 @@ let rec send_current t slot i =
           else if not t.naive then
             (* a stale acknowledgement finally arrived: the cell now
                holds an old value; immediately re-send the current one *)
-            send_current t slot i);
-  Cluster.send t.cluster ~src:slot.client cell.server
-    (Proto.Reg_write { rid; reg = cell.reg; proposed = v })
+            send_current t slot i)
 
 let submit t slot v ~quorum =
   Cluster.locked slot.client (fun () ->
@@ -134,13 +136,30 @@ let submit t slot v ~quorum =
           if t.naive || not (Hashtbl.mem slot.outstanding i) then
             send_current t slot i)
         slot.rset);
-  Cluster.await t.cluster slot.client (fun () ->
+  (* the quorum counts acked cells, so the watchdog's server list
+     carries one entry per cell of the register set *)
+  let cell_servers =
+    Array.to_list (Array.map (fun c -> c.server) slot.rset)
+  in
+  Cluster.await t.cluster slot.client ~need:(cell_servers, quorum) (fun () ->
       List.length slot.acked >= quorum)
 
 (* read every cell of [n - f] servers, return the maximum *)
 let collect t cl =
   let scans = ref 0 in
   let best = ref Value.v0 in
+  (* servers holding no cell count as scanned for free; the watchdog
+     needs the rest, one entry per server that must answer *)
+  let auto =
+    Array.fold_left
+      (fun a cells -> if cells = [] then a + 1 else a)
+      0 t.by_server
+  in
+  let busy_servers =
+    List.filteri
+      (fun s _ -> t.by_server.(s) <> [])
+      (List.init t.params.Params.n Fun.id)
+  in
   Cluster.locked cl (fun () ->
       Array.iter
         (fun cells ->
@@ -150,20 +169,20 @@ let collect t cl =
               let remaining = ref (List.length cells) in
               List.iter
                 (fun cell ->
-                  let rid = Cluster.fresh_rid t.cluster in
-                  Cluster.on_reply cl ~rid (fun reply ->
+                  Cluster.rpc t.cluster ~src:cl cell.server
+                    ~make:(fun rid -> Proto.Reg_read { rid; reg = cell.reg })
+                    ~handler:(fun reply ->
                       (match reply with
                       | Proto.Reg_read_reply { stored; _ } ->
                           best := Value.max !best stored
                       | _ -> ());
                       decr remaining;
-                      if !remaining = 0 then incr scans);
-                  Cluster.send t.cluster ~src:cl cell.server
-                    (Proto.Reg_read { rid; reg = cell.reg }))
+                      if !remaining = 0 then incr scans))
                 cells)
         t.by_server);
-  Cluster.await t.cluster cl (fun () ->
-      !scans >= t.params.Params.n - t.params.Params.f);
+  Cluster.await t.cluster cl
+    ~need:(busy_servers, max 0 (t.params.Params.n - t.params.Params.f - auto))
+    (fun () -> !scans >= t.params.Params.n - t.params.Params.f);
   Cluster.locked cl (fun () -> !best)
 
 let write t c v =

@@ -5,12 +5,41 @@ type config = {
   n : int;
   transport : Transport.config;
   op_timeout_s : float;
+  recovery : Recovery.mode;
+  retry : Retry.config option;
 }
 
 let default_config ~n ~seed =
-  { n; transport = Transport.default_config ~seed; op_timeout_s = 30.0 }
+  {
+    n;
+    transport = Transport.default_config ~seed;
+    op_timeout_s = 30.0;
+    recovery = Recovery.Persist;
+    retry = Some Retry.default_config;
+  }
 
 exception Timeout of string
+
+type cause = Quorum_lost | Deadline_exceeded
+
+let cause_pp ppf = function
+  | Quorum_lost -> Fmt.string ppf "quorum lost"
+  | Deadline_exceeded -> Fmt.string ppf "deadline exceeded"
+
+type unavailable = {
+  client : Id.Client.t;
+  cause : cause;
+  elapsed_s : float;
+  reachable : int;
+  required : int;
+}
+
+exception Unavailable of unavailable
+
+let unavailable_pp ppf u =
+  Fmt.pf ppf "client %a unavailable after %.2fs (%a: %d of %d needed servers \
+              reachable)"
+    Id.Client.pp u.client u.elapsed_s cause_pp u.cause u.reachable u.required
 
 type server = {
   sid : int;
@@ -28,7 +57,13 @@ type client = {
   cm : Mutex.t;
   cc : Condition.t;
   handlers : (int, Proto.payload -> unit) Hashtbl.t;
+  pending : (int, Retry.pending) Hashtbl.t;  (* rid -> retransmission state *)
+  crng : Regemu_sim.Rng.t;  (* jitter; touched only under [cm] *)
+  mutable op_t0 : float;  (* invocation time of the current operation *)
 }
+
+(* retransmission-backoff histogram bucket upper edges, milliseconds *)
+let backoff_edges_ms = [| 100; 250; 500; 1000; 2000; 4000; max_int |]
 
 type t = {
   cfg : config;
@@ -43,6 +78,10 @@ type t = {
   mutable shut : bool;
   mutable crashes : int;
   mutable restarts : int;
+  mutable wipes : int;
+  mutable retries : int;
+  mutable unavailable : int;
+  backoff_hist : int array;  (* indexed like [backoff_edges_ms] *)
 }
 
 let transport t =
@@ -59,8 +98,8 @@ let dispatch_to_client t cid payload =
     Mutex.lock cl.cm;
     (match Hashtbl.find_opt cl.handlers (Proto.rid_of payload) with
     | Some f ->
-        (* one-shot: a duplicated reply must not double-count toward a
-           quorum *)
+        (* one-shot: a duplicated or retransmitted reply must not
+           double-count toward a quorum *)
         Hashtbl.remove cl.handlers (Proto.rid_of payload);
         f payload
     | None -> ());
@@ -107,6 +146,9 @@ let server_loop t srv =
 
 let create cfg =
   if cfg.n <= 0 then invalid_arg "Cluster.create: n must be positive";
+  if not (cfg.op_timeout_s > 0.0) then
+    invalid_arg "Cluster.create: op_timeout_s must be positive";
+  Option.iter Retry.validate cfg.retry;
   let servers =
     Array.init cfg.n (fun sid ->
         {
@@ -134,14 +176,18 @@ let create cfg =
       shut = false;
       crashes = 0;
       restarts = 0;
+      wipes = 0;
+      retries = 0;
+      unavailable = 0;
+      backoff_hist = Array.make (Array.length backoff_edges_ms) 0;
     }
   in
   t.transport <- Some (Transport.create cfg.transport ~deliver:(deliver t));
   t
 
 let heartbeat_loop t =
-  (* periodically wake every awaiting client so deadlines are checked
-     even when no reply arrives *)
+  (* periodically wake every awaiting client so deadlines and due
+     retransmissions are checked even when no reply arrives *)
   while t.running do
     Thread.delay 0.05;
     Array.iter
@@ -161,15 +207,21 @@ let start t =
   t.heartbeat <- Some (Thread.create heartbeat_loop t)
 
 let num_servers t = t.cfg.n
+let recovery_mode t = t.cfg.recovery
 
 let new_client t =
   Mutex.lock t.gm;
+  let ix = Array.length t.clients in
   let cl =
     {
-      id = Id.Client.of_int (Array.length t.clients);
+      id = Id.Client.of_int ix;
       cm = Mutex.create ();
       cc = Condition.create ();
       handlers = Hashtbl.create 32;
+      pending = Hashtbl.create 32;
+      crng =
+        Regemu_sim.Rng.create (t.cfg.transport.Transport.seed + (7919 * ix));
+      op_t0 = 0.0;
     }
   in
   t.clients <- Array.append t.clients [| cl |];
@@ -192,8 +244,11 @@ let locked cl f =
 
 let on_reply cl ~rid f = Hashtbl.replace cl.handlers rid f
 
+let check_server t i =
+  if i < 0 || i >= t.cfg.n then invalid_arg "Cluster: unknown server"
+
 let send t ~src server payload =
-  if server < 0 || server >= t.cfg.n then invalid_arg "Cluster: unknown server";
+  check_server t server;
   Transport.send (transport t)
     {
       Transport.src = Id.Client.to_int src.id;
@@ -201,17 +256,127 @@ let send t ~src server payload =
       payload;
     }
 
-let await t cl pred =
-  let deadline = Unix.gettimeofday () +. t.cfg.op_timeout_s in
+let rpc t ~src:cl ?(sticky = false) server ~make ~handler =
+  check_server t server;
+  let rid = fresh_rid t in
+  let payload = make rid in
+  Hashtbl.replace cl.handlers rid (fun reply ->
+      Hashtbl.remove cl.pending rid;
+      handler reply);
+  (match t.cfg.retry with
+  | Some rcfg ->
+      Hashtbl.replace cl.pending rid
+        (Retry.make rcfg ~now:(Unix.gettimeofday ()) ~server ~sticky payload)
+  | None -> ());
+  Transport.send (transport t)
+    {
+      Transport.src = Id.Client.to_int cl.id;
+      dest = Transport.To_server server;
+      payload;
+    }
+
+(* caller holds [cl.cm] *)
+let clear_round_pendings cl =
+  let stale =
+    Hashtbl.fold
+      (fun rid (p : Retry.pending) acc ->
+        if p.Retry.sticky then acc else rid :: acc)
+      cl.pending []
+  in
+  List.iter (Hashtbl.remove cl.pending) stale
+
+let note_retry t backoff_s =
+  let ms = int_of_float (backoff_s *. 1e3) in
+  let rec bucket i =
+    if ms <= backoff_edges_ms.(i) || i = Array.length backoff_edges_ms - 1
+    then i
+    else bucket (i + 1)
+  in
+  Mutex.lock t.gm;
+  t.retries <- t.retries + 1;
+  t.backoff_hist.(bucket 0) <- t.backoff_hist.(bucket 0) + 1;
+  Mutex.unlock t.gm
+
+(* caller holds [cl.cm] *)
+let retransmit_due t cl now =
+  match t.cfg.retry with
+  | None -> ()
+  | Some rcfg ->
+      let due =
+        Hashtbl.fold
+          (fun _rid (p : Retry.pending) acc ->
+            if Retry.due rcfg cl.crng ~now p then p :: acc else acc)
+          cl.pending []
+      in
+      List.iter
+        (fun (p : Retry.pending) ->
+          note_retry t p.Retry.backoff_s;
+          Transport.send (transport t)
+            {
+              Transport.src = Id.Client.to_int cl.id;
+              dest = Transport.To_server p.Retry.server;
+              payload = p.Retry.payload;
+            })
+        due
+
+let is_reachable t i =
+  check_server t i;
+  let srv = t.servers.(i) in
+  Mutex.lock srv.sm;
+  let up = srv.up in
+  Mutex.unlock srv.sm;
+  up && Transport.reachable (transport t) ~server:i
+
+let fail_unavailable t cl ~cause ~elapsed ~reachable ~required =
+  Mutex.lock t.gm;
+  t.unavailable <- t.unavailable + 1;
+  Mutex.unlock t.gm;
+  raise
+    (Unavailable
+       { client = cl.id; cause; elapsed_s = elapsed; reachable; required })
+
+let await t cl ?need pred =
+  let t_enter = Unix.gettimeofday () in
+  let op_t0 = if cl.op_t0 > 0.0 then cl.op_t0 else t_enter in
+  let hard_deadline = t_enter +. t.cfg.op_timeout_s in
   locked cl (fun () ->
       let rec go () =
-        if pred () then ()
-        else if Unix.gettimeofday () > deadline then
-          raise
-            (Timeout
-               (Fmt.str "client %a: no quorum within %.1fs" Id.Client.pp cl.id
-                  t.cfg.op_timeout_s))
+        if pred () then clear_round_pendings cl
         else begin
+          let now = Unix.gettimeofday () in
+          retransmit_due t cl now;
+          (match t.cfg.retry with
+          | None -> ()
+          | Some rcfg ->
+              if now -. op_t0 > rcfg.Retry.deadline_s then begin
+                clear_round_pendings cl;
+                let reachable, required =
+                  match need with
+                  | None -> (0, 0)
+                  | Some (servers, q) ->
+                      (List.length (List.filter (is_reachable t) servers), q)
+                in
+                fail_unavailable t cl ~cause:Deadline_exceeded
+                  ~elapsed:(now -. op_t0) ~reachable ~required
+              end
+              else
+                match need with
+                | Some (servers, required)
+                  when now -. t_enter > rcfg.Retry.grace_s ->
+                    let reachable =
+                      List.length (List.filter (is_reachable t) servers)
+                    in
+                    if reachable < required then begin
+                      clear_round_pendings cl;
+                      fail_unavailable t cl ~cause:Quorum_lost
+                        ~elapsed:(now -. op_t0) ~reachable ~required
+                    end
+                | _ -> ());
+          if now > hard_deadline then
+            raise
+              (Timeout
+                 (Fmt.str "client %a: no quorum within %.1fs" Id.Client.pp
+                    cl.id t.cfg.op_timeout_s));
           Condition.wait cl.cc cl.cm;
           go ()
         end
@@ -219,15 +384,13 @@ let await t cl pred =
       go ())
 
 let invoke t cl hop body =
+  cl.op_t0 <- Unix.gettimeofday ();
   let ticket = Histlog.invoke t.log ~client:cl.id hop in
   let v = body () in
   Histlog.return t.log ticket v;
   v
 
 (* --- failures ----------------------------------------------------------- *)
-
-let check_server t i =
-  if i < 0 || i >= t.cfg.n then invalid_arg "Cluster: unknown server"
 
 let crash t i =
   check_server t i;
@@ -247,12 +410,16 @@ let restart t i =
   let srv = t.servers.(i) in
   Mutex.lock srv.sm;
   let was_down = not srv.up in
+  if was_down && t.cfg.recovery = Recovery.Amnesia then
+    (* a diskless reboot: the server comes back with an empty store *)
+    Proto.reset srv.store;
   srv.up <- true;
   Condition.broadcast srv.sc;
   Mutex.unlock srv.sm;
   if was_down then begin
     Mutex.lock t.gm;
     t.restarts <- t.restarts + 1;
+    if t.cfg.recovery = Recovery.Amnesia then t.wipes <- t.wipes + 1;
     Mutex.unlock t.gm
   end
 
@@ -269,6 +436,16 @@ let crashed_count t =
   Array.iteri (fun i _ -> if not (is_up t i) then incr n) t.servers;
   !n
 
+(* --- nemesis passthroughs ----------------------------------------------- *)
+
+let split t ~groups ~clients_with =
+  List.iter (List.iter (check_server t)) groups;
+  Transport.split (transport t) ~groups ~clients_with
+
+let heal t = Transport.heal (transport t)
+let set_drop t ?requests ?replies () =
+  Transport.set_drop (transport t) ?requests ?replies ()
+
 (* --- observation -------------------------------------------------------- *)
 
 let history t = Histlog.snapshot t.log
@@ -280,25 +457,48 @@ type stats = {
   msgs_delivered : int;
   msgs_duplicated : int;
   msgs_delayed : int;
+  msgs_dropped : int;
+  msgs_cut : int;
   crashes : int;
   restarts : int;
+  wipes : int;
+  retries : int;
+  unavailable : int;
   ops_completed : int;
 }
 
 let stats t =
   let tr = transport t in
   Mutex.lock t.gm;
-  let crashes = t.crashes and restarts = t.restarts in
+  let crashes = t.crashes
+  and restarts = t.restarts
+  and wipes = t.wipes
+  and retries = t.retries
+  and unavailable = t.unavailable in
   Mutex.unlock t.gm;
   {
     msgs_sent = Transport.sent tr;
     msgs_delivered = Transport.delivered tr;
     msgs_duplicated = Transport.duplicated tr;
     msgs_delayed = Transport.delayed tr;
+    msgs_dropped = Transport.dropped tr;
+    msgs_cut = Transport.cut tr;
     crashes;
     restarts;
+    wipes;
+    retries;
+    unavailable;
     ops_completed = Histlog.completed t.log;
   }
+
+let backoff_histogram t =
+  Mutex.lock t.gm;
+  let h =
+    Array.to_list
+      (Array.mapi (fun i c -> (backoff_edges_ms.(i), c)) t.backoff_hist)
+  in
+  Mutex.unlock t.gm;
+  h
 
 let peek_reg t ~server reg =
   check_server t server;

@@ -1,7 +1,7 @@
 (** A live cluster: every server of the network model as a real OS
     thread draining a {!Mailbox}, clients as caller threads blocking on
     per-client [Condition]s, and the environment as the {!Transport}
-    couriers plus whatever crash/restart faults are injected.
+    couriers plus whatever crash/partition/loss faults are injected.
 
     The servers execute {!Regemu_netsim.Proto.step} — byte-for-byte the
     same protocol core as the scripted simulator in
@@ -12,21 +12,47 @@
     {2 Crash semantics}
 
     {!crash} halts a server's message processing; its mailbox keeps
-    queueing.  {!restart} resumes it (its storage survives, like a
-    reboot with a persistent disk).  In the asynchronous model a
-    crashed process is indistinguishable from an arbitrarily slow one,
-    so "stop consuming, never lose" is the faithful translation: a
-    server crashed forever equals the paper's crash, and the protocols
-    must — and do — tolerate [f] of those.
+    queueing.  {!restart} resumes it.  What the server remembers is the
+    {!Recovery.mode} of the cluster: [Persist] (storage survives, the
+    paper's model) or [Amnesia] (a diskless reboot — the store is
+    wiped, and the consistency checkers are expected to flag the
+    fallout).  In the asynchronous model a crashed process is
+    indistinguishable from an arbitrarily slow one, so "stop consuming,
+    never lose" is the faithful translation of a [Persist] crash.
+
+    {2 Losing messages, and surviving it}
+
+    With a loss-free transport a request eventually arrives; with
+    {!Transport} drops or partitions it may not.  The client layer
+    compensates: {!rpc} registers retransmission state for every
+    request and {!await} retransmits due requests (exponential backoff,
+    decorrelated jitter — see {!Retry}) each time the awaiting thread
+    wakes.  Retransmissions reuse the request id, and reply dispatch is
+    one-shot per id, so duplicate replies — whether from transport
+    duplication or retransmission — never double-count toward a
+    quorum.
+
+    {2 Graceful degradation}
+
+    [await ~need:(servers, required)] also runs the liveness watchdog:
+    once an await has stalled past the retry grace period while fewer
+    than [required] of the operation's [servers] are up and reachable,
+    the operation fails fast with a structured {!Unavailable} instead
+    of blocking until the deadline — and once the fault heals,
+    subsequent operations proceed normally.  An operation that
+    out-lives the per-op retry deadline fails the same way.  The
+    legacy [op_timeout_s] backstop ({!Timeout}) remains for
+    retry-disabled clusters and genuine liveness bugs.
 
     {2 Locking discipline}
 
-    Each client has one mutex guarding its reply-handler table and any
-    protocol state owned by that client.  Reply handlers run {e under}
-    that mutex (on courier threads), so handler bodies and the
-    client's own thread never race; client code wraps its accesses in
-    {!locked}.  The only lock nesting is client-mutex → transport/
-    mailbox-mutex, so the system is deadlock-free by ordering. *)
+    Each client has one mutex guarding its reply-handler table,
+    retransmission table, and any protocol state owned by that client.
+    Reply handlers run {e under} that mutex (on courier threads), so
+    handler bodies and the client's own thread never race; client code
+    wraps its accesses in {!locked}.  The only lock nesting is
+    client-mutex → transport/mailbox/server/global-mutex, so the system
+    is deadlock-free by ordering. *)
 
 open Regemu_objects
 open Regemu_netsim
@@ -37,15 +63,44 @@ type config = {
   op_timeout_s : float;
       (** an operation awaiting longer than this raises [Timeout] —
           turns a liveness bug into a test failure instead of a hang *)
+  recovery : Recovery.mode;  (** what restart preserves *)
+  retry : Retry.config option;
+      (** [None] disables retransmission and the watchdog (the loss-free
+          PR 1 behaviour); [Some] makes clients survive a lossy
+          transport *)
 }
 
 val default_config : n:int -> seed:int -> config
+(** [Persist] recovery, retry enabled with {!Retry.default_config}. *)
 
 exception Timeout of string
+
+type cause = Quorum_lost | Deadline_exceeded
+
+val cause_pp : cause Fmt.t
+
+type unavailable = {
+  client : Id.Client.t;
+  cause : cause;
+  elapsed_s : float;  (** since the operation's invocation *)
+  reachable : int;  (** needed servers up and reachable at failure *)
+  required : int;
+}
+
+(** The structured fail-fast result of an operation that cannot make
+    progress: more than [f] of the servers it needs are down or
+    partitioned away ([Quorum_lost]), or it out-lived its retry
+    deadline ([Deadline_exceeded]).  Never raised while the cluster
+    satisfies the model's [≤ f] fault bound. *)
+exception Unavailable of unavailable
+
+val unavailable_pp : unavailable Fmt.t
 
 type t
 type client
 
+(** Raises [Invalid_argument] on a non-positive [n] or [op_timeout_s],
+    or an invalid transport/retry configuration. *)
 val create : config -> t
 
 (** Spawn server, courier, and heartbeat threads.  Allocate clients
@@ -53,6 +108,7 @@ val create : config -> t
 val start : t -> unit
 
 val num_servers : t -> int
+val recovery_mode : t -> Recovery.mode
 val new_client : t -> client
 val client_id : client -> Id.Client.t
 
@@ -69,32 +125,71 @@ val fresh_rid : t -> int
 val locked : client -> (unit -> 'a) -> 'a
 
 (** Register a one-shot reply handler for [rid].  The caller must hold
-    the client's mutex ({!locked}); handlers themselves already do. *)
+    the client's mutex ({!locked}); handlers themselves already do.
+    Low-level: {!rpc} also registers retransmission state. *)
 val on_reply : client -> rid:int -> (Proto.payload -> unit) -> unit
 
-(** Send a request to a server.  Safe with or without the client
-    mutex held. *)
+(** Send a request to a server, fire-and-forget (no retransmission).
+    Safe with or without the client mutex held. *)
 val send : t -> src:client -> int -> Proto.payload -> unit
+
+(** [rpc t ~src server ~make ~handler] allocates a fresh rid, sends
+    [make rid] to [server], registers the one-shot [handler], and (when
+    retry is enabled) a retransmission entry that {!await} keeps
+    resending until the first reply arrives.  [sticky] entries survive
+    the end of the await that created them and keep being retransmitted
+    by this client's later awaits — for requests whose acknowledgement
+    matters beyond the current operation (Algorithm 2's covering
+    writes).  The caller must hold the client's mutex. *)
+val rpc :
+  t ->
+  src:client ->
+  ?sticky:bool ->
+  int ->
+  make:(int -> Proto.payload) ->
+  handler:(Proto.payload -> unit) ->
+  unit
 
 (** Block the calling thread until [pred] holds.  [pred] is evaluated
     under the client's mutex; it is re-checked whenever a reply is
-    dispatched to this client and on a periodic heartbeat.  Raises
-    {!Timeout} after [op_timeout_s]. *)
-val await : t -> client -> (unit -> bool) -> unit
+    dispatched to this client and on a periodic heartbeat, and each
+    wake retransmits the client's due requests.  [need = (servers,
+    required)] names the servers the operation draws replies from
+    (with multiplicity, if several awaited replies live on one server)
+    and how many replies the predicate needs: the watchdog uses it to
+    fail fast with {!Unavailable} when the quorum is unreachable.
+    Raises {!Timeout} after [op_timeout_s] as a last-resort backstop. *)
+val await : t -> client -> ?need:int list * int -> (unit -> bool) -> unit
 
 (** {2 High-level operations}
 
     [invoke t cl hop body] records the operation in the cluster history
     (real-time invocation ticket), runs [body] on the calling thread,
-    records the return, and yields the result. *)
+    records the return, and yields the result.  Starts the per-op
+    retry-deadline clock.  If [body] escapes with {!Unavailable}, the
+    ticket stays pending — sound for the checkers, which treat a
+    pending operation as concurrent with everything after it. *)
 val invoke : t -> client -> Regemu_sim.Trace.hop -> (unit -> Value.t) -> Value.t
 
 (** {2 Failures} *)
 
 val crash : t -> int -> unit
+
+(** Resume a crashed server; under [Amnesia] recovery its store is
+    wiped first. *)
 val restart : t -> int -> unit
+
 val is_up : t -> int -> bool
 val crashed_count : t -> int
+
+(** Up {e and} reachable through the current partition. *)
+val is_reachable : t -> int -> bool
+
+(** {2 Network faults (nemesis passthroughs to {!Transport})} *)
+
+val split : t -> groups:int list list -> clients_with:int -> unit
+val heal : t -> unit
+val set_drop : t -> ?requests:float -> ?replies:float -> unit -> unit
 
 (** {2 Observation} *)
 
@@ -107,12 +202,21 @@ type stats = {
   msgs_delivered : int;
   msgs_duplicated : int;
   msgs_delayed : int;
+  msgs_dropped : int;  (** lost to the random drop rates *)
+  msgs_cut : int;  (** lost to a partition *)
   crashes : int;
   restarts : int;
+  wipes : int;  (** amnesia restarts that erased a store *)
+  retries : int;  (** client retransmissions *)
+  unavailable : int;  (** operations failed fast with {!Unavailable} *)
   ops_completed : int;
 }
 
 val stats : t -> stats
+
+(** Retransmission backoffs bucketed by duration:
+    [(bucket_upper_bound_ms, count)], last bucket unbounded. *)
+val backoff_histogram : t -> (int * int) list
 
 (** Peek a server's storage (assertions/debugging only). *)
 val peek_reg : t -> server:int -> int -> Value.t

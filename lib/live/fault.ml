@@ -51,9 +51,21 @@ let injector_loop t =
     end
   done
 
+let validate_config cfg =
+  if cfg.f < 0 then invalid_arg "Fault: f must be >= 0";
+  if cfg.leave_crashed < 0 || cfg.leave_crashed > cfg.f then
+    invalid_arg "Fault: leave_crashed must be in [0, f]";
+  if cfg.pool < (2 * cfg.f) + 1 then
+    invalid_arg
+      (Fmt.str
+         "Fault: pool=%d too small — crashing up to f=%d servers needs a \
+          pool of at least 2f+1=%d"
+         cfg.pool cfg.f ((2 * cfg.f) + 1));
+  if not (cfg.period_s > 0.0) then
+    invalid_arg "Fault: period_s must be positive"
+
 let spawn cluster cfg =
-  if cfg.leave_crashed > cfg.f then
-    invalid_arg "Fault.spawn: leave_crashed must be <= f";
+  validate_config cfg;
   let t =
     {
       cfg;

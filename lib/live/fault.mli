@@ -18,6 +18,9 @@ val default_config : f:int -> pool:int -> seed:int -> config
 
 type t
 
+(** Raises [Invalid_argument] unless [0 ≤ leave_crashed ≤ f],
+    [pool ≥ 2f+1] (crashing up to [f] servers of a smaller pool would
+    leave no quorum), and [period_s > 0]. *)
 val spawn : Cluster.t -> config -> t
 
 (** Stop injecting; restarts all but [leave_crashed] of the currently

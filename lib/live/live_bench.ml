@@ -40,8 +40,12 @@ type outcome = {
   msgs_delivered : int;
   msgs_duplicated : int;
   msgs_delayed : int;
+  msgs_dropped : int;
+  msgs_cut : int;
   crashes : int;
   restarts : int;
+  retries : int;
+  unavailable : int;
   check : Checker.result;
 }
 
@@ -52,8 +56,8 @@ let clean o =
 let outcome_pp ppf o =
   Fmt.pf ppf
     "%-10s %s k=%d readers=%d f=%d n=%d: %d ops in %.3fs (%.0f ops/s), \
-     latency µs mean=%.0f %a; %d msgs (%d dup, %d delayed), %d crashes / %d \
-     restarts; %a"
+     latency µs mean=%.0f %a; %d msgs (%d dup, %d delayed, %d dropped), %d \
+     crashes / %d restarts, %d retries, %d unavailable; %a"
     (algo_name o.spec.algo)
     (if o.spec.chaos then "chaos" else "quiet")
     o.spec.k o.spec.readers o.spec.f o.spec.n o.ops o.wall_s o.throughput
@@ -61,8 +65,8 @@ let outcome_pp ppf o =
     Fmt.(
       list ~sep:(any " ") (fun ppf (p, v) ->
           Fmt.pf ppf "p%.0f=%.0f" (p *. 100.) v))
-    o.pcts_us o.msgs_sent o.msgs_duplicated o.msgs_delayed o.crashes
-    o.restarts Checker.result_pp o.check
+    o.pcts_us o.msgs_sent o.msgs_duplicated o.msgs_delayed o.msgs_dropped
+    o.crashes o.restarts o.retries o.unavailable Checker.result_pp o.check
 
 let run spec =
   let transport =
@@ -71,12 +75,20 @@ let run spec =
       delay_prob = (if spec.chaos then 0.05 else 0.0);
       max_delay_us = (if spec.chaos then 500 else 0);
       dup_prob = (if spec.chaos then 0.05 else 0.0);
+      drop_prob = (if spec.chaos then 0.03 else 0.0);
       reorder = true;
       seed = spec.seed;
     }
   in
   let cluster =
-    Cluster.create { Cluster.n = spec.n; transport; op_timeout_s = 30.0 }
+    Cluster.create
+      {
+        Cluster.n = spec.n;
+        transport;
+        op_timeout_s = 30.0;
+        recovery = Recovery.Persist;
+        retry = Some Retry.default_config;
+      }
   in
   let writers = List.init spec.k (fun _ -> Cluster.new_client cluster) in
   let readers = List.init spec.readers (fun _ -> Cluster.new_client cluster) in
@@ -146,8 +158,12 @@ let run spec =
     msgs_delivered = stats.Cluster.msgs_delivered;
     msgs_duplicated = stats.Cluster.msgs_duplicated;
     msgs_delayed = stats.Cluster.msgs_delayed;
+    msgs_dropped = stats.Cluster.msgs_dropped;
+    msgs_cut = stats.Cluster.msgs_cut;
     crashes = stats.Cluster.crashes;
     restarts = stats.Cluster.restarts;
+    retries = stats.Cluster.retries;
+    unavailable = stats.Cluster.unavailable;
     check;
   }
 
@@ -201,8 +217,12 @@ let outcome_json o =
       ("msgs_delivered", Json.Int o.msgs_delivered);
       ("msgs_duplicated", Json.Int o.msgs_duplicated);
       ("msgs_delayed", Json.Int o.msgs_delayed);
+      ("msgs_dropped", Json.Int o.msgs_dropped);
+      ("msgs_cut", Json.Int o.msgs_cut);
       ("crashes", Json.Int o.crashes);
       ("restarts", Json.Int o.restarts);
+      ("retries", Json.Int o.retries);
+      ("unavailable", Json.Int o.unavailable);
       ("online_checks", Json.Int o.check.Checker.checks);
       ( "ws_regular",
         Json.Str

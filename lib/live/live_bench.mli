@@ -39,8 +39,12 @@ type outcome = {
   msgs_delivered : int;
   msgs_duplicated : int;
   msgs_delayed : int;
+  msgs_dropped : int;  (** lost to the chaos drop rate *)
+  msgs_cut : int;  (** lost to a partition *)
   crashes : int;
   restarts : int;
+  retries : int;  (** client retransmissions *)
+  unavailable : int;  (** operations failed fast *)
   check : Checker.result;
 }
 

@@ -1,0 +1,10 @@
+type mode = Persist | Amnesia
+
+let to_string = function Persist -> "persist" | Amnesia -> "amnesia"
+
+let of_string = function
+  | "persist" -> Some Persist
+  | "amnesia" -> Some Amnesia
+  | _ -> None
+
+let pp ppf m = Fmt.string ppf (to_string m)

@@ -1,0 +1,20 @@
+(** What a server remembers across a crash/restart.
+
+    [Persist] is the paper's model: a base object survives the crash
+    of its server (a reboot with a persistent disk), so restart resumes
+    from the last stored state and the emulations stay correct with
+    any number of crash/recover cycles, as long as at most [f] servers
+    are down at once.
+
+    [Amnesia] wipes the store on restart (a diskless reboot).  This is
+    deliberately {e outside} the model: rolling diskless restarts can
+    erase every copy of a registered value without ever exceeding [f]
+    simultaneous failures, and the WS-Regularity checker then flags the
+    resulting stale reads — a demonstration of why [2f+1] {e
+    persistent} replicas are the minimum, not [2f+1] processes. *)
+
+type mode = Persist | Amnesia
+
+val to_string : mode -> string
+val of_string : string -> mode option
+val pp : mode Fmt.t

@@ -1,0 +1,52 @@
+type config = {
+  base_s : float;
+  cap_s : float;
+  deadline_s : float;
+  grace_s : float;
+}
+
+let default_config =
+  { base_s = 0.08; cap_s = 1.0; deadline_s = 10.0; grace_s = 0.3 }
+
+let validate cfg =
+  if not (cfg.base_s > 0.0) then
+    invalid_arg "Retry: base_s must be positive";
+  if cfg.cap_s < cfg.base_s then
+    invalid_arg "Retry: cap_s must be >= base_s";
+  if not (cfg.deadline_s > 0.0) then
+    invalid_arg "Retry: deadline_s must be positive";
+  if cfg.grace_s < 0.0 then invalid_arg "Retry: grace_s must be >= 0"
+
+type pending = {
+  server : int;
+  payload : Regemu_netsim.Proto.payload;
+  sticky : bool;
+  mutable tries : int;
+  mutable backoff_s : float;
+  mutable next_at : float;
+}
+
+let make cfg ~now ~server ~sticky payload =
+  {
+    server;
+    payload;
+    sticky;
+    tries = 0;
+    backoff_s = cfg.base_s;
+    next_at = now +. cfg.base_s;
+  }
+
+let due cfg rng ~now p =
+  if now < p.next_at then false
+  else begin
+    p.tries <- p.tries + 1;
+    (* decorrelated jitter: next backoff uniform in [base, 3 * previous],
+       capped — spreads retransmissions of competing clients apart
+       instead of synchronizing them *)
+    let frac = float_of_int (Regemu_sim.Rng.int rng ~bound:1000) /. 999.0 in
+    let hi = Float.max cfg.base_s (3.0 *. p.backoff_s) in
+    p.backoff_s <-
+      Float.min cfg.cap_s (cfg.base_s +. (frac *. (hi -. cfg.base_s)));
+    p.next_at <- now +. p.backoff_s;
+    true
+  end

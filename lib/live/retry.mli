@@ -1,0 +1,49 @@
+(** Client-side retransmission policy: per-request backoff state with
+    exponential growth and decorrelated jitter, plus the per-operation
+    deadline and the watchdog grace period.
+
+    The mechanics live here; {!Cluster.rpc} registers a {!pending}
+    per in-flight request and {!Cluster.await} retransmits the ones
+    {!due} whenever the awaiting client thread wakes (a reply arrived
+    or the heartbeat fired).  Retransmissions reuse the original
+    request id, so the cluster's one-shot reply dispatch doubles as
+    duplicate-reply suppression: the first reply consumes the handler
+    and the pending entry, later copies are ignored. *)
+
+type config = {
+  base_s : float;  (** first retransmission after this long *)
+  cap_s : float;  (** backoff ceiling *)
+  deadline_s : float;
+      (** per-operation deadline: an operation older than this fails
+          with {!Cluster.Unavailable} instead of retrying forever *)
+  grace_s : float;
+      (** how long an await must be stalled before the liveness
+          watchdog may fail it fast on a lost quorum *)
+}
+
+(** 80ms base, 1s cap, 10s deadline, 300ms grace. *)
+val default_config : config
+
+(** Raises [Invalid_argument] on non-positive times or [cap < base]. *)
+val validate : config -> unit
+
+type pending = {
+  server : int;
+  payload : Regemu_netsim.Proto.payload;  (** fixed rid: resent verbatim *)
+  sticky : bool;
+      (** survive the end of the await that created it — used by the
+          covering-discipline writes of Algorithm 2, which must chase
+          their acknowledgement across operations *)
+  mutable tries : int;  (** retransmissions so far *)
+  mutable backoff_s : float;
+  mutable next_at : float;
+}
+
+val make :
+  config -> now:float -> server:int -> sticky:bool ->
+  Regemu_netsim.Proto.payload -> pending
+
+(** [due cfg rng ~now p] is [true] when [p] should be retransmitted
+    now; in that case the backoff state is advanced (decorrelated
+    jitter, capped). *)
+val due : config -> Regemu_sim.Rng.t -> now:float -> pending -> bool

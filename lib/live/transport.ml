@@ -7,6 +7,7 @@ type config = {
   delay_prob : float;
   max_delay_us : int;
   dup_prob : float;
+  drop_prob : float;
   reorder : bool;
   seed : int;
 }
@@ -17,9 +18,22 @@ let default_config ~seed =
     delay_prob = 0.0;
     max_delay_us = 0;
     dup_prob = 0.0;
+    drop_prob = 0.0;
     reorder = true;
     seed;
   }
+
+let check_prob what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Fmt.str "Transport: %s=%g not a probability in [0,1]" what p)
+
+let validate_config cfg =
+  if cfg.couriers < 1 then invalid_arg "Transport.create: need >= 1 courier";
+  if cfg.max_delay_us < 0 then
+    invalid_arg "Transport.create: max_delay_us must be >= 0";
+  check_prob "delay_prob" cfg.delay_prob;
+  check_prob "dup_prob" cfg.dup_prob;
+  check_prob "drop_prob" cfg.drop_prob
 
 type t = {
   cfg : config;
@@ -33,11 +47,18 @@ type t = {
   mutable sent : int;
   mutable duplicated : int;
   mutable delayed : int;
+  mutable dropped : int;
+  mutable cut : int;
+  (* hostile-network state, protected by [m] *)
+  mutable drop_requests : float;
+  mutable drop_replies : float;
+  mutable groups : (int, int) Hashtbl.t option;  (* server -> group id *)
+  mutable client_group : int;
   delivered : int Atomic.t;
 }
 
 let create cfg ~deliver =
-  if cfg.couriers < 1 then invalid_arg "Transport.create: need >= 1 courier";
+  validate_config cfg;
   {
     cfg;
     deliver;
@@ -50,6 +71,12 @@ let create cfg ~deliver =
     sent = 0;
     duplicated = 0;
     delayed = 0;
+    dropped = 0;
+    cut = 0;
+    drop_requests = cfg.drop_prob;
+    drop_replies = cfg.drop_prob;
+    groups = None;
+    client_group = 0;
     delivered = Atomic.make 0;
   }
 
@@ -102,20 +129,85 @@ let rec courier_loop t =
 let start t =
   t.threads <- List.init t.cfg.couriers (fun _ -> Thread.create courier_loop t)
 
+(* caller holds [t.m].  Which server is this envelope's link attached
+   to?  (Clients are not partitioned among themselves.) *)
+let link_server env =
+  match env.dest with To_server s -> s | To_client _ -> env.src
+
+let reachable_locked t ~server =
+  match t.groups with
+  | None -> true
+  | Some g -> Hashtbl.find_opt g server = Some t.client_group
+
 let send t env =
   Mutex.lock t.m;
   if not t.stopped then begin
-    Queue.push env t.q;
-    t.sent <- t.sent + 1;
-    Condition.signal t.c;
-    if hit t.rng t.cfg.dup_prob then begin
-      Queue.push env t.q;
-      t.sent <- t.sent + 1;
-      t.duplicated <- t.duplicated + 1;
-      Condition.signal t.c
-    end
+    if not (reachable_locked t ~server:(link_server env)) then
+      t.cut <- t.cut + 1
+    else
+      let drop_p =
+        if Regemu_netsim.Proto.is_reply env.payload then t.drop_replies
+        else t.drop_requests
+      in
+      if hit t.rng drop_p then t.dropped <- t.dropped + 1
+      else begin
+        Queue.push env t.q;
+        t.sent <- t.sent + 1;
+        Condition.signal t.c;
+        if hit t.rng t.cfg.dup_prob then begin
+          Queue.push env t.q;
+          t.sent <- t.sent + 1;
+          t.duplicated <- t.duplicated + 1;
+          Condition.signal t.c
+        end
+      end
   end;
   Mutex.unlock t.m
+
+(* --- hostile-network controls ------------------------------------------ *)
+
+let split t ~groups ~clients_with =
+  if groups = [] then invalid_arg "Transport.split: no groups";
+  if clients_with < 0 || clients_with >= List.length groups then
+    invalid_arg
+      (Fmt.str "Transport.split: clients_with=%d not a group index"
+         clients_with);
+  let h = Hashtbl.create 16 in
+  List.iteri
+    (fun gi servers ->
+      List.iter
+        (fun s ->
+          if s < 0 then invalid_arg "Transport.split: negative server id";
+          if Hashtbl.mem h s then
+            invalid_arg
+              (Fmt.str "Transport.split: server %d appears in two groups" s);
+          Hashtbl.replace h s gi)
+        servers)
+    groups;
+  Mutex.lock t.m;
+  t.groups <- Some h;
+  t.client_group <- clients_with;
+  Mutex.unlock t.m
+
+let heal t =
+  Mutex.lock t.m;
+  t.groups <- None;
+  t.client_group <- 0;
+  Mutex.unlock t.m
+
+let set_drop t ?requests ?replies () =
+  Option.iter (check_prob "requests") requests;
+  Option.iter (check_prob "replies") replies;
+  Mutex.lock t.m;
+  Option.iter (fun p -> t.drop_requests <- p) requests;
+  Option.iter (fun p -> t.drop_replies <- p) replies;
+  Mutex.unlock t.m
+
+let reachable t ~server =
+  Mutex.lock t.m;
+  let v = reachable_locked t ~server in
+  Mutex.unlock t.m;
+  v
 
 let stop t =
   Mutex.lock t.m;
@@ -126,22 +218,15 @@ let stop t =
   List.iter Thread.join t.threads;
   t.threads <- []
 
-let sent t =
+let counter t f =
   Mutex.lock t.m;
-  let v = t.sent in
+  let v = f t in
   Mutex.unlock t.m;
   v
 
+let sent t = counter t (fun t -> t.sent)
 let delivered t = Atomic.get t.delivered
-
-let duplicated t =
-  Mutex.lock t.m;
-  let v = t.duplicated in
-  Mutex.unlock t.m;
-  v
-
-let delayed t =
-  Mutex.lock t.m;
-  let v = t.delayed in
-  Mutex.unlock t.m;
-  v
+let duplicated t = counter t (fun t -> t.duplicated)
+let delayed t = counter t (fun t -> t.delayed)
+let dropped t = counter t (fun t -> t.dropped)
+let cut t = counter t (fun t -> t.cut)

@@ -1,5 +1,6 @@
 (** The live message fabric: an asynchronous, reordering, duplicating,
-    delaying network made of real threads.
+    delaying — and, when asked, lossy and partitionable — network made
+    of real threads.
 
     [send] enqueues an envelope into a shared outbox; a pool of
     {e courier} threads drains it and hands each envelope to the
@@ -14,11 +15,18 @@
     - {e delay}: a courier sleeps before delivering, holding exactly
       the message it carries — other couriers keep delivering past it;
     - {e duplicate}: an envelope is enqueued twice (at-least-once
-      delivery; the protocol layer must tolerate it).
+      delivery; the protocol layer must tolerate it);
+    - {e drop}: a send is discarded at the outbox, so delivery is
+      at-most-once and the client layer must retransmit ({!Retry});
+    - {e partition}: a dynamic reachability map over servers
+      ({!split} / {!heal}); an envelope whose server-side endpoint is
+      in a different group than the clients is cut, in both
+      directions.
 
-    Messages are never dropped: a request to a crashed server waits in
-    its mailbox, indistinguishable from an arbitrarily slow server —
-    exactly the asynchronous model's treatment of crashes. *)
+    Messages to a {e crashed but reachable} server still wait in its
+    mailbox, indistinguishable from an arbitrarily slow server —
+    exactly the asynchronous model's treatment of crashes.  Drops and
+    cuts, by contrast, lose the message for good. *)
 
 type dest = To_server of int | To_client of int
 
@@ -29,23 +37,48 @@ type config = {
   delay_prob : float;  (** chance a delivery sleeps first *)
   max_delay_us : int;  (** uniform sleep bound, microseconds *)
   dup_prob : float;  (** chance a send is enqueued twice *)
+  drop_prob : float;
+      (** chance a send is discarded (initial rate for both requests
+          and replies; adjustable at runtime with {!set_drop}) *)
   reorder : bool;  (** couriers pick a random queued envelope *)
   seed : int;
 }
 
 val default_config : seed:int -> config
-(** 2 couriers, reorder on, no delays, no duplication. *)
+(** 2 couriers, reorder on, no delays, no duplication, no loss. *)
 
 type t
 
 (** [create cfg ~deliver] builds the fabric; no thread runs until
-    {!start}.  [deliver] is called from courier threads. *)
+    {!start}.  [deliver] is called from courier threads.  Raises
+    [Invalid_argument] if a probability is outside [0,1],
+    [couriers < 1], or [max_delay_us < 0]. *)
 val create : config -> deliver:(envelope -> unit) -> t
 
 val start : t -> unit
 
 (** Enqueue an envelope (dropped silently after {!stop}). *)
 val send : t -> envelope -> unit
+
+(** {2 Hostile-network controls (the nemesis interface)} *)
+
+(** [split t ~groups ~clients_with] installs a partition: server [s]
+    is reachable iff its group is [List.nth groups clients_with] (the
+    side the clients are on).  Servers not listed in any group are
+    isolated.  Raises [Invalid_argument] on overlapping groups, a
+    negative server id, or an out-of-range [clients_with]. *)
+val split : t -> groups:int list list -> clients_with:int -> unit
+
+(** Remove any partition: every server reachable again. *)
+val heal : t -> unit
+
+(** Adjust the message-loss rates at runtime (requests are
+    client→server envelopes, replies server→client).  Raises
+    [Invalid_argument] on a rate outside [0,1]. *)
+val set_drop : t -> ?requests:float -> ?replies:float -> unit -> unit
+
+(** Is [server] currently reachable from the clients? *)
+val reachable : t -> server:int -> bool
 
 (** Stop accepting sends, discard the queue, join the couriers. *)
 val stop : t -> unit
@@ -57,3 +90,7 @@ val sent : t -> int  (** envelopes accepted, duplicates included *)
 val delivered : t -> int
 val duplicated : t -> int
 val delayed : t -> int
+
+val dropped : t -> int  (** lost to the random drop rates *)
+
+val cut : t -> int  (** lost to a partition *)

@@ -53,6 +53,10 @@ let num_regs st = Array.length st.regs
 let peek_reg st reg = st.regs.(reg)
 let peek_max st = st.maxreg
 
+let reset st =
+  st.maxreg <- Value.v0;
+  Array.iteri (fun i _ -> st.regs.(i) <- Value.v0) st.regs
+
 let step st = function
   | Query { rid } -> [ Query_reply { rid; stored = st.maxreg } ]
   | Update { rid; proposed } ->

@@ -59,6 +59,12 @@ val peek_reg : store -> int -> Value.t
 (** Current content of the built-in max-register. *)
 val peek_max : store -> Value.t
 
+(** Wipe the store back to its initial state — every cell and the
+    max-register to {!Value.v0}, allocation preserved.  A diskless
+    restart ([Regemu_live.Recovery.Amnesia]); never called in the
+    paper's persistent model. *)
+val reset : store -> unit
+
 (** Apply one delivered request to the store, returning the replies to
     send back.  Replies delivered to a server by mistake produce no
     output.  The update is idempotent for [Update] (write-max) and
