@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test bench live-bench chaos-bench verify examples clean loc
+.PHONY: all build test bench perf-bench live-bench chaos-bench verify examples clean loc
 
 all: build
 
@@ -13,9 +13,15 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# real threads, fault injection, online checking; writes BENCH_live.json
+# the tracked perf trajectory: saturation sweep (2..16 client threads,
+# ABD + Algorithm 2, median of 5 per point) in the regemu-bench/1
+# schema, with the recorded pre-sharding baseline and speedup per point
+perf-bench:
+	dune exec bin/regemu.exe -- live --saturate --ops 200 --seed 42 --reps 5 --json BENCH_live.json
+
+# real threads, fault injection, online checking; writes BENCH_live_suite.json
 live-bench:
-	dune exec bin/regemu.exe -- live --bench --json BENCH_live.json
+	dune exec bin/regemu.exe -- live --bench --json BENCH_live_suite.json
 
 # the full nemesis campaign against the live cluster; writes BENCH_chaos.json
 chaos-bench:

@@ -123,6 +123,19 @@ let explore () =
     "(for two writers the same search finds the Figure 2 violation against \
      naive-reg; see `regemu explore --algo naive-reg --writes 2`)@.@."
 
+let saturate () =
+  (* a bounded cut of `regemu live --saturate` (the full sweep with
+     median-of-3 reps is the Makefile's perf-bench target) *)
+  let open Regemu_live in
+  Fmt.pr
+    "== Live-cluster saturation (bounded; see `make perf-bench` for the \
+     tracked sweep) ==@.";
+  List.iter
+    (fun spec ->
+      Fmt.pr "%a@." Live_bench.outcome_pp (Live_bench.run spec))
+    (Live_bench.saturate_specs ~clients:[ 2; 8 ] ~ops_per_client:100 ~seed:42
+       ())
+
 let sections =
   [
     ("table1", table1);
@@ -142,6 +155,7 @@ let sections =
     ("rspace", rspace);
     ("netabd", netabd);
     ("explore", explore);
+    ("saturate", saturate);
   ]
 
 (* ------------------------------------------------------------------ *)

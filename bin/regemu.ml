@@ -691,46 +691,94 @@ let live_cmd =
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Also write the results as JSON (regemu-live-bench/1 schema).")
+          ~doc:"Also write the results as JSON (regemu-live-bench/1 schema; \
+                regemu-bench/1 with $(b,--saturate)).")
   in
-  let run bench smoke chaos algo k readers f n ops couriers json seed =
+  let saturate_arg =
+    Arg.(
+      value & flag
+      & info [ "saturate" ]
+          ~doc:"Saturation sweep: ABD and Algorithm 2 across client-thread \
+                counts on a quiet non-reordering transport, reporting ops/s \
+                and latency percentiles against the recorded baseline.  With \
+                $(b,--smoke), a bounded sweep for CI.")
+  in
+  let reps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Repetitions per benchmark point; the median-throughput run \
+                is reported.  Defaults to 3 for $(b,--saturate) sweeps \
+                (1 with $(b,--smoke)), 1 otherwise.")
+  in
+  let run bench smoke saturate chaos algo k readers f n ops couriers json seed
+      reps =
     let specs =
-      if smoke then Live_bench.smoke_suite ()
+      if saturate then
+        let clients = if smoke then [ 2; 4 ] else Live_bench.saturate_clients in
+        let ops_per_client = if smoke then 40 else ops in
+        Live_bench.saturate_specs ~clients ~ops_per_client ~seed ()
+      else if smoke then Live_bench.smoke_suite ()
       else if bench then Live_bench.suite ~ops_per_client:ops ~seed ()
       else
         [
           {
             Live_bench.algo; k; readers; f; n; ops_per_client = ops;
-            couriers; chaos; seed;
+            couriers; chaos; reorder = true; seed;
           };
         ]
     in
+    (* full saturation sweeps report median-of-3 per point by default:
+       single-core thread throughput is noisy and a median, not one
+       roll, is the number worth tracking in BENCH_live.json *)
+    let reps =
+      match reps with
+      | Some r -> r
+      | None -> if saturate && not smoke then 3 else 1
+    in
     match
-      List.map
-        (fun spec ->
-          let o = Live_bench.run spec in
-          Fmt.pr "%a@." Live_bench.outcome_pp o;
-          o)
-        specs
+      if saturate then begin
+        (* round-robin the repetitions across the whole sweep so a
+           transient machine stall cannot poison one point's reps *)
+        let outs = Live_bench.run_sweep_median ~reps specs in
+        List.iter (Fmt.pr "%a@." Live_bench.outcome_pp) outs;
+        outs
+      end
+      else
+        List.map
+          (fun spec ->
+            let o = Live_bench.run_median ~reps spec in
+            Fmt.pr "%a@." Live_bench.outcome_pp o;
+            o)
+          specs
     with
     | exception Invalid_argument m ->
         Fmt.epr "error: %s@." m;
         1
     | outcomes -> (
+        let doc =
+          if saturate then Live_bench.saturate_json outcomes
+          else Live_bench.to_json outcomes
+        in
         match
-          Option.iter
-            (fun path -> Json.to_file path (Live_bench.to_json outcomes))
-            json
+          if saturate then Live_bench.validate_bench_json doc else Ok ()
         with
-        | exception Sys_error m ->
-            Fmt.epr "error: %s@." m;
+        | Error m ->
+            Fmt.epr "error: emitted document fails the regemu-bench/1 schema \
+                     check: %s@." m;
             1
-        | () ->
-            if List.for_all Live_bench.clean outcomes then 0
-            else (
-              Fmt.epr
-                "error: a live run failed its online consistency checks@.";
-              1))
+        | Ok () -> (
+            match Option.iter (fun path -> Json.to_file path doc) json with
+            | exception Sys_error m ->
+                Fmt.epr "error: %s@." m;
+                1
+            | () ->
+                if List.for_all Live_bench.clean outcomes then 0
+                else (
+                  Fmt.epr
+                    "error: a live run failed its online consistency checks@.";
+                  1)))
   in
   Cmd.v
     (Cmd.info "live"
@@ -738,12 +786,12 @@ let live_cmd =
          "Run a real concurrent cluster: server threads, load-generator \
           client threads, fault injection, and online consistency checking.")
     Term.(
-      const run $ bench_arg $ smoke_arg $ chaos_arg $ algo_arg
+      const run $ bench_arg $ smoke_arg $ saturate_arg $ chaos_arg $ algo_arg
       $ Arg.(value & opt int 1 & info [ "k" ] ~doc:"Number of writer threads.")
       $ readers_arg
       $ Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure threshold.")
       $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of server threads.")
-      $ ops_arg $ couriers_arg $ json_arg $ seed_arg)
+      $ ops_arg $ couriers_arg $ json_arg $ seed_arg $ reps_arg)
 
 (* --- chaos --------------------------------------------------------------- *)
 

@@ -170,6 +170,7 @@ let run ?(log = ignore) s =
       dup_prob = s.dup_prob;
       drop_prob = s.drop_prob;
       reorder = true;
+      sharded = true;
       seed = s.seed;
     }
   in

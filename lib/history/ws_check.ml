@@ -97,6 +97,15 @@ let check ~safe_only h =
 let check_ws_regular h = check ~safe_only:false h
 let check_ws_safe h = check ~safe_only:true h
 
+let check_read_ws_regular ~writes rd =
+  match
+    check_read writes rd ~only_position:None
+      ~reason:
+        "WS-Regular: no linearization of the writes and this read exists"
+  with
+  | Some (Violated v) -> Some v
+  | Some _ | None -> None
+
 let not_violated = function Holds | Vacuous -> true | Violated _ -> false
 let is_ws_regular h = not_violated (check_ws_regular h)
 let is_ws_safe h = not_violated (check_ws_safe h)

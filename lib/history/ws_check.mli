@@ -34,6 +34,19 @@ val verdict_equal : verdict -> verdict -> bool
 val check_ws_regular : History.t -> verdict
 val check_ws_safe : History.t -> verdict
 
+(** [check_read_ws_regular ~writes rd] checks one read against the
+    total write order [writes] (the caller must have verified the
+    history is write-sequential, e.g. via {!History.write_sequential}).
+    [None] when the read is admissible or incomplete.
+
+    This is the incremental entry point for online checking: once a
+    completed read has been validated against the write order it stays
+    valid — any write that appears later was invoked after the read
+    returned, so it can only land at excluded positions.  Validating
+    each completed read once is therefore equivalent to re-checking the
+    full history every time. *)
+val check_read_ws_regular : writes:History.op list -> History.op -> violation option
+
 (** [true] iff the corresponding check does not return [Violated]. *)
 val is_ws_regular : History.t -> bool
 

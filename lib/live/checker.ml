@@ -1,3 +1,4 @@
+open Regemu_objects
 open Regemu_history
 
 type result = {
@@ -19,6 +20,27 @@ let result_pp ppf r =
           Fmt.pf ppf ", atomic %s" (if a then "yes" else "NO")))
     r.atomic
 
+(* The online checker is incremental: work per tick is proportional to
+   the operations that completed since the last tick, not to the whole
+   history.  The old implementation snapshotted and reran the full
+   [Ws_check.check_ws_regular] — an O(writes²) sequentiality scan plus
+   an O(reads × writes) admissibility scan over an O(n log n) snapshot
+   — every 10 ms on the single runtime lock, which visibly throttled
+   the cluster as histories grew.
+
+   Three facts make incrementality sound:
+
+   - completed operations never change, so a pair of completed writes
+     once checked comparable stays comparable ([wseq] caches the
+     verified total order; [wbroken] is a sticky "two completed writes
+     overlap");
+   - a completed read validated against the write order stays valid as
+     later writes arrive: any write it has not seen was invoked after
+     the read returned, so it can only land at positions the check
+     already excludes — each read is checked exactly once;
+   - each client is sequential, so a per-writer cursor into the
+     {!Histlog} advances past a contiguous completed prefix and only
+     the in-flight suffix is ever re-polled ({!Histlog.poll}). *)
 type t = {
   cluster : Cluster.t;
   interval_s : float;
@@ -28,16 +50,194 @@ type t = {
   mutable thread : Thread.t option;
   mutable checks : int;
   mutable violation : Ws_check.verdict option;  (* first Violated seen *)
+  cursors : (int, int) Hashtbl.t;  (* client -> consumed prefix length *)
+  seen : (int, unit) Hashtbl.t;  (* invoked_at of collected ops *)
+  mutable wseq : History.op list;
+      (* completed writes, newest first, verified pairwise sequential *)
+  mutable max_wret : int;  (* latest return tick in [wseq] *)
+  mutable wbroken : bool;  (* two completed writes overlap: vacuous for
+                              good *)
+  mutable backlog : History.op list;
+      (* completed reads collected during a non-write-sequential tick
+         (e.g. while a write was in flight), awaiting validation *)
 }
 
+let op_of_view client (cv : Histlog.cell_view) =
+  {
+    History.index = cv.v_invoked_at;
+    client;
+    hop = cv.v_hop;
+    invoked_at = cv.v_invoked_at;
+    returned_at = cv.v_returned_at;
+    result = cv.v_result;
+  }
+
+(* Insert a newly completed write into the verified order.  Writers are
+   polled independently, so a write can surface after a later-invoked
+   one — it must land at its invocation position and be comparable with
+   both neighbours.  The common case (new latest write) is O(1). *)
+let insert_write t (w : History.op) =
+  let rec ins newer_rev = function
+    | x :: rest when x.History.invoked_at > w.History.invoked_at ->
+        ins (x :: newer_rev) rest
+    | older ->
+        let ok_newer =
+          match newer_rev with
+          | [] -> true
+          | nx :: _ -> History.precedes w nx
+        in
+        let ok_older =
+          match older with [] -> true | p :: _ -> History.precedes p w
+        in
+        (List.rev_append newer_rev (w :: older), ok_newer && ok_older)
+  in
+  let ws, sequential = ins [] t.wseq in
+  t.wseq <- ws;
+  (match w.History.returned_at with
+  | Some r -> if r > t.max_wret then t.max_wret <- r
+  | None -> assert false);
+  if not sequential then t.wbroken <- true
+
+(* first index in [arr.(lo..)] with [arr.(i) >= x]; [arr] ascending *)
+let lower_bound arr x =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) < x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length arr)
+
+(* Validate completed reads against the write order [wseq @ pending]:
+   for each read, the admissible write positions form a contiguous
+   window (writes returned before its invocation are excluded below,
+   writes invoked after its return above), found by binary search —
+   O(log writes + window) per read instead of the closed-form checker's
+   O(writes). *)
+let validate_reads t ~pending reads =
+  let ws = Array.of_list (List.rev_append t.wseq pending) in
+  let rets =
+    Array.map
+      (fun (w : History.op) ->
+        match w.returned_at with Some r -> r | None -> max_int)
+      ws
+  in
+  let invs = Array.map (fun (w : History.op) -> w.invoked_at) ws
+  and vals =
+    Array.map
+      (fun w ->
+        match History.written_value w with Some v -> v | None -> assert false)
+      ws
+  in
+  let check_read (rd : History.op) =
+    match (rd.result, rd.returned_at) with
+    | Some got, Some ret ->
+        (* positions [p .. q], 1-based over writes; position 0 is the
+           initial value, admissible when no write precedes the read *)
+        let p = lower_bound rets rd.invoked_at in
+        let q = lower_bound invs ret in
+        let admissible =
+          (p = 0 && Value.equal got Value.v0)
+          ||
+          let rec probe j =
+            j <= q && (Value.equal got vals.(j - 1) || probe (j + 1))
+          in
+          probe (max p 1)
+        in
+        if admissible then None
+        else
+          let allowed =
+            (if p = 0 then [ Value.v0 ] else [])
+            @ List.init (max 0 (q - max p 1 + 1)) (fun i ->
+                  vals.(max p 1 + i - 1))
+          in
+          Some
+            {
+              Ws_check.read = rd;
+              got;
+              allowed;
+              reason =
+                "WS-Regular: no linearization of the writes and this read \
+                 exists";
+            }
+    | _ -> None
+  in
+  let rec go = function
+    | [] -> Ws_check.Holds
+    | rd :: rest -> (
+        match check_read rd with
+        | None -> go rest
+        | Some v -> Ws_check.Violated v)
+  in
+  go reads
+
+(* One incremental pass over the log. *)
 let check_once t =
-  let h = Cluster.history t.cluster in
-  let v = Ws_check.check_ws_regular h in
   t.checks <- t.checks + 1;
+  let new_writes = ref [] and pending_w = ref [] and fresh = ref [] in
+  List.iter
+    (fun w ->
+      let client = Histlog.writer_client w in
+      let key = Id.Client.to_int client in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt t.cursors key) in
+      let newcur = ref cur and contiguous = ref true in
+      let _len =
+        Histlog.poll w ~from:cur (fun cv ->
+            let completed = cv.Histlog.v_returned_at <> None in
+            if completed && !contiguous then incr newcur
+            else contiguous := false;
+            let is_write = Regemu_sim.Trace.hop_is_write cv.Histlog.v_hop in
+            if completed && not (Hashtbl.mem t.seen cv.Histlog.v_invoked_at)
+            then begin
+              Hashtbl.replace t.seen cv.Histlog.v_invoked_at ();
+              let op = op_of_view client cv in
+              if is_write then new_writes := op :: !new_writes
+              else fresh := op :: !fresh
+            end
+            else if (not completed) && is_write then
+              pending_w := op_of_view client cv :: !pending_w)
+      in
+      Hashtbl.replace t.cursors key !newcur)
+    (Histlog.writers (Cluster.log t.cluster));
+  List.iter (insert_write t)
+    (List.sort
+       (fun (a : History.op) b -> Int.compare a.invoked_at b.invoked_at)
+       !new_writes);
+  let sequential_now =
+    (not t.wbroken)
+    &&
+    (* a pending write is comparable only with writes that returned
+       before it was invoked; two pending writes never are *)
+    match !pending_w with
+    | [] -> true
+    | [ w ] -> w.History.invoked_at > t.max_wret
+    | _ :: _ :: _ -> false
+  in
+  let v =
+    if not sequential_now then begin
+      (* vacuous this tick (sticky only via [wbroken]); hold the reads
+         until the write order is total again *)
+      t.backlog <- List.rev_append !fresh t.backlog;
+      Ws_check.Vacuous
+    end
+    else begin
+      let reads = List.rev_append !fresh t.backlog in
+      t.backlog <- [];
+      match reads with
+      | [] -> Ws_check.Holds
+      | _ ->
+          let pending =
+            List.sort
+              (fun (a : History.op) b -> Int.compare a.invoked_at b.invoked_at)
+              !pending_w
+          in
+          validate_reads t ~pending reads
+    end
+  in
   (match v with
   | Ws_check.Violated _ when t.violation = None -> t.violation <- Some v
   | _ -> ());
-  (h, v)
+  v
 
 let checker_loop t =
   while t.running do
@@ -57,6 +257,12 @@ let spawn cluster ?(interval_s = 0.02) ?(final_atomic = false)
       thread = None;
       checks = 0;
       violation = None;
+      cursors = Hashtbl.create 32;
+      seen = Hashtbl.create 1024;
+      wseq = [];
+      max_wret = 0;
+      wbroken = false;
+      backlog = [];
     }
   in
   t.thread <- Some (Thread.create checker_loop t);
@@ -66,8 +272,20 @@ let stop t =
   t.running <- false;
   Option.iter Thread.join t.thread;
   t.thread <- None;
-  let h, final = check_once t in
-  let ws = match t.violation with Some v -> v | None -> final in
+  (* the final pass sees the complete history; everything validated
+     online is skipped, so it costs only the tail *)
+  let final = check_once t in
+  let ws =
+    match t.violation with
+    | Some v -> v
+    | None -> (
+        (* the last tick's verdict only covers fresh reads; lift it to
+           the whole run *)
+        match final with
+        | Ws_check.Vacuous -> Ws_check.Vacuous
+        | Ws_check.Holds | Ws_check.Violated _ -> Ws_check.Holds)
+  in
+  let h = Cluster.history t.cluster in
   let atomic =
     if t.final_atomic && List.length h <= t.atomic_limit then
       Some (Linearize.linearizable Linearize.register h)

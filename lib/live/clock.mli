@@ -1,0 +1,15 @@
+(** Monotonic time for the live runtime.
+
+    Every latency measurement and retry/deadline clock in [lib/live]
+    reads CLOCK_MONOTONIC (via the [bechamel.monotonic_clock] stub, a
+    [@@noalloc] external), never [Unix.gettimeofday]: an NTP step or a
+    leap-second smear must not produce negative latencies or spurious
+    retransmission storms. *)
+
+(** Nanoseconds on the monotonic clock (origin unspecified; only
+    differences are meaningful). *)
+val now_ns : unit -> int64
+
+(** Monotonic seconds as a float — drop-in for elapsed-time arithmetic
+    previously done on [Unix.gettimeofday]. *)
+val now_s : unit -> float

@@ -41,6 +41,9 @@ let unavailable_pp ppf u =
               reachable)"
     Id.Client.pp u.client u.elapsed_s cause_pp u.cause u.reachable u.required
 
+(* how many mailbox messages a server drains per wakeup *)
+let server_batch = 16
+
 type server = {
   sid : int;
   store : Proto.store;
@@ -59,7 +62,14 @@ type client = {
   handlers : (int, Proto.payload -> unit) Hashtbl.t;
   pending : (int, Retry.pending) Hashtbl.t;  (* rid -> retransmission state *)
   crng : Regemu_sim.Rng.t;  (* jitter; touched only under [cm] *)
-  mutable op_t0 : float;  (* invocation time of the current operation *)
+  hlog : Histlog.writer;  (* this client's private history shard *)
+  mutable op_t0 : float;  (* monotonic invocation time of the current op *)
+  mutable waiting : bool;  (* a thread is blocked in [await]; under [cm],
+                              read opportunistically by wakers *)
+  mutable pred : (unit -> bool) option;
+      (* the predicate that await is blocked on, under [cm]: reply
+         dispatch signals only when it flips, so the sub-quorum replies
+         of a round never wake the client *)
 }
 
 (* retransmission-backoff histogram bucket upper edges, milliseconds *)
@@ -79,9 +89,9 @@ type t = {
   mutable crashes : int;
   mutable restarts : int;
   mutable wipes : int;
-  mutable retries : int;
-  mutable unavailable : int;
-  backoff_hist : int array;  (* indexed like [backoff_edges_ms] *)
+  retries : int Atomic.t;
+  unavailable : int Atomic.t;
+  backoff_hist : int Atomic.t array;  (* indexed like [backoff_edges_ms] *)
 }
 
 let transport t =
@@ -101,9 +111,16 @@ let dispatch_to_client t cid payload =
         (* one-shot: a duplicated or retransmitted reply must not
            double-count toward a quorum *)
         Hashtbl.remove cl.handlers (Proto.rid_of payload);
-        f payload
+        f payload;
+        (* targeted wakeup: only the client this reply progressed, only
+           when it is blocked, and only when its awaited predicate
+           flipped — a duplicate reply (no handler) or a sub-quorum
+           reply wakes nobody *)
+        if cl.waiting then (
+          match cl.pred with
+          | Some p -> if p () then Condition.signal cl.cc
+          | None -> Condition.signal cl.cc)
     | None -> ());
-    Condition.broadcast cl.cc;
     Mutex.unlock cl.cm
   end
 
@@ -116,29 +133,32 @@ let deliver t (env : Transport.envelope) =
 (* --- servers ----------------------------------------------------------- *)
 
 let server_loop t srv =
+  let handle (src, payload) =
+    Mutex.lock srv.sm;
+    while (not srv.up) && not srv.closing do
+      Condition.wait srv.sc srv.sm
+    done;
+    let closing = srv.closing in
+    Mutex.unlock srv.sm;
+    if closing then false
+    else begin
+      let replies = Proto.step srv.store payload in
+      List.iter
+        (fun reply ->
+          Transport.send (transport t)
+            {
+              Transport.src = srv.sid;
+              dest = Transport.To_client src;
+              payload = reply;
+            })
+        replies;
+      true
+    end
+  in
   let rec go () =
-    match Mailbox.pop srv.mailbox with
+    match Mailbox.pop_batch srv.mailbox ~max:server_batch with
     | None -> ()  (* mailbox closed: teardown *)
-    | Some (src, payload) ->
-        Mutex.lock srv.sm;
-        while (not srv.up) && not srv.closing do
-          Condition.wait srv.sc srv.sm
-        done;
-        let closing = srv.closing in
-        Mutex.unlock srv.sm;
-        if not closing then begin
-          let replies = Proto.step srv.store payload in
-          List.iter
-            (fun reply ->
-              Transport.send (transport t)
-                {
-                  Transport.src = srv.sid;
-                  dest = Transport.To_client src;
-                  payload = reply;
-                })
-            replies;
-          go ()
-        end
+    | Some batch -> if List.for_all handle batch then go ()
   in
   go ()
 
@@ -177,24 +197,29 @@ let create cfg =
       crashes = 0;
       restarts = 0;
       wipes = 0;
-      retries = 0;
-      unavailable = 0;
-      backoff_hist = Array.make (Array.length backoff_edges_ms) 0;
+      retries = Atomic.make 0;
+      unavailable = Atomic.make 0;
+      backoff_hist =
+        Array.init (Array.length backoff_edges_ms) (fun _ -> Atomic.make 0);
     }
   in
-  t.transport <- Some (Transport.create cfg.transport ~deliver:(deliver t));
+  t.transport <-
+    Some (Transport.create cfg.transport ~servers:cfg.n ~deliver:(deliver t));
   t
 
 let heartbeat_loop t =
-  (* periodically wake every awaiting client so deadlines and due
-     retransmissions are checked even when no reply arrives *)
+  (* periodically wake awaiting clients so deadlines and due
+     retransmissions are checked even when no reply arrives; clients
+     not blocked in [await] are skipped *)
   while t.running do
     Thread.delay 0.05;
     Array.iter
       (fun cl ->
-        Mutex.lock cl.cm;
-        Condition.broadcast cl.cc;
-        Mutex.unlock cl.cm)
+        if cl.waiting then begin
+          Mutex.lock cl.cm;
+          if cl.waiting then Condition.signal cl.cc;
+          Mutex.unlock cl.cm
+        end)
       t.clients
   done
 
@@ -212,16 +237,20 @@ let recovery_mode t = t.cfg.recovery
 let new_client t =
   Mutex.lock t.gm;
   let ix = Array.length t.clients in
+  let id = Id.Client.of_int ix in
   let cl =
     {
-      id = Id.Client.of_int ix;
+      id;
       cm = Mutex.create ();
       cc = Condition.create ();
       handlers = Hashtbl.create 32;
       pending = Hashtbl.create 32;
       crng =
         Regemu_sim.Rng.create (t.cfg.transport.Transport.seed + (7919 * ix));
+      hlog = Histlog.new_writer t.log ~client:id;
       op_t0 = 0.0;
+      waiting = false;
+      pred = None;
     }
   in
   t.clients <- Array.append t.clients [| cl |];
@@ -266,7 +295,7 @@ let rpc t ~src:cl ?(sticky = false) server ~make ~handler =
   (match t.cfg.retry with
   | Some rcfg ->
       Hashtbl.replace cl.pending rid
-        (Retry.make rcfg ~now:(Unix.gettimeofday ()) ~server ~sticky payload)
+        (Retry.make rcfg ~now:(Clock.now_s ()) ~server ~sticky payload)
   | None -> ());
   Transport.send (transport t)
     {
@@ -292,10 +321,8 @@ let note_retry t backoff_s =
     then i
     else bucket (i + 1)
   in
-  Mutex.lock t.gm;
-  t.retries <- t.retries + 1;
-  t.backoff_hist.(bucket 0) <- t.backoff_hist.(bucket 0) + 1;
-  Mutex.unlock t.gm
+  Atomic.incr t.retries;
+  Atomic.incr t.backoff_hist.(bucket 0)
 
 (* caller holds [cl.cm] *)
 let retransmit_due t cl now =
@@ -328,22 +355,20 @@ let is_reachable t i =
   up && Transport.reachable (transport t) ~server:i
 
 let fail_unavailable t cl ~cause ~elapsed ~reachable ~required =
-  Mutex.lock t.gm;
-  t.unavailable <- t.unavailable + 1;
-  Mutex.unlock t.gm;
+  Atomic.incr t.unavailable;
   raise
     (Unavailable
        { client = cl.id; cause; elapsed_s = elapsed; reachable; required })
 
 let await t cl ?need pred =
-  let t_enter = Unix.gettimeofday () in
+  let t_enter = Clock.now_s () in
   let op_t0 = if cl.op_t0 > 0.0 then cl.op_t0 else t_enter in
   let hard_deadline = t_enter +. t.cfg.op_timeout_s in
   locked cl (fun () ->
       let rec go () =
         if pred () then clear_round_pendings cl
         else begin
-          let now = Unix.gettimeofday () in
+          let now = Clock.now_s () in
           retransmit_due t cl now;
           (match t.cfg.retry with
           | None -> ()
@@ -377,17 +402,23 @@ let await t cl ?need pred =
               (Timeout
                  (Fmt.str "client %a: no quorum within %.1fs" Id.Client.pp
                     cl.id t.cfg.op_timeout_s));
-          Condition.wait cl.cc cl.cm;
+          cl.waiting <- true;
+          cl.pred <- Some pred;
+          Fun.protect
+            ~finally:(fun () ->
+              cl.waiting <- false;
+              cl.pred <- None)
+            (fun () -> Condition.wait cl.cc cl.cm);
           go ()
         end
       in
       go ())
 
-let invoke t cl hop body =
-  cl.op_t0 <- Unix.gettimeofday ();
-  let ticket = Histlog.invoke t.log ~client:cl.id hop in
+let invoke _t cl hop body =
+  cl.op_t0 <- Clock.now_s ();
+  let ticket = Histlog.invoke cl.hlog hop in
   let v = body () in
-  Histlog.return t.log ticket v;
+  Histlog.return ticket v;
   v
 
 (* --- failures ----------------------------------------------------------- *)
@@ -449,6 +480,7 @@ let set_drop t ?requests ?replies () =
 (* --- observation -------------------------------------------------------- *)
 
 let history t = Histlog.snapshot t.log
+let log t = t.log
 let latencies_ns t = Histlog.latencies_ns t.log
 let completed_ops t = Histlog.completed t.log
 
@@ -470,11 +502,7 @@ type stats = {
 let stats t =
   let tr = transport t in
   Mutex.lock t.gm;
-  let crashes = t.crashes
-  and restarts = t.restarts
-  and wipes = t.wipes
-  and retries = t.retries
-  and unavailable = t.unavailable in
+  let crashes = t.crashes and restarts = t.restarts and wipes = t.wipes in
   Mutex.unlock t.gm;
   {
     msgs_sent = Transport.sent tr;
@@ -486,19 +514,16 @@ let stats t =
     crashes;
     restarts;
     wipes;
-    retries;
-    unavailable;
+    retries = Atomic.get t.retries;
+    unavailable = Atomic.get t.unavailable;
     ops_completed = Histlog.completed t.log;
   }
 
 let backoff_histogram t =
-  Mutex.lock t.gm;
-  let h =
-    Array.to_list
-      (Array.mapi (fun i c -> (backoff_edges_ms.(i), c)) t.backoff_hist)
-  in
-  Mutex.unlock t.gm;
-  h
+  Array.to_list
+    (Array.mapi
+       (fun i c -> (backoff_edges_ms.(i), Atomic.get c))
+       t.backoff_hist)
 
 let peek_reg t ~server reg =
   check_server t server;

@@ -194,6 +194,10 @@ val set_drop : t -> ?requests:float -> ?replies:float -> unit -> unit
 (** {2 Observation} *)
 
 val history : t -> Regemu_history.History.t
+
+(** The underlying sharded history log — the online checker polls it
+    incrementally instead of snapshotting. *)
+val log : t -> Histlog.t
 val latencies_ns : t -> int list
 val completed_ops : t -> int
 

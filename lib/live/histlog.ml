@@ -1,89 +1,219 @@
 open Regemu_objects
 open Regemu_sim
 
+let chunk_size = 256
+
 type cell = {
-  index : int;
-  client : Id.Client.t;
   hop : Trace.hop;
   invoked_at : int;
-  invoked_ns : float;
+  invoked_ns : int64;  (* monotonic *)
   mutable returned_at : int option;
   mutable result : Value.t option;
   mutable latency_ns : int;
 }
 
-type ticket = cell
+(* placeholder for preallocated chunk slots; never read (only slots
+   [< count] are) *)
+let hole =
+  {
+    hop = Trace.H_read;
+    invoked_at = 0;
+    invoked_ns = 0L;
+    returned_at = None;
+    result = None;
+    latency_ns = 0;
+  }
 
 type t = {
-  m : Mutex.t;
-  mutable cells : cell list;  (* newest first *)
-  mutable count : int;
-  mutable completed : int;
+  m : Mutex.t;  (* guards [writers] registration only *)
+  mutable writers : writer list;
   clock : int Atomic.t;  (* the real-time event order *)
+  invoked : int Atomic.t;
+  completed : int Atomic.t;
 }
+
+and writer = {
+  log : t;
+  client : Id.Client.t;
+  wm : Mutex.t;  (* guards this client's chunks; never contended across
+                    clients — the op hot path shares no lock *)
+  mutable full : cell array list;  (* filled chunks, newest first *)
+  mutable nfull : int;
+  mutable last : cell array;  (* current chunk, preallocated *)
+  mutable last_len : int;
+}
+
+type ticket = { tw : writer; cell : cell }
 
 let create () =
   {
     m = Mutex.create ();
-    cells = [];
-    count = 0;
-    completed = 0;
+    writers = [];
     clock = Atomic.make 1;
+    invoked = Atomic.make 0;
+    completed = Atomic.make 0;
   }
 
-let locked t f =
+let new_writer t ~client =
+  let w =
+    {
+      log = t;
+      client;
+      wm = Mutex.create ();
+      full = [];
+      nfull = 0;
+      last = Array.make chunk_size hole;
+      last_len = 0;
+    }
+  in
   Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  t.writers <- w :: t.writers;
+  Mutex.unlock t.m;
+  w
 
 let tick t = Atomic.fetch_and_add t.clock 1
 
-let invoke t ~client hop =
-  locked t (fun () ->
-      let cell =
-        {
-          index = t.count;
-          client;
-          hop;
-          invoked_at = tick t;
-          invoked_ns = Unix.gettimeofday ();
-          returned_at = None;
-          result = None;
-          latency_ns = 0;
-        }
-      in
-      t.count <- t.count + 1;
-      t.cells <- cell :: t.cells;
-      cell)
+let invoke w hop =
+  let t = w.log in
+  let cell =
+    {
+      hop;
+      invoked_at = tick t;
+      invoked_ns = Clock.now_ns ();
+      returned_at = None;
+      result = None;
+      latency_ns = 0;
+    }
+  in
+  Mutex.lock w.wm;
+  if w.last_len = chunk_size then begin
+    w.full <- w.last :: w.full;
+    w.nfull <- w.nfull + 1;
+    w.last <- Array.make chunk_size hole;
+    w.last_len <- 0
+  end;
+  w.last.(w.last_len) <- cell;
+  w.last_len <- w.last_len + 1;
+  Mutex.unlock w.wm;
+  Atomic.incr t.invoked;
+  { tw = w; cell }
 
-let return t cell v =
-  locked t (fun () ->
-      cell.returned_at <- Some (tick t);
-      cell.result <- Some v;
-      cell.latency_ns <-
-        int_of_float ((Unix.gettimeofday () -. cell.invoked_ns) *. 1e9);
-      t.completed <- t.completed + 1)
+let return { tw; cell } v =
+  let t = tw.log in
+  Mutex.lock tw.wm;
+  cell.returned_at <- Some (tick t);
+  cell.result <- Some v;
+  cell.latency_ns <- Int64.to_int (Int64.sub (Clock.now_ns ()) cell.invoked_ns);
+  Mutex.unlock tw.wm;
+  Atomic.incr t.completed
 
+(* Copy one writer's cells under its lock: a consistent per-client view
+   (each op's returned_at/result pair is published atomically under
+   [wm]).  [f] receives each cell's fields, oldest first. *)
+let fold_writer w f acc =
+  Mutex.lock w.wm;
+  let chunks = List.rev (Array.sub w.last 0 w.last_len :: w.full) in
+  let acc =
+    List.fold_left (fun acc chunk -> Array.fold_left f acc chunk) acc chunks
+  in
+  Mutex.unlock w.wm;
+  acc
+
+let writers t =
+  Mutex.lock t.m;
+  let ws = t.writers in
+  Mutex.unlock t.m;
+  ws
+
+let writer_client w = w.client
+
+type cell_view = {
+  v_hop : Trace.hop;
+  v_invoked_at : int;
+  v_returned_at : int option;
+  v_result : Value.t option;
+}
+
+(* Visit cells [from ..] of one writer, oldest first, under its lock —
+   the online checker's incremental feed.  Only the chunks holding the
+   requested suffix are touched, so a poll that is nearly caught up
+   costs O(new cells), not O(history). *)
+let poll w ~from f =
+  Mutex.lock w.wm;
+  let len = (w.nfull * chunk_size) + w.last_len in
+  if from < len then begin
+    let start_chunk = from / chunk_size in
+    (* [full] is newest first: the chunks at or after [start_chunk] are
+       a prefix of it *)
+    let rec prefix n = function
+      | x :: rest when n > 0 -> x :: prefix (n - 1) rest
+      | _ -> []
+    in
+    let visit base chunk upto =
+      for i = 0 to upto - 1 do
+        if base + i >= from then begin
+          let c = chunk.(i) in
+          f
+            {
+              v_hop = c.hop;
+              v_invoked_at = c.invoked_at;
+              v_returned_at = c.returned_at;
+              v_result = c.result;
+            }
+        end
+      done
+    in
+    List.iteri
+      (fun i chunk ->
+        visit ((start_chunk + i) * chunk_size) chunk chunk_size)
+      (List.rev (prefix (w.nfull - start_chunk) w.full));
+    visit (w.nfull * chunk_size) w.last w.last_len
+  end;
+  Mutex.unlock w.wm;
+  len
+
+(* Cells across clients merge by the shared atomic clock: sorting by
+   [invoked_at] rebuilds global invocation order, and the index is the
+   rank in that order — exactly what the old single-list log produced,
+   without its global hot-path mutex. *)
 let snapshot t =
-  locked t (fun () ->
-      List.rev_map
-        (fun (c : cell) ->
-          {
-            Regemu_history.History.index = c.index;
-            client = c.client;
-            hop = c.hop;
-            invoked_at = c.invoked_at;
-            returned_at = c.returned_at;
-            result = c.result;
-          })
-        t.cells)
+  let cells =
+    List.fold_left
+      (fun acc w ->
+        fold_writer w
+          (fun acc (c : cell) ->
+            ( c.invoked_at,
+              fun index ->
+                {
+                  Regemu_history.History.index;
+                  client = w.client;
+                  hop = c.hop;
+                  invoked_at = c.invoked_at;
+                  returned_at = c.returned_at;
+                  result = c.result;
+                } )
+            :: acc)
+          acc)
+      [] (writers t)
+  in
+  let cells =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) cells
+  in
+  List.mapi (fun i (_, mk) -> mk i) cells
 
-let completed t = locked t (fun () -> t.completed)
-let invoked t = locked t (fun () -> t.count)
+let completed t = Atomic.get t.completed
+let invoked t = Atomic.get t.invoked
 
 let latencies_ns t =
-  locked t (fun () ->
-      (* cells are newest first; fold rebuilds invocation order *)
-      List.fold_left
-        (fun acc c ->
-          match c.returned_at with Some _ -> c.latency_ns :: acc | None -> acc)
-        [] t.cells)
+  let lats =
+    List.fold_left
+      (fun acc w ->
+        fold_writer w
+          (fun acc (c : cell) ->
+            match c.returned_at with
+            | Some _ -> (c.invoked_at, c.latency_ns) :: acc
+            | None -> acc)
+          acc)
+      [] (writers t)
+  in
+  List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) lats)

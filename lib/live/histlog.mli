@@ -1,34 +1,71 @@
-(** Lock-protected history of high-level operations for a live run.
+(** Sharded history of high-level operations for a live run.
 
     Plays the role the trace plays in the simulator: every [write]/
     [read] on the emulated register takes a ticket at invocation and
     completes it at return.  Event order is a shared atomic counter, so
     the [invoked_at]/[returned_at] fields of the resulting
-    {!Regemu_history.History.t} reflect {e wall-clock real-time order}:
-    operation [a] precedes operation [b] exactly when [a] returned
-    before [b] was invoked, which is what the WS-Regularity and
-    atomicity checkers need.  Wall-clock latency is recorded alongside
-    for throughput/percentile reporting. *)
+    {!Regemu_history.History.t} reflect {e real-time order}: operation
+    [a] precedes operation [b] exactly when [a] returned before [b] was
+    invoked, which is what the WS-Regularity and atomicity checkers
+    need.
+
+    Storage is sharded per client: each {!writer} appends into its own
+    preallocated chunked arrays under its own lock, so the op hot path
+    never contends across clients (the old design pushed every ticket
+    through one global mutex onto a cons list).  Latency is measured on
+    the {e monotonic} clock ({!Clock}), immune to NTP steps.  Cells are
+    merged and sorted by the atomic event counter only at {!snapshot}.
+
+    A snapshot taken while writers are live is a consistent per-client
+    prefix: an operation that returns during the snapshot may still
+    appear pending, which the checkers already treat soundly (a pending
+    operation is concurrent with everything after it).  The final
+    snapshot, taken after client threads join, is exact. *)
 
 open Regemu_objects
 open Regemu_sim
 
 type t
+type writer
 type ticket
 
 val create : unit -> t
 
+(** Register a client's private append log.  Called once per client,
+    before its first operation. *)
+val new_writer : t -> client:Id.Client.t -> writer
+
 (** Take an invocation ticket.  Must be called before the operation
-    sends its first message. *)
-val invoke : t -> client:Id.Client.t -> Trace.hop -> ticket
+    sends its first message.  Lock-free across clients. *)
+val invoke : writer -> Trace.hop -> ticket
 
 (** Complete a ticket with the operation's result.  Must be called
     after the operation's last await. *)
-val return : t -> ticket -> Value.t -> unit
+val return : ticket -> Value.t -> unit
 
 (** Consistent snapshot of all operations so far (completed and
     pending), in invocation order, ready for the checkers. *)
 val snapshot : t -> Regemu_history.History.t
+
+(** {2 Incremental access (the online checker's feed)} *)
+
+val writers : t -> writer list
+val writer_client : writer -> Id.Client.t
+
+type cell_view = {
+  v_hop : Trace.hop;
+  v_invoked_at : int;
+  v_returned_at : int option;
+  v_result : Value.t option;
+}
+
+(** [poll w ~from f] visits [w]'s operations from position [from]
+    onward, oldest first, under the writer's lock, and returns the
+    writer's current length.  A poll that is nearly caught up costs
+    O(new cells), not O(history) — the basis of incremental online
+    checking.  A cell seen pending may be completed by a later poll of
+    the same range; callers keep their own cursors and deduplicate. *)
+val poll : writer -> from:int -> (cell_view -> unit) -> int
 
 (** Number of completed operations. *)
 val completed : t -> int
@@ -36,5 +73,6 @@ val completed : t -> int
 (** Number of invoked operations. *)
 val invoked : t -> int
 
-(** Wall-clock latency of each completed operation, in nanoseconds. *)
+(** Monotonic-clock latency of each completed operation, in
+    nanoseconds, in invocation order. *)
 val latencies_ns : t -> int list

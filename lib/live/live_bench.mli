@@ -22,6 +22,7 @@ type spec = {
   ops_per_client : int;
   couriers : int;
   chaos : bool;  (** crash/restart injector + delays + duplication *)
+  reorder : bool;  (** transport reordering (off in saturation mode) *)
   seed : int;
 }
 
@@ -57,11 +58,57 @@ val outcome_pp : outcome Fmt.t
 (** Run one specification to completion (spawns and joins all threads). *)
 val run : spec -> outcome
 
+(** [run_median ~reps spec] runs [spec] [reps] times and keeps the
+    median-throughput outcome — the saturation sweep's defence against
+    single-core scheduler noise.  A rep that is not {!clean} is
+    returned instead, so failures are never averaged away.  Default
+    [reps = 1]. *)
+val run_median : ?reps:int -> spec -> outcome
+
+(** [run_sweep_median ~reps specs] runs the whole list [reps] times
+    round-robin and keeps each spec's median-throughput outcome — a
+    point's repetitions are spread across the sweep, so a transient
+    machine stall cannot poison all of them at once.  A rep that is
+    not {!clean} is surfaced instead.  Default [reps = 1]. *)
+val run_sweep_median : ?reps:int -> spec list -> outcome list
+
 (** The standard suite: quiet and chaos runs of each algorithm. *)
 val suite : ?ops_per_client:int -> seed:int -> unit -> spec list
 
 (** The bounded, seed-fixed smoke suite for CI. *)
 val smoke_suite : unit -> spec list
 
-(** The [BENCH_live.json] document: schema id, specs, and results. *)
+(** The [regemu-live-bench/1] document: schema id, specs, and results. *)
 val to_json : outcome list -> Json.t
+
+(** {2 Saturation mode}
+
+    The perf-trajectory benchmark: sweep client-thread counts at fixed
+    [k = 1], [readers = clients - 1], [f = 1], [n = 3] on a quiet,
+    non-reordering transport (peak pipeline), and report ops/s and
+    latency percentiles per point, against the recorded pre-sharding
+    baseline. *)
+
+(** One saturation point.  Raises [Invalid_argument] if [clients < 2]. *)
+val saturate_spec :
+  algo:algo -> clients:int -> ops_per_client:int -> seed:int -> spec
+
+(** The default sweep: [2; 4; 8; 16]. *)
+val saturate_clients : int list
+
+(** The full sweep, ABD and Algorithm 2 at each client count. *)
+val saturate_specs :
+  ?clients:int list -> ?ops_per_client:int -> seed:int -> unit -> spec list
+
+(** Pre-sharding throughput on the reference machine, [(algo, clients,
+    ops/s)] — the "before" column baked into the emitted document. *)
+val seed_baseline_ops_s : (algo * int * float) list
+
+(** The [BENCH_live.json] document in the [regemu-bench/1] schema:
+    one benchmark entry per outcome ([ns_per_run] = ns per completed
+    op) with throughput, percentiles, and baseline/speedup extras. *)
+val saturate_json : outcome list -> Json.t
+
+(** Structural validation of a [regemu-bench/1] document (also
+    applicable to the micro-benchmark emitter's output). *)
+val validate_bench_json : Json.t -> (unit, string) result

@@ -1,20 +1,20 @@
 type 'a t = {
   m : Mutex.t;
   c : Condition.t;
-  q : 'a Queue.t;
+  q : 'a Ringbuf.t;
   mutable closed : bool;
-  mutable pushed : int;
-  mutable popped : int;
+  pushed : int Atomic.t;
+  popped : int Atomic.t;
 }
 
 let create () =
   {
     m = Mutex.create ();
     c = Condition.create ();
-    q = Queue.create ();
+    q = Ringbuf.create ();
     closed = false;
-    pushed = 0;
-    popped = 0;
+    pushed = Atomic.make 0;
+    popped = Atomic.make 0;
   }
 
 let locked t f =
@@ -22,42 +22,75 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 let push t x =
-  locked t (fun () ->
-      if not t.closed then begin
-        Queue.push x t.q;
-        t.pushed <- t.pushed + 1;
-        Condition.signal t.c
-      end)
+  let accepted =
+    locked t (fun () ->
+        if t.closed then false
+        else begin
+          Ringbuf.push t.q x;
+          Condition.signal t.c;
+          true
+        end)
+  in
+  if accepted then Atomic.incr t.pushed
 
 let pop t =
-  locked t (fun () ->
-      let rec go () =
-        if t.closed then None
-        else if Queue.is_empty t.q then begin
-          Condition.wait t.c t.m;
-          go ()
-        end
-        else begin
-          t.popped <- t.popped + 1;
-          Some (Queue.pop t.q)
-        end
-      in
-      go ())
+  let r =
+    locked t (fun () ->
+        let rec go () =
+          if t.closed then None
+          else if Ringbuf.is_empty t.q then begin
+            Condition.wait t.c t.m;
+            go ()
+          end
+          else Some (Ringbuf.pop t.q)
+        in
+        go ())
+  in
+  if r <> None then Atomic.incr t.popped;
+  r
 
 let try_pop t =
-  locked t (fun () ->
-      if t.closed || Queue.is_empty t.q then None
-      else begin
-        t.popped <- t.popped + 1;
-        Some (Queue.pop t.q)
-      end)
+  let r =
+    locked t (fun () ->
+        if t.closed || Ringbuf.is_empty t.q then None
+        else Some (Ringbuf.pop t.q))
+  in
+  if r <> None then Atomic.incr t.popped;
+  r
 
-let length t = locked t (fun () -> Queue.length t.q)
+let pop_batch t ~max =
+  if max < 1 then invalid_arg "Mailbox.pop_batch: max must be >= 1";
+  let r =
+    locked t (fun () ->
+        let rec go () =
+          if t.closed then None
+          else if Ringbuf.is_empty t.q then begin
+            Condition.wait t.c t.m;
+            go ()
+          end
+          else begin
+            let n = min max (Ringbuf.length t.q) in
+            let rec take n acc =
+              if n = 0 then List.rev acc
+              else take (n - 1) (Ringbuf.pop t.q :: acc)
+            in
+            Some (take n [])
+          end
+        in
+        go ())
+  in
+  (match r with
+  | Some xs -> ignore (Atomic.fetch_and_add t.popped (List.length xs))
+  | None -> ());
+  r
+
+let length t = locked t (fun () -> Ringbuf.length t.q)
 
 let close t =
   locked t (fun () ->
       t.closed <- true;
+      Ringbuf.clear t.q;
       Condition.broadcast t.c)
 
-let pushed t = locked t (fun () -> t.pushed)
-let popped t = locked t (fun () -> t.popped)
+let pushed t = Atomic.get t.pushed
+let popped t = Atomic.get t.popped

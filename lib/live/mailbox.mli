@@ -21,6 +21,12 @@ val pop : 'a t -> 'a option
 (** Non-blocking variant: [None] when currently empty or closed. *)
 val try_pop : 'a t -> 'a option
 
+(** [pop_batch t ~max] blocks until at least one item is available and
+    removes up to [max] of them, oldest first — one lock acquisition
+    and at most one condvar wait for a whole burst.  [None] once
+    closed.  Raises [Invalid_argument] if [max < 1]. *)
+val pop_batch : 'a t -> max:int -> 'a list option
+
 val length : 'a t -> int
 
 (** Wake all blocked poppers; they (and future pops) return [None]. *)

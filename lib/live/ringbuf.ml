@@ -1,0 +1,50 @@
+type 'a t = {
+  mutable buf : 'a array;  (* [||] until the first push *)
+  mutable head : int;
+  mutable len : int;
+}
+
+let create () = { buf = [||]; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.buf in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let buf' = Array.make cap' x in
+  for i = 0 to t.len - 1 do
+    buf'.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf';
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.buf then grow t x;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- x;
+  t.len <- t.len + 1
+
+let take_at t i =
+  if i < 0 || i >= t.len then invalid_arg "Ringbuf.take_at: out of range";
+  let cap = Array.length t.buf in
+  let slot = (t.head + i) mod cap in
+  let x = t.buf.(slot) in
+  (* swap the front into the vacated slot, then advance the front;
+     O(1), at the price of perturbing the order of survivors *)
+  t.buf.(slot) <- t.buf.(t.head);
+  t.head <- (t.head + 1) mod cap;
+  t.len <- t.len - 1;
+  if t.len = 0 then t.head <- 0;
+  x
+
+let pop t =
+  if t.len = 0 then invalid_arg "Ringbuf.pop: empty";
+  take_at t 0
+
+let clear t =
+  t.buf <- [||];
+  t.head <- 0;
+  t.len <- 0
+
+let to_list t =
+  List.init t.len (fun i -> t.buf.((t.head + i) mod Array.length t.buf))

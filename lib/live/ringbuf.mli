@@ -1,0 +1,40 @@
+(** A growable array-backed FIFO deque with O(1) random removal.
+
+    The queue behind every {!Transport} lane: [push]/[pop] give plain
+    FIFO order, and [take_at] removes the [i]-th oldest element in
+    constant time by swapping the front element into its slot — the
+    relative order of the untouched elements is perturbed, which is
+    exactly the use case (a courier picking a {e random} envelope to
+    reorder delivery).  Contrast with the O(n) double-[Queue.transfer]
+    splice this replaces.
+
+    Not thread-safe; callers hold their own lock. *)
+
+type 'a t
+
+(** [create ()] is an empty buffer; the backing array is allocated on
+    first push and doubles as needed (never shrinks except on
+    {!clear}). *)
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Append at the back. *)
+val push : 'a t -> 'a -> unit
+
+(** Remove the front (oldest) element.  Raises [Invalid_argument] when
+    empty. *)
+val pop : 'a t -> 'a
+
+(** [take_at t i] removes and returns the [i]-th oldest element
+    ([take_at t 0 = pop t]) in O(1): the front element is swapped into
+    slot [i], then the front advances.  Raises [Invalid_argument]
+    unless [0 <= i < length t]. *)
+val take_at : 'a t -> int -> 'a
+
+(** Drop all elements and release the backing array. *)
+val clear : 'a t -> unit
+
+(** Front-to-back element list (for tests). *)
+val to_list : 'a t -> 'a list

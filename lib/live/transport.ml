@@ -9,6 +9,7 @@ type config = {
   dup_prob : float;
   drop_prob : float;
   reorder : bool;
+  sharded : bool;
   seed : int;
 }
 
@@ -20,6 +21,7 @@ let default_config ~seed =
     dup_prob = 0.0;
     drop_prob = 0.0;
     reorder = true;
+    sharded = true;
     seed;
   }
 
@@ -35,136 +37,236 @@ let validate_config cfg =
   check_prob "dup_prob" cfg.dup_prob;
   check_prob "drop_prob" cfg.drop_prob
 
+(* The runtime-adjustable hostile-network state, published as one
+   immutable value so the send fast path reads it with a single
+   [Atomic.get] instead of taking a lock.  [groups] is built once per
+   [split] and never mutated after publication. *)
+type net_state = {
+  drop_requests : float;
+  drop_replies : float;
+  groups : (int, int) Hashtbl.t option;  (* server -> group id *)
+  client_group : int;
+}
+
+(* One delivery lane: its own queue, lock, condvar, seeded RNG, and
+   courier pool.  Sharding assigns each destination its own lane, so
+   concurrent RPCs to different servers (and their replies) never
+   contend on a common lock. *)
+type lane = {
+  lm : Mutex.t;
+  lc : Condition.t;
+  buf : envelope Ringbuf.t;  (* protected by [lm] *)
+  lrng : Regemu_sim.Rng.t;  (* protected by [lm] *)
+  mutable inflight : int;  (* popped but not yet delivered; under [lm] *)
+  mutable lthreads : Thread.t list;
+}
+
 type t = {
   cfg : config;
   deliver : envelope -> unit;
-  m : Mutex.t;
-  c : Condition.t;
-  q : envelope Queue.t;
-  rng : Regemu_sim.Rng.t;  (* protected by [m] *)
-  mutable stopped : bool;
-  mutable threads : Thread.t list;
-  mutable sent : int;
-  mutable duplicated : int;
-  mutable delayed : int;
-  mutable dropped : int;
-  mutable cut : int;
-  (* hostile-network state, protected by [m] *)
-  mutable drop_requests : float;
-  mutable drop_replies : float;
-  mutable groups : (int, int) Hashtbl.t option;  (* server -> group id *)
-  mutable client_group : int;
+  nservers : int;
+  lanes : lane array;  (* sharded: one per server + a client lane *)
+  state : net_state Atomic.t;
+  stopped : bool Atomic.t;
+  sent : int Atomic.t;
+  duplicated : int Atomic.t;
+  delayed : int Atomic.t;
+  dropped : int Atomic.t;
+  cut : int Atomic.t;
   delivered : int Atomic.t;
 }
 
-let create cfg ~deliver =
+(* how many envelopes a courier drains per wakeup *)
+let batch_max = 32
+
+let make_lane ~seed i =
+  {
+    lm = Mutex.create ();
+    lc = Condition.create ();
+    buf = Ringbuf.create ();
+    lrng = Regemu_sim.Rng.create (seed + ((i + 1) * 0x9e3779b9));
+    inflight = 0;
+    lthreads = [];
+  }
+
+let create cfg ~servers ~deliver =
   validate_config cfg;
+  if servers < 1 then invalid_arg "Transport.create: need >= 1 server";
+  let num_lanes = if cfg.sharded then servers + 1 else 1 in
   {
     cfg;
     deliver;
-    m = Mutex.create ();
-    c = Condition.create ();
-    q = Queue.create ();
-    rng = Regemu_sim.Rng.create cfg.seed;
-    stopped = false;
-    threads = [];
-    sent = 0;
-    duplicated = 0;
-    delayed = 0;
-    dropped = 0;
-    cut = 0;
-    drop_requests = cfg.drop_prob;
-    drop_replies = cfg.drop_prob;
-    groups = None;
-    client_group = 0;
+    nservers = servers;
+    lanes = Array.init num_lanes (make_lane ~seed:cfg.seed);
+    state =
+      Atomic.make
+        {
+          drop_requests = cfg.drop_prob;
+          drop_replies = cfg.drop_prob;
+          groups = None;
+          client_group = 0;
+        };
+    stopped = Atomic.make false;
+    sent = Atomic.make 0;
+    duplicated = Atomic.make 0;
+    delayed = Atomic.make 0;
+    dropped = Atomic.make 0;
+    cut = Atomic.make 0;
     delivered = Atomic.make 0;
   }
+
+(* server lanes first, then the client lane; servers beyond the
+   declared count (impossible through Cluster) fold into the client
+   lane.  (Splitting the client lane into a hashed per-client pool was
+   measured and is a wash on a single core: replies to different
+   clients rarely collide for long, and the extra courier threads cost
+   as much as the collisions.) *)
+let lane_for t dest =
+  if Array.length t.lanes = 1 then t.lanes.(0)
+  else
+    match dest with
+    | To_server s when s >= 0 && s < t.nservers -> t.lanes.(s)
+    | To_server _ | To_client _ -> t.lanes.(t.nservers)
 
 (* [p] as an event on a seeded integer rng *)
 let hit rng p =
   p > 0.0 && Regemu_sim.Rng.int rng ~bound:1_000_000 < int_of_float (p *. 1e6)
 
-(* remove the [i]-th element of the queue *)
-let take_nth q i =
-  let tmp = Queue.create () in
-  let rec skip k =
-    if k = 0 then ()
-    else begin
-      Queue.push (Queue.pop q) tmp;
-      skip (k - 1)
-    end
-  in
-  skip i;
-  let x = Queue.pop q in
-  Queue.transfer q tmp;
-  Queue.transfer tmp q;
-  x
-
-let rec courier_loop t =
-  Mutex.lock t.m;
-  while Queue.is_empty t.q && not t.stopped do
-    Condition.wait t.c t.m
+let rec courier_loop t lane =
+  Mutex.lock lane.lm;
+  while Ringbuf.is_empty lane.buf && not (Atomic.get t.stopped) do
+    Condition.wait lane.lc lane.lm
   done;
-  if t.stopped then Mutex.unlock t.m
+  if Atomic.get t.stopped then Mutex.unlock lane.lm
   else begin
-    let env =
-      if t.cfg.reorder && Queue.length t.q > 1 then
-        take_nth t.q (Regemu_sim.Rng.int t.rng ~bound:(Queue.length t.q))
-      else Queue.pop t.q
+    (* drain a batch under one lock acquisition; fault decisions use
+       the lane's own rng, so each lane is a deterministic stream *)
+    let n = min batch_max (Ringbuf.length lane.buf) in
+    let prompt = ref [] and held = ref [] in
+    for _ = 1 to n do
+      let len = Ringbuf.length lane.buf in
+      let env =
+        if t.cfg.reorder && len > 1 then
+          Ringbuf.take_at lane.buf (Regemu_sim.Rng.int lane.lrng ~bound:len)
+        else Ringbuf.pop lane.buf
+      in
+      let delay_us =
+        if hit lane.lrng t.cfg.delay_prob && t.cfg.max_delay_us > 0 then begin
+          Atomic.incr t.delayed;
+          1 + Regemu_sim.Rng.int lane.lrng ~bound:t.cfg.max_delay_us
+        end
+        else 0
+      in
+      if delay_us = 0 then prompt := env :: !prompt
+      else held := (delay_us, env) :: !held
+    done;
+    lane.inflight <- lane.inflight + n;
+    Mutex.unlock lane.lm;
+    List.iter
+      (fun env ->
+        t.deliver env;
+        Atomic.incr t.delivered)
+      (List.rev !prompt);
+    (* deliver the held envelopes in delay order, sleeping only the
+       remaining gap — the courier holds exactly these messages while
+       its lane's other couriers keep delivering past it *)
+    let held =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev !held)
     in
-    let delay_us =
-      if hit t.rng t.cfg.delay_prob && t.cfg.max_delay_us > 0 then begin
-        t.delayed <- t.delayed + 1;
-        1 + Regemu_sim.Rng.int t.rng ~bound:t.cfg.max_delay_us
-      end
-      else 0
-    in
-    Mutex.unlock t.m;
-    if delay_us > 0 then Thread.delay (float_of_int delay_us *. 1e-6);
-    t.deliver env;
-    Atomic.incr t.delivered;
-    courier_loop t
+    let slept = ref 0 in
+    List.iter
+      (fun (d, env) ->
+        if d > !slept then begin
+          Thread.delay (float_of_int (d - !slept) *. 1e-6);
+          slept := d
+        end;
+        t.deliver env;
+        Atomic.incr t.delivered)
+      held;
+    Mutex.lock lane.lm;
+    lane.inflight <- lane.inflight - n;
+    Mutex.unlock lane.lm;
+    courier_loop t lane
   end
 
 let start t =
-  t.threads <- List.init t.cfg.couriers (fun _ -> Thread.create courier_loop t)
+  Array.iter
+    (fun lane ->
+      lane.lthreads <-
+        List.init t.cfg.couriers (fun _ ->
+            Thread.create (fun () -> courier_loop t lane) ()))
+    t.lanes
 
-(* caller holds [t.m].  Which server is this envelope's link attached
-   to?  (Clients are not partitioned among themselves.) *)
+(* Which server is this envelope's link attached to?  (Clients are not
+   partitioned among themselves.) *)
 let link_server env =
   match env.dest with To_server s -> s | To_client _ -> env.src
 
-let reachable_locked t ~server =
-  match t.groups with
+let reachable_of st ~server =
+  match st.groups with
   | None -> true
-  | Some g -> Hashtbl.find_opt g server = Some t.client_group
+  | Some g -> Hashtbl.find_opt g server = Some st.client_group
 
 let send t env =
-  Mutex.lock t.m;
-  if not t.stopped then begin
-    if not (reachable_locked t ~server:(link_server env)) then
-      t.cut <- t.cut + 1
-    else
+  if not (Atomic.get t.stopped) then begin
+    let st = Atomic.get t.state in
+    if not (reachable_of st ~server:(link_server env)) then Atomic.incr t.cut
+    else begin
       let drop_p =
-        if Regemu_netsim.Proto.is_reply env.payload then t.drop_replies
-        else t.drop_requests
+        if Regemu_netsim.Proto.is_reply env.payload then st.drop_replies
+        else st.drop_requests
       in
-      if hit t.rng drop_p then t.dropped <- t.dropped + 1
+      let lane = lane_for t env.dest in
+      Mutex.lock lane.lm;
+      if hit lane.lrng drop_p then begin
+        Mutex.unlock lane.lm;
+        Atomic.incr t.dropped
+      end
       else begin
-        Queue.push env t.q;
-        t.sent <- t.sent + 1;
-        Condition.signal t.c;
-        if hit t.rng t.cfg.dup_prob then begin
-          Queue.push env t.q;
-          t.sent <- t.sent + 1;
-          t.duplicated <- t.duplicated + 1;
-          Condition.signal t.c
+        let dup = hit lane.lrng t.cfg.dup_prob in
+        (* fast path: without reordering, an idle lane (nothing queued,
+           nothing popped-but-undelivered) may deliver on the sending
+           thread — same FIFO order, two context switches fewer.  Any
+           backlog, in-flight delayed message, or reorder mode goes
+           through the couriers. *)
+        let inline_ok =
+          (not t.cfg.reorder)
+          && t.cfg.delay_prob = 0.0
+          && Ringbuf.is_empty lane.buf
+          && lane.inflight = 0
+        in
+        if inline_ok then begin
+          lane.inflight <- lane.inflight + 1;
+          if dup then Ringbuf.push lane.buf env;
+          if dup then Condition.signal lane.lc;
+          Mutex.unlock lane.lm;
+          t.deliver env;
+          Atomic.incr t.delivered;
+          Mutex.lock lane.lm;
+          lane.inflight <- lane.inflight - 1;
+          Mutex.unlock lane.lm
+        end
+        else begin
+          Ringbuf.push lane.buf env;
+          if dup then Ringbuf.push lane.buf env;
+          Condition.signal lane.lc;
+          if dup then Condition.signal lane.lc;
+          Mutex.unlock lane.lm
+        end;
+        Atomic.incr t.sent;
+        if dup then begin
+          Atomic.incr t.sent;
+          Atomic.incr t.duplicated
         end
       end
-  end;
-  Mutex.unlock t.m
+    end
+  end
 
 (* --- hostile-network controls ------------------------------------------ *)
+
+(* swap in a new state derived from the current one; sole writers are
+   the nemesis thread, so a plain read-modify-write is enough *)
+let update_state t f = Atomic.set t.state (f (Atomic.get t.state))
 
 let split t ~groups ~clients_with =
   if groups = [] then invalid_arg "Transport.split: no groups";
@@ -184,49 +286,42 @@ let split t ~groups ~clients_with =
           Hashtbl.replace h s gi)
         servers)
     groups;
-  Mutex.lock t.m;
-  t.groups <- Some h;
-  t.client_group <- clients_with;
-  Mutex.unlock t.m
+  update_state t (fun st ->
+      { st with groups = Some h; client_group = clients_with })
 
-let heal t =
-  Mutex.lock t.m;
-  t.groups <- None;
-  t.client_group <- 0;
-  Mutex.unlock t.m
+let heal t = update_state t (fun st -> { st with groups = None; client_group = 0 })
 
 let set_drop t ?requests ?replies () =
   Option.iter (check_prob "requests") requests;
   Option.iter (check_prob "replies") replies;
-  Mutex.lock t.m;
-  Option.iter (fun p -> t.drop_requests <- p) requests;
-  Option.iter (fun p -> t.drop_replies <- p) replies;
-  Mutex.unlock t.m
+  update_state t (fun st ->
+      {
+        st with
+        drop_requests = Option.value ~default:st.drop_requests requests;
+        drop_replies = Option.value ~default:st.drop_replies replies;
+      })
 
-let reachable t ~server =
-  Mutex.lock t.m;
-  let v = reachable_locked t ~server in
-  Mutex.unlock t.m;
-  v
+let reachable t ~server = reachable_of (Atomic.get t.state) ~server
 
 let stop t =
-  Mutex.lock t.m;
-  t.stopped <- true;
-  Queue.clear t.q;
-  Condition.broadcast t.c;
-  Mutex.unlock t.m;
-  List.iter Thread.join t.threads;
-  t.threads <- []
+  Atomic.set t.stopped true;
+  Array.iter
+    (fun lane ->
+      Mutex.lock lane.lm;
+      Ringbuf.clear lane.buf;
+      Condition.broadcast lane.lc;
+      Mutex.unlock lane.lm)
+    t.lanes;
+  Array.iter
+    (fun lane ->
+      List.iter Thread.join lane.lthreads;
+      lane.lthreads <- [])
+    t.lanes
 
-let counter t f =
-  Mutex.lock t.m;
-  let v = f t in
-  Mutex.unlock t.m;
-  v
-
-let sent t = counter t (fun t -> t.sent)
+let lanes t = Array.length t.lanes
+let sent t = Atomic.get t.sent
 let delivered t = Atomic.get t.delivered
-let duplicated t = counter t (fun t -> t.duplicated)
-let delayed t = counter t (fun t -> t.delayed)
-let dropped t = counter t (fun t -> t.dropped)
-let cut t = counter t (fun t -> t.cut)
+let duplicated t = Atomic.get t.duplicated
+let delayed t = Atomic.get t.delayed
+let dropped t = Atomic.get t.dropped
+let cut t = Atomic.get t.cut

@@ -1,27 +1,43 @@
 (** The live message fabric: an asynchronous, reordering, duplicating,
     delaying — and, when asked, lossy and partitionable — network made
-    of real threads.
+    of real threads, sharded into per-destination {e lanes}.
 
-    [send] enqueues an envelope into a shared outbox; a pool of
-    {e courier} threads drains it and hands each envelope to the
-    [deliver] callback supplied at creation (the cluster routes it to a
-    server mailbox or a client reply handler).  The faults of the
-    paper's asynchronous model are injected here, with configurable
-    rates drawn from a seeded deterministic RNG:
+    [send] enqueues an envelope into the lane of its destination: one
+    lane per server plus one lane for all client-bound replies (or a
+    single shared lane with [sharded = false]).  Each lane has its own
+    lock, condition variable, array-backed ring buffer ({!Ringbuf}),
+    seeded RNG, and dedicated pool of {e courier} threads — so
+    concurrent RPCs to different servers, and the replies streaming
+    back, never contend on a common lock.  Couriers drain their lane in
+    batches (one lock acquisition per batch) and hand each envelope to
+    the [deliver] callback supplied at creation.
 
-    - {e reorder}: couriers pick a random queued envelope instead of
-      the oldest (and with several couriers, delivery interleaves even
-      in FIFO mode);
+    The faults of the paper's asynchronous model are injected here,
+    with configurable rates drawn from each lane's deterministic RNG:
+
+    - {e reorder}: couriers pick a random queued envelope (an O(1)
+      pick-and-swap on the ring buffer) instead of the oldest;
     - {e delay}: a courier sleeps before delivering, holding exactly
-      the message it carries — other couriers keep delivering past it;
+      the envelopes it drew delays for — its lane's other couriers
+      keep delivering past it;
     - {e duplicate}: an envelope is enqueued twice (at-least-once
       delivery; the protocol layer must tolerate it);
-    - {e drop}: a send is discarded at the outbox, so delivery is
+    - {e drop}: a send is discarded at the lane, so delivery is
       at-most-once and the client layer must retransmit ({!Retry});
     - {e partition}: a dynamic reachability map over servers
       ({!split} / {!heal}); an envelope whose server-side endpoint is
       in a different group than the clients is cut, in both
       directions.
+
+    When [reorder] is off and a lane is completely idle (no backlog,
+    no in-flight delivery), [send] delivers on the calling thread —
+    the same FIFO order with two context switches fewer.  [deliver]
+    must therefore be safe to call from courier threads {e and} from
+    sending threads.
+
+    Determinism: each lane's fault stream is a pure function of the
+    seed and that lane's send order, so single-threaded (or otherwise
+    externally ordered) traffic replays exactly.
 
     Messages to a {e crashed but reachable} server still wait in its
     mailbox, indistinguishable from an arbitrarily slow server —
@@ -33,7 +49,7 @@ type dest = To_server of int | To_client of int
 type envelope = { src : int; dest : dest; payload : Regemu_netsim.Proto.payload }
 
 type config = {
-  couriers : int;  (** delivery threads; ≥ 2 gives interleaving *)
+  couriers : int;  (** delivery threads {e per lane}; ≥ 2 interleaves *)
   delay_prob : float;  (** chance a delivery sleeps first *)
   max_delay_us : int;  (** uniform sleep bound, microseconds *)
   dup_prob : float;  (** chance a send is enqueued twice *)
@@ -41,19 +57,23 @@ type config = {
       (** chance a send is discarded (initial rate for both requests
           and replies; adjustable at runtime with {!set_drop}) *)
   reorder : bool;  (** couriers pick a random queued envelope *)
+  sharded : bool;
+      (** one lane per destination (the default); [false] forces the
+          single-queue fallback — every envelope through one lane *)
   seed : int;
 }
 
 val default_config : seed:int -> config
-(** 2 couriers, reorder on, no delays, no duplication, no loss. *)
+(** 2 couriers per lane, sharded, reorder on, no delays, no
+    duplication, no loss. *)
 
 type t
 
-(** [create cfg ~deliver] builds the fabric; no thread runs until
-    {!start}.  [deliver] is called from courier threads.  Raises
-    [Invalid_argument] if a probability is outside [0,1],
-    [couriers < 1], or [max_delay_us < 0]. *)
-val create : config -> deliver:(envelope -> unit) -> t
+(** [create cfg ~servers ~deliver] builds the fabric for a cluster of
+    [servers] server endpoints; no thread runs until {!start}.
+    Raises [Invalid_argument] if a probability is outside [0,1],
+    [couriers < 1], [servers < 1], or [max_delay_us < 0]. *)
+val create : config -> servers:int -> deliver:(envelope -> unit) -> t
 
 val start : t -> unit
 
@@ -80,10 +100,12 @@ val set_drop : t -> ?requests:float -> ?replies:float -> unit -> unit
 (** Is [server] currently reachable from the clients? *)
 val reachable : t -> server:int -> bool
 
-(** Stop accepting sends, discard the queue, join the couriers. *)
+(** Stop accepting sends, discard the queues, join the couriers. *)
 val stop : t -> unit
 
 (** {2 Accounting} *)
+
+val lanes : t -> int  (** number of lanes (servers + 1, or 1) *)
 
 val sent : t -> int  (** envelopes accepted, duplicates included *)
 

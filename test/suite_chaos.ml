@@ -32,6 +32,7 @@ let mk_cluster ?(recovery = Recovery.Persist) ?(retry = quick_retry)
           dup_prob;
           drop_prob = 0.0;
           reorder = true;
+          sharded = true;
           seed;
         };
       op_timeout_s = 20.0;
@@ -51,7 +52,7 @@ let check_clean what (r : Checker.result) =
 let validation_tests =
   [
     test "transport rejects out-of-range probabilities" (fun () ->
-        let mk cfg = ignore (Transport.create cfg ~deliver:ignore) in
+        let mk cfg = ignore (Transport.create cfg ~servers:1 ~deliver:ignore) in
         let base = Transport.default_config ~seed:1 in
         expect_invalid "drop_prob 1.5" (fun () ->
             mk { base with drop_prob = 1.5 });
@@ -63,7 +64,10 @@ let validation_tests =
         expect_invalid "max_delay_us < 0" (fun () ->
             mk { base with max_delay_us = -1 }));
     test "split rejects malformed partitions" (fun () ->
-        let tr = Transport.create (Transport.default_config ~seed:2) ~deliver:ignore in
+        let tr =
+          Transport.create (Transport.default_config ~seed:2) ~servers:3
+            ~deliver:ignore
+        in
         expect_invalid "overlapping groups" (fun () ->
             Transport.split tr ~groups:[ [ 0; 1 ]; [ 1; 2 ] ] ~clients_with:0);
         expect_invalid "negative server" (fun () ->

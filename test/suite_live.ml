@@ -18,6 +18,42 @@ let settle ?(deadline_s = 5.0) read target =
   in
   go ()
 
+(* --- ringbuf ------------------------------------------------------------ *)
+
+let ringbuf_tests =
+  [
+    test "fifo push/pop" (fun () ->
+        let b = Ringbuf.create () in
+        List.iter (Ringbuf.push b) [ 1; 2; 3 ];
+        Alcotest.(check (list int)) "to_list front-to-back" [ 1; 2; 3 ]
+          (Ringbuf.to_list b);
+        Alcotest.(check int) "pop oldest" 1 (Ringbuf.pop b);
+        Ringbuf.push b 4;
+        Alcotest.(check (list int)) "order kept" [ 2; 3; 4 ]
+          (Ringbuf.to_list b));
+    test "take_at swaps the front into the hole" (fun () ->
+        let b = Ringbuf.create () in
+        List.iter (Ringbuf.push b) [ 0; 1; 2; 3; 4; 5 ];
+        Alcotest.(check int) "take_at returns the i-th oldest" 3
+          (Ringbuf.take_at b 3);
+        (* O(1) removal: the front (0) now sits where 3 was *)
+        Alcotest.(check (list int)) "front swapped in" [ 1; 2; 0; 4; 5 ]
+          (Ringbuf.to_list b);
+        Alcotest.(check int) "take_at 0 = pop" 1 (Ringbuf.take_at b 0);
+        Alcotest.(check int) "length tracks" 4 (Ringbuf.length b));
+    test "wraparound and growth keep order" (fun () ->
+        let b = Ringbuf.create () in
+        (* force the head past the backing array's start, then grow *)
+        for i = 0 to 9 do Ringbuf.push b i done;
+        for _ = 0 to 6 do ignore (Ringbuf.pop b) done;
+        for i = 10 to 39 do Ringbuf.push b i done;
+        Alcotest.(check (list int)) "contiguous after wrap+grow"
+          (List.init 33 (fun i -> i + 7))
+          (Ringbuf.to_list b);
+        Ringbuf.clear b;
+        Alcotest.(check bool) "clear empties" true (Ringbuf.is_empty b));
+  ]
+
 (* --- mailbox ------------------------------------------------------------ *)
 
 let mailbox_tests =
@@ -74,6 +110,50 @@ let mailbox_tests =
         Mailbox.push mb 1;
         Alcotest.(check (option int))
           "push after close is a no-op" None (Mailbox.try_pop mb));
+    test "close wakes every blocked popper" (fun () ->
+        let mb = Mailbox.create () in
+        let done_ = Atomic.make 0 in
+        let ts =
+          List.init 4 (fun _ ->
+              Thread.create
+                (fun () ->
+                  (match Mailbox.pop mb with
+                  | None -> ()
+                  | Some _ -> Alcotest.fail "popped from an empty closed box");
+                  Atomic.incr done_)
+                ())
+        in
+        Thread.delay 0.01;
+        Mailbox.close mb;
+        List.iter Thread.join ts;
+        Alcotest.(check int) "all four poppers returned" 4 (Atomic.get done_));
+    test "pop_batch drains oldest-first and concatenates in order" (fun () ->
+        let mb = Mailbox.create () in
+        for i = 1 to 100 do Mailbox.push mb i done;
+        let rec batches acc =
+          if Mailbox.length mb = 0 then List.rev acc
+          else
+            match Mailbox.pop_batch mb ~max:32 with
+            | None -> List.rev acc
+            | Some b ->
+                Alcotest.(check bool) "batch bounded" true (List.length b <= 32);
+                batches (List.rev_append b acc)
+        in
+        Alcotest.(check (list int)) "concatenation is 1..100"
+          (List.init 100 (fun i -> i + 1))
+          (batches []);
+        Alcotest.(check bool) "pop_batch rejects max<1" true
+          (match Mailbox.pop_batch mb ~max:0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    test "pop_batch returns None once closed, even mid-blocking" (fun () ->
+        let mb = Mailbox.create () in
+        let got = ref (Some [ 99 ]) in
+        let t = Thread.create (fun () -> got := Mailbox.pop_batch mb ~max:8) () in
+        Thread.delay 0.01;
+        Mailbox.close mb;
+        Thread.join t;
+        Alcotest.(check bool) "blocked batch-popper got None" true (!got = None));
   ]
 
 (* --- transport ---------------------------------------------------------- *)
@@ -94,7 +174,7 @@ let transport_tests =
         let tr =
           Transport.create
             { (Transport.default_config ~seed:7) with couriers = 3 }
-            ~deliver
+            ~servers:1 ~deliver
         in
         Transport.start tr;
         let total = 500 in
@@ -122,7 +202,7 @@ let transport_tests =
         let tr =
           Transport.create
             { (Transport.default_config ~seed:11) with dup_prob = 1.0 }
-            ~deliver
+            ~servers:1 ~deliver
         in
         Transport.start tr;
         let total = 100 in
@@ -139,6 +219,227 @@ let transport_tests =
           seen;
         Alcotest.(check int) "duplications counted" total
           (Transport.duplicated tr));
+    test "lane fault streams are deterministic under a fixed seed" (fun () ->
+        (* run the same externally ordered traffic through two fabrics
+           with the same seed: every per-rid delivery count and every
+           fault counter must agree — each lane's RNG is a pure
+           function of the seed and that lane's send order *)
+        let one () =
+          let seen = Hashtbl.create 64 in
+          let lock = Mutex.create () in
+          let deliver (e : Transport.envelope) =
+            Mutex.lock lock;
+            let rid = Regemu_netsim.Proto.rid_of e.payload in
+            Hashtbl.replace seen rid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt seen rid));
+            Mutex.unlock lock
+          in
+          let tr =
+            Transport.create
+              {
+                (Transport.default_config ~seed:1234) with
+                dup_prob = 0.3;
+                drop_prob = 0.25;
+                couriers = 2;
+              }
+              ~servers:2 ~deliver
+          in
+          Transport.start tr;
+          for i = 0 to 399 do
+            Transport.send tr
+              {
+                Transport.src = 0;
+                dest = To_server (i mod 2);
+                payload = query i;
+              }
+          done;
+          (* [sent] counts accepted envelopes (duplicates in, drops
+             out), so it is exactly the expected delivery count *)
+          let expect = Transport.sent tr in
+          Alcotest.(check bool) "all surviving envelopes delivered" true
+            (settle (fun () -> Transport.delivered tr) expect);
+          let counters =
+            (Transport.sent tr, Transport.dropped tr, Transport.duplicated tr)
+          in
+          Transport.stop tr;
+          let per_rid =
+            List.sort compare
+              (Hashtbl.fold (fun rid c acc -> (rid, c) :: acc) seen [])
+          in
+          (counters, per_rid)
+        in
+        let a = one () and b = one () in
+        Alcotest.(check bool) "same counters" true (fst a = fst b);
+        Alcotest.(check bool) "same per-rid delivery multiset" true
+          (snd a = snd b);
+        Alcotest.(check bool) "the fault stream actually fired" true
+          (let _, dropped, dup = fst a in
+           dropped > 0 && dup > 0));
+    test "sharding preserves per-destination FIFO when reorder=false"
+      (fun () ->
+        let per_dest : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+        let lock = Mutex.create () in
+        let deliver (e : Transport.envelope) =
+          Mutex.lock lock;
+          let key =
+            match e.dest with
+            | Transport.To_server s -> s
+            | Transport.To_client c -> 100 + c
+          in
+          let l =
+            match Hashtbl.find_opt per_dest key with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace per_dest key l;
+                l
+          in
+          l := Regemu_netsim.Proto.rid_of e.payload :: !l;
+          Mutex.unlock lock
+        in
+        let tr =
+          Transport.create
+            {
+              (Transport.default_config ~seed:5) with
+              reorder = false;
+              couriers = 3;
+            }
+            ~servers:3 ~deliver
+        in
+        Transport.start tr;
+        (* interleave traffic across the three server lanes and the
+           client lane; each destination's stream must come out in its
+           own send order even though the lanes race each other *)
+        let total = 300 in
+        for i = 0 to total - 1 do
+          let dest =
+            if i mod 4 = 3 then Transport.To_client (i mod 2)
+            else Transport.To_server (i mod 4)
+          in
+          Transport.send tr { Transport.src = 0; dest; payload = query i }
+        done;
+        Alcotest.(check bool) "all delivered" true
+          (settle (fun () -> Transport.delivered tr) total);
+        Transport.stop tr;
+        Alcotest.(check int) "four lanes" 4 (Transport.lanes tr);
+        Hashtbl.iter
+          (fun _ l ->
+            let got = List.rev !l in
+            Alcotest.(check (list int)) "per-destination send order"
+              (List.sort compare got) got)
+          per_dest);
+  ]
+
+(* --- histlog ------------------------------------------------------------- *)
+
+let histlog_tests =
+  [
+    test "poll is a consistent incremental feed under live writers"
+      (fun () ->
+        let log = Histlog.create () in
+        let nwriters = 4 and per = 300 in
+        let ws =
+          List.init nwriters (fun i ->
+              Histlog.new_writer log ~client:(Id.Client.of_int i))
+        in
+        let stop = Atomic.make false in
+        let writers =
+          List.mapi
+            (fun i w ->
+              Thread.create
+                (fun () ->
+                  for j = 0 to per - 1 do
+                    let v = Value.Str (Printf.sprintf "%d.%d" i j) in
+                    let tk = Histlog.invoke w (Regemu_sim.Trace.H_write v) in
+                    if j mod 7 = 0 then Thread.yield ();
+                    Histlog.return tk v
+                  done)
+                ())
+            ws
+        in
+        (* poll concurrently with cursors, checking the feed invariants:
+           oldest-first, strictly increasing invoked_at per writer, and
+           a completed cell always carries its result *)
+        let cursors = Array.make nwriters 0 in
+        let last_inv = Array.make nwriters 0 in
+        while not (Atomic.get stop) do
+          List.iteri
+            (fun i w ->
+              let cur = cursors.(i) in
+              let fresh = ref 0 in
+              let len =
+                Histlog.poll w ~from:cur (fun cv ->
+                    incr fresh;
+                    Alcotest.(check bool) "invoked_at strictly increases" true
+                      (cv.Histlog.v_invoked_at > last_inv.(i));
+                    last_inv.(i) <- cv.Histlog.v_invoked_at;
+                    match (cv.Histlog.v_returned_at, cv.Histlog.v_result) with
+                    | Some _, None ->
+                        Alcotest.fail "completed cell without a result"
+                    | _ -> ())
+              in
+              Alcotest.(check int) "poll visits exactly the suffix" !fresh
+                (len - cur);
+              cursors.(i) <- len)
+            ws;
+          if List.for_all (fun l -> l >= per) (Array.to_list cursors) then
+            Atomic.set stop true
+          else Thread.yield ()
+        done;
+        List.iter Thread.join writers;
+        Alcotest.(check int) "all ops complete"
+          (nwriters * per)
+          (Histlog.completed log);
+        (* the final snapshot merges the shards into global real-time
+           order with dense indexes *)
+        let h = Histlog.snapshot log in
+        Alcotest.(check int) "snapshot has everything" (nwriters * per)
+          (List.length h);
+        List.iteri
+          (fun i (op : Regemu_history.History.op) ->
+            Alcotest.(check int) "index is the rank" i op.index;
+            if i > 0 then
+              Alcotest.(check bool) "sorted by invocation" true
+                ((List.nth h (i - 1)).Regemu_history.History.invoked_at
+                < op.invoked_at))
+          h);
+    test "snapshot while writers are live is a per-client prefix" (fun () ->
+        let log = Histlog.create () in
+        let w = Histlog.new_writer log ~client:(Id.Client.of_int 0) in
+        let n = 500 in
+        let t =
+          Thread.create
+            (fun () ->
+              for j = 0 to n - 1 do
+                let v = Value.Str (string_of_int j) in
+                let tk = Histlog.invoke w (Regemu_sim.Trace.H_write v) in
+                Histlog.return tk v
+              done)
+            ()
+        in
+        (* snapshots race the writer: each must be internally consistent
+           (completed ops have results; at most one pending op for a
+           sequential client) *)
+        for _ = 0 to 20 do
+          let h = Histlog.snapshot log in
+          let pending =
+            List.filter
+              (fun (op : Regemu_history.History.op) -> op.returned_at = None)
+              h
+          in
+          Alcotest.(check bool) "at most one in-flight op" true
+            (List.length pending <= 1);
+          List.iter
+            (fun (op : Regemu_history.History.op) ->
+              match (op.returned_at, op.result) with
+              | Some _, None -> Alcotest.fail "completed op lost its result"
+              | _ -> ())
+            h;
+          Thread.yield ()
+        done;
+        Thread.join t;
+        Alcotest.(check int) "final snapshot exact" n
+          (List.length (Histlog.snapshot log)));
   ]
 
 (* --- live cluster runs -------------------------------------------------- *)
@@ -220,9 +521,84 @@ let cluster_tests =
         Alcotest.(check int) "every op completed" (3 * 40) o.ops);
   ]
 
+(* --- saturation bench / regemu-bench schema ------------------------------ *)
+
+let bench_tests =
+  [
+    test "saturate point is clean and its document passes the schema check"
+      (fun () ->
+        let spec =
+          Live_bench.saturate_spec ~algo:Live_bench.Abd ~clients:2
+            ~ops_per_client:10 ~seed:5
+        in
+        let o = Live_bench.run_median ~reps:2 spec in
+        Alcotest.(check bool) "clean" true (Live_bench.clean o);
+        let doc = Live_bench.saturate_json [ o ] in
+        (match Live_bench.validate_bench_json doc with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "schema check failed: %s" m);
+        (* the emitted names are the dashboard keys; keep them stable *)
+        match doc with
+        | Json.Obj kvs -> (
+            match List.assoc "benchmarks" kvs with
+            | Json.List [ Json.Obj b ] ->
+                Alcotest.(check bool) "benchmark name" true
+                  (List.assoc "name" b = Json.Str "saturate/abd/clients=2")
+            | _ -> Alcotest.fail "expected one benchmark entry")
+        | _ -> Alcotest.fail "expected an object");
+    test "schema check rejects malformed documents" (fun () ->
+        let reject doc =
+          match Live_bench.validate_bench_json doc with
+          | Error _ -> ()
+          | Ok () -> Alcotest.fail "malformed document accepted"
+        in
+        reject (Json.Obj [ ("schema", Json.Str "regemu-bench/2") ]);
+        reject
+          (Json.Obj
+             [
+               ("schema", Json.Str "regemu-bench/1");
+               ("benchmarks", Json.Str "not-a-list");
+             ]);
+        reject
+          (Json.Obj
+             [
+               ("schema", Json.Str "regemu-bench/1");
+               ( "benchmarks",
+                 Json.List
+                   [ Json.Obj [ ("name", Json.Str "x") ] (* no measure *) ] );
+             ]);
+        reject
+          (Json.Obj
+             [
+               ("schema", Json.Str "regemu-bench/1");
+               ( "benchmarks",
+                 Json.List
+                   [
+                     Json.Obj
+                       [
+                         ("name", Json.Str "x");
+                         ("measure", Json.Str "throughput");
+                         ("ns_per_run", Json.Str "fast");
+                         ("r_square", Json.Null);
+                       ];
+                   ] );
+             ]));
+    test "saturate_spec rejects fewer than two clients" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match
+             Live_bench.saturate_spec ~algo:Live_bench.Abd ~clients:1
+               ~ops_per_client:10 ~seed:1
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
 let suites =
   [
+    ("live.ringbuf", ringbuf_tests);
     ("live.mailbox", mailbox_tests);
     ("live.transport", transport_tests);
+    ("live.histlog", histlog_tests);
     ("live.cluster", cluster_tests);
+    ("live.bench", bench_tests);
   ]
