@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test bench perf-bench live-bench chaos-bench verify examples clean loc
+.PHONY: all build test bench perf-bench live-bench chaos-bench dst-fuzz verify examples clean loc
 
 all: build
 
@@ -26,6 +26,13 @@ live-bench:
 # the full nemesis campaign against the live cluster; writes BENCH_chaos.json
 chaos-bench:
 	dune exec bin/regemu.exe -- chaos --json BENCH_chaos.json
+
+# deterministic-schedule fuzzing: 500 quiet + 500 chaos seeds must be
+# clean, then a hunt sweep that shrinks its first counterexample
+dst-fuzz:
+	dune exec bin/regemu.exe -- dst --fuzz 500 --profile quiet --seed 1
+	dune exec bin/regemu.exe -- dst --fuzz 500 --profile chaos --seed 1
+	dune exec bin/regemu.exe -- dst --fuzz 50 --profile hunt --seed 1 --shrink --out dst_counterexample.json
 
 verify:
 	dune exec bin/regemu.exe -- verify

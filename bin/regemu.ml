@@ -900,6 +900,309 @@ let chaos_cmd =
       const run $ smoke_arg $ list_arg $ scenario_arg $ json_arg $ quiet_arg
       $ seed_arg)
 
+(* --- dst ----------------------------------------------------------------- *)
+
+let dst_cmd =
+  let open Regemu_dst in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:"Sweep $(docv) consecutive seeds and tally failures.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("quiet", Dst_fuzz.Quiet);
+               ("chaos", Dst_fuzz.Chaos);
+               ("hunt", Dst_fuzz.Hunt);
+             ])
+          Dst_fuzz.Quiet
+      & info [ "profile" ]
+          ~doc:
+            "Fuzz profile: $(b,quiet) (no faults, expected clean), \
+             $(b,chaos) (seeded ≤f flapping, expected clean), or $(b,hunt) \
+             (diskless wipes under amnesia — violations expected; \
+             counterexample fodder).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-execute a regemu-dst/1 counterexample file and check \
+                that it reproduces the recorded verdict and digest.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize the first failing seed to a replayable \
+                counterexample (ddmin over the fault schedule, then the \
+                interleaving trace).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the (shrunk) counterexample as a regemu-dst/1 \
+                replay file.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the results as JSON.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Bounded, seed-fixed smoke suite (used by dune runtest): a \
+                50-seed quiet sweep, a determinism cross-check, and a hunt \
+                shrink-and-replay round trip.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("abd", Regemu_live.Live_bench.Abd);
+               ("abd-wb", Regemu_live.Live_bench.Abd_wb);
+               ("algorithm2", Regemu_live.Live_bench.Alg2);
+             ])
+          Regemu_live.Live_bench.Abd
+      & info [ "algo" ] ~doc:"Protocol under test.")
+  in
+  let writers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ]
+          ~doc:"Number of writer fibers.  More than one writer makes the \
+                WS check vacuous (writes overlap).")
+  in
+  let readers_arg =
+    Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Number of reader fibers.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Operations per client fiber.")
+  in
+  let base_config algo k readers f n ops seed =
+    {
+      (Dst.default_config ~seed) with
+      Dst.algo;
+      writers = k;
+      readers;
+      f;
+      n;
+      ops_per_client = ops;
+    }
+  in
+  let run_replay path =
+    match Dst_fuzz.read_replay path with
+    | Error m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | Ok spec ->
+        let r = Dst_fuzz.replay spec in
+        Fmt.pr "replay %s: %a@." path Dst.outcome_pp r.Dst_fuzz.outcome;
+        Fmt.pr "  digest %s (%s)@."
+          (Dst.run_digest r.Dst_fuzz.outcome)
+          (if r.Dst_fuzz.digest_matched then "matches" else
+             Fmt.str "expected %s" spec.Dst_fuzz.r_expected_digest);
+        Fmt.pr "  violations %s@."
+          (if r.Dst_fuzz.violations_matched then "match" else "DIVERGED");
+        if Dst_fuzz.replay_matched r then begin
+          Fmt.pr "counterexample reproduced@.";
+          0
+        end
+        else begin
+          Fmt.epr "error: replay diverged from the recorded run@.";
+          1
+        end
+  in
+  let run_fuzz ~profile ~base ~seeds ~shrink ~out ~json =
+    let report =
+      Dst_fuzz.fuzz
+        ~progress:(fun o ->
+          Fmt.pr "%a@." Dst.outcome_pp o)
+        ~profile ~base ~seeds ()
+    in
+    Fmt.pr "fuzz[%s]: %d/%d seeds passed@."
+      (Dst_fuzz.profile_name report.Dst_fuzz.profile)
+      report.Dst_fuzz.passed report.Dst_fuzz.seeds;
+    let shrunk =
+      match report.Dst_fuzz.failures with
+      | f :: _ when shrink || out <> None ->
+          let cfg =
+            Dst_fuzz.config_for profile ~base ~seed:f.Dst_fuzz.seed
+          in
+          let s = Dst_fuzz.shrink cfg f.Dst_fuzz.outcome in
+          Fmt.pr
+            "shrunk seed %d in %d runs: %d nemesis events, %d ops/client, \
+             %d writers, %d readers, %d-entry trace@."
+            f.Dst_fuzz.seed s.Dst_fuzz.runs_spent
+            (List.length s.Dst_fuzz.cfg.Dst.nemesis)
+            s.Dst_fuzz.cfg.Dst.ops_per_client s.Dst_fuzz.cfg.Dst.writers
+            s.Dst_fuzz.cfg.Dst.readers
+            (Array.length s.Dst_fuzz.choices);
+          Fmt.pr "  %a@." Dst.outcome_pp s.Dst_fuzz.outcome;
+          Option.iter
+            (fun path ->
+              Dst_fuzz.write_replay path ~cfg:s.Dst_fuzz.cfg
+                ~choices:s.Dst_fuzz.choices ~outcome:s.Dst_fuzz.outcome;
+              Fmt.pr "wrote counterexample to %s@." path)
+            out;
+          Some s
+      | _ -> None
+    in
+    Option.iter
+      (fun path ->
+        let open Regemu_live in
+        Json.to_file path
+          (Json.Obj
+             [
+               ("schema", Json.Str "regemu-dst-fuzz/1");
+               ("profile", Json.Str (Dst_fuzz.profile_name profile));
+               ("seeds", Json.Int report.Dst_fuzz.seeds);
+               ("passed", Json.Int report.Dst_fuzz.passed);
+               ( "failures",
+                 Json.List
+                   (List.map
+                      (fun (f : Dst_fuzz.failure) ->
+                        Dst.outcome_json f.Dst_fuzz.outcome)
+                      report.Dst_fuzz.failures) );
+               ( "shrunk",
+                 match shrunk with
+                 | None -> Json.Null
+                 | Some s ->
+                     Dst_fuzz.replay_json ~cfg:s.Dst_fuzz.cfg
+                       ~choices:s.Dst_fuzz.choices ~outcome:s.Dst_fuzz.outcome
+               );
+             ]))
+      json;
+    (* hunt exists to produce counterexamples: failures there are the
+       expected outcome, not an error *)
+    match profile with
+    | Dst_fuzz.Hunt -> 0
+    | Dst_fuzz.Quiet | Dst_fuzz.Chaos ->
+        if report.Dst_fuzz.failures = [] then 0 else 1
+  in
+  let run_smoke ~base =
+    (* 1: a bounded quiet sweep must be clean *)
+    let report = Dst_fuzz.fuzz ~profile:Dst_fuzz.Quiet ~base ~seeds:50 () in
+    Fmt.pr "smoke quiet sweep: %d/%d seeds passed@." report.Dst_fuzz.passed
+      report.Dst_fuzz.seeds;
+    let quiet_ok = report.Dst_fuzz.failures = [] in
+    (* 2: the same seed twice must give byte-identical run digests *)
+    let o1 = Dst.run base and o2 = Dst.run base in
+    let d1 = Dst.run_digest o1 and d2 = Dst.run_digest o2 in
+    let det_ok = d1 = d2 in
+    Fmt.pr "smoke determinism: %s %s %s@." d1
+      (if det_ok then "=" else "<>")
+      d2;
+    (* 3: a hunt seed must fail, shrink, and replay to the same verdict.
+       Not every seed walks into the stale-read window, so scan a few. *)
+    let rec find_failure seed limit =
+      if limit = 0 then None
+      else
+        let cfg = Dst_fuzz.config_for Dst_fuzz.Hunt ~base ~seed in
+        let o = Dst.run cfg in
+        if Dst.passed o then find_failure (seed + 1) (limit - 1)
+        else Some (cfg, o)
+    in
+    let hunt_ok =
+      match find_failure base.Dst.seed 10 with
+      | None ->
+          Fmt.pr "smoke hunt: no failing seed in 10 tries (wipe storms \
+                  should violate)@.";
+          false
+      | Some (hunt_cfg, hunt) ->
+          begin
+        let s = Dst_fuzz.shrink ~budget:60 hunt_cfg hunt in
+        let spec =
+          Dst_fuzz.
+            {
+              r_cfg = s.cfg;
+              r_choices = s.choices;
+              r_expected_violations = s.outcome.Dst.violations;
+              r_expected_digest = Dst.run_digest s.outcome;
+            }
+        in
+        let r = Dst_fuzz.replay spec in
+        Fmt.pr "smoke hunt: %d violation(s), shrink %d runs, replay %s@."
+          (List.length hunt.Dst.violations)
+          s.Dst_fuzz.runs_spent
+          (if Dst_fuzz.replay_matched r then "reproduced" else "DIVERGED");
+        Dst_fuzz.replay_matched r
+      end
+    in
+    if quiet_ok && det_ok && hunt_ok then 0
+    else begin
+      Fmt.epr "error: dst smoke failed (quiet=%b determinism=%b hunt=%b)@."
+        quiet_ok det_ok hunt_ok;
+      1
+    end
+  in
+  let run fuzz profile replay shrink out json smoke algo k readers f n ops seed =
+    match replay with
+    | Some path -> run_replay path
+    | None -> (
+        let base = base_config algo k readers f n ops seed in
+        if smoke then run_smoke ~base
+        else
+          match fuzz with
+          | Some seeds -> run_fuzz ~profile ~base ~seeds ~shrink ~out ~json
+          | None ->
+              (* single run of one seed under the profile *)
+              let cfg = Dst_fuzz.config_for profile ~base ~seed in
+              let o = Dst.run cfg in
+              Fmt.pr "%a@." Dst.outcome_pp o;
+              Fmt.pr "digest %s@." (Dst.run_digest o);
+              Option.iter
+                (fun path ->
+                  Regemu_live.Json.to_file path (Dst.outcome_json o))
+                json;
+              (match (shrink || out <> None, Dst.passed o) with
+              | true, false ->
+                  let s = Dst_fuzz.shrink cfg o in
+                  Fmt.pr "shrunk in %d runs: %d nemesis events, %d-entry \
+                          trace@."
+                    s.Dst_fuzz.runs_spent
+                    (List.length s.Dst_fuzz.cfg.Dst.nemesis)
+                    (Array.length s.Dst_fuzz.choices);
+                  Option.iter
+                    (fun path ->
+                      Dst_fuzz.write_replay path ~cfg:s.Dst_fuzz.cfg
+                        ~choices:s.Dst_fuzz.choices ~outcome:s.Dst_fuzz.outcome;
+                      Fmt.pr "wrote counterexample to %s@." path)
+                    out
+              | _ -> ());
+              (match profile with
+              | Dst_fuzz.Hunt -> 0
+              | _ -> if Dst.passed o then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "dst"
+       ~doc:
+         "Deterministic-schedule testing: run the live cluster under a \
+          virtual scheduler where one (seed, config) pair fixes the whole \
+          run, fuzz schedules, shrink failures, and replay \
+          counterexamples.")
+    Term.(
+      const run $ fuzz_arg $ profile_arg $ replay_arg $ shrink_arg $ out_arg
+      $ json_arg $ smoke_arg $ algo_arg $ writers_arg $ readers_arg
+      $ Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure threshold.")
+      $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of servers.")
+      $ ops_arg $ seed_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -919,5 +1222,5 @@ let () =
             thm5_cmd; thm6_cmd; thm7_cmd; thm8_cmd; plan_cmd; alg1_cmd;
             classification_cmd; rspace_cmd; inversion_cmd;
             latency_cmd; fuzz_cmd; explore_cmd; run_cmd; verify_cmd;
-            sweep_cmd; netabd_cmd; live_cmd; chaos_cmd; all_cmd;
+            sweep_cmd; netabd_cmd; live_cmd; chaos_cmd; dst_cmd; all_cmd;
           ]))

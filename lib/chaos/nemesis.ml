@@ -22,7 +22,11 @@ let counters_json c =
       ("drop_changes", Json.Int c.drop_changes);
     ]
 
-type t = { thread : Thread.t; counters : counters ref }
+type mode =
+  | Threaded of Thread.t
+  | Fiber of { hook : Sched_hook.t; finished : bool ref }
+
+type t = { mode : mode; counters : counters ref }
 
 let apply cluster counters { Schedule.ev; _ } =
   let c = !counters in
@@ -43,32 +47,51 @@ let apply cluster counters { Schedule.ev; _ } =
       Cluster.set_drop cluster ~requests:p ~replies:p ();
       counters := { c with drop_changes = c.drop_changes + 1 }
 
-let start cluster sched =
-  Schedule.validate ~n:(Cluster.num_servers cluster) sched;
-  let sched = List.stable_sort (fun a b -> compare a.Schedule.at_ms b.Schedule.at_ms) sched in
+let start ?sched cluster events =
+  Schedule.validate ~n:(Cluster.num_servers cluster) events;
+  let events =
+    List.stable_sort
+      (fun a b -> compare a.Schedule.at_ms b.Schedule.at_ms)
+      events
+  in
   let counters =
-    ref { crashes = 0; restarts = 0; partitions = 0; heals = 0; drop_changes = 0 }
+    ref
+      { crashes = 0; restarts = 0; partitions = 0; heals = 0; drop_changes = 0 }
   in
-  let thread =
-    Thread.create
-      (fun () ->
-        let t0 = Unix.gettimeofday () in
-        List.iter
-          (fun ev ->
-            let due = t0 +. (float_of_int ev.Schedule.at_ms /. 1e3) in
-            let rec sleep_until () =
-              let now = Unix.gettimeofday () in
-              if now < due then (
-                Thread.delay (min 0.02 (due -. now));
-                sleep_until ())
-            in
-            sleep_until ();
-            apply cluster counters ev)
-          sched)
-      ()
+  (* the replay body, parameterized over how to wait: [Thread.delay] on
+     the monotonic clock in the threaded mode, the scheduler's virtual
+     sleep under DST — identical schedules fire at identical (virtual)
+     offsets either way *)
+  let replay pause =
+    let t0 = Clock.now_s () in
+    List.iter
+      (fun ev ->
+        let due = t0 +. (float_of_int ev.Schedule.at_ms /. 1e3) in
+        let rec sleep_until () =
+          let now = Clock.now_s () in
+          if now < due then begin
+            pause (min 0.02 (due -. now));
+            sleep_until ()
+          end
+        in
+        sleep_until ();
+        apply cluster counters ev)
+      events
   in
-  { thread; counters }
+  let mode =
+    match sched with
+    | None -> Threaded (Thread.create (fun () -> replay Thread.delay) ())
+    | Some (hook : Sched_hook.t) ->
+        let finished = ref false in
+        hook.spawn ~name:"nemesis" (fun () ->
+            replay hook.sleep;
+            finished := true);
+        Fiber { hook; finished }
+  in
+  { mode; counters }
 
 let join t =
-  Thread.join t.thread;
+  (match t.mode with
+  | Threaded th -> Thread.join th
+  | Fiber { hook; finished } -> hook.suspend (fun () -> !finished));
   !(t.counters)

@@ -22,8 +22,11 @@ type t
 
 (** Validate the schedule against the cluster size, then start the
     replay thread.  Events fire in [at_ms] order regardless of the
-    order given. *)
-val start : Regemu_live.Cluster.t -> Schedule.t -> t
+    order given.  With [sched], the nemesis runs as a cooperative
+    actor and event offsets elapse in the scheduler's virtual time —
+    the same schedule fires at the same virtual instants on every
+    run. *)
+val start : ?sched:Regemu_live.Sched_hook.t -> Regemu_live.Cluster.t -> Schedule.t -> t
 
 (** Wait for every event to have been applied; returns how many of
     each kind fired. *)

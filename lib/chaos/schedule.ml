@@ -151,6 +151,17 @@ let wipe_all ~n ?(start_ms = 30) ?(gap_ms = 80) () =
            { at_ms = start_ms + (s * 2 * gap_ms) + gap_ms; ev = Restart s };
          ]))
 
+(* crash the whole cluster at once, restart it a moment later — under
+   [Recovery.Amnesia] every copy of every written value is destroyed,
+   so the first read completing before the next write lands is a
+   guaranteed stale read.  The strongest amnesia counterexample. *)
+let wipe_storm ~n ?(at_ms = 3) ?(down_ms = 2) ?(storms = 1) () =
+  List.concat
+    (List.init storms (fun k ->
+         let base = at_ms + (k * 3 * down_ms) in
+         List.init n (fun s -> { at_ms = base; ev = Crash s })
+         @ List.init n (fun s -> { at_ms = base + down_ms; ev = Restart s })))
+
 (* --- serialization ------------------------------------------------------ *)
 
 open Regemu_live
@@ -175,3 +186,47 @@ let to_json sched =
        (fun { at_ms; ev } ->
          Json.Obj [ ("at_ms", Json.Int at_ms); ("event", event_json ev) ])
        sched)
+
+let event_of_json = function
+  | Json.Str "heal" -> Ok Heal
+  | Json.Obj [ ("crash", Json.Int s) ] -> Ok (Crash s)
+  | Json.Obj [ ("restart", Json.Int s) ] -> Ok (Restart s)
+  | Json.Obj [ ("drop_rate", ((Json.Float _ | Json.Int _) as p)) ] ->
+      Ok (Drop_rate (Option.get (Json.to_float_opt p)))
+  | Json.Obj [ ("partition", Json.List gs) ] ->
+      let group g =
+        match Json.to_list_opt g with
+        | None -> Error "partition group must be a list"
+        | Some ss ->
+            List.fold_left
+              (fun acc s ->
+                match (acc, Json.to_int_opt s) with
+                | Ok acc, Some s -> Ok (s :: acc)
+                | (Error _ as e), _ -> e
+                | Ok _, None -> Error "partition member must be an int")
+              (Ok []) ss
+            |> Result.map List.rev
+      in
+      List.fold_left
+        (fun acc g ->
+          match acc with
+          | Error _ as e -> e
+          | Ok acc -> Result.map (fun g -> g :: acc) (group g))
+        (Ok []) gs
+      |> Result.map (fun gs -> Partition (List.rev gs))
+  | j -> Error (Fmt.str "unknown schedule event %s" (Json.to_string j))
+
+let of_json = function
+  | Json.List evs ->
+      List.fold_left
+        (fun acc j ->
+          match acc with
+          | Error _ as e -> e
+          | Ok acc -> (
+              match (Json.member "at_ms" j, Json.member "event" j) with
+              | Some (Json.Int at_ms), Some ej ->
+                  Result.map (fun ev -> { at_ms; ev } :: acc) (event_of_json ej)
+              | _ -> Error "schedule entry needs at_ms and event"))
+        (Ok []) evs
+      |> Result.map List.rev
+  | _ -> Error "schedule must be a list"

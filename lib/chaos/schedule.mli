@@ -58,4 +58,17 @@ val flapping : n:int -> flips:int -> gap_ms:int -> seed:int -> t
     failure. *)
 val wipe_all : n:int -> ?start_ms:int -> ?gap_ms:int -> unit -> t
 
+(** Crash {e all} [n] servers at [at_ms] and restart them [down_ms]
+    later, [storms] times over — under amnesia recovery, a mid-workload
+    storm destroys every copy of every written value at once, so any
+    read that completes before the next write lands returns stale
+    data.  Deliberately beyond any [f]. *)
+val wipe_storm :
+  n:int -> ?at_ms:int -> ?down_ms:int -> ?storms:int -> unit -> t
+
 val to_json : t -> Regemu_live.Json.t
+
+(** Inverse of {!to_json}; [Error] on a malformed document.  The
+    result is {e not} validated — run {!validate} against the target
+    cluster before use. *)
+val of_json : Regemu_live.Json.t -> (t, string) result

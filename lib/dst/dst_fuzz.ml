@@ -1,0 +1,355 @@
+open Regemu_live
+open Regemu_chaos
+
+(* --- fuzz profiles ------------------------------------------------------- *)
+
+type profile = Quiet | Chaos | Hunt
+
+let profile_name = function
+  | Quiet -> "quiet"
+  | Chaos -> "chaos"
+  | Hunt -> "hunt"
+
+let profile_of_name = function
+  | "quiet" -> Some Quiet
+  | "chaos" -> Some Chaos
+  | "hunt" -> Some Hunt
+  | _ -> None
+
+(* Per-seed config for a profile.  [Quiet] keeps the base as given;
+   [Chaos] adds a seeded ≤f fault timeline (expected clean under
+   Persist); [Hunt] goes deliberately outside the model — diskless
+   rolling wipes under Amnesia recovery — so the checker has real
+   violations to find and the shrinker real counterexamples to
+   minimize. *)
+let config_for profile ~(base : Dst.config) ~seed =
+  let base = { base with Dst.seed } in
+  match profile with
+  | Quiet -> base
+  | Chaos ->
+      (* tight gaps: the virtual-time workload finishes in ~10 ms, so
+         the fault timeline must land inside that window to matter *)
+      {
+        base with
+        Dst.nemesis = Schedule.flapping ~n:base.Dst.n ~flips:4 ~gap_ms:3 ~seed;
+      }
+  | Hunt ->
+      {
+        base with
+        Dst.recovery = Recovery.Amnesia;
+        ops_per_client = max base.Dst.ops_per_client 12;
+        nemesis = Schedule.wipe_storm ~n:base.Dst.n ~at_ms:3 ~storms:2 ();
+      }
+
+(* --- the seed sweep ------------------------------------------------------ *)
+
+type failure = { seed : int; outcome : Dst.outcome }
+
+type fuzz_report = {
+  profile : profile;
+  seeds : int;
+  passed : int;
+  failures : failure list;  (* in seed order *)
+}
+
+let fuzz ?(progress = fun _ -> ()) ~profile ~(base : Dst.config) ~seeds () =
+  if seeds < 1 then invalid_arg "Dst_fuzz.fuzz: seeds must be >= 1";
+  let failures = ref [] and npassed = ref 0 in
+  for i = 0 to seeds - 1 do
+    let seed = base.Dst.seed + i in
+    let cfg = config_for profile ~base ~seed in
+    let outcome = Dst.run cfg in
+    progress outcome;
+    if Dst.passed outcome then incr npassed
+    else failures := { seed; outcome } :: !failures
+  done;
+  { profile; seeds; passed = !npassed; failures = List.rev !failures }
+
+(* --- shrinking ----------------------------------------------------------- *)
+
+(* The shrinker must preserve *this* failure, not trade it for another
+   bug: candidates count only if they fail with the same set of
+   violation kinds (the prefix before the first ':'). *)
+let violation_kind v =
+  match String.index_opt v ':' with
+  | Some i -> String.sub v 0 i
+  | None -> v
+
+let failure_key (o : Dst.outcome) =
+  List.sort_uniq compare (List.map violation_kind o.Dst.violations)
+
+(* Zeller-style ddmin over a list: the minimal subsequence for which
+   [test] still holds, testing subsets and complements at doubling
+   granularity.  [test []] is allowed to hold (an input-independent
+   failure shrinks to the empty schedule). *)
+let ddmin ~test xs =
+  let split_chunks n xs =
+    let len = List.length xs in
+    let base = len / n and extra = len mod n in
+    let rec go i xs acc =
+      if i >= n then List.rev acc
+      else
+        let size = base + if i < extra then 1 else 0 in
+        let chunk, rest =
+          let rec take k xs acc =
+            if k = 0 then (List.rev acc, xs)
+            else
+              match xs with
+              | [] -> (List.rev acc, [])
+              | x :: xs -> take (k - 1) xs (x :: acc)
+          in
+          take size xs []
+        in
+        go (i + 1) rest (chunk :: acc)
+    in
+    go 0 xs []
+  in
+  let rec go xs n =
+    if List.length xs <= 1 then xs
+    else begin
+      let chunks = split_chunks n xs in
+      let rec try_subsets = function
+        | [] -> None
+        | c :: rest ->
+            if c <> xs && test c then Some (c, 2) else try_subsets rest
+      in
+      let rec try_complements i = function
+        | [] -> None
+        | c :: rest ->
+            let comp = List.concat (List.filteri (fun j _ -> j <> i) chunks) in
+            ignore c;
+            if comp <> xs && comp <> [] && test comp then
+              Some (comp, max (n - 1) 2)
+            else try_complements (i + 1) rest
+      in
+      match try_subsets chunks with
+      | Some (c, n') -> go c n'
+      | None -> (
+          match try_complements 0 chunks with
+          | Some (c, n') -> go c n'
+          | None ->
+              if n < List.length xs then go xs (min (List.length xs) (2 * n))
+              else xs)
+    end
+  in
+  if test [] then [] else go xs 2
+
+type shrink_result = {
+  cfg : Dst.config;  (* minimized config (nemesis, ops, clients) *)
+  choices : int array;  (* minimized interleaving trace *)
+  outcome : Dst.outcome;  (* the minimized failing run *)
+  runs_spent : int;
+}
+
+let shrink ?(budget = 250) (cfg0 : Dst.config) (original : Dst.outcome) =
+  let key = failure_key original in
+  if key = [] then invalid_arg "Dst_fuzz.shrink: outcome is not a failure";
+  let spent = ref 0 in
+  let try_run ?choices cfg =
+    if !spent >= budget then None
+    else begin
+      incr spent;
+      let o = Dst.run ?choices cfg in
+      if (not (Dst.passed o)) && failure_key o = key then Some o else None
+    end
+  in
+  (* pass 1: minimal fault schedule *)
+  let cfg = ref cfg0 in
+  let nemesis =
+    ddmin
+      ~test:(fun evs ->
+        Option.is_some (try_run { !cfg with Dst.nemesis = evs }))
+      cfg0.Dst.nemesis
+  in
+  cfg := { !cfg with Dst.nemesis = nemesis };
+  (* pass 2: fewer operations *)
+  let rec shrink_ops () =
+    let ops = !cfg.Dst.ops_per_client in
+    if ops > 1 then begin
+      let candidate = { !cfg with Dst.ops_per_client = max 1 (ops / 2) } in
+      match try_run candidate with
+      | Some _ ->
+          cfg := candidate;
+          shrink_ops ()
+      | None -> ()
+    end
+  in
+  shrink_ops ();
+  (* pass 3: fewer clients *)
+  (if !cfg.Dst.readers > 1 then
+     let candidate = { !cfg with Dst.readers = 1 } in
+     if Option.is_some (try_run candidate) then cfg := candidate);
+  (if !cfg.Dst.writers > 1 then
+     let candidate = { !cfg with Dst.writers = 1 } in
+     if Option.is_some (try_run candidate) then cfg := candidate);
+  (* record the minimized config's own interleaving as the trace *)
+  incr spent;
+  let witness = Dst.run !cfg in
+  let witness =
+    if (not (Dst.passed witness)) && failure_key witness = key then witness
+    else original
+  in
+  let cfg =
+    if witness == original then cfg0 (* re-shrunk run diverged; keep safe *)
+    else !cfg
+  in
+  let choices = ref witness.Dst.report.Sched.choices in
+  (* pass 4: shorten the trace — a truncated replay falls back to the
+     PRNG, which often still walks into the same violation *)
+  let rec shrink_tail () =
+    let n = Array.length !choices in
+    if n > 0 then begin
+      let candidate = Array.sub !choices 0 (n / 2) in
+      match try_run ~choices:candidate cfg with
+      | Some _ ->
+          choices := candidate;
+          shrink_tail ()
+      | None -> ()
+    end
+  in
+  shrink_tail ();
+  (* pass 5: zero out choice chunks — a 0 means "first eligible", the
+     least adversarial pick, so surviving nonzeros mark the decisions
+     the counterexample actually needs *)
+  let rec zero_chunks size =
+    if size >= 1 && Array.length !choices > 0 then begin
+      let n = Array.length !choices in
+      let i = ref 0 in
+      while !i < n do
+        let hi = min n (!i + size) in
+        let has_nonzero = ref false in
+        for j = !i to hi - 1 do
+          if !choices.(j) <> 0 then has_nonzero := true
+        done;
+        if !has_nonzero then begin
+          let candidate = Array.copy !choices in
+          for j = !i to hi - 1 do
+            candidate.(j) <- 0
+          done;
+          match try_run ~choices:candidate cfg with
+          | Some _ -> choices := candidate
+          | None -> ()
+        end;
+        i := hi
+      done;
+      zero_chunks (size / 4)
+    end
+  in
+  zero_chunks (max 1 (Array.length !choices / 4));
+  (* final witness under the minimized (config, trace) *)
+  incr spent;
+  let outcome = Dst.run ~choices:!choices cfg in
+  let outcome, choices =
+    if (not (Dst.passed outcome)) && failure_key outcome = key then
+      (outcome, !choices)
+    else (witness, witness.Dst.report.Sched.choices)
+  in
+  { cfg; choices; outcome; runs_spent = !spent }
+
+(* --- the regemu-dst/1 replay file ---------------------------------------- *)
+
+let schema = "regemu-dst/1"
+
+let replay_json ~(cfg : Dst.config) ~choices ~(outcome : Dst.outcome) =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("config", Dst.config_json cfg);
+      ("nemesis", Schedule.to_json cfg.Dst.nemesis);
+      ("choices", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) choices)));
+      ( "expected",
+        Json.Obj
+          [
+            ( "violations",
+              Json.List
+                (List.map (fun s -> Json.Str s) outcome.Dst.violations) );
+            ("digest", Json.Str (Dst.run_digest outcome));
+            ( "ops_completed",
+              match outcome.Dst.stats with
+              | None -> Json.Null
+              | Some s -> Json.Int s.Dst.cluster_stats.Cluster.ops_completed );
+          ] );
+    ]
+
+let write_replay path ~cfg ~choices ~outcome =
+  Json.to_file path (replay_json ~cfg ~choices ~outcome)
+
+type replay_spec = {
+  r_cfg : Dst.config;
+  r_choices : int array;
+  r_expected_violations : string list;
+  r_expected_digest : string;
+}
+
+let parse_replay json =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.member "schema" json with
+    | Some (Json.Str s) when s = schema -> Ok ()
+    | Some (Json.Str s) -> Error (Fmt.str "unsupported schema %S" s)
+    | _ -> Error "missing schema"
+  in
+  let* cfg =
+    match Json.member "config" json with
+    | Some c -> Dst.config_of_json c
+    | None -> Error "missing config"
+  in
+  let* nemesis =
+    match Json.member "nemesis" json with
+    | Some n -> Schedule.of_json n
+    | None -> Ok []
+  in
+  let* choices =
+    match Json.member "choices" json with
+    | Some (Json.List cs) ->
+        List.fold_left
+          (fun acc c ->
+            match (acc, Json.to_int_opt c) with
+            | Ok acc, Some c -> Ok (c :: acc)
+            | (Error _ as e), _ -> e
+            | Ok _, None -> Error "choices must be integers")
+          (Ok []) cs
+        |> Result.map (fun l -> Array.of_list (List.rev l))
+    | _ -> Error "missing choices"
+  in
+  let expected = Json.member "expected" json in
+  let r_expected_violations =
+    match Option.bind expected (Json.member "violations") with
+    | Some (Json.List vs) -> List.filter_map Json.to_str_opt vs
+    | _ -> []
+  in
+  let r_expected_digest =
+    match Option.bind expected (Json.member "digest") with
+    | Some (Json.Str d) -> d
+    | _ -> ""
+  in
+  Ok
+    {
+      r_cfg = { cfg with Dst.nemesis };
+      r_choices = choices;
+      r_expected_violations;
+      r_expected_digest;
+    }
+
+let read_replay path =
+  match Json.of_file path with
+  | Error e -> Error (Fmt.str "%s: %s" path e)
+  | Ok json -> parse_replay json
+
+type replay_result = {
+  spec : replay_spec;
+  outcome : Dst.outcome;
+  digest_matched : bool;
+  violations_matched : bool;
+}
+
+let replay_matched r = r.digest_matched && r.violations_matched
+
+let replay spec =
+  let outcome = Dst.run ~choices:spec.r_choices spec.r_cfg in
+  {
+    spec;
+    outcome;
+    digest_matched = Dst.run_digest outcome = spec.r_expected_digest;
+    violations_matched = outcome.Dst.violations = spec.r_expected_violations;
+  }

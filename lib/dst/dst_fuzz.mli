@@ -1,0 +1,109 @@
+(** The schedule fuzzer: sweep seeds through {!Dst.run}, and when a
+    seed fails, delta-debug the failure down to a minimal, replayable
+    counterexample.
+
+    {2 Shrinking}
+
+    A failing seed is minimized along two axes, in order: the {e
+    input} (ddmin over the nemesis event list, then halving the
+    operation count and dropping extra clients) and the {e
+    interleaving} (the recorded branch-choice trace is truncated from
+    the tail, then zeroed chunk-wise — a zero choice means "first
+    eligible actor", so the nonzero entries that survive are exactly
+    the scheduling decisions the bug needs).  Every candidate is
+    accepted only if it still fails with the {e same set of violation
+    kinds}, so shrinking never trades the original bug for a
+    different one.
+
+    {2 Replay files}
+
+    A shrunk counterexample is written as a [regemu-dst/1] JSON
+    document: the full config, the nemesis schedule, the choice
+    trace, and the expected verdict (violations + run digest).
+    [regemu dst --replay FILE] re-executes it step for step and
+    compares both. *)
+
+type profile =
+  | Quiet  (** base config as given; expected clean *)
+  | Chaos  (** + seeded ≤f flapping timeline; expected clean (Persist) *)
+  | Hunt
+      (** Amnesia recovery + rolling diskless wipes — outside the
+          model, so violations are expected: shrinker fodder *)
+
+val profile_name : profile -> string
+val profile_of_name : string -> profile option
+
+(** The per-seed config a profile derives from the base. *)
+val config_for : profile -> base:Dst.config -> seed:int -> Dst.config
+
+type failure = { seed : int; outcome : Dst.outcome }
+
+type fuzz_report = {
+  profile : profile;
+  seeds : int;
+  passed : int;
+  failures : failure list;  (** in seed order *)
+}
+
+(** [fuzz ~profile ~base ~seeds ()] runs seeds [base.seed .. base.seed
+    + seeds - 1].  [progress] is called after every run.  Raises
+    [Invalid_argument] if [seeds < 1]. *)
+val fuzz :
+  ?progress:(Dst.outcome -> unit) ->
+  profile:profile ->
+  base:Dst.config ->
+  seeds:int ->
+  unit ->
+  fuzz_report
+
+(** Minimal subsequence of the input for which [test] still holds
+    (classic ddmin; exposed for tests). *)
+val ddmin : test:('a list -> bool) -> 'a list -> 'a list
+
+(** The violation kinds of a failing outcome — the invariant shrinking
+    preserves. *)
+val failure_key : Dst.outcome -> string list
+
+type shrink_result = {
+  cfg : Dst.config;  (** minimized config (nemesis, ops, clients) *)
+  choices : int array;  (** minimized interleaving trace *)
+  outcome : Dst.outcome;  (** the minimized failing run *)
+  runs_spent : int;
+}
+
+(** [shrink cfg outcome] minimizes a failing run within a [budget] of
+    re-executions (default 250).  Raises [Invalid_argument] if
+    [outcome] did not fail. *)
+val shrink : ?budget:int -> Dst.config -> Dst.outcome -> shrink_result
+
+(** {2 regemu-dst/1 replay files} *)
+
+val schema : string
+
+val replay_json :
+  cfg:Dst.config -> choices:int array -> outcome:Dst.outcome -> Regemu_live.Json.t
+
+val write_replay :
+  string -> cfg:Dst.config -> choices:int array -> outcome:Dst.outcome -> unit
+
+type replay_spec = {
+  r_cfg : Dst.config;
+  r_choices : int array;
+  r_expected_violations : string list;
+  r_expected_digest : string;
+}
+
+val parse_replay : Regemu_live.Json.t -> (replay_spec, string) result
+val read_replay : string -> (replay_spec, string) result
+
+type replay_result = {
+  spec : replay_spec;
+  outcome : Dst.outcome;
+  digest_matched : bool;
+  violations_matched : bool;
+}
+
+(** Did the re-execution reproduce the recorded verdict exactly? *)
+val replay_matched : replay_result -> bool
+
+val replay : replay_spec -> replay_result

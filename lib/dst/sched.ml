@@ -1,0 +1,328 @@
+open Regemu_live
+
+exception Halt
+
+type config = { seed : int; step_ns : int; max_steps : int }
+
+let default_config ~seed = { seed; step_ns = 20_000; max_steps = 2_000_000 }
+
+let validate_config cfg =
+  if cfg.step_ns <= 0 then invalid_arg "Sched: step_ns must be positive";
+  if cfg.max_steps <= 0 then invalid_arg "Sched: max_steps must be positive"
+
+type astate =
+  | Ready
+  | Running
+  | Blocked of { pred : unit -> bool; deadline : int64 option }
+  | Sleeping of int64
+  | Finished
+
+type actor = {
+  aid : int;
+  name : string;
+  mutable st : astate;
+  cond : Condition.t;  (* parked actor waits here, on [gm] *)
+  mutable granted : bool;
+}
+
+type t = {
+  cfg : config;
+  rng : Regemu_sim.Rng.t;
+  gm : Mutex.t;  (* the one scheduler lock; actor state lives under it *)
+  runner_c : Condition.t;  (* the runner waits here for the baton back *)
+  mutable actors : actor array;  (* spawn order; grow-only *)
+  mutable nactors : int;
+  mutable threads : Thread.t list;
+  by_thread : (int, actor) Hashtbl.t;
+  mutable now : int64;  (* virtual nanoseconds *)
+  mutable steps : int;
+  mutable digest : int64;  (* FNV-1a over every step's chosen actor *)
+  mutable choices_rev : int list;  (* recorded branch choices, newest first *)
+  replay : int array;
+  mutable replay_pos : int;
+  mutable stopping : bool;
+  mutable deadlock : string list option;
+  mutable stalled : bool;
+  mutable crashes : (string * string) list;
+}
+
+type report = {
+  steps : int;
+  vtime_ns : int64;
+  digest : string;
+  choices : int array;
+  deadlock : string list option;
+  stalled : bool;
+  actor_crashes : (string * string) list;
+  actors : int;
+}
+
+(* --- FNV-1a, 64-bit ------------------------------------------------------ *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_mix d x =
+  let d = ref d in
+  for shift = 0 to 3 do
+    let byte = Int64.of_int ((x lsr (8 * shift)) land 0xff) in
+    d := Int64.mul (Int64.logxor !d byte) fnv_prime
+  done;
+  !d
+
+let hex_of_digest d = Printf.sprintf "%016Lx" d
+
+(* --- actor bookkeeping --------------------------------------------------- *)
+
+let add_actor t a =
+  if t.nactors = Array.length t.actors then begin
+    let bigger = Array.make (max 8 (2 * t.nactors)) a in
+    Array.blit t.actors 0 bigger 0 t.nactors;
+    t.actors <- bigger
+  end;
+  t.actors.(t.nactors) <- a;
+  t.nactors <- t.nactors + 1
+
+(* called with [gm] held *)
+let self t =
+  match Hashtbl.find_opt t.by_thread (Thread.id (Thread.self ())) with
+  | Some a -> a
+  | None -> invalid_arg "Sched: blocking call from a non-actor thread"
+
+(* Give the baton back to the runner with [st] as our new state, then
+   park until granted again.  Called with [gm] held; returns with it
+   held, running. *)
+let yield_baton t a st =
+  a.st <- st;
+  a.granted <- false;
+  Condition.signal t.runner_c;
+  while not a.granted do
+    Condition.wait a.cond t.gm
+  done
+
+let ns_of_s s = Int64.of_float (s *. 1e9)
+
+(* --- the three hook operations ------------------------------------------ *)
+
+let suspend t ?timeout_s ?mutex pred =
+  Mutex.lock t.gm;
+  let a = self t in
+  Option.iter Mutex.unlock mutex;
+  let deadline = Option.map (fun s -> Int64.add t.now (ns_of_s s)) timeout_s in
+  yield_baton t a (Blocked { pred; deadline });
+  let stop = t.stopping in
+  Mutex.unlock t.gm;
+  (* relock before raising so the caller's unlock-on-exit stays sound *)
+  Option.iter Mutex.lock mutex;
+  if stop then raise Halt
+
+let sleep t s =
+  Mutex.lock t.gm;
+  let a = self t in
+  yield_baton t a (Sleeping (Int64.add t.now (ns_of_s (Float.max 0.0 s))));
+  let stop = t.stopping in
+  Mutex.unlock t.gm;
+  if stop then raise Halt
+
+let spawn t ~name body =
+  Mutex.lock t.gm;
+  let a =
+    {
+      aid = t.nactors;
+      name;
+      st = Ready;
+      cond = Condition.create ();
+      granted = false;
+    }
+  in
+  add_actor t a;
+  let th =
+    Thread.create
+      (fun () ->
+        Mutex.lock t.gm;
+        Hashtbl.replace t.by_thread (Thread.id (Thread.self ())) a;
+        while not a.granted do
+          Condition.wait a.cond t.gm
+        done;
+        let stop = t.stopping in
+        Mutex.unlock t.gm;
+        (if not stop then
+           try body () with
+           | Halt -> ()
+           | exn ->
+               let msg = Printexc.to_string exn in
+               Mutex.lock t.gm;
+               t.crashes <- (name, msg) :: t.crashes;
+               Mutex.unlock t.gm);
+        Mutex.lock t.gm;
+        a.st <- Finished;
+        a.granted <- false;
+        Condition.signal t.runner_c;
+        Mutex.unlock t.gm)
+      ()
+  in
+  t.threads <- th :: t.threads;
+  Mutex.unlock t.gm
+
+let hook t =
+  {
+    Sched_hook.spawn = (fun ~name body -> spawn t ~name body);
+    suspend = (fun ?timeout_s ?mutex pred -> suspend t ?timeout_s ?mutex pred);
+    sleep = (fun s -> sleep t s);
+  }
+
+(* --- the runner ---------------------------------------------------------- *)
+
+(* called with [gm] held; hands the baton to [a] and waits for it back *)
+let grant t a =
+  a.st <- Running;
+  a.granted <- true;
+  Condition.signal a.cond;
+  while a.granted do
+    Condition.wait t.runner_c t.gm
+  done
+
+(* is [a] runnable right now?  [pred]s are evaluated here, on the
+   runner, while every actor is parked — so they are plain reads with
+   no possible race *)
+let eligible t a =
+  match a.st with
+  | Ready -> true
+  | Running | Finished -> false
+  | Sleeping d -> d <= t.now
+  | Blocked { pred; deadline } -> (
+      (try pred () with _ -> true)
+      || match deadline with Some d -> d <= t.now | None -> false)
+
+let earliest_deadline t =
+  let best = ref None in
+  for i = 0 to t.nactors - 1 do
+    let take d =
+      match !best with
+      | Some b when b <= d -> ()
+      | _ -> best := Some d
+    in
+    match t.actors.(i).st with
+    | Sleeping d -> take d
+    | Blocked { deadline = Some d; _ } -> take d
+    | _ -> ()
+  done;
+  !best
+
+let parked_names t =
+  let acc = ref [] in
+  for i = t.nactors - 1 downto 0 do
+    match t.actors.(i).st with
+    | Finished -> ()
+    | _ -> acc := t.actors.(i).name :: !acc
+  done;
+  !acc
+
+let all_finished t =
+  let rec go i = i >= t.nactors || (t.actors.(i).st = Finished && go (i + 1)) in
+  go 0
+
+(* pick the next actor: replayed choice if one is left (out-of-range
+   values fold back in), the seeded rng otherwise; choices are recorded
+   only at real branch points (more than one eligible actor) *)
+let choose t n =
+  if n = 1 then 0
+  else begin
+    let k =
+      if t.replay_pos < Array.length t.replay then begin
+        let v = t.replay.(t.replay_pos) in
+        ((v mod n) + n) mod n
+      end
+      else Regemu_sim.Rng.int t.rng ~bound:n
+    in
+    t.replay_pos <- t.replay_pos + 1;
+    t.choices_rev <- k :: t.choices_rev;
+    k
+  end
+
+let run ?(replay = [||]) cfg f =
+  validate_config cfg;
+  let t =
+    {
+      cfg;
+      rng = Regemu_sim.Rng.create cfg.seed;
+      gm = Mutex.create ();
+      runner_c = Condition.create ();
+      actors = [||];
+      nactors = 0;
+      threads = [];
+      by_thread = Hashtbl.create 64;
+      (* a nonzero epoch so no timestamp is confused with an unset 0 *)
+      now = 1_000_000_000L;
+      steps = 0;
+      digest = fnv_offset;
+      choices_rev = [];
+      replay;
+      replay_pos = 0;
+      stopping = false;
+      deadlock = None;
+      stalled = false;
+      crashes = [];
+    }
+  in
+  Clock.set_source (fun () -> t.now);
+  Fun.protect ~finally:Clock.clear_source @@ fun () ->
+  let result = ref None in
+  spawn t ~name:"main" (fun () -> result := Some (f t));
+  Mutex.lock t.gm;
+  while (not (all_finished t)) && not t.stopping do
+    let elig = ref [] in
+    for i = t.nactors - 1 downto 0 do
+      let a = t.actors.(i) in
+      if eligible t a then elig := a :: !elig
+    done;
+    match !elig with
+    | [] -> (
+        (* nothing runnable: jump virtual time to the next deadline, or
+           declare the run wedged *)
+        match earliest_deadline t with
+        | Some d -> t.now <- Int64.max d (Int64.add t.now 1L)
+        | None ->
+            t.deadlock <- Some (parked_names t);
+            t.stopping <- true)
+    | elig ->
+        let n = List.length elig in
+        let a = List.nth elig (choose t n) in
+        t.steps <- t.steps + 1;
+        t.digest <- fnv_mix (fnv_mix t.digest a.aid) n;
+        t.now <- Int64.add t.now (Int64.of_int cfg.step_ns);
+        if t.steps > cfg.max_steps then begin
+          t.stalled <- true;
+          t.stopping <- true
+        end
+        else grant t a
+  done;
+  (* teardown on deadlock/stall: grant every surviving actor once so it
+     observes [stopping], raises {!Halt} out of its yield point, and
+     finishes; repeat until no actor is left (a granted actor may spawn
+     or briefly run before its next yield) *)
+  let rec drain guard =
+    if guard > 0 && not (all_finished t) then begin
+      for i = 0 to t.nactors - 1 do
+        let a = t.actors.(i) in
+        if a.st <> Finished then grant t a
+      done;
+      drain (guard - 1)
+    end
+  in
+  if t.stopping then drain (t.nactors + 16);
+  let threads = t.threads in
+  let finished = all_finished t in
+  Mutex.unlock t.gm;
+  if finished then List.iter Thread.join threads;
+  ( !result,
+    {
+      steps = t.steps;
+      vtime_ns = t.now;
+      digest = hex_of_digest t.digest;
+      choices = Array.of_list (List.rev t.choices_rev);
+      deadlock = t.deadlock;
+      stalled = t.stalled;
+      actor_crashes = List.rev t.crashes;
+      actors = t.nactors;
+    } )

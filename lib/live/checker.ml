@@ -239,13 +239,18 @@ let check_once t =
   | _ -> ());
   v
 
-let checker_loop t =
+let checker_loop ?sched t =
+  let pause =
+    match sched with
+    | None -> Thread.delay
+    | Some (hook : Sched_hook.t) -> hook.sleep
+  in
   while t.running do
-    Thread.delay t.interval_s;
+    pause t.interval_s;
     if t.running then ignore (check_once t)
   done
 
-let spawn cluster ?(interval_s = 0.02) ?(final_atomic = false)
+let spawn ?sched cluster ?(interval_s = 0.02) ?(final_atomic = false)
     ?(atomic_limit = 600) () =
   let t =
     {
@@ -265,7 +270,10 @@ let spawn cluster ?(interval_s = 0.02) ?(final_atomic = false)
       backlog = [];
     }
   in
-  t.thread <- Some (Thread.create checker_loop t);
+  (match sched with
+  | None -> t.thread <- Some (Thread.create (checker_loop ?sched:None) t)
+  | Some hook ->
+      hook.Sched_hook.spawn ~name:"checker" (fun () -> checker_loop ~sched:hook t));
   t
 
 let stop t =

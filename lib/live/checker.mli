@@ -29,12 +29,14 @@ val result_pp : result Fmt.t
 
 type t
 
-(** [spawn cluster ()] starts the checker thread.
+(** [spawn cluster ()] starts the checker thread (or, with [sched], a
+    cooperative checker actor whose ticks elapse in virtual time).
     [final_atomic] additionally runs {!Regemu_history.Linearize} with
     register semantics on the final history when it has at most
     [atomic_limit] operations (default 600 — the brute force is
     exponential in concurrency, not length, but stay modest). *)
 val spawn :
+  ?sched:Sched_hook.t ->
   Cluster.t ->
   ?interval_s:float ->
   ?final_atomic:bool ->

@@ -77,6 +77,7 @@ let backoff_edges_ms = [| 100; 250; 500; 1000; 2000; 4000; max_int |]
 
 type t = {
   cfg : config;
+  sched : Sched_hook.t option;
   servers : server array;
   mutable clients : client array;
   gm : Mutex.t;  (* guards [clients] growth and fault counters *)
@@ -135,9 +136,13 @@ let deliver t (env : Transport.envelope) =
 let server_loop t srv =
   let handle (src, payload) =
     Mutex.lock srv.sm;
-    while (not srv.up) && not srv.closing do
-      Condition.wait srv.sc srv.sm
-    done;
+    (match t.sched with
+    | None ->
+        while (not srv.up) && not srv.closing do
+          Condition.wait srv.sc srv.sm
+        done
+    | Some hook ->
+        hook.suspend ~mutex:srv.sm (fun () -> srv.up || srv.closing));
     let closing = srv.closing in
     Mutex.unlock srv.sm;
     if closing then false
@@ -164,7 +169,7 @@ let server_loop t srv =
 
 (* --- construction ------------------------------------------------------ *)
 
-let create cfg =
+let create ?sched cfg =
   if cfg.n <= 0 then invalid_arg "Cluster.create: n must be positive";
   if not (cfg.op_timeout_s > 0.0) then
     invalid_arg "Cluster.create: op_timeout_s must be positive";
@@ -174,7 +179,7 @@ let create cfg =
         {
           sid;
           store = Proto.store_create ();
-          mailbox = Mailbox.create ();
+          mailbox = Mailbox.create ?sched ();
           sm = Mutex.create ();
           sc = Condition.create ();
           up = true;
@@ -185,6 +190,7 @@ let create cfg =
   let t =
     {
       cfg;
+      sched;
       servers;
       clients = [||];
       gm = Mutex.create ();
@@ -204,7 +210,9 @@ let create cfg =
     }
   in
   t.transport <-
-    Some (Transport.create cfg.transport ~servers:cfg.n ~deliver:(deliver t));
+    Some
+      (Transport.create ?sched cfg.transport ~servers:cfg.n
+         ~deliver:(deliver t));
   t
 
 let heartbeat_loop t =
@@ -225,11 +233,23 @@ let heartbeat_loop t =
 
 let start t =
   t.running <- true;
-  Array.iter
-    (fun srv -> srv.sthread <- Some (Thread.create (server_loop t) srv))
-    t.servers;
+  (match t.sched with
+  | None ->
+      Array.iter
+        (fun srv -> srv.sthread <- Some (Thread.create (server_loop t) srv))
+        t.servers
+  | Some hook ->
+      Array.iter
+        (fun srv ->
+          hook.spawn ~name:(Fmt.str "server-%d" srv.sid) (fun () ->
+              server_loop t srv))
+        t.servers);
   Transport.start (transport t);
-  t.heartbeat <- Some (Thread.create heartbeat_loop t)
+  (* no heartbeat under a scheduler: [await] parks with a timeout
+     instead, so deadline and retransmission checks run off virtual
+     time rather than off a polling thread *)
+  if Option.is_none t.sched then
+    t.heartbeat <- Some (Thread.create heartbeat_loop t)
 
 let num_servers t = t.cfg.n
 let recovery_mode t = t.cfg.recovery
@@ -402,13 +422,20 @@ let await t cl ?need pred =
               (Timeout
                  (Fmt.str "client %a: no quorum within %.1fs" Id.Client.pp
                     cl.id t.cfg.op_timeout_s));
-          cl.waiting <- true;
-          cl.pred <- Some pred;
-          Fun.protect
-            ~finally:(fun () ->
-              cl.waiting <- false;
-              cl.pred <- None)
-            (fun () -> Condition.wait cl.cc cl.cm);
+          (match t.sched with
+          | None ->
+              cl.waiting <- true;
+              cl.pred <- Some pred;
+              Fun.protect
+                ~finally:(fun () ->
+                  cl.waiting <- false;
+                  cl.pred <- None)
+                (fun () -> Condition.wait cl.cc cl.cm)
+          | Some hook ->
+              (* park on the scheduler; the timeout stands in for the
+                 heartbeat so retransmissions and deadlines are still
+                 checked when no reply flips the predicate *)
+              hook.suspend ~timeout_s:0.05 ~mutex:cl.cm pred);
           go ()
         end
       in

@@ -100,11 +100,17 @@ type t
 type client
 
 (** Raises [Invalid_argument] on a non-positive [n] or [op_timeout_s],
-    or an invalid transport/retry configuration. *)
-val create : config -> t
+    or an invalid transport/retry configuration.  With [sched], every
+    server loop and courier runs as a cooperative actor on the given
+    scheduler and all blocking points park on it ({!Sched_hook}) —
+    deterministic-schedule testing; without it (the default) the
+    cluster runs on OS threads exactly as before. *)
+val create : ?sched:Sched_hook.t -> config -> t
 
-(** Spawn server, courier, and heartbeat threads.  Allocate clients
-    and register cells before starting. *)
+(** Spawn server, courier, and heartbeat threads (or register them as
+    scheduler actors under [?sched], which replaces the heartbeat with
+    timed parks).  Allocate clients and register cells before
+    starting. *)
 val start : t -> unit
 
 val num_servers : t -> int

@@ -23,10 +23,15 @@ let jitter rng p =
   (* 0.5x .. 1.5x the period *)
   p *. (0.5 +. float_of_int (Regemu_sim.Rng.int rng ~bound:1000) /. 1000.)
 
-let injector_loop t =
+let injector_loop ?sched t =
+  let pause =
+    match sched with
+    | None -> Thread.delay
+    | Some (hook : Sched_hook.t) -> hook.sleep
+  in
   let rng = Regemu_sim.Rng.create t.cfg.seed in
   while t.running do
-    Thread.delay (jitter rng t.cfg.period_s);
+    pause (jitter rng t.cfg.period_s);
     if t.running then begin
       let up =
         List.filter
@@ -64,7 +69,7 @@ let validate_config cfg =
   if not (cfg.period_s > 0.0) then
     invalid_arg "Fault: period_s must be positive"
 
-let spawn cluster cfg =
+let spawn ?sched cluster cfg =
   validate_config cfg;
   let t =
     {
@@ -77,7 +82,11 @@ let spawn cluster cfg =
       restarts = 0;
     }
   in
-  t.thread <- Some (Thread.create injector_loop t);
+  (match sched with
+  | None -> t.thread <- Some (Thread.create (injector_loop ?sched:None) t)
+  | Some hook ->
+      hook.Sched_hook.spawn ~name:"injector" (fun () ->
+          injector_loop ~sched:hook t));
   t
 
 let stop t =

@@ -20,8 +20,9 @@ type t
 
 (** Raises [Invalid_argument] unless [0 ≤ leave_crashed ≤ f],
     [pool ≥ 2f+1] (crashing up to [f] servers of a smaller pool would
-    leave no quorum), and [period_s > 0]. *)
-val spawn : Cluster.t -> config -> t
+    leave no quorum), and [period_s > 0].  With [sched], the injector
+    runs as a cooperative actor pacing itself in virtual time. *)
+val spawn : ?sched:Sched_hook.t -> Cluster.t -> config -> t
 
 (** Stop injecting; restarts all but [leave_crashed] of the currently
     crashed servers, then joins the injector thread. *)

@@ -3,16 +3,18 @@ type 'a t = {
   c : Condition.t;
   q : 'a Ringbuf.t;
   mutable closed : bool;
+  sched : Sched_hook.t option;
   pushed : int Atomic.t;
   popped : int Atomic.t;
 }
 
-let create () =
+let create ?sched () =
   {
     m = Mutex.create ();
     c = Condition.create ();
     q = Ringbuf.create ();
     closed = false;
+    sched;
     pushed = Atomic.make 0;
     popped = Atomic.make 0;
   }
@@ -20,6 +22,18 @@ let create () =
 let locked t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Block until there is something to drain or the box is closed.
+   Called with [t.m] held; returns with it held. *)
+let wait_nonempty t =
+  match t.sched with
+  | None ->
+      while Ringbuf.is_empty t.q && not t.closed do
+        Condition.wait t.c t.m
+      done
+  | Some hook ->
+      hook.suspend ~mutex:t.m (fun () ->
+          t.closed || not (Ringbuf.is_empty t.q))
 
 let push t x =
   let accepted =
@@ -36,15 +50,8 @@ let push t x =
 let pop t =
   let r =
     locked t (fun () ->
-        let rec go () =
-          if t.closed then None
-          else if Ringbuf.is_empty t.q then begin
-            Condition.wait t.c t.m;
-            go ()
-          end
-          else Some (Ringbuf.pop t.q)
-        in
-        go ())
+        wait_nonempty t;
+        if Ringbuf.is_empty t.q then None else Some (Ringbuf.pop t.q))
   in
   if r <> None then Atomic.incr t.popped;
   r
@@ -52,8 +59,7 @@ let pop t =
 let try_pop t =
   let r =
     locked t (fun () ->
-        if t.closed || Ringbuf.is_empty t.q then None
-        else Some (Ringbuf.pop t.q))
+        if Ringbuf.is_empty t.q then None else Some (Ringbuf.pop t.q))
   in
   if r <> None then Atomic.incr t.popped;
   r
@@ -62,22 +68,16 @@ let pop_batch t ~max =
   if max < 1 then invalid_arg "Mailbox.pop_batch: max must be >= 1";
   let r =
     locked t (fun () ->
-        let rec go () =
-          if t.closed then None
-          else if Ringbuf.is_empty t.q then begin
-            Condition.wait t.c t.m;
-            go ()
-          end
-          else begin
-            let n = min max (Ringbuf.length t.q) in
-            let rec take n acc =
-              if n = 0 then List.rev acc
-              else take (n - 1) (Ringbuf.pop t.q :: acc)
-            in
-            Some (take n [])
-          end
-        in
-        go ())
+        wait_nonempty t;
+        if Ringbuf.is_empty t.q then None
+        else begin
+          let n = min max (Ringbuf.length t.q) in
+          let rec take n acc =
+            if n = 0 then List.rev acc
+            else take (n - 1) (Ringbuf.pop t.q :: acc)
+          in
+          Some (take n [])
+        end)
   in
   (match r with
   | Some xs -> ignore (Atomic.fetch_and_add t.popped (List.length xs))
@@ -89,7 +89,6 @@ let length t = locked t (fun () -> Ringbuf.length t.q)
 let close t =
   locked t (fun () ->
       t.closed <- true;
-      Ringbuf.clear t.q;
       Condition.broadcast t.c)
 
 let pushed t = Atomic.get t.pushed

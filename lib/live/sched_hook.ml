@@ -1,0 +1,5 @@
+type t = {
+  spawn : name:string -> (unit -> unit) -> unit;
+  suspend : ?timeout_s:float -> ?mutex:Mutex.t -> (unit -> bool) -> unit;
+  sleep : float -> unit;
+}

@@ -63,6 +63,7 @@ type lane = {
 
 type t = {
   cfg : config;
+  sched : Sched_hook.t option;
   deliver : envelope -> unit;
   nservers : int;
   lanes : lane array;  (* sharded: one per server + a client lane *)
@@ -89,12 +90,13 @@ let make_lane ~seed i =
     lthreads = [];
   }
 
-let create cfg ~servers ~deliver =
+let create ?sched cfg ~servers ~deliver =
   validate_config cfg;
   if servers < 1 then invalid_arg "Transport.create: need >= 1 server";
   let num_lanes = if cfg.sharded then servers + 1 else 1 in
   {
     cfg;
+    sched;
     deliver;
     nservers = servers;
     lanes = Array.init num_lanes (make_lane ~seed:cfg.seed);
@@ -132,11 +134,20 @@ let lane_for t dest =
 let hit rng p =
   p > 0.0 && Regemu_sim.Rng.int rng ~bound:1_000_000 < int_of_float (p *. 1e6)
 
+(* pause a courier that drew a delivery delay — virtual time under DST *)
+let courier_pause t s =
+  match t.sched with None -> Thread.delay s | Some hook -> hook.sleep s
+
 let rec courier_loop t lane =
   Mutex.lock lane.lm;
-  while Ringbuf.is_empty lane.buf && not (Atomic.get t.stopped) do
-    Condition.wait lane.lc lane.lm
-  done;
+  (match t.sched with
+  | None ->
+      while Ringbuf.is_empty lane.buf && not (Atomic.get t.stopped) do
+        Condition.wait lane.lc lane.lm
+      done
+  | Some hook ->
+      hook.suspend ~mutex:lane.lm (fun () ->
+          (not (Ringbuf.is_empty lane.buf)) || Atomic.get t.stopped));
   if Atomic.get t.stopped then Mutex.unlock lane.lm
   else begin
     (* drain a batch under one lock acquisition; fault decisions use
@@ -177,7 +188,7 @@ let rec courier_loop t lane =
     List.iter
       (fun (d, env) ->
         if d > !slept then begin
-          Thread.delay (float_of_int (d - !slept) *. 1e-6);
+          courier_pause t (float_of_int (d - !slept) *. 1e-6);
           slept := d
         end;
         t.deliver env;
@@ -190,12 +201,23 @@ let rec courier_loop t lane =
   end
 
 let start t =
-  Array.iter
-    (fun lane ->
-      lane.lthreads <-
-        List.init t.cfg.couriers (fun _ ->
-            Thread.create (fun () -> courier_loop t lane) ()))
-    t.lanes
+  match t.sched with
+  | None ->
+      Array.iter
+        (fun lane ->
+          lane.lthreads <-
+            List.init t.cfg.couriers (fun _ ->
+                Thread.create (fun () -> courier_loop t lane) ()))
+        t.lanes
+  | Some hook ->
+      Array.iteri
+        (fun li lane ->
+          for ci = 0 to t.cfg.couriers - 1 do
+            hook.spawn
+              ~name:(Fmt.str "courier-%d.%d" li ci)
+              (fun () -> courier_loop t lane)
+          done)
+        t.lanes
 
 (* Which server is this envelope's link attached to?  (Clients are not
    partitioned among themselves.) *)

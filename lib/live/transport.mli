@@ -69,11 +69,14 @@ val default_config : seed:int -> config
 
 type t
 
-(** [create cfg ~servers ~deliver] builds the fabric for a cluster of
-    [servers] server endpoints; no thread runs until {!start}.
+(** [create ?sched cfg ~servers ~deliver] builds the fabric for a
+    cluster of [servers] server endpoints; no thread runs until
+    {!start}.  With [sched], couriers run as cooperative actors and
+    delivery delays elapse in virtual time ({!Sched_hook}).
     Raises [Invalid_argument] if a probability is outside [0,1],
     [couriers < 1], [servers < 1], or [max_delay_us < 0]. *)
-val create : config -> servers:int -> deliver:(envelope -> unit) -> t
+val create :
+  ?sched:Sched_hook.t -> config -> servers:int -> deliver:(envelope -> unit) -> t
 
 val start : t -> unit
 

@@ -54,6 +54,92 @@ let ringbuf_tests =
         Alcotest.(check bool) "clear empties" true (Ringbuf.is_empty b));
   ]
 
+(* a list model of Ringbuf, mirroring take_at's documented swap: the
+   front element moves into the vacated slot, then the front advances *)
+let model_take_at l i =
+  if i = 0 then (List.hd l, List.tl l)
+  else
+    let x = List.nth l i in
+    let rest = List.filteri (fun j _ -> j <> 0 && j <> i) l in
+    (* re-insert the old front where x sat (now position i-1 of rest) *)
+    let rec insert j = function
+      | ys when j = i - 1 -> (List.hd l) :: ys
+      | [] -> [ List.hd l ]
+      | y :: ys -> y :: insert (j + 1) ys
+    in
+    (x, insert 0 rest)
+
+type ringbuf_op = R_push of int | R_pop | R_take_at of int | R_clear
+
+let ringbuf_op_pp = function
+  | R_push x -> Fmt.str "push %d" x
+  | R_pop -> "pop"
+  | R_take_at i -> Fmt.str "take_at %d" i
+  | R_clear -> "clear"
+
+let ringbuf_property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "random push/pop/take_at/clear agree with the list model \
+            (wraparound and growth included)"
+         ~count:200
+         (QCheck.make
+            QCheck.Gen.(
+              list_size (int_range 0 120)
+                (let* tag = int_range 0 9 in
+                 let* x = int_range 0 1_000 in
+                 return
+                   (match tag with
+                   | 0 | 1 | 2 | 3 -> R_push x
+                   | 4 | 5 | 6 -> R_pop
+                   | 7 | 8 -> R_take_at x
+                   | _ -> R_clear)))
+            ~print:(fun ops ->
+              String.concat "; " (List.map ringbuf_op_pp ops)))
+         (fun ops ->
+           let b = Ringbuf.create () in
+           let model = ref [] in
+           List.iter
+             (fun op ->
+               match op with
+               | R_push x ->
+                   Ringbuf.push b x;
+                   model := !model @ [ x ]
+               | R_pop ->
+                   if !model = [] then (
+                     match Ringbuf.pop b with
+                     | exception Invalid_argument _ -> ()
+                     | _ -> QCheck.Test.fail_report "pop on empty succeeded")
+                   else begin
+                     let got = Ringbuf.pop b in
+                     if got <> List.hd !model then
+                       QCheck.Test.fail_reportf "pop %d, model %d" got
+                         (List.hd !model);
+                     model := List.tl !model
+                   end
+               | R_take_at i ->
+                   let len = List.length !model in
+                   if len = 0 then ()
+                   else begin
+                     let i = i mod len in
+                     let got = Ringbuf.take_at b i in
+                     let want, model' = model_take_at !model i in
+                     if got <> want then
+                       QCheck.Test.fail_reportf "take_at %d: %d, model %d" i
+                         got want;
+                     model := model'
+                   end
+               | R_clear ->
+                   Ringbuf.clear b;
+                   model := [])
+             ops;
+           Ringbuf.to_list b = !model
+           && Ringbuf.length b = List.length !model
+           && Ringbuf.is_empty b = (!model = [])));
+  ]
+
 (* --- mailbox ------------------------------------------------------------ *)
 
 let mailbox_tests =
@@ -154,6 +240,28 @@ let mailbox_tests =
         Mailbox.close mb;
         Thread.join t;
         Alcotest.(check bool) "blocked batch-popper got None" true (!got = None));
+    (* regression: close used to clear the queue, losing accepted items.
+       Drain-then-None: queued items stay poppable after close; only an
+       empty closed mailbox reports end-of-stream. *)
+    test "close is drain-then-None, not drop" (fun () ->
+        let mb = Mailbox.create () in
+        List.iter (Mailbox.push mb) [ 1; 2; 3 ];
+        Mailbox.close mb;
+        Alcotest.(check (list (option int)))
+          "queued items survive the close, then None"
+          [ Some 1; Some 2; Some 3; None; None ]
+          (List.init 5 (fun _ -> Mailbox.pop mb)));
+    test "pop_batch drains a closed mailbox before reporting None" (fun () ->
+        let mb = Mailbox.create () in
+        for i = 1 to 5 do Mailbox.push mb i done;
+        Mailbox.close mb;
+        Alcotest.(check bool)
+          "whole backlog in one batch" true
+          (Mailbox.pop_batch mb ~max:10 = Some [ 1; 2; 3; 4; 5 ]);
+        Alcotest.(check bool)
+          "then end-of-stream" true
+          (Mailbox.pop_batch mb ~max:10 = None);
+        Alcotest.(check (option int)) "try_pop agrees" None (Mailbox.try_pop mb));
   ]
 
 (* --- transport ---------------------------------------------------------- *)
@@ -442,6 +550,84 @@ let histlog_tests =
           (List.length (Histlog.snapshot log)));
   ]
 
+(* the merged-shards property: however client operations interleave,
+   the snapshot is exactly the invocation-order sequence — same
+   clients, same hops, same results, dense indexes.  The interleaving
+   is randomized but applied deterministically, modelling each client
+   as a well-formed sequential process (invoke, later return). *)
+let histlog_property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "snapshot equals the merged per-client chunks under random \
+            writer interleavings"
+         ~count:150
+         (QCheck.make
+            QCheck.Gen.(
+              let* k = int_range 1 4 in
+              let* steps = list_size (int_range 0 150) (int_range 0 (k - 1)) in
+              return (k, steps))
+            ~print:(fun (k, steps) ->
+              Fmt.str "%d writers, schedule %a" k
+                Fmt.(Dump.list int)
+                steps))
+         (fun (k, steps) ->
+           let log = Histlog.create () in
+           let ws =
+             Array.init k (fun i ->
+                 Histlog.new_writer log ~client:(Id.Client.of_int i))
+           in
+           (* per-writer sequential state: at most one op in flight *)
+           let pending = Array.make k None in
+           let counts = Array.make k 0 in
+           let expected = ref [] in
+           (* (client, hop, result option), invocation order *)
+           List.iter
+             (fun w ->
+               match pending.(w) with
+               | None ->
+                   let j = counts.(w) in
+                   counts.(w) <- j + 1;
+                   let hop =
+                     if j mod 2 = 0 then
+                       Regemu_sim.Trace.H_write
+                         (Value.Str (Printf.sprintf "w%d-%d" w j))
+                     else Regemu_sim.Trace.H_read
+                   in
+                   let tk = Histlog.invoke ws.(w) hop in
+                   let cell = ref None in
+                   expected := (w, hop, cell) :: !expected;
+                   pending.(w) <- Some (tk, hop, cell)
+               | Some (tk, hop, cell) ->
+                   let v =
+                     match hop with
+                     | Regemu_sim.Trace.H_write v -> v
+                     | Regemu_sim.Trace.H_read ->
+                         Value.Str (Printf.sprintf "r%d" w)
+                   in
+                   Histlog.return tk v;
+                   cell := Some v;
+                   pending.(w) <- None)
+             steps;
+           let expected = List.rev !expected in
+           let h = Histlog.snapshot log in
+           List.length h = List.length expected
+           && List.for_all2
+                (fun (op : Regemu_history.History.op) (w, hop, cell) ->
+                  Id.Client.to_int op.client = w
+                  && op.hop = hop
+                  && op.result = !cell
+                  && (op.returned_at = None) = (!cell = None))
+                h expected
+           && (let idxs =
+                 List.map
+                   (fun (op : Regemu_history.History.op) -> op.index)
+                   h
+               in
+               idxs = List.init (List.length h) Fun.id)));
+  ]
+
 (* --- live cluster runs -------------------------------------------------- *)
 
 let check_clean what (r : Checker.result) =
@@ -595,10 +781,10 @@ let bench_tests =
 
 let suites =
   [
-    ("live.ringbuf", ringbuf_tests);
+    ("live.ringbuf", ringbuf_tests @ ringbuf_property_tests);
     ("live.mailbox", mailbox_tests);
     ("live.transport", transport_tests);
-    ("live.histlog", histlog_tests);
+    ("live.histlog", histlog_tests @ histlog_property_tests);
     ("live.cluster", cluster_tests);
     ("live.bench", bench_tests);
   ]
