@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test bench perf-bench live-bench chaos-bench dst-fuzz verify examples clean loc
+.PHONY: all build test check bench perf-bench live-bench chaos-bench dst-fuzz trace-demo verify examples clean loc
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	dune runtest
+
+# everything a merge should pass: the build, the test suite (which
+# replays the trace demo), and — where odoc is installed — the API docs
+check: build test
+	@if command -v odoc >/dev/null 2>&1; \
+	then dune build @doc; \
+	else echo "odoc not installed; skipping the doc build"; fi
 
 bench:
 	dune exec bench/main.exe
@@ -33,6 +40,12 @@ dst-fuzz:
 	dune exec bin/regemu.exe -- dst --fuzz 500 --profile quiet --seed 1
 	dune exec bin/regemu.exe -- dst --fuzz 500 --profile chaos --seed 1
 	dune exec bin/regemu.exe -- dst --fuzz 50 --profile hunt --seed 1 --shrink --out dst_counterexample.json
+
+# re-execute the committed DST counterexample with tracing on and
+# write the Chrome trace + text timeline the observability docs walk
+# through; dune runtest replays the same command
+trace-demo:
+	dune exec bin/regemu.exe -- trace --replay test/dst_replay_sample.json --out trace_demo.json --timeline
 
 verify:
 	dune exec bin/regemu.exe -- verify

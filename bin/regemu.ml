@@ -634,6 +634,80 @@ let all_cmd =
        ~doc:"Regenerate every table and figure (no micro-benchmarks).")
     Term.(const run $ seed_arg)
 
+(* --- observability plumbing ---------------------------------------------- *)
+
+(* shared --trace/--trace-sample/--metrics handling for live, chaos,
+   and dst: build the run's Sink.t, then write the requested files
+   after the run (even a failing one — that trace is the useful one) *)
+module Obs_cli = struct
+  open Regemu_obs
+
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record a structured trace of the run and write it as \
+                Chrome trace_event JSON (regemu-trace/1 schema).  Open it \
+                at chrome://tracing or ui.perfetto.dev, or render it with \
+                $(b,regemu trace --in) $(docv) $(b,--timeline).")
+
+  (* full sampling costs ~30% throughput on a saturated live cluster
+     (every message takes the recorder path), so [live] defaults to a
+     coarse 1-in-64; the deterministic testers run in virtual time and
+     default to recording everything *)
+  let sample_arg ~default =
+    Arg.(
+      value & opt int default
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            (Fmt.str
+               "Keep 1 in $(docv) operation spans and message events.  \
+                Control events — retries, faults, checker verdict flips, \
+                unavailability — are always recorded.  1 records \
+                everything.  Default %d." default))
+
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the run's metrics registry as a regemu-metrics/1 \
+                JSON snapshot.")
+
+  let with_sink ~trace ~sample ~metrics f =
+    if sample <= 0 then begin
+      Fmt.epr "error: --trace-sample must be positive@.";
+      1
+    end
+    else
+      let tr =
+        Option.map
+          (fun _ -> Trace.create ~ops_every:sample ~msgs_every:sample ())
+          trace
+      in
+      let mx = Option.map (fun _ -> Metrics.create ()) metrics in
+      let code = f (Regemu_live.Sink.make ?trace:tr ?metrics:mx ()) in
+      match
+        Option.iter
+          (fun path ->
+            let t = Option.get tr in
+            Json.to_file path (Export.chrome_json t);
+            Fmt.pr "wrote trace to %s (%d events, %d lost to ring overwrite)@."
+              path (Trace.recorded t) (Trace.dropped t))
+          trace;
+        Option.iter
+          (fun path ->
+            Json.to_file path (Metrics.snapshot (Option.get mx));
+            Fmt.pr "wrote metrics to %s@." path)
+          metrics
+      with
+      | exception Sys_error m ->
+          Fmt.epr "error: %s@." m;
+          1
+      | () -> code
+end
+
 (* --- live --------------------------------------------------------------- *)
 
 let live_cmd =
@@ -713,7 +787,7 @@ let live_cmd =
                 (1 with $(b,--smoke)), 1 otherwise.")
   in
   let run bench smoke saturate chaos algo k readers f n ops couriers json seed
-      reps =
+      reps trace sample metrics =
     let specs =
       if saturate then
         let clients = if smoke then [ 2; 4 ] else Live_bench.saturate_clients in
@@ -737,18 +811,19 @@ let live_cmd =
       | Some r -> r
       | None -> if saturate && not smoke then 3 else 1
     in
+    Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
     match
       if saturate then begin
         (* round-robin the repetitions across the whole sweep so a
            transient machine stall cannot poison one point's reps *)
-        let outs = Live_bench.run_sweep_median ~reps specs in
+        let outs = Live_bench.run_sweep_median ~reps ~sink specs in
         List.iter (Fmt.pr "%a@." Live_bench.outcome_pp) outs;
         outs
       end
       else
         List.map
           (fun spec ->
-            let o = Live_bench.run_median ~reps spec in
+            let o = Live_bench.run_median ~reps ~sink spec in
             Fmt.pr "%a@." Live_bench.outcome_pp o;
             o)
           specs
@@ -791,7 +866,10 @@ let live_cmd =
       $ readers_arg
       $ Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure threshold.")
       $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of server threads.")
-      $ ops_arg $ couriers_arg $ json_arg $ seed_arg $ reps_arg)
+      $ ops_arg $ couriers_arg $ json_arg $ seed_arg $ reps_arg
+      $ Obs_cli.trace_arg
+      $ Obs_cli.sample_arg ~default:64
+      $ Obs_cli.metrics_arg)
 
 (* --- chaos --------------------------------------------------------------- *)
 
@@ -827,7 +905,7 @@ let chaos_cmd =
       value & flag
       & info [ "quiet" ] ~doc:"Suppress per-phase progress lines.")
   in
-  let run smoke list scenario json quiet seed =
+  let run smoke list scenario json quiet seed trace sample metrics =
     if list then begin
       List.iter
         (fun s ->
@@ -857,10 +935,11 @@ let chaos_cmd =
           1
       | Ok scenarios -> (
           let log = if quiet then ignore else fun m -> Fmt.pr "  %s@." m in
+          Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
           match
             List.map
               (fun s ->
-                let o = Campaign.run ~log s in
+                let o = Campaign.run ~log ~sink s in
                 Fmt.pr "%a@." Campaign.outcome_pp o;
                 List.iter
                   (fun p -> Fmt.pr "    %a@." Campaign.phase_outcome_pp p)
@@ -898,7 +977,9 @@ let chaos_cmd =
           outages, judged by the online consistency checker.")
     Term.(
       const run $ smoke_arg $ list_arg $ scenario_arg $ json_arg $ quiet_arg
-      $ seed_arg)
+      $ seed_arg $ Obs_cli.trace_arg
+      $ Obs_cli.sample_arg ~default:1
+      $ Obs_cli.metrics_arg)
 
 (* --- dst ----------------------------------------------------------------- *)
 
@@ -1005,13 +1086,13 @@ let dst_cmd =
       ops_per_client = ops;
     }
   in
-  let run_replay path =
+  let run_replay ~sink path =
     match Dst_fuzz.read_replay path with
     | Error m ->
         Fmt.epr "error: %s@." m;
         1
     | Ok spec ->
-        let r = Dst_fuzz.replay spec in
+        let r = Dst_fuzz.replay ~sink spec in
         Fmt.pr "replay %s: %a@." path Dst.outcome_pp r.Dst_fuzz.outcome;
         Fmt.pr "  digest %s (%s)@."
           (Dst.run_digest r.Dst_fuzz.outcome)
@@ -1151,19 +1232,38 @@ let dst_cmd =
       1
     end
   in
-  let run fuzz profile replay shrink out json smoke algo k readers f n ops seed =
+  let run fuzz profile replay shrink out json smoke algo k readers f n ops seed
+      trace sample metrics =
+    (* tracing instruments exactly one deterministic run: the single-seed
+       mode and --replay.  Sweeping modes would interleave runs in one
+       trace, so they decline instead of emitting something misleading. *)
+    let warn_ignored mode =
+      if trace <> None || metrics <> None then
+        Fmt.epr
+          "warning: --trace/--metrics are ignored with %s (trace a single \
+           run or a --replay instead)@."
+          mode
+    in
     match replay with
-    | Some path -> run_replay path
+    | Some path ->
+        Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
+        run_replay ~sink path
     | None -> (
         let base = base_config algo k readers f n ops seed in
-        if smoke then run_smoke ~base
+        if smoke then begin
+          warn_ignored "--smoke";
+          run_smoke ~base
+        end
         else
           match fuzz with
-          | Some seeds -> run_fuzz ~profile ~base ~seeds ~shrink ~out ~json
+          | Some seeds ->
+              warn_ignored "--fuzz";
+              run_fuzz ~profile ~base ~seeds ~shrink ~out ~json
           | None ->
               (* single run of one seed under the profile *)
+              Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
               let cfg = Dst_fuzz.config_for profile ~base ~seed in
-              let o = Dst.run cfg in
+              let o = Dst.run ~sink cfg in
               Fmt.pr "%a@." Dst.outcome_pp o;
               Fmt.pr "digest %s@." (Dst.run_digest o);
               Option.iter
@@ -1201,7 +1301,130 @@ let dst_cmd =
       $ json_arg $ smoke_arg $ algo_arg $ writers_arg $ readers_arg
       $ Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure threshold.")
       $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of servers.")
-      $ ops_arg $ seed_arg)
+      $ ops_arg $ seed_arg $ Obs_cli.trace_arg
+      $ Obs_cli.sample_arg ~default:1
+      $ Obs_cli.metrics_arg)
+
+(* --- trace ---------------------------------------------------------------- *)
+
+let trace_cmd =
+  let open Regemu_obs in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-execute a regemu-dst/1 counterexample under the virtual \
+                scheduler with full-sampling tracing on — the post-mortem \
+                microscope for a shrunk violation.")
+  in
+  let in_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "in" ] ~docv:"FILE"
+          ~doc:"Load a previously written regemu-trace/1 Chrome trace \
+                instead of producing one.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the replay's trace as Chrome trace_event JSON \
+                (regemu-trace/1).  Only meaningful with $(b,--replay).")
+  in
+  let timeline_arg =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:"Print the compact text timeline (the default when no \
+                $(b,--out) is given).")
+  in
+  let summarize rows =
+    let recs = List.sort_uniq String.compare (List.map fst rows) in
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (_, e) ->
+        let cat = e.Event.cat in
+        Hashtbl.replace tbl cat
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl cat)))
+      rows;
+    Fmt.pr "%d events across %d recorders@." (List.length rows)
+      (List.length recs);
+    List.iter
+      (fun (cat, n) -> Fmt.pr "  %-8s %d@." cat n)
+      (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))
+  in
+  let run replay in_ out timeline =
+    match (replay, in_) with
+    | Some _, Some _ ->
+        Fmt.epr "error: --replay and --in are mutually exclusive@.";
+        1
+    | None, None ->
+        Fmt.epr "error: nothing to do — pass --replay FILE or --in FILE@.";
+        1
+    | Some path, None -> (
+        let open Regemu_dst in
+        match Dst_fuzz.read_replay path with
+        | Error m ->
+            Fmt.epr "error: %s@." m;
+            1
+        | Ok spec -> (
+            let tr = Trace.create () in
+            let sink = Regemu_live.Sink.make ~trace:tr () in
+            let r = Dst_fuzz.replay ~sink spec in
+            Fmt.pr "replay %s: %a@." path Dst.outcome_pp r.Dst_fuzz.outcome;
+            match
+              Option.iter
+                (fun p ->
+                  Json.to_file p (Export.chrome_json tr);
+                  Fmt.pr "wrote trace to %s (%d events)@." p
+                    (Trace.recorded tr))
+                out
+            with
+            | exception Sys_error m ->
+                Fmt.epr "error: %s@." m;
+                1
+            | () ->
+                if timeline || out = None then
+                  print_string (Export.timeline tr);
+                if Dst_fuzz.replay_matched r then 0
+                else begin
+                  Fmt.epr "error: replay diverged from the recorded run@.";
+                  1
+                end))
+    | None, Some path -> (
+        if out <> None then begin
+          Fmt.epr "error: --out needs --replay (with --in the trace already \
+                   exists)@.";
+          1
+        end
+        else
+          match Json.of_file path with
+          | Error m ->
+              Fmt.epr "error: %s: %s@." path m;
+              1
+          | Ok doc -> (
+              match Export.of_chrome_json doc with
+              | Error m ->
+                  Fmt.epr "error: %s is not a valid regemu-trace/1 trace: \
+                           %s@."
+                    path m;
+                  1
+              | Ok rows ->
+                  if timeline then
+                    print_string (Export.timeline_of_events rows)
+                  else summarize rows;
+                  0))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Work with regemu-trace/1 traces: re-execute a DST counterexample \
+          with tracing on, export Chrome trace_event JSON, or render a \
+          saved trace as a text timeline.")
+    Term.(const run $ replay_arg $ in_arg $ out_arg $ timeline_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -1222,5 +1445,6 @@ let () =
             thm5_cmd; thm6_cmd; thm7_cmd; thm8_cmd; plan_cmd; alg1_cmd;
             classification_cmd; rspace_cmd; inversion_cmd;
             latency_cmd; fuzz_cmd; explore_cmd; run_cmd; verify_cmd;
-            sweep_cmd; netabd_cmd; live_cmd; chaos_cmd; dst_cmd; all_cmd;
+            sweep_cmd; netabd_cmd; live_cmd; chaos_cmd; dst_cmd; trace_cmd;
+            all_cmd;
           ]))

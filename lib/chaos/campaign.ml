@@ -160,7 +160,7 @@ let evaluate (s : scenario) ~check ~(stats : Cluster.stats) phases =
 
 (* --- one scenario ------------------------------------------------------- *)
 
-let run ?(log = ignore) s =
+let run ?(log = ignore) ?(sink = Sink.none) s =
   List.iter (fun p -> Schedule.validate ~n:s.n p.schedule) s.phases;
   let transport =
     {
@@ -175,7 +175,7 @@ let run ?(log = ignore) s =
     }
   in
   let cluster =
-    Cluster.create
+    Cluster.create ~sink
       {
         Cluster.n = s.n;
         transport;
@@ -356,7 +356,14 @@ let names () = List.map (fun s -> s.name) (campaign ~seed:0)
 let by_name ~seed name =
   List.find_opt (fun s -> s.name = name) (campaign ~seed)
 
-let run_all ?log scenarios = List.map (run ?log) scenarios
+(* One trace may span every scenario (recorders are per-run, so thread
+   names repeat across scenarios), but a metrics registry must be
+   per-run — names register once — so only a trace threads here. *)
+let run_all ?log ?trace scenarios =
+  let sink =
+    match trace with None -> Sink.none | Some tr -> Sink.make ~trace:tr ()
+  in
+  List.map (run ?log ~sink) scenarios
 
 (* --- reporting ---------------------------------------------------------- *)
 

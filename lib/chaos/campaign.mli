@@ -78,10 +78,20 @@ type outcome = {
 (** Run one scenario to completion: spawn the cluster, replay each
     phase's schedule via a {!Nemesis} while the load threads drive the
     register (absorbing [Unavailable] into the phase outcome), stop the
-    checker, and judge the result.  [log] receives progress lines. *)
-val run : ?log:(string -> unit) -> scenario -> outcome
+    checker, and judge the result.  [log] receives progress lines.
+    [sink] instruments the scenario's cluster
+    ({!Regemu_live.Cluster.create}); pass a fresh one per scenario if
+    it carries a metrics registry. *)
+val run : ?log:(string -> unit) -> ?sink:Regemu_live.Sink.t -> scenario -> outcome
 
-val run_all : ?log:(string -> unit) -> scenario list -> outcome list
+(** [trace] collects every scenario's events into one trace (a metrics
+    registry cannot be shared across scenarios, so only a trace
+    threads here). *)
+val run_all :
+  ?log:(string -> unit) ->
+  ?trace:Regemu_obs.Trace.t ->
+  scenario list ->
+  outcome list
 
 (** The full campaign: rolling crashes (ABD and Algorithm 2), a healed
     majority partition, seeded flapping, a beyond-[f] outage, and the

@@ -142,7 +142,7 @@ let violations_of ~stats ~(report : Sched.report) =
              (verdict_class s.full_ws)));
   List.rev !v
 
-let run ?(choices = [||]) cfg =
+let run ?(choices = [||]) ?(sink = Sink.none) cfg =
   validate_config cfg;
   let scfg =
     { Sched.seed = cfg.seed; step_ns = cfg.step_ns; max_steps = cfg.max_steps }
@@ -163,7 +163,7 @@ let run ?(choices = [||]) cfg =
           }
         in
         let cluster =
-          Cluster.create ~sched:hook
+          Cluster.create ~sched:hook ~sink
             {
               Cluster.n = cfg.n;
               transport;

@@ -62,9 +62,12 @@ val passed : outcome -> bool
 
 (** [run ?choices cfg] executes one simulation.  [choices] replays a
     recorded interleaving ({!Sched.report.choices}); omitted, the
-    seeded PRNG decides.  Raises [Invalid_argument] on a malformed
-    config. *)
-val run : ?choices:int array -> config -> outcome
+    seeded PRNG decides.  [sink] instruments the run
+    ({!Regemu_live.Cluster.create}); since the whole stack runs in
+    virtual time on a deterministic scheduler, two replays of one
+    schedule yield byte-identical trace exports.  Pass a fresh sink
+    per run.  Raises [Invalid_argument] on a malformed config. *)
+val run : ?choices:int array -> ?sink:Regemu_live.Sink.t -> config -> outcome
 
 (** The determinism fingerprint: schedule digest plus a hash of the
     observable history (clients, operations, results, logical order).

@@ -345,8 +345,8 @@ type replay_result = {
 
 let replay_matched r = r.digest_matched && r.violations_matched
 
-let replay spec =
-  let outcome = Dst.run ~choices:spec.r_choices spec.r_cfg in
+let replay ?sink spec =
+  let outcome = Dst.run ~choices:spec.r_choices ?sink spec.r_cfg in
   {
     spec;
     outcome;

@@ -106,4 +106,6 @@ type replay_result = {
 (** Did the re-execution reproduce the recorded verdict exactly? *)
 val replay_matched : replay_result -> bool
 
-val replay : replay_spec -> replay_result
+(** [sink] instruments the replayed run ({!Dst.run}) — the way to get
+    a trace out of a saved counterexample. *)
+val replay : ?sink:Regemu_live.Sink.t -> replay_spec -> replay_result

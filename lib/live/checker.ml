@@ -46,6 +46,8 @@ type t = {
   interval_s : float;
   final_atomic : bool;
   atomic_limit : int;
+  cr : Sink.Trace.recorder option;  (* verdict-flip instants *)
+  mutable last_class : string;  (* verdict class of the previous tick *)
   mutable running : bool;
   mutable thread : Thread.t option;
   mutable checks : int;
@@ -237,6 +239,20 @@ let check_once t =
   (match v with
   | Ws_check.Violated _ when t.violation = None -> t.violation <- Some v
   | _ -> ());
+  (* a verdict-class flip is a control event: always recorded *)
+  let cls =
+    match v with
+    | Ws_check.Holds -> "holds"
+    | Ws_check.Vacuous -> "vacuous"
+    | Ws_check.Violated _ -> "violated"
+  in
+  if cls <> t.last_class then begin
+    Sink.instant t.cr ~cat:"checker"
+      ~args:
+        [ ("from", Sink.Event.S t.last_class); ("to", Sink.Event.S cls) ]
+      "verdict";
+    t.last_class <- cls
+  end;
   v
 
 let checker_loop ?sched t =
@@ -252,12 +268,15 @@ let checker_loop ?sched t =
 
 let spawn ?sched cluster ?(interval_s = 0.02) ?(final_atomic = false)
     ?(atomic_limit = 600) () =
+  let sink = Cluster.sink cluster in
   let t =
     {
       cluster;
       interval_s;
       final_atomic;
       atomic_limit;
+      cr = Sink.recorder sink ~name:"checker";
+      last_class = "holds";
       running = true;
       thread = None;
       checks = 0;
@@ -270,6 +289,10 @@ let spawn ?sched cluster ?(interval_s = 0.02) ?(final_atomic = false)
       backlog = [];
     }
   in
+  Sink.gauge_fn sink ~help:"online checker passes" "checker.checks" (fun () ->
+      t.checks);
+  Sink.gauge_fn sink ~help:"1 iff a WS-Regularity violation was seen"
+    "checker.violation" (fun () -> if t.violation = None then 0 else 1);
   (match sched with
   | None -> t.thread <- Some (Thread.create (checker_loop ?sched:None) t)
   | Some hook ->

@@ -1,9 +1,1 @@
-let source : (unit -> int64) option ref = ref None
-
-let now_ns () =
-  match !source with None -> Monotonic_clock.now () | Some f -> f ()
-
-let now_s () = Int64.to_float (now_ns ()) *. 1e-9
-let set_source f = source := Some f
-let clear_source () = source := None
-let virtualized () = !source <> None
+include Regemu_obs.Clock

@@ -1,34 +1,10 @@
-(** Monotonic time for the live runtime — virtualizable.
+(** Compatibility alias: the monotonic/virtual clock now lives in
+    {!Regemu_obs.Clock}, below the live runtime, so trace events and
+    metrics read the same (virtualizable) time source as every retry
+    and deadline timer.  See {!Regemu_obs.Clock} for semantics. *)
 
-    Every latency measurement and retry/deadline clock in [lib/live]
-    reads CLOCK_MONOTONIC (via the [bechamel.monotonic_clock] stub, a
-    [@@noalloc] external), never [Unix.gettimeofday]: an NTP step or a
-    leap-second smear must not produce negative latencies or spurious
-    retransmission storms.
-
-    Under deterministic-schedule testing ({!Regemu_dst.Sched}) the
-    clock is {e virtual}: the scheduler installs its own nanosecond
-    counter with {!set_source}, and every timer in the runtime —
-    retransmission backoff, watchdog grace, op deadlines, latency
-    stamps — reads simulated time instead.  The override is
-    process-wide and intended for single-run test harnesses; the
-    threaded production path never installs one, and the cost it pays
-    is a single ref read per call. *)
-
-(** Nanoseconds on the monotonic clock (origin unspecified; only
-    differences are meaningful), or on the installed virtual source. *)
 val now_ns : unit -> int64
-
-(** Monotonic seconds as a float — drop-in for elapsed-time arithmetic
-    previously done on [Unix.gettimeofday]. *)
 val now_s : unit -> float
-
-(** Install a virtual time source; all subsequent {!now_ns}/{!now_s}
-    calls read it.  The source must be monotone non-decreasing. *)
 val set_source : (unit -> int64) -> unit
-
-(** Return to the real monotonic clock. *)
 val clear_source : unit -> unit
-
-(** Is a virtual source currently installed? *)
 val virtualized : unit -> bool

@@ -57,6 +57,10 @@ type server = {
 
 type client = {
   id : Id.Client.t;
+  crec : Sink.Trace.recorder option;  (* this client's trace stream *)
+  mutable op_live : bool;
+      (* the current op's span is open (it was sampled); client-thread
+         private, so awaits know whether to nest their own spans *)
   cm : Mutex.t;
   cc : Condition.t;
   handlers : (int, Proto.payload -> unit) Hashtbl.t;
@@ -72,12 +76,15 @@ type client = {
          of a round never wake the client *)
 }
 
-(* retransmission-backoff histogram bucket upper edges, milliseconds *)
-let backoff_edges_ms = [| 100; 250; 500; 1000; 2000; 4000; max_int |]
+(* retransmission-backoff histogram bucket upper edges, milliseconds
+   (the metrics histogram adds the unbounded bucket itself) *)
+let backoff_edges_ms = [| 100; 250; 500; 1000; 2000; 4000 |]
 
 type t = {
   cfg : config;
   sched : Sched_hook.t option;
+  sink : Sink.t;
+  ctl : Sink.Trace.recorder option;  (* control-plane events: faults, nemesis *)
   servers : server array;
   mutable clients : client array;
   gm : Mutex.t;  (* guards [clients] growth and fault counters *)
@@ -92,13 +99,15 @@ type t = {
   mutable wipes : int;
   retries : int Atomic.t;
   unavailable : int Atomic.t;
-  backoff_hist : int Atomic.t array;  (* indexed like [backoff_edges_ms] *)
+  backoff_hist : Sink.Metrics.histogram;  (* backoff_ms per retransmission *)
 }
 
 let transport t =
   match t.transport with
   | Some tr -> tr
   | None -> invalid_arg "Cluster: torn down"
+
+let sink t = t.sink
 
 (* --- routing ----------------------------------------------------------- *)
 
@@ -169,7 +178,7 @@ let server_loop t srv =
 
 (* --- construction ------------------------------------------------------ *)
 
-let create ?sched cfg =
+let create ?sched ?(sink = Sink.none) cfg =
   if cfg.n <= 0 then invalid_arg "Cluster.create: n must be positive";
   if not (cfg.op_timeout_s > 0.0) then
     invalid_arg "Cluster.create: op_timeout_s must be positive";
@@ -191,6 +200,8 @@ let create ?sched cfg =
     {
       cfg;
       sched;
+      sink;
+      ctl = Sink.recorder sink ~name:"cluster";
       servers;
       clients = [||];
       gm = Mutex.create ();
@@ -203,16 +214,37 @@ let create ?sched cfg =
       crashes = 0;
       restarts = 0;
       wipes = 0;
-      retries = Atomic.make 0;
-      unavailable = Atomic.make 0;
+      retries =
+        Sink.counter sink ~help:"client retransmissions" "client.retries";
+      unavailable =
+        Sink.counter sink ~help:"operations failed fast as Unavailable"
+          "client.unavailable";
       backoff_hist =
-        Array.init (Array.length backoff_edges_ms) (fun _ -> Atomic.make 0);
+        Sink.histogram sink ~unit_:"ms"
+          ~help:"retransmission backoff at each resend" ~edges:backoff_edges_ms
+          "client.backoff_ms";
     }
   in
   t.transport <-
     Some
-      (Transport.create ?sched cfg.transport ~servers:cfg.n
+      (Transport.create ?sched ~sink cfg.transport ~servers:cfg.n
          ~deliver:(deliver t));
+  Sink.gauge_fn sink ~help:"operations invoked" "ops.invoked" (fun () ->
+      Histlog.invoked t.log);
+  Sink.gauge_fn sink ~help:"operations completed" "ops.completed" (fun () ->
+      Histlog.completed t.log);
+  Sink.gauge_fn sink ~help:"messages enqueued to server mailboxes"
+    "mailbox.pushed" (fun () ->
+      Array.fold_left (fun a s -> a + Mailbox.pushed s.mailbox) 0 t.servers);
+  Sink.gauge_fn sink ~help:"messages drained from server mailboxes"
+    "mailbox.popped" (fun () ->
+      Array.fold_left (fun a s -> a + Mailbox.popped s.mailbox) 0 t.servers);
+  Sink.gauge_fn sink ~help:"server crashes injected" "cluster.crashes"
+    (fun () -> t.crashes);
+  Sink.gauge_fn sink ~help:"server restarts" "cluster.restarts" (fun () ->
+      t.restarts);
+  Sink.gauge_fn sink ~help:"amnesia restarts that wiped a store"
+    "cluster.wipes" (fun () -> t.wipes);
   t
 
 let heartbeat_loop t =
@@ -261,6 +293,8 @@ let new_client t =
   let cl =
     {
       id;
+      crec = Sink.recorder t.sink ~name:(Fmt.str "client-%d" ix);
+      op_live = false;
       cm = Mutex.create ();
       cc = Condition.create ();
       handlers = Hashtbl.create 32;
@@ -317,6 +351,15 @@ let rpc t ~src:cl ?(sticky = false) server ~make ~handler =
       Hashtbl.replace cl.pending rid
         (Retry.make rcfg ~now:(Clock.now_s ()) ~server ~sticky payload)
   | None -> ());
+  if Sink.sample_msg cl.crec then
+    Sink.instant cl.crec ~cat:"msg"
+      ~args:
+        [
+          ("rid", Sink.Event.I rid);
+          ("server", Sink.Event.I server);
+          ("sticky", Sink.Event.B sticky);
+        ]
+      "rpc";
   Transport.send (transport t)
     {
       Transport.src = Id.Client.to_int cl.id;
@@ -335,14 +378,8 @@ let clear_round_pendings cl =
   List.iter (Hashtbl.remove cl.pending) stale
 
 let note_retry t backoff_s =
-  let ms = int_of_float (backoff_s *. 1e3) in
-  let rec bucket i =
-    if ms <= backoff_edges_ms.(i) || i = Array.length backoff_edges_ms - 1
-    then i
-    else bucket (i + 1)
-  in
   Atomic.incr t.retries;
-  Atomic.incr t.backoff_hist.(bucket 0)
+  Sink.Metrics.observe t.backoff_hist (int_of_float (backoff_s *. 1e3))
 
 (* caller holds [cl.cm] *)
 let retransmit_due t cl now =
@@ -358,6 +395,16 @@ let retransmit_due t cl now =
       List.iter
         (fun (p : Retry.pending) ->
           note_retry t p.Retry.backoff_s;
+          (* a retransmission is a control event: always recorded *)
+          Sink.instant cl.crec ~cat:"retry"
+            ~args:
+              [
+                ("rid", Sink.Event.I (Proto.rid_of p.Retry.payload));
+                ("server", Sink.Event.I p.Retry.server);
+                ( "backoff_ms",
+                  Sink.Event.I (int_of_float (p.Retry.backoff_s *. 1e3)) );
+              ]
+            "retry";
           Transport.send (transport t)
             {
               Transport.src = Id.Client.to_int cl.id;
@@ -376,11 +423,20 @@ let is_reachable t i =
 
 let fail_unavailable t cl ~cause ~elapsed ~reachable ~required =
   Atomic.incr t.unavailable;
+  Sink.instant cl.crec ~cat:"op"
+    ~args:
+      [
+        ("cause", Sink.Event.S (Fmt.str "%a" cause_pp cause));
+        ("elapsed_ms", Sink.Event.I (int_of_float (elapsed *. 1e3)));
+        ("reachable", Sink.Event.I reachable);
+        ("required", Sink.Event.I required);
+      ]
+    "unavailable";
   raise
     (Unavailable
        { client = cl.id; cause; elapsed_s = elapsed; reachable; required })
 
-let await t cl ?need pred =
+let await_body t cl ?need pred =
   let t_enter = Clock.now_s () in
   let op_t0 = if cl.op_t0 > 0.0 then cl.op_t0 else t_enter in
   let hard_deadline = t_enter +. t.cfg.op_timeout_s in
@@ -441,12 +497,59 @@ let await t cl ?need pred =
       in
       go ())
 
+let await t cl ?need pred =
+  if not cl.op_live then await_body t cl ?need pred
+  else begin
+    (* nest a quorum-wait span inside the sampled op's span; closed on
+       the exceptional paths too, so span bracketing stays balanced *)
+    Sink.span_begin cl.crec ~cat:"op" "await";
+    Fun.protect
+      ~finally:(fun () -> Sink.span_end cl.crec ~cat:"op" "await")
+      (fun () -> await_body t cl ?need pred)
+  end
+
+let exn_label = function
+  | Unavailable _ -> "unavailable"
+  | Timeout _ -> "timeout"
+  | e -> Printexc.exn_slot_name e
+
 let invoke _t cl hop body =
   cl.op_t0 <- Clock.now_s ();
   let ticket = Histlog.invoke cl.hlog hop in
-  let v = body () in
-  Histlog.return ticket v;
-  v
+  let sampled = Sink.sample_op cl.crec in
+  let name =
+    match hop with Regemu_sim.Trace.H_write _ -> "write" | H_read -> "read"
+  in
+  if sampled then begin
+    cl.op_live <- true;
+    let args =
+      match hop with
+      | Regemu_sim.Trace.H_write v ->
+          [ ("value", Sink.Event.S (Value.to_string v)) ]
+      | H_read -> []
+    in
+    Sink.span_begin cl.crec ~cat:"op" ~args name
+  end;
+  match body () with
+  | v ->
+      Histlog.return ticket v;
+      if sampled then begin
+        cl.op_live <- false;
+        Sink.span_end cl.crec ~cat:"op"
+          ~args:[ ("result", Sink.Event.S (Value.to_string v)) ]
+          name
+      end;
+      v
+  | exception e ->
+      (* the ticket stays pending (sound for the checkers); the span
+         still closes, labelled with how the operation escaped *)
+      if sampled then begin
+        cl.op_live <- false;
+        Sink.span_end cl.crec ~cat:"op"
+          ~args:[ ("outcome", Sink.Event.S (exn_label e)) ]
+          name
+      end;
+      raise e
 
 (* --- failures ----------------------------------------------------------- *)
 
@@ -460,7 +563,10 @@ let crash t i =
   if was_up then begin
     Mutex.lock t.gm;
     t.crashes <- t.crashes + 1;
-    Mutex.unlock t.gm
+    Mutex.unlock t.gm;
+    Sink.instant t.ctl ~cat:"fault"
+      ~args:[ ("server", Sink.Event.I i) ]
+      "crash"
   end
 
 let restart t i =
@@ -478,7 +584,14 @@ let restart t i =
     Mutex.lock t.gm;
     t.restarts <- t.restarts + 1;
     if t.cfg.recovery = Recovery.Amnesia then t.wipes <- t.wipes + 1;
-    Mutex.unlock t.gm
+    Mutex.unlock t.gm;
+    Sink.instant t.ctl ~cat:"fault"
+      ~args:
+        [
+          ("server", Sink.Event.I i);
+          ("wiped", Sink.Event.B (t.cfg.recovery = Recovery.Amnesia));
+        ]
+      "restart"
   end
 
 let is_up t i =
@@ -498,11 +611,30 @@ let crashed_count t =
 
 let split t ~groups ~clients_with =
   List.iter (List.iter (check_server t)) groups;
-  Transport.split (transport t) ~groups ~clients_with
+  Transport.split (transport t) ~groups ~clients_with;
+  Sink.instant t.ctl ~cat:"fault"
+    ~args:
+      [
+        ( "groups",
+          Sink.Event.S
+            (Fmt.str "%a" Fmt.(list ~sep:(any "|") (list ~sep:comma int)) groups)
+        );
+        ("clients_with", Sink.Event.I clients_with);
+      ]
+    "partition"
 
-let heal t = Transport.heal (transport t)
+let heal t =
+  Transport.heal (transport t);
+  Sink.instant t.ctl ~cat:"fault" "heal"
+
 let set_drop t ?requests ?replies () =
-  Transport.set_drop (transport t) ?requests ?replies ()
+  Transport.set_drop (transport t) ?requests ?replies ();
+  Sink.instant t.ctl ~cat:"fault"
+    ~args:
+      (List.filter_map
+         (fun (k, v) -> Option.map (fun p -> (k, Sink.Event.F p)) v)
+         [ ("requests", requests); ("replies", replies) ])
+    "set-drop"
 
 (* --- observation -------------------------------------------------------- *)
 
@@ -547,10 +679,14 @@ let stats t =
   }
 
 let backoff_histogram t =
+  let counts = Sink.Metrics.hist_buckets t.backoff_hist in
   Array.to_list
     (Array.mapi
-       (fun i c -> (backoff_edges_ms.(i), Atomic.get c))
-       t.backoff_hist)
+       (fun i c ->
+         ((if i < Array.length backoff_edges_ms then backoff_edges_ms.(i)
+           else max_int),
+          c))
+       counts)
 
 let peek_reg t ~server reg =
   check_server t server;

@@ -104,8 +104,22 @@ type client
     server loop and courier runs as a cooperative actor on the given
     scheduler and all blocking points park on it ({!Sched_hook}) —
     deterministic-schedule testing; without it (the default) the
-    cluster runs on OS threads exactly as before. *)
-val create : ?sched:Sched_hook.t -> config -> t
+    cluster runs on OS threads exactly as before.
+
+    With [sink] ({!Sink.none} by default), the cluster traces itself:
+    each client records sampled operation spans (with nested [await]
+    quorum-wait spans) plus always-recorded [retry]/[unavailable]
+    events, a control-plane recorder logs
+    [crash]/[restart]/[partition]/[heal]/[set-drop] instants, the
+    transport records per-lane message points, and the cluster's
+    counters — message totals, retries, backoff histogram, op and
+    mailbox totals — register in the metrics registry.  The sink also
+    reaches components built {e on} this cluster ({!Checker},
+    {!Fault}) via {!sink}. *)
+val create : ?sched:Sched_hook.t -> ?sink:Sink.t -> config -> t
+
+(** The observability sink the cluster was created with. *)
+val sink : t -> Sink.t
 
 (** Spawn server, courier, and heartbeat threads (or register them as
     scheduler actors under [?sched], which replaces the heartbeat with

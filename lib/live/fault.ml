@@ -12,12 +12,16 @@ let default_config ~f ~pool ~seed =
 type t = {
   cfg : config;
   cluster : Cluster.t;
+  frec : Sink.Trace.recorder option;  (* the injector's decisions *)
   mutable running : bool;
   mutable thread : Thread.t option;
   mutable crashed : int list;  (* injector-thread private *)
   mutable crashes : int;
   mutable restarts : int;
 }
+
+let decide t name s =
+  Sink.instant t.frec ~cat:"fault" ~args:[ ("server", Sink.Event.I s) ] name
 
 let jitter rng p =
   (* 0.5x .. 1.5x the period *)
@@ -45,11 +49,13 @@ let injector_loop ?sched t =
       | true, false | true, true when Regemu_sim.Rng.bool rng || not may_restart
         ->
           let s = Regemu_sim.Rng.pick rng up in
+          decide t "inject-crash" s;
           Cluster.crash t.cluster s;
           t.crashed <- s :: t.crashed;
           t.crashes <- t.crashes + 1
       | _ ->
           let s = Regemu_sim.Rng.pick rng t.crashed in
+          decide t "inject-restart" s;
           Cluster.restart t.cluster s;
           t.crashed <- List.filter (fun x -> x <> s) t.crashed;
           t.restarts <- t.restarts + 1
@@ -75,6 +81,7 @@ let spawn ?sched cluster cfg =
     {
       cfg;
       cluster;
+      frec = Sink.recorder (Cluster.sink cluster) ~name:"injector";
       running = true;
       thread = None;
       crashed = [];
@@ -98,6 +105,7 @@ let stop t =
     | [] -> []
     | keep when List.length keep <= t.cfg.leave_crashed -> keep
     | s :: rest ->
+        decide t "inject-restart" s;
         Cluster.restart t.cluster s;
         t.restarts <- t.restarts + 1;
         revive rest

@@ -1,8 +1,10 @@
-(** A minimal JSON emitter and parser — enough for the benchmark
-    trajectory files and the DST replay format without pulling in a
-    dependency. *)
+(** Compatibility alias: the JSON emitter/parser now lives in
+    {!Regemu_obs.Json} (the observability layer sits below the live
+    runtime and needs it for snapshots and trace export).  Everything
+    that used [Regemu_live.Json] keeps working — the type and its
+    constructors are re-exported with equality. *)
 
-type t =
+type t = Regemu_obs.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -12,33 +14,12 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
-
-(** Pretty-printed with two-space indentation and a trailing newline. *)
 val to_file : string -> t -> unit
-
-(** {2 Parsing}
-
-    A strict recursive-descent parser for the subset this module emits
-    (standard JSON; numbers without a [.]/[e] land in [Int], the rest
-    in [Float]).  Round-trips everything {!to_string} produces. *)
-
 val of_string : string -> (t, string) result
-
-(** Reads and parses a whole file; [Error] on parse failure.  Raises
-    [Sys_error] if the file cannot be read. *)
 val of_file : string -> (t, string) result
-
-(** {2 Accessors} *)
-
-(** [member k (Obj kvs)] is the value bound to [k], if any; [None] on
-    non-objects. *)
 val member : string -> t -> t option
-
 val to_int_opt : t -> int option
-
-(** [Int]s coerce. *)
 val to_float_opt : t -> float option
-
 val to_str_opt : t -> string option
 val to_bool_opt : t -> bool option
 val to_list_opt : t -> t list option

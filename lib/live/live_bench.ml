@@ -69,7 +69,7 @@ let outcome_pp ppf o =
     o.pcts_us o.msgs_sent o.msgs_duplicated o.msgs_delayed o.msgs_dropped
     o.crashes o.restarts o.retries o.unavailable Checker.result_pp o.check
 
-let run spec =
+let run ?(sink = Sink.none) spec =
   let transport =
     {
       Transport.couriers = spec.couriers;
@@ -83,7 +83,7 @@ let run spec =
     }
   in
   let cluster =
-    Cluster.create
+    Cluster.create ~sink
       {
         Cluster.n = spec.n;
         transport;
@@ -174,9 +174,9 @@ let run spec =
    numbers are medians so one unlucky run doesn't masquerade as a
    regression.  The median outcome is kept whole — its latency
    percentiles belong to the run whose throughput is reported. *)
-let run_median ?(reps = 1) spec =
+let run_median ?(reps = 1) ?sink spec =
   if reps < 1 then invalid_arg "run_median: reps must be >= 1";
-  let outcomes = List.init reps (fun _ -> run spec) in
+  let outcomes = List.init reps (fun _ -> run ?sink spec) in
   let sorted =
     List.sort (fun a b -> Float.compare a.throughput b.throughput) outcomes
   in
@@ -190,9 +190,9 @@ let run_median ?(reps = 1) spec =
    round-robin and keep each spec's median.  A machine stall lasting a
    few seconds poisons every back-to-back repetition of one point but
    only one round-robin pass of each, so the medians survive it. *)
-let run_sweep_median ?(reps = 1) specs =
+let run_sweep_median ?(reps = 1) ?sink specs =
   if reps < 1 then invalid_arg "run_sweep_median: reps must be >= 1";
-  let rounds = List.init reps (fun _ -> List.map run specs) in
+  let rounds = List.init reps (fun _ -> List.map (run ?sink) specs) in
   List.mapi
     (fun i _ ->
       let outs = List.map (fun round -> List.nth round i) rounds in

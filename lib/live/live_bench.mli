@@ -55,22 +55,27 @@ val clean : outcome -> bool
 
 val outcome_pp : outcome Fmt.t
 
-(** Run one specification to completion (spawns and joins all threads). *)
-val run : spec -> outcome
+(** Run one specification to completion (spawns and joins all threads).
+    [sink] instruments the run ({!Cluster.create}).  One sink may span
+    several runs: trace recorders are per-run (thread names repeat),
+    and metric registration is idempotent, so counters accumulate
+    across the runs Prometheus-style. *)
+val run : ?sink:Sink.t -> spec -> outcome
 
 (** [run_median ~reps spec] runs [spec] [reps] times and keeps the
     median-throughput outcome — the saturation sweep's defence against
     single-core scheduler noise.  A rep that is not {!clean} is
     returned instead, so failures are never averaged away.  Default
-    [reps = 1]. *)
-val run_median : ?reps:int -> spec -> outcome
+    [reps = 1].  [sink] spans every rep (see {!run}). *)
+val run_median : ?reps:int -> ?sink:Sink.t -> spec -> outcome
 
 (** [run_sweep_median ~reps specs] runs the whole list [reps] times
     round-robin and keeps each spec's median-throughput outcome — a
     point's repetitions are spread across the sweep, so a transient
     machine stall cannot poison all of them at once.  A rep that is
-    not {!clean} is surfaced instead.  Default [reps = 1]. *)
-val run_sweep_median : ?reps:int -> spec list -> outcome list
+    not {!clean} is surfaced instead.  Default [reps = 1].  [sink]
+    spans the whole sweep (see {!run}). *)
+val run_sweep_median : ?reps:int -> ?sink:Sink.t -> spec list -> outcome list
 
 (** The standard suite: quiet and chaos runs of each algorithm. *)
 val suite : ?ops_per_client:int -> seed:int -> unit -> spec list

@@ -1,0 +1,38 @@
+module Trace = Regemu_obs.Trace
+module Event = Regemu_obs.Event
+module Metrics = Regemu_obs.Metrics
+
+type t = { trace : Trace.t option; metrics : Metrics.t option }
+
+let none = { trace = None; metrics = None }
+let make ?trace ?metrics () = { trace; metrics }
+let is_none s = s.trace = None && s.metrics = None
+let trace s = s.trace
+let metrics s = s.metrics
+
+let recorder s ~name = Option.map (fun tr -> Trace.recorder tr ~name) s.trace
+
+let instant ?args ~cat r name =
+  match r with None -> () | Some r -> Trace.instant r ?args ~cat name
+
+let span_begin ?args ~cat r name =
+  match r with None -> () | Some r -> Trace.span_begin r ?args ~cat name
+
+let span_end ?args ~cat r name =
+  match r with None -> () | Some r -> Trace.span_end r ?args ~cat name
+
+let sample_op = function None -> false | Some r -> Trace.sample_op r
+let sample_msg = function None -> false | Some r -> Trace.sample_msg r
+
+let counter s ?unit_ ?help name =
+  match s.metrics with
+  | Some m -> Metrics.counter m ?unit_ ?help name
+  | None -> Atomic.make 0
+
+let histogram s ?unit_ ?help ~edges name =
+  match s.metrics with
+  | Some m -> Metrics.histogram m ?unit_ ?help ~edges name
+  | None -> Metrics.hist_create ~edges
+
+let gauge_fn s ?unit_ ?help name f =
+  Option.iter (fun m -> Metrics.gauge_fn m ?unit_ ?help name f) s.metrics

@@ -1,0 +1,76 @@
+(** The nil-by-default observability seam — the {!Sched_hook} pattern
+    applied to tracing and metrics.
+
+    A {!t} bundles an optional {!Regemu_obs.Trace.t} and an optional
+    {!Regemu_obs.Metrics.t}.  Instrumented components thread one
+    through construction, hold per-actor [recorder option]s, and emit
+    through the wrappers here: with {!none} (the default everywhere)
+    every emission is a single [match] on [None], every counter a plain
+    unregistered [Atomic.t] — the uninstrumented hot path is
+    unchanged.
+
+    {!counter} and {!histogram} return live handles either way; only
+    {e registration} (visibility in snapshots) depends on the sink.
+    That is how the registry subsumes the pre-existing ad-hoc atomics:
+    the same atomic the stats accessors read {e is} the registered
+    metric. *)
+
+module Trace = Regemu_obs.Trace
+module Event = Regemu_obs.Event
+module Metrics = Regemu_obs.Metrics
+
+type t
+
+val none : t
+val make : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+val is_none : t -> bool
+val trace : t -> Trace.t option
+val metrics : t -> Metrics.t option
+
+(** [None] when the sink carries no trace. *)
+val recorder : t -> name:string -> Trace.recorder option
+
+(** {2 Emission through an optional recorder} *)
+
+val instant :
+  ?args:(string * Event.arg) list ->
+  cat:string ->
+  Trace.recorder option ->
+  string ->
+  unit
+
+val span_begin :
+  ?args:(string * Event.arg) list ->
+  cat:string ->
+  Trace.recorder option ->
+  string ->
+  unit
+
+val span_end :
+  ?args:(string * Event.arg) list ->
+  cat:string ->
+  Trace.recorder option ->
+  string ->
+  unit
+
+(** [false] when untraced — callers skip span bookkeeping entirely. *)
+val sample_op : Trace.recorder option -> bool
+
+val sample_msg : Trace.recorder option -> bool
+
+(** {2 Metrics handles (registered iff the sink has a registry)} *)
+
+val counter :
+  t -> ?unit_:string -> ?help:string -> string -> Metrics.counter
+
+val histogram :
+  t ->
+  ?unit_:string ->
+  ?help:string ->
+  edges:int array ->
+  string ->
+  Metrics.histogram
+
+(** Register a polled gauge; no-op without a registry. *)
+val gauge_fn :
+  t -> ?unit_:string -> ?help:string -> string -> (unit -> int) -> unit

@@ -57,6 +57,7 @@ type lane = {
   lc : Condition.t;
   buf : envelope Ringbuf.t;  (* protected by [lm] *)
   lrng : Regemu_sim.Rng.t;  (* protected by [lm] *)
+  lrec : Sink.Trace.recorder option;  (* this lane's trace stream *)
   mutable inflight : int;  (* popped but not yet delivered; under [lm] *)
   mutable lthreads : Thread.t list;
 }
@@ -80,26 +81,34 @@ type t = {
 (* how many envelopes a courier drains per wakeup *)
 let batch_max = 32
 
-let make_lane ~seed i =
+let make_lane ~seed ~sink ~name i =
   {
     lm = Mutex.create ();
     lc = Condition.create ();
     buf = Ringbuf.create ();
     lrng = Regemu_sim.Rng.create (seed + ((i + 1) * 0x9e3779b9));
+    lrec = Sink.recorder sink ~name;
     inflight = 0;
     lthreads = [];
   }
 
-let create ?sched cfg ~servers ~deliver =
+let create ?sched ?(sink = Sink.none) cfg ~servers ~deliver =
   validate_config cfg;
   if servers < 1 then invalid_arg "Transport.create: need >= 1 server";
   let num_lanes = if cfg.sharded then servers + 1 else 1 in
+  let lane_name i =
+    if num_lanes = 1 then "lane-all"
+    else if i < servers then Fmt.str "lane-s%d" i
+    else "lane-client"
+  in
   {
     cfg;
     sched;
     deliver;
     nservers = servers;
-    lanes = Array.init num_lanes (make_lane ~seed:cfg.seed);
+    lanes =
+      Array.init num_lanes (fun i ->
+          make_lane ~seed:cfg.seed ~sink ~name:(lane_name i) i);
     state =
       Atomic.make
         {
@@ -109,12 +118,12 @@ let create ?sched cfg ~servers ~deliver =
           client_group = 0;
         };
     stopped = Atomic.make false;
-    sent = Atomic.make 0;
-    duplicated = Atomic.make 0;
-    delayed = Atomic.make 0;
-    dropped = Atomic.make 0;
-    cut = Atomic.make 0;
-    delivered = Atomic.make 0;
+    sent = Sink.counter sink ~help:"envelopes accepted for delivery" "transport.sent";
+    duplicated = Sink.counter sink ~help:"envelopes duplicated in flight" "transport.duplicated";
+    delayed = Sink.counter sink ~help:"envelopes held by a delivery delay" "transport.delayed";
+    dropped = Sink.counter sink ~help:"envelopes lost to the drop rates" "transport.dropped";
+    cut = Sink.counter sink ~help:"envelopes lost to a partition" "transport.cut";
+    delivered = Sink.counter sink ~help:"envelopes handed to their destination" "transport.delivered";
   }
 
 (* server lanes first, then the client lane; servers beyond the
@@ -133,6 +142,22 @@ let lane_for t dest =
 (* [p] as an event on a seeded integer rng *)
 let hit rng p =
   p > 0.0 && Regemu_sim.Rng.int rng ~bound:1_000_000 < int_of_float (p *. 1e6)
+
+let dest_str = function
+  | To_server s -> "s" ^ string_of_int s
+  | To_client c -> "c" ^ string_of_int c
+
+let env_args env =
+  [
+    ("src", Sink.Event.I env.src);
+    ("dest", Sink.Event.S (dest_str env.dest));
+    ("rid", Sink.Event.I (Regemu_netsim.Proto.rid_of env.payload));
+  ]
+
+(* a sampled message point event on a lane's recorder *)
+let msg_point lane name env =
+  if Sink.sample_msg lane.lrec then
+    Sink.instant lane.lrec ~cat:"msg" ~args:(env_args env) name
 
 (* pause a courier that drew a delivery delay — virtual time under DST *)
 let courier_pause t s =
@@ -164,7 +189,12 @@ let rec courier_loop t lane =
       let delay_us =
         if hit lane.lrng t.cfg.delay_prob && t.cfg.max_delay_us > 0 then begin
           Atomic.incr t.delayed;
-          1 + Regemu_sim.Rng.int lane.lrng ~bound:t.cfg.max_delay_us
+          let d = 1 + Regemu_sim.Rng.int lane.lrng ~bound:t.cfg.max_delay_us in
+          if Sink.sample_msg lane.lrec then
+            Sink.instant lane.lrec ~cat:"msg"
+              ~args:(("delay_us", Sink.Event.I d) :: env_args env)
+              "delay";
+          d
         end
         else 0
       in
@@ -176,7 +206,8 @@ let rec courier_loop t lane =
     List.iter
       (fun env ->
         t.deliver env;
-        Atomic.incr t.delivered)
+        Atomic.incr t.delivered;
+        msg_point lane "recv" env)
       (List.rev !prompt);
     (* deliver the held envelopes in delay order, sleeping only the
        remaining gap — the courier holds exactly these messages while
@@ -192,7 +223,8 @@ let rec courier_loop t lane =
           slept := d
         end;
         t.deliver env;
-        Atomic.incr t.delivered)
+        Atomic.incr t.delivered;
+        msg_point lane "recv" env)
       held;
     Mutex.lock lane.lm;
     lane.inflight <- lane.inflight - n;
@@ -232,17 +264,21 @@ let reachable_of st ~server =
 let send t env =
   if not (Atomic.get t.stopped) then begin
     let st = Atomic.get t.state in
-    if not (reachable_of st ~server:(link_server env)) then Atomic.incr t.cut
+    let lane = lane_for t env.dest in
+    if not (reachable_of st ~server:(link_server env)) then begin
+      Atomic.incr t.cut;
+      msg_point lane "cut" env
+    end
     else begin
       let drop_p =
         if Regemu_netsim.Proto.is_reply env.payload then st.drop_replies
         else st.drop_requests
       in
-      let lane = lane_for t env.dest in
       Mutex.lock lane.lm;
       if hit lane.lrng drop_p then begin
         Mutex.unlock lane.lm;
-        Atomic.incr t.dropped
+        Atomic.incr t.dropped;
+        msg_point lane "drop" env
       end
       else begin
         let dup = hit lane.lrng t.cfg.dup_prob in
@@ -264,6 +300,7 @@ let send t env =
           Mutex.unlock lane.lm;
           t.deliver env;
           Atomic.incr t.delivered;
+          msg_point lane "recv" env;
           Mutex.lock lane.lm;
           lane.inflight <- lane.inflight - 1;
           Mutex.unlock lane.lm
@@ -276,9 +313,11 @@ let send t env =
           Mutex.unlock lane.lm
         end;
         Atomic.incr t.sent;
+        msg_point lane "send" env;
         if dup then begin
           Atomic.incr t.sent;
-          Atomic.incr t.duplicated
+          Atomic.incr t.duplicated;
+          msg_point lane "dup" env
         end
       end
     end

@@ -72,11 +72,20 @@ type t
 (** [create ?sched cfg ~servers ~deliver] builds the fabric for a
     cluster of [servers] server endpoints; no thread runs until
     {!start}.  With [sched], couriers run as cooperative actors and
-    delivery delays elapse in virtual time ({!Sched_hook}).
-    Raises [Invalid_argument] if a probability is outside [0,1],
-    [couriers < 1], [servers < 1], or [max_delay_us < 0]. *)
+    delivery delays elapse in virtual time ({!Sched_hook}).  With
+    [sink] ({!Sink.none} by default), every lane records sampled
+    [send]/[recv]/[drop]/[cut]/[dup]/[delay] point events on its own
+    trace recorder and the message counters below register in the
+    metrics registry.  Raises [Invalid_argument] if a probability is
+    outside [0,1], [couriers < 1], [servers < 1], or
+    [max_delay_us < 0]. *)
 val create :
-  ?sched:Sched_hook.t -> config -> servers:int -> deliver:(envelope -> unit) -> t
+  ?sched:Sched_hook.t ->
+  ?sink:Sink.t ->
+  config ->
+  servers:int ->
+  deliver:(envelope -> unit) ->
+  t
 
 val start : t -> unit
 

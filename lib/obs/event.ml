@@ -1,0 +1,50 @@
+type ph = Begin | End | Instant
+
+type arg = I of int | S of string | B of bool | F of float
+
+type t = {
+  ts_ns : int64;
+  seq : int;
+  ph : ph;
+  name : string;
+  cat : string;
+  args : (string * arg) list;
+}
+
+let ph_name = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let ph_of_name = function
+  | "B" -> Some Begin
+  | "E" -> Some End
+  | "i" | "I" -> Some Instant
+  | _ -> None
+
+let arg_json = function
+  | I i -> Json.Int i
+  | S s -> Json.Str s
+  | B b -> Json.Bool b
+  | F f -> Json.Float f
+
+let arg_of_json = function
+  | Json.Int i -> Some (I i)
+  | Json.Str s -> Some (S s)
+  | Json.Bool b -> Some (B b)
+  | Json.Float f -> Some (F f)
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+let arg_pp ppf = function
+  | I i -> Fmt.int ppf i
+  | S s -> Fmt.string ppf s
+  | B b -> Fmt.bool ppf b
+  | F f -> Fmt.pf ppf "%g" f
+
+let args_pp ppf args =
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%a" k arg_pp v) args
+
+let pp ppf e =
+  Fmt.pf ppf "%s %s/%s%a"
+    (match e.ph with Begin -> ">" | End -> "<" | Instant -> ".")
+    e.cat e.name args_pp e.args
+
+(* the placeholder filling unused ring slots *)
+let hole = { ts_ns = 0L; seq = 0; ph = Instant; name = ""; cat = ""; args = [] }

@@ -1,0 +1,40 @@
+(** The trace event model — a deliberately small vocabulary that maps
+    1:1 onto Chrome's [trace_event] phases.
+
+    A {e span} is a [Begin]/[End] pair on one recorder (operation
+    bodies, quorum waits); spans on the same recorder nest by
+    bracketing, exactly as chrome://tracing renders them.  A {e point}
+    ([Instant]) marks a moment: a message sent, dropped, or delivered,
+    a retransmission, a crash, a checker verdict flip.
+
+    Timestamps come from {!Clock} — virtual under deterministic
+    schedule testing, monotonic nanoseconds otherwise — and [seq] is a
+    per-recorder monotone counter that breaks timestamp ties so
+    exports are deterministic. *)
+
+type ph = Begin | End | Instant
+
+(** Argument values kept primitive so the hot path never builds JSON. *)
+type arg = I of int | S of string | B of bool | F of float
+
+type t = {
+  ts_ns : int64;  (** {!Clock.now_ns} at emission *)
+  seq : int;  (** per-recorder emission rank *)
+  ph : ph;
+  name : string;  (** e.g. ["write"], ["send"], ["retry"] *)
+  cat : string;  (** e.g. ["op"], ["msg"], ["fault"], ["checker"] *)
+  args : (string * arg) list;
+}
+
+(** Chrome [ph] letter: ["B"], ["E"], ["i"]. *)
+val ph_name : ph -> string
+
+val ph_of_name : string -> ph option
+val arg_json : arg -> Json.t
+val arg_of_json : Json.t -> arg option
+val arg_pp : arg Fmt.t
+val args_pp : (string * arg) list Fmt.t
+val pp : t Fmt.t
+
+(** Placeholder for preallocated ring slots; never exported. *)
+val hole : t

@@ -1,0 +1,216 @@
+let schema = "regemu-trace/1"
+
+(* One emulated cluster = one Chrome "process"; recorders are threads. *)
+let pid = 1
+
+let us_of_ns ns = Int64.to_int (Int64.div ns 1_000L)
+
+(* (recorder id, recorder name, event) for every held event, in the
+   canonical (ts, recorder id, seq) order. *)
+let tagged_events trace =
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun e -> (Trace.recorder_id r, Trace.recorder_name r, e))
+        (Trace.recorder_events r))
+    (Trace.recorders trace)
+  |> List.sort (fun (ia, _, (a : Event.t)) (ib, _, (b : Event.t)) ->
+         match Int64.compare a.Event.ts_ns b.Event.ts_ns with
+         | 0 -> (
+             match Int.compare ia ib with
+             | 0 -> Int.compare a.seq b.seq
+             | c -> c)
+         | c -> c)
+
+let event_json ~tid (e : Event.t) =
+  (* "ts" is Chrome's microsecond field (truncated); "tsns"/"seq" carry
+     the exact stamp and tie-break rank so a trace round-trips and two
+     replays of one schedule compare byte-for-byte. *)
+  let args =
+    ("tsns", Json.Int (Int64.to_int e.ts_ns))
+    :: ("seq", Json.Int e.seq)
+    :: List.map (fun (k, v) -> (k, Event.arg_json v)) e.args
+  in
+  Json.Obj
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str (Event.ph_name e.ph));
+      ("ts", Json.Int (us_of_ns e.ts_ns));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+let thread_meta ~tid name =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let chrome_json trace =
+  let metas =
+    List.map
+      (fun r -> thread_meta ~tid:(Trace.recorder_id r) (Trace.recorder_name r))
+      (Trace.recorders trace)
+  in
+  let events =
+    List.map (fun (tid, _, e) -> event_json ~tid e) (tagged_events trace)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("displayTimeUnit", Json.Str "ms");
+      ("recorded", Json.Int (Trace.recorded trace));
+      ("dropped", Json.Int (Trace.dropped trace));
+      ("traceEvents", Json.List (metas @ events));
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let str_member k j =
+  Json.(member k j |> Option.map to_str_opt |> Option.join)
+
+let int_member k j =
+  Json.(member k j |> Option.map to_int_opt |> Option.join)
+
+let req what o = match o with Some v -> Ok v | None -> Error ("missing " ^ what)
+
+let validate_chrome j =
+  let* s = req "schema" (str_member "schema" j) in
+  let* () =
+    if s = schema then Ok ()
+    else Error (Printf.sprintf "schema %S, expected %S" s schema)
+  in
+  let* evs =
+    req "traceEvents" Json.(member "traceEvents" j |> Option.map to_list_opt |> Option.join)
+  in
+  List.fold_left
+    (fun acc ev ->
+      let* () = acc in
+      let* ph = req "ph" (str_member "ph" ev) in
+      let* _ = req "tid" (int_member "tid" ev) in
+      match ph with
+      | "M" -> Ok ()
+      | _ when Event.ph_of_name ph <> None ->
+          let* _ = req "name" (str_member "name" ev) in
+          let* _ = req "cat" (str_member "cat" ev) in
+          let* _ = req "ts" (int_member "ts" ev) in
+          Ok ()
+      | _ -> Error (Printf.sprintf "unknown ph %S" ph))
+    (Ok ()) evs
+
+(* Rebuild (recorder name, event) rows from an exported trace, in file
+   order (which chrome_json wrote canonically). *)
+let of_chrome_json j =
+  let* () = validate_chrome j in
+  let evs =
+    Json.(member "traceEvents" j |> Option.map to_list_opt |> Option.join)
+    |> Option.value ~default:[]
+  in
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match (str_member "ph" ev, str_member "name" ev, int_member "tid" ev) with
+      | Some "M", Some "thread_name", Some tid -> (
+          match
+            Json.member "args" ev |> Option.map (str_member "name")
+            |> Option.join
+          with
+          | Some n -> Hashtbl.replace names tid n
+          | None -> ())
+      | _ -> ())
+    evs;
+  let rows =
+    List.filter_map
+      (fun ev ->
+        match str_member "ph" ev |> Option.map Event.ph_of_name |> Option.join with
+        | None -> None
+        | Some ph ->
+            let tid = int_member "tid" ev |> Option.value ~default:0 in
+            let args =
+              Json.member "args" ev |> Option.value ~default:(Json.Obj [])
+            in
+            let ts_ns =
+              match int_member "tsns" args with
+              | Some ns -> Int64.of_int ns
+              | None ->
+                  Int64.mul
+                    (Int64.of_int
+                       (int_member "ts" ev |> Option.value ~default:0))
+                    1_000L
+            in
+            let seq = int_member "seq" args |> Option.value ~default:0 in
+            let rest =
+              match args with
+              | Json.Obj kvs ->
+                  List.filter_map
+                    (fun (k, v) ->
+                      if k = "tsns" || k = "seq" then None
+                      else Option.map (fun a -> (k, a)) (Event.arg_of_json v))
+                    kvs
+              | _ -> []
+            in
+            let name =
+              Hashtbl.find_opt names tid
+              |> Option.value ~default:(Printf.sprintf "tid-%d" tid)
+            in
+            Some
+              ( name,
+                {
+                  Event.ts_ns;
+                  seq;
+                  ph;
+                  name = str_member "name" ev |> Option.value ~default:"";
+                  cat = str_member "cat" ev |> Option.value ~default:"";
+                  args = rest;
+                } ))
+      evs
+  in
+  Ok rows
+
+(* The compact text timeline: one line per event, time relative to the
+   first event, spans indented by nesting depth within their recorder. *)
+let timeline_of_events rows =
+  match rows with
+  | [] -> "(empty trace)\n"
+  | (_, (e0 : Event.t)) :: _ ->
+      let t0 =
+        List.fold_left
+          (fun acc (_, (e : Event.t)) -> min acc e.Event.ts_ns)
+          e0.Event.ts_ns rows
+      in
+      let width =
+        List.fold_left (fun w (n, _) -> max w (String.length n)) 0 rows
+      in
+      let depth = Hashtbl.create 8 in
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun (n, (e : Event.t)) ->
+          let d0 = Option.value ~default:0 (Hashtbl.find_opt depth n) in
+          let d =
+            match e.ph with
+            | Event.End -> max 0 (d0 - 1)
+            | Event.Begin | Event.Instant -> d0
+          in
+          (match e.ph with
+          | Event.Begin -> Hashtbl.replace depth n (d0 + 1)
+          | Event.End -> Hashtbl.replace depth n d
+          | Event.Instant -> ());
+          let dt_us =
+            Int64.to_float (Int64.sub e.ts_ns t0) /. 1_000.
+          in
+          Buffer.add_string buf
+            (Fmt.str "%12.3f  %-*s  %s%a\n" dt_us width n
+               (String.make (2 * d) ' ')
+               Event.pp e))
+        rows;
+      Buffer.contents buf
+
+let timeline trace =
+  timeline_of_events
+    (List.map (fun (_, n, e) -> (n, e)) (tagged_events trace))

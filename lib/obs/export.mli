@@ -1,0 +1,37 @@
+(** Trace exporters.
+
+    {!chrome_json} emits Chrome's [trace_event] JSON array format
+    (load it at [chrome://tracing] or [ui.perfetto.dev]): each recorder
+    becomes a named thread, spans become ["B"]/["E"] pairs, points
+    become ["i"] instants.  The top-level object carries a
+    [regemu-trace/1] schema tag plus [recorded]/[dropped] ring totals.
+
+    Chrome's [ts] field is microseconds; to survive the round trip
+    exactly, every event also carries its full nanosecond stamp and
+    per-recorder sequence rank as the reserved args [tsns] and [seq].
+    Event ordering in the file is canonical — (timestamp, recorder id,
+    sequence) — so two runs over one deterministic schedule export
+    byte-identical traces.
+
+    {!timeline} renders the same stream as a compact text log: one
+    line per event, times in microseconds relative to the first event,
+    spans indented by nesting depth within their recorder. *)
+
+val schema : string
+(** ["regemu-trace/1"] *)
+
+val chrome_json : Trace.t -> Json.t
+
+(** Structural check: schema tag, [traceEvents] list, known [ph]
+    letters, required fields per event. *)
+val validate_chrome : Json.t -> (unit, string) result
+
+(** Rebuild (recorder name, event) rows from an exported trace, in
+    file order.  Validates first. *)
+val of_chrome_json : Json.t -> ((string * Event.t) list, string) result
+
+val timeline : Trace.t -> string
+
+(** Render rows as {!timeline} does — the bridge from
+    {!of_chrome_json}, for timelines of previously saved traces. *)
+val timeline_of_events : (string * Event.t) list -> string

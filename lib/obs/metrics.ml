@@ -1,0 +1,240 @@
+let schema = "regemu-metrics/1"
+
+type counter = int Atomic.t
+
+type gauge = int Atomic.t
+
+type histogram = {
+  edges : int array;  (* strictly increasing upper bounds; +inf implied *)
+  buckets : int Atomic.t array;  (* length edges + 1 *)
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+}
+
+type kind =
+  | Counter of counter
+  | Gauge of gauge
+  | Gauge_fn of (unit -> int)
+  | Histogram of histogram
+
+type metric = { name : string; unit_ : string; help : string; kind : kind }
+
+type t = { m : Mutex.t; mutable metrics_rev : metric list }
+
+let create () = { m = Mutex.create (); metrics_rev = [] }
+
+(* Registration is idempotent per (name, kind): asking again returns
+   the existing handle, so a registry may outlive the components that
+   feed it — a benchmark sweep's runs all accumulate into one set of
+   counters, Prometheus-style.  A kind clash is a programming error. *)
+let register_or_find t name unit_ help ~found ~make =
+  Mutex.lock t.m;
+  let r =
+    match List.find_opt (fun mt -> mt.name = name) t.metrics_rev with
+    | Some mt -> (
+        match found mt.kind with
+        | Some v -> Ok v
+        | None ->
+            Error
+              (Printf.sprintf "Metrics: %S re-registered with a different kind"
+                 name))
+    | None ->
+        let kind, v = make () in
+        t.metrics_rev <- { name; unit_; help; kind } :: t.metrics_rev;
+        Ok v
+  in
+  Mutex.unlock t.m;
+  match r with Ok v -> v | Error m -> invalid_arg m
+
+let counter t ?(unit_ = "") ?(help = "") name =
+  register_or_find t name unit_ help
+    ~found:(function Counter c -> Some c | _ -> None)
+    ~make:(fun () ->
+      let c = Atomic.make 0 in
+      (Counter c, c))
+
+let gauge t ?(unit_ = "") ?(help = "") name =
+  register_or_find t name unit_ help
+    ~found:(function Gauge g -> Some g | _ -> None)
+    ~make:(fun () ->
+      let g = Atomic.make 0 in
+      (Gauge g, g))
+
+(* Polled at snapshot time — lets existing counters (Histlog, mailbox
+   depths, checker totals) surface without touching their hot paths.
+   Re-registering a name replaces the previous poller, so a component
+   rebuilt mid-run (e.g. a restarted server) just re-registers. *)
+let gauge_fn t ?(unit_ = "") ?(help = "") name f =
+  Mutex.lock t.m;
+  t.metrics_rev <-
+    { name; unit_; help; kind = Gauge_fn f }
+    :: List.filter (fun mt -> mt.name <> name) t.metrics_rev;
+  Mutex.unlock t.m
+
+let hist_create ~edges =
+  if Array.length edges = 0 then invalid_arg "Metrics.histogram: no edges";
+  Array.iteri
+    (fun i e ->
+      if i > 0 && e <= edges.(i - 1) then
+        invalid_arg "Metrics.histogram: edges must be strictly increasing")
+    edges;
+  {
+    edges = Array.copy edges;
+    buckets = Array.init (Array.length edges + 1) (fun _ -> Atomic.make 0);
+    h_count = Atomic.make 0;
+    h_sum = Atomic.make 0;
+  }
+
+(* Registers the given handle; on an existing same-shape histogram the
+   registered (possibly different) handle stays canonical, so callers
+   that share registries should prefer {!histogram}. *)
+let register_histogram t ?(unit_ = "") ?(help = "") name h =
+  ignore
+    (register_or_find t name unit_ help
+       ~found:(function
+         | Histogram h' when h'.edges = h.edges -> Some h'
+         | _ -> None)
+       ~make:(fun () -> (Histogram h, h)))
+
+let histogram t ?(unit_ = "") ?(help = "") ~edges name =
+  register_or_find t name unit_ help
+    ~found:(function Histogram h when h.edges = edges -> Some h | _ -> None)
+    ~make:(fun () ->
+      let h = hist_create ~edges in
+      (Histogram h, h))
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let get c = Atomic.get c
+let set g v = Atomic.set g v
+
+let observe h v =
+  let n = Array.length h.edges in
+  let rec idx i = if i >= n || v <= h.edges.(i) then i else idx (i + 1) in
+  ignore (Atomic.fetch_and_add h.buckets.(idx 0) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  ignore (Atomic.fetch_and_add h.h_sum v)
+
+let hist_count h = Atomic.get h.h_count
+let hist_sum h = Atomic.get h.h_sum
+let hist_buckets h = Array.map Atomic.get h.buckets
+let hist_edges h = Array.copy h.edges
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ | Gauge_fn _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let metric_json mt =
+  let base =
+    [ ("name", Json.Str mt.name); ("type", Json.Str (kind_name mt.kind)) ]
+  in
+  let base = if mt.unit_ = "" then base else base @ [ ("unit", Json.Str mt.unit_) ] in
+  let base = if mt.help = "" then base else base @ [ ("help", Json.Str mt.help) ] in
+  match mt.kind with
+  | Counter c | Gauge c -> Json.Obj (base @ [ ("value", Json.Int (Atomic.get c)) ])
+  | Gauge_fn f -> Json.Obj (base @ [ ("value", Json.Int (f ())) ])
+  | Histogram h ->
+      let buckets =
+        List.init
+          (Array.length h.buckets)
+          (fun i ->
+            let le =
+              if i < Array.length h.edges then Json.Int h.edges.(i)
+              else Json.Str "+inf"
+            in
+            Json.Obj [ ("le", le); ("count", Json.Int (Atomic.get h.buckets.(i))) ])
+      in
+      Json.Obj
+        (base
+        @ [
+            ("buckets", Json.List buckets);
+            ("count", Json.Int (Atomic.get h.h_count));
+            ("sum", Json.Int (Atomic.get h.h_sum));
+          ])
+
+let snapshot t =
+  Mutex.lock t.m;
+  let metrics = List.rev t.metrics_rev in
+  Mutex.unlock t.m;
+  let metrics =
+    List.sort (fun a b -> String.compare a.name b.name) metrics
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("metrics", Json.List (List.map metric_json metrics));
+    ]
+
+let find t name =
+  Mutex.lock t.m;
+  let r = List.find_opt (fun mt -> mt.name = name) t.metrics_rev in
+  Mutex.unlock t.m;
+  Option.map (fun mt -> metric_json mt) r
+
+let ( let* ) r f = Result.bind r f
+
+let req what o = match o with Some v -> Ok v | None -> Error ("missing " ^ what)
+
+let validate_metric j =
+  let* name = req "metric name" Json.(member "name" j |> Option.map to_str_opt |> Option.join) in
+  let ctx = Printf.sprintf "metric %S: " name in
+  let* ty =
+    req (ctx ^ "type") Json.(member "type" j |> Option.map to_str_opt |> Option.join)
+  in
+  match ty with
+  | "counter" | "gauge" ->
+      let* v = req (ctx ^ "value") (Json.member "value" j) in
+      if Json.to_int_opt v = None then Error (ctx ^ "value must be an integer")
+      else Ok ()
+  | "histogram" ->
+      let* bl =
+        req (ctx ^ "buckets")
+          Json.(member "buckets" j |> Option.map to_list_opt |> Option.join)
+      in
+      let* () =
+        List.fold_left
+          (fun acc b ->
+            let* () = acc in
+            let* _ = req (ctx ^ "bucket le") (Json.member "le" b) in
+            let* _ =
+              req (ctx ^ "bucket count")
+                Json.(member "count" b |> Option.map to_int_opt |> Option.join)
+            in
+            Ok ())
+          (Ok ()) bl
+      in
+      let* _ =
+        req (ctx ^ "count") Json.(member "count" j |> Option.map to_int_opt |> Option.join)
+      in
+      let* _ =
+        req (ctx ^ "sum") Json.(member "sum" j |> Option.map to_int_opt |> Option.join)
+      in
+      Ok ()
+  | other -> Error (ctx ^ "unknown type " ^ other)
+
+let validate_snapshot j =
+  let* s =
+    req "schema" Json.(member "schema" j |> Option.map to_str_opt |> Option.join)
+  in
+  let* () =
+    if s = schema then Ok ()
+    else Error (Printf.sprintf "schema %S, expected %S" s schema)
+  in
+  let* ms =
+    req "metrics" Json.(member "metrics" j |> Option.map to_list_opt |> Option.join)
+  in
+  let* _ =
+    List.fold_left
+      (fun acc m ->
+        let* seen = acc in
+        let* () = validate_metric m in
+        let name =
+          Json.(member "name" m |> Option.map to_str_opt |> Option.join)
+          |> Option.value ~default:""
+        in
+        if List.mem name seen then Error (Printf.sprintf "duplicate metric %S" name)
+        else Ok (name :: seen))
+      (Ok []) ms
+  in
+  Ok ()

@@ -1,0 +1,80 @@
+(** The metrics registry: named counters, gauges, and histograms with
+    atomic hot paths, snapshotted to the [regemu-metrics/1] JSON
+    schema.
+
+    Counters and gauges are bare [int Atomic.t]s — an instrumented
+    component holds the handle and pays one atomic RMW per update, the
+    same cost as the ad-hoc [Atomic.t] fields this registry subsumes.
+    {!gauge_fn} registers a {e polled} gauge: a closure read only at
+    {!snapshot} time, which lets existing counters (history-log totals,
+    mailbox depths) surface with zero hot-path change.
+
+    Snapshots list metrics sorted by name, so two snapshots of
+    identical state are byte-identical. *)
+
+type t
+(** A registry. *)
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
+type histogram
+
+val schema : string
+(** ["regemu-metrics/1"] *)
+
+val create : unit -> t
+
+(** {2 Registration}
+
+    Idempotent per (name, kind): re-registering a name returns the
+    existing handle, so a registry may outlive the components feeding
+    it — a sweep's runs accumulate into one set of counters,
+    Prometheus-style.  Re-registering with a different kind (or
+    histogram edges) raises [Invalid_argument].  {!gauge_fn} replaces
+    its poller instead (a component rebuilt mid-run just re-registers;
+    the latest instance wins). *)
+
+val counter : t -> ?unit_:string -> ?help:string -> string -> counter
+val gauge : t -> ?unit_:string -> ?help:string -> string -> gauge
+
+val gauge_fn :
+  t -> ?unit_:string -> ?help:string -> string -> (unit -> int) -> unit
+
+(** [histogram t ~edges name]: [edges] are strictly increasing
+    inclusive upper bounds; a final [+inf] bucket is implied. *)
+val histogram :
+  t -> ?unit_:string -> ?help:string -> edges:int array -> string -> histogram
+
+(** An unregistered histogram — same hot path, absent from snapshots.
+    Lets a component keep its bucketed stats when no registry was
+    supplied. *)
+val hist_create : edges:int array -> histogram
+
+val register_histogram :
+  t -> ?unit_:string -> ?help:string -> string -> histogram -> unit
+
+(** {2 Hot paths} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val get : counter -> int
+val set : gauge -> int -> unit
+val observe : histogram -> int -> unit
+
+(** {2 Reading} *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_buckets : histogram -> int array
+val hist_edges : histogram -> int array
+
+(** [{"schema": "regemu-metrics/1", "metrics": [...]}], metrics sorted
+    by name.  Polled gauges are read here. *)
+val snapshot : t -> Json.t
+
+(** One metric's snapshot JSON, if registered. *)
+val find : t -> string -> Json.t option
+
+(** Structural check of a snapshot: schema tag, per-metric shape,
+    no duplicate names. *)
+val validate_snapshot : Json.t -> (unit, string) result

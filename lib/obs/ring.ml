@@ -1,0 +1,34 @@
+type 'a t = {
+  slots : 'a array;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+  mutable pushed : int;
+}
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { slots = Array.make capacity dummy; head = 0; len = 0; pushed = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let pushed t = t.pushed
+let dropped t = t.pushed - t.len
+
+let push t x =
+  let cap = Array.length t.slots in
+  t.slots.(t.head) <- x;
+  t.head <- (t.head + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1;
+  t.pushed <- t.pushed + 1
+
+let to_list t =
+  let cap = Array.length t.slots in
+  let start = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i -> t.slots.((start + i) mod cap))
+
+let iter t f = List.iter f (to_list t)
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.pushed <- 0

@@ -1,0 +1,116 @@
+type sampling = { ops_every : int; msgs_every : int }
+
+let full_sampling = { ops_every = 1; msgs_every = 1 }
+
+type recorder = {
+  id : int;
+  name : string;
+  m : Mutex.t;  (* guards the ring and the seq counter *)
+  ring : Event.t Ring.t;
+  sampling : sampling;
+  mutable seq : int;
+  op_ctr : int Atomic.t;  (* sampling decisions stay lock-free *)
+  msg_ctr : int Atomic.t;
+}
+
+type t = {
+  tm : Mutex.t;  (* guards recorder registration *)
+  mutable recs_rev : recorder list;
+  mutable nrecs : int;
+  ring_capacity : int;
+  sampling : sampling;
+}
+
+let default_ring_capacity = 65_536
+
+let create ?(ring_capacity = default_ring_capacity) ?(ops_every = 1)
+    ?(msgs_every = 1) () =
+  if ring_capacity < 1 then invalid_arg "Trace.create: ring_capacity >= 1";
+  if ops_every < 1 then invalid_arg "Trace.create: ops_every >= 1";
+  if msgs_every < 1 then invalid_arg "Trace.create: msgs_every >= 1";
+  {
+    tm = Mutex.create ();
+    recs_rev = [];
+    nrecs = 0;
+    ring_capacity;
+    sampling = { ops_every; msgs_every };
+  }
+
+let sampling t = t.sampling
+
+let recorder t ~name =
+  Mutex.lock t.tm;
+  let r =
+    {
+      id = t.nrecs;
+      name;
+      m = Mutex.create ();
+      ring = Ring.create ~capacity:t.ring_capacity ~dummy:Event.hole;
+      sampling = t.sampling;
+      seq = 0;
+      op_ctr = Atomic.make 0;
+      msg_ctr = Atomic.make 0;
+    }
+  in
+  t.recs_rev <- r :: t.recs_rev;
+  t.nrecs <- t.nrecs + 1;
+  Mutex.unlock t.tm;
+  r
+
+let recorders t =
+  Mutex.lock t.tm;
+  let rs = List.rev t.recs_rev in
+  Mutex.unlock t.tm;
+  rs
+
+let recorder_name r = r.name
+let recorder_id r = r.id
+
+let emit r ph ~cat ~name args =
+  let ts_ns = Clock.now_ns () in
+  Mutex.lock r.m;
+  let seq = r.seq in
+  r.seq <- seq + 1;
+  Ring.push r.ring { Event.ts_ns; seq; ph; name; cat; args };
+  Mutex.unlock r.m
+
+let span_begin r ?(args = []) ~cat name = emit r Event.Begin ~cat ~name args
+let span_end r ?(args = []) ~cat name = emit r Event.End ~cat ~name args
+let instant r ?(args = []) ~cat name = emit r Event.Instant ~cat ~name args
+
+(* Deterministic 1-in-N sampling on per-recorder counters: the Nth,
+   2Nth, ... decision says yes.  One atomic RMW per decision — a "no"
+   must stay as cheap as the stats counters, since on a saturated run
+   it is taken for every message. *)
+let sample ctr every =
+  every = 1 || Atomic.fetch_and_add ctr 1 mod every = 0
+
+let sample_op r = sample r.op_ctr r.sampling.ops_every
+let sample_msg r = sample r.msg_ctr r.sampling.msgs_every
+
+let recorder_events r =
+  Mutex.lock r.m;
+  let evs = Ring.to_list r.ring in
+  Mutex.unlock r.m;
+  evs
+
+let events t =
+  let tagged =
+    List.concat_map
+      (fun r -> List.map (fun e -> (r.id, r.name, e)) (recorder_events r))
+      (recorders t)
+  in
+  List.map
+    (fun (_, name, e) -> (name, e))
+    (List.sort
+       (fun (ia, _, (a : Event.t)) (ib, _, (b : Event.t)) ->
+         match Int64.compare a.Event.ts_ns b.Event.ts_ns with
+         | 0 -> ( match Int.compare ia ib with 0 -> Int.compare a.seq b.seq | c -> c)
+         | c -> c)
+       tagged)
+
+let recorded t =
+  List.fold_left (fun acc r -> acc + Ring.pushed r.ring) 0 (recorders t)
+
+let dropped t =
+  List.fold_left (fun acc r -> acc + Ring.dropped r.ring) 0 (recorders t)

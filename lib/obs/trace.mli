@@ -1,0 +1,91 @@
+(** The structured tracing core: per-actor recorders writing into
+    preallocated overwrite rings ({!Ring}), timestamped by {!Clock} —
+    so a deterministic-schedule run produces a deterministic trace.
+
+    {2 Design}
+
+    Every traced actor (a client, a transport lane, the checker, the
+    fault injector, the cluster's control plane) owns one {!recorder}.
+    Emission takes that recorder's uncontended mutex, stamps the event
+    with the (possibly virtual) monotonic clock and a per-recorder
+    sequence number, and pushes into the ring — no allocation beyond
+    the event record, no shared hot lock, no I/O.  Export
+    ({!Export.chrome_json}, {!Export.timeline}) happens after the run
+    from a merged, deterministically ordered view ({!events}).
+
+    Instrumented components take a [recorder option] seam, [None] by
+    default (the same style as [Sched_hook]): an untraced run pays one
+    option check per site and nothing else.
+
+    {2 Sampling}
+
+    The two knobs tame overhead on saturated runs: [ops_every] keeps
+    every Nth operation span, [msgs_every] every Nth message point
+    event, both on deterministic per-recorder counters.  Rare control
+    events — retries, crashes, restarts, wipes, partitions, checker
+    verdict flips, unavailability — are always recorded regardless of
+    sampling; they are why the trace exists. *)
+
+type t
+(** A trace being collected: a registry of recorders plus the sampling
+    and ring-capacity configuration they inherit. *)
+
+type recorder
+(** One actor's event stream. *)
+
+type sampling = { ops_every : int; msgs_every : int }
+
+val full_sampling : sampling
+
+val default_ring_capacity : int
+(** 65536 events per recorder. *)
+
+(** [create ()] records everything ([ops_every = msgs_every = 1]).
+    Raises [Invalid_argument] on non-positive knobs. *)
+val create :
+  ?ring_capacity:int -> ?ops_every:int -> ?msgs_every:int -> unit -> t
+
+val sampling : t -> sampling
+
+(** Register a new recorder.  Ids are assigned in registration order,
+    which is deterministic under a virtual scheduler. *)
+val recorder : t -> name:string -> recorder
+
+val recorders : t -> recorder list
+val recorder_name : recorder -> string
+val recorder_id : recorder -> int
+
+(** {2 Emission} *)
+
+val span_begin :
+  recorder -> ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+val span_end :
+  recorder -> ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+val instant :
+  recorder -> ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+(** Advance the operation-sampling counter; [true] iff this operation's
+    span should be recorded. *)
+val sample_op : recorder -> bool
+
+(** Advance the message-sampling counter; [true] iff this message's
+    point event should be recorded. *)
+val sample_msg : recorder -> bool
+
+(** {2 Reading} *)
+
+(** One recorder's held events, oldest first. *)
+val recorder_events : recorder -> Event.t list
+
+(** All events, tagged with their recorder's name, in the canonical
+    export order: timestamp, then recorder id, then sequence number —
+    a total, deterministic order. *)
+val events : t -> (string * Event.t) list
+
+(** Events emitted over the trace's lifetime (including overwritten). *)
+val recorded : t -> int
+
+(** Events lost to ring overwrite, across all recorders. *)
+val dropped : t -> int
