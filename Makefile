@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test check bench perf-bench live-bench chaos-bench dst-fuzz trace-demo verify examples clean loc
+.PHONY: all build test check bench perf-bench live-bench chaos-bench keyspace-bench dst-fuzz trace-demo verify examples clean loc
 
 all: build
 
@@ -33,6 +33,12 @@ live-bench:
 # the full nemesis campaign against the live cluster; writes BENCH_chaos.json
 chaos-bench:
 	dune exec bin/regemu.exe -- chaos --json BENCH_chaos.json
+
+# the multi-register keyspace under open-loop load: one run per zipf
+# skew with the memory-bounded online checker live; writes
+# BENCH_keyspace.json (schema-validated before persisting)
+keyspace-bench:
+	dune exec bin/regemu.exe -- keyspace --json BENCH_keyspace.json
 
 # deterministic-schedule fuzzing: 500 quiet + 500 chaos seeds must be
 # clean, then a hunt sweep that shrinks its first counterexample

@@ -317,7 +317,7 @@ let bench_tests =
 (* the regemu-bench/1 schema documented in EXPERIMENTS.md: OLS
    ns-per-run estimate and r² per benchmark, per measure *)
 let json_of_results results =
-  let open Regemu_live in
+  let open Regemu_obs in
   let benchmarks = ref [] in
   Hashtbl.iter
     (fun measure per_test ->
@@ -385,7 +385,7 @@ let run_benchmarks ?json () =
   match json with
   | None -> ()
   | Some path ->
-      Regemu_live.Json.to_file path (json_of_results results);
+      Regemu_obs.Json.to_file path (json_of_results results);
       Fmt.pr "wrote %s@." path
 
 let usage () =

@@ -6,6 +6,7 @@
 open Cmdliner
 open Regemu_bounds
 open Regemu_harness
+module Json = Regemu_obs.Json
 
 let pr_report r = Fmt.pr "%a@." Report.pp r
 
@@ -954,7 +955,7 @@ let chaos_cmd =
               match
                 Option.iter
                   (fun path ->
-                    Regemu_live.Json.to_file path
+                    Regemu_obs.Json.to_file path
                       (Campaign.to_json ~seed ~smoke outcomes))
                   json
               with
@@ -1146,7 +1147,7 @@ let dst_cmd =
     in
     Option.iter
       (fun path ->
-        let open Regemu_live in
+        let open Regemu_obs in
         Json.to_file path
           (Json.Obj
              [
@@ -1268,7 +1269,7 @@ let dst_cmd =
               Fmt.pr "digest %s@." (Dst.run_digest o);
               Option.iter
                 (fun path ->
-                  Regemu_live.Json.to_file path (Dst.outcome_json o))
+                  Regemu_obs.Json.to_file path (Dst.outcome_json o))
                 json;
               (match (shrink || out <> None, Dst.passed o) with
               | true, false ->
@@ -1303,6 +1304,149 @@ let dst_cmd =
       $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of servers.")
       $ ops_arg $ seed_arg $ Obs_cli.trace_arg
       $ Obs_cli.sample_arg ~default:1
+      $ Obs_cli.metrics_arg)
+
+(* --- keyspace ------------------------------------------------------------ *)
+
+let keyspace_cmd =
+  let open Regemu_keyspace in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Run the small CI-sized spec (seconds, not minutes).")
+  in
+  let keys_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keys" ] ~docv:"K" ~doc:"Number of keys in the keyspace.")
+  in
+  let zipf_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "zipf" ] ~docv:"SKEWS"
+          ~doc:
+            "Comma-separated zipf skews, one open-loop run each (0 is \
+             uniform).")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "arrival-rate" ] ~docv:"OPS_PER_S"
+          ~doc:"Open-loop Poisson arrival rate.")
+  in
+  let ops_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"N" ~doc:"Total operations per skew.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"W"
+          ~doc:"In-flight bound: size of the worker pool.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"OPS"
+          ~doc:
+            "Resident-op budget the memory-bounded checker must stay \
+             under; exceeded ⇒ nonzero exit.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the trajectory as JSON (regemu-keyspace/1 schema), \
+             validated before the write.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress per-skew progress lines.")
+  in
+  let run smoke keys zipfs rate ops window budget nval fval json quiet seed
+      trace sample metrics =
+    let spec = if smoke then Kbench.smoke_spec else Kbench.default_spec in
+    let spec =
+      {
+        spec with
+        Kbench.seed;
+        n = Option.value nval ~default:spec.Kbench.n;
+        f = Option.value fval ~default:spec.Kbench.f;
+        keys = Option.value keys ~default:spec.Kbench.keys;
+        zipfs = Option.value zipfs ~default:spec.Kbench.zipfs;
+        arrival_rate = Option.value rate ~default:spec.Kbench.arrival_rate;
+        total_ops = Option.value ops ~default:spec.Kbench.total_ops;
+        window = Option.value window ~default:spec.Kbench.window;
+        budget_ops = Option.value budget ~default:spec.Kbench.budget_ops;
+      }
+    in
+    Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
+    match Kbench.run ~quiet ~sink spec with
+    | exception Invalid_argument m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | outcome -> (
+        Fmt.pr "%a@." Kbench.outcome_pp outcome;
+        let doc = Kbench.to_json outcome in
+        match Kbench.validate_keyspace_json doc with
+        | Error m ->
+            Fmt.epr "error: refusing to write invalid %s document: %s@."
+              Kbench.schema m;
+            1
+        | Ok () -> (
+            match Option.iter (fun path -> Json.to_file path doc) json with
+            | exception Sys_error m ->
+                Fmt.epr "error: %s@." m;
+                1
+            | () ->
+                let bad =
+                  List.filter
+                    (fun s ->
+                      s.Kbench.violations > 0
+                      || s.Kbench.deep_mismatches > 0
+                      || not s.Kbench.within_budget)
+                    outcome.Kbench.skews
+                in
+                if bad = [] then 0
+                else begin
+                  Fmt.epr
+                    "error: %d skew(s) failed (violations, deep mismatch, \
+                     or over budget)@."
+                    (List.length bad);
+                  1
+                end))
+  in
+  Cmd.v
+    (Cmd.info "keyspace"
+       ~doc:
+         "Open-loop load over a multi-register keyspace: zipf key \
+          popularity, Poisson arrivals, per-key ABD quorums on 2f+1 \
+          replicas, and a memory-bounded online WS-Regularity checker \
+          with settled-prefix GC.")
+    Term.(
+      const run $ smoke_arg $ keys_arg $ zipf_arg $ rate_arg $ ops_arg
+      $ window_arg $ budget_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "n" ] ~doc:"Number of servers.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "f" ] ~doc:"Failure threshold.")
+      $ json_arg $ quiet_arg $ seed_arg $ Obs_cli.trace_arg
+      $ Obs_cli.sample_arg ~default:64
       $ Obs_cli.metrics_arg)
 
 (* --- trace ---------------------------------------------------------------- *)
@@ -1445,6 +1589,6 @@ let () =
             thm5_cmd; thm6_cmd; thm7_cmd; thm8_cmd; plan_cmd; alg1_cmd;
             classification_cmd; rspace_cmd; inversion_cmd;
             latency_cmd; fuzz_cmd; explore_cmd; run_cmd; verify_cmd;
-            sweep_cmd; netabd_cmd; live_cmd; chaos_cmd; dst_cmd; trace_cmd;
+            sweep_cmd; netabd_cmd; live_cmd; chaos_cmd; dst_cmd; keyspace_cmd; trace_cmd;
             all_cmd;
           ]))

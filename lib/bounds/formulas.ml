@@ -52,3 +52,17 @@ let max_writers ~f ~n ~budget =
 
 let bounds_coincide p = register_lower_bound p = register_upper_bound p
 let saturation_n ~k ~f = (k * f) + f + 1
+
+let replicas_per_key ~f =
+  if f < 1 then invalid_arg "Formulas.replicas_per_key: f < 1";
+  (2 * f) + 1
+
+let max_keys ~n ~f ~per_server_capacity =
+  if per_server_capacity <= 0 then
+    invalid_arg "Formulas.max_keys: per_server_capacity <= 0";
+  let r = replicas_per_key ~f in
+  if n < r then None
+  else
+    (* each key costs one max-register cell on each of its 2f+1
+       replicas; a balanced layout spreads K*r cells over n servers *)
+    Some (n * per_server_capacity / r)

@@ -68,3 +68,20 @@ val bounds_coincide : Params.t -> bool
 
 (** Smallest [n] at which the register bounds flatten to [kf + f + 1]. *)
 val saturation_n : k:int -> f:int -> int
+
+(** {2 Keyspace capacity}
+
+    A keyspace ([Regemu_keyspace]) stores each key's max-register on a
+    replica set of [2f+1] servers (Table 1: the max-register bound is
+    independent of [k] and [n]), so space scales per {e key}, not per
+    writer. *)
+
+(** [2f+1] — the replica-set size of every key.  Raises on [f < 1]. *)
+val replicas_per_key : f:int -> int
+
+(** [max_keys ~n ~f ~per_server_capacity] is the largest number of keys
+    a balanced layout can place when each of the [n] servers stores at
+    most [per_server_capacity] max-register cells: [n*c / (2f+1)],
+    or [None] when [n < 2f+1] (no replica set fits at all).  The
+    keyspace analogue of {!max_writers}. *)
+val max_keys : n:int -> f:int -> per_server_capacity:int -> int option

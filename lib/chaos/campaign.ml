@@ -1,6 +1,7 @@
 open Regemu_bounds
 open Regemu_objects
 open Regemu_live
+module Json = Regemu_obs.Json
 
 type algo = Abd | Alg2
 

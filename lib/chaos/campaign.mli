@@ -109,4 +109,4 @@ val outcome_pp : outcome Fmt.t
 val all_pass : outcome list -> bool
 
 (** The [regemu-chaos/1] report document. *)
-val to_json : seed:int -> smoke:bool -> outcome list -> Regemu_live.Json.t
+val to_json : seed:int -> smoke:bool -> outcome list -> Regemu_obs.Json.t

@@ -1,4 +1,5 @@
 open Regemu_live
+module Json = Regemu_obs.Json
 
 type counters = {
   crashes : int;

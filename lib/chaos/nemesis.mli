@@ -16,7 +16,7 @@ type counters = {
 }
 
 val counters_pp : counters Fmt.t
-val counters_json : counters -> Regemu_live.Json.t
+val counters_json : counters -> Regemu_obs.Json.t
 
 type t
 

@@ -164,7 +164,7 @@ let wipe_storm ~n ?(at_ms = 3) ?(down_ms = 2) ?(storms = 1) () =
 
 (* --- serialization ------------------------------------------------------ *)
 
-open Regemu_live
+module Json = Regemu_obs.Json
 
 let event_json = function
   | Crash s -> Json.Obj [ ("crash", Json.Int s) ]

@@ -66,9 +66,9 @@ val wipe_all : n:int -> ?start_ms:int -> ?gap_ms:int -> unit -> t
 val wipe_storm :
   n:int -> ?at_ms:int -> ?down_ms:int -> ?storms:int -> unit -> t
 
-val to_json : t -> Regemu_live.Json.t
+val to_json : t -> Regemu_obs.Json.t
 
 (** Inverse of {!to_json}; [Error] on a malformed document.  The
     result is {e not} validated — run {!validate} against the target
     cluster before use. *)
-val of_json : Regemu_live.Json.t -> (t, string) result
+val of_json : Regemu_obs.Json.t -> (t, string) result

@@ -1,6 +1,7 @@
 open Regemu_live
 open Regemu_objects
 open Regemu_chaos
+module Json = Regemu_obs.Json
 
 type config = {
   seed : int;

@@ -79,11 +79,11 @@ val run_digest : outcome -> string
     online-vs-full agreement. *)
 val verdict_class : Regemu_history.Ws_check.verdict -> string
 
-val config_json : config -> Json.t
+val config_json : config -> Regemu_obs.Json.t
 
 (** Inverse of {!config_json} except [nemesis], which travels
     separately in the replay file ({!Dst_fuzz}). *)
-val config_of_json : Json.t -> (config, string) result
+val config_of_json : Regemu_obs.Json.t -> (config, string) result
 
-val outcome_json : outcome -> Json.t
+val outcome_json : outcome -> Regemu_obs.Json.t
 val outcome_pp : outcome Fmt.t

@@ -1,5 +1,6 @@
 open Regemu_live
 open Regemu_chaos
+module Json = Regemu_obs.Json
 
 (* --- fuzz profiles ------------------------------------------------------- *)
 

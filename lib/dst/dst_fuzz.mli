@@ -81,7 +81,7 @@ val shrink : ?budget:int -> Dst.config -> Dst.outcome -> shrink_result
 val schema : string
 
 val replay_json :
-  cfg:Dst.config -> choices:int array -> outcome:Dst.outcome -> Regemu_live.Json.t
+  cfg:Dst.config -> choices:int array -> outcome:Dst.outcome -> Regemu_obs.Json.t
 
 val write_replay :
   string -> cfg:Dst.config -> choices:int array -> outcome:Dst.outcome -> unit
@@ -93,7 +93,7 @@ type replay_spec = {
   r_expected_digest : string;
 }
 
-val parse_replay : Regemu_live.Json.t -> (replay_spec, string) result
+val parse_replay : Regemu_obs.Json.t -> (replay_spec, string) result
 val read_replay : string -> (replay_spec, string) result
 
 type replay_result = {

@@ -1,0 +1,87 @@
+(** Bounded per-worker operation log for keyspace runs.
+
+    Plays {!Regemu_live.Histlog}'s role — per-client append-only
+    chunked histories merged by one atomic event clock — with the two
+    changes an open-loop run needs:
+
+    - every cell names the {e key} it operated on, so the checker can
+      demultiplex one log into per-key histories;
+    - consumed prefixes can be {e trimmed} ({!trim}): once the online
+      checker has consumed a chunk, its memory is released.  Resident
+      size is O(in-flight window + polling lag), not O(ops) — the
+      difference that lets a 10^6-op run hold a fixed memory budget.
+
+    Because trimming frees history, there is no [snapshot]: the only
+    consumer is the incremental checker.  An operation that fails
+    ({!Regemu_live.Cluster.Unavailable}) is {e aborted}, not left
+    pending: a forever-pending cell would pin every cursor behind it
+    and stop the GC frontier.  The checker treats an aborted write as
+    breaking its key's write-sequential order (its effect may still
+    land later), which is sound.
+
+    Event ticks are taken {e under the writer's lock}, so a poll of a
+    writer observes a prefix closed under the tick order: any cell
+    appended after the poll carries a tick [>= ] the {!poll_view}'s
+    [clock] field.  The checker's GC frontier relies on exactly this. *)
+
+open Regemu_objects
+open Regemu_sim
+
+type t
+type writer
+type ticket
+
+val create : unit -> t
+val new_writer : t -> client:Id.Client.t -> writer
+
+(** Take an invocation ticket for an operation on [key]. *)
+val invoke : writer -> key:int -> Trace.hop -> ticket
+
+(** Complete a ticket with the operation's result. *)
+val return : ticket -> Value.t -> unit
+
+(** Mark a ticket as failed (the op escaped with [Unavailable]); the
+    cell completes with no result and [k_aborted = true]. *)
+val abort : ticket -> unit
+
+val writers : t -> writer list
+val writer_client : writer -> Id.Client.t
+
+type cell_view = {
+  k_key : int;
+  k_hop : Trace.hop;
+  k_invoked_at : int;
+  k_returned_at : int option;
+  k_result : Value.t option;
+  k_aborted : bool;
+}
+
+type poll_view = {
+  len : int;  (** writer length in {e absolute} positions, trims included *)
+  clock : int;
+      (** event clock read under the writer's lock: every future cell
+          of this writer ticks at or above it *)
+}
+
+(** [poll w ~from f] visits cells at absolute positions [>= from]
+    (oldest first, under the writer's lock; positions below the trim
+    point are gone and silently skipped).  Callers keep cursors and
+    must not ask for trimmed positions back. *)
+val poll : writer -> from:int -> (cell_view -> unit) -> poll_view
+
+(** [trim w ~upto] releases every chunk wholly below absolute position
+    [upto].  Requires the caller to have consumed those positions. *)
+val trim : writer -> upto:int -> unit
+
+val invoked : t -> int
+
+(** Completed cells, aborts included. *)
+val completed : t -> int
+
+val aborted : t -> int
+
+(** Currently resident cells (whole chunks, all writers) — the
+    quantity {!trim} keeps bounded. *)
+val resident_cells : t -> int
+
+val approx_bytes : t -> int

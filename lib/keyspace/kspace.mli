@@ -1,0 +1,56 @@
+(** The keyspace: many per-key max-register emulations multiplexed
+    over one live {!Regemu_live.Cluster}.
+
+    Each key runs the ABD max-register protocol ([Kquery]/[Kupdate],
+    the keyed twins of the single-register [Query]/[Update] in
+    {!Regemu_netsim.Proto}) against the [2f+1] replicas {!Placement}
+    assigns it, awaiting [f+1] replies per round.  All keys share the
+    cluster's sharded transport lanes — a lane drain carries a batch
+    of messages for {e many} keys — its retry/watchdog machinery, and
+    its fault injectors; nothing per-key is spawned.
+
+    Operations are recorded in a {!Klog} (bounded, trimmable), not the
+    cluster's {!Regemu_live.Histlog}: open-loop runs are long, and the
+    per-op history must be garbage-collectible by the checker.  An
+    operation that fails with {!Regemu_live.Cluster.Unavailable} is
+    {e aborted} in the log and the exception re-raised. *)
+
+open Regemu_objects
+
+type t
+
+(** [create cluster ~f ?write_back_reads ()] — the cluster must
+    already have [>= 2f+1] servers; placement spans {e all} its
+    servers.  With [write_back_reads] (default off), a read performs
+    the ABD write-back round, upgrading the key to atomicity at 2x
+    read cost; WS-Regularity needs only the query round.
+
+    Registers keyspace gauges in the cluster's sink:
+    [keyspace.server_cells.total] / [.max] (resident per-key cells
+    across/on servers) and [keyspace.klog.resident_bytes]. *)
+val create : Regemu_live.Cluster.t -> f:int -> ?write_back_reads:bool -> unit -> t
+
+val cluster : t -> Regemu_live.Cluster.t
+val placement : t -> Placement.t
+val klog : t -> Klog.t
+
+type worker
+
+(** A worker: one sequential stream of keyspace operations (a cluster
+    client plus its {!Klog} writer).  The open-loop generator runs a
+    bounded pool of these. *)
+val new_worker : t -> worker
+
+val worker_client : worker -> Regemu_live.Cluster.client
+
+(** [write t w ~key v] writes [v] to [key]'s register: query-max round
+    on the key's replicas, then update with timestamp +1. *)
+val write : t -> worker -> key:int -> Value.t -> unit
+
+(** [read t w ~key] reads [key]'s register (query-max round; optional
+    write-back), returning the payload. *)
+val read : t -> worker -> key:int -> Value.t
+
+(** Max over servers of resident per-key cells, and their sum —
+    polled by the gauges, asserted by the capacity tests. *)
+val server_cells : t -> int * int

@@ -1,0 +1,171 @@
+open Regemu_objects
+open Regemu_live
+module Rng = Regemu_sim.Rng
+module Clock = Regemu_obs.Clock
+
+type config = {
+  keys : int;
+  zipf : float;
+  arrival_rate : float;
+  total_ops : int;
+  window : int;
+  write_fraction : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    keys = 1024;
+    zipf = 0.99;
+    arrival_rate = 2000.0;
+    total_ops = 2000;
+    window = 8;
+    write_fraction = 0.5;
+    seed = 1;
+  }
+
+type outcome = {
+  issued : int;
+  completed : int;
+  failed : int;
+  elapsed_s : float;
+  ops_per_s : float;
+  max_lateness_s : float;
+}
+
+let validate cfg =
+  if cfg.keys < 1 then invalid_arg "Openload: keys must be >= 1";
+  if cfg.arrival_rate <= 0.0 then
+    invalid_arg "Openload: arrival_rate must be positive";
+  if cfg.window < 1 then invalid_arg "Openload: window must be >= 1";
+  if cfg.write_fraction < 0.0 || cfg.write_fraction > 1.0 then
+    invalid_arg "Openload: write_fraction must be in [0, 1]";
+  if cfg.total_ops < 0 then invalid_arg "Openload: total_ops must be >= 0"
+
+(* everything about op [i] derives from (seed, i) alone: the stream is
+   identical whatever worker runs it and whenever it runs *)
+let op_rng cfg i = Rng.create ((cfg.seed * 0x9e3779b9) lxor (i * 0x85ebca6b))
+
+let op_draws cfg i =
+  let r = op_rng cfg i in
+  let wdraw = Rng.int r ~bound:1_000_000 in
+  let kdraw = Rng.int r ~bound:(1 lsl 30) in
+  (float_of_int wdraw /. 1e6 < cfg.write_fraction, kdraw)
+
+(* zipf(theta) over ranks 0..keys-1 via the cumulative-weight table;
+   theta = 0 degenerates to uniform *)
+let make_sampler cfg =
+  let cum = Array.make cfg.keys 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to cfg.keys - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) cfg.zipf);
+    cum.(r) <- !acc
+  done;
+  let total = cum.(cfg.keys - 1) in
+  fun kdraw ->
+    let u = float_of_int kdraw /. float_of_int (1 lsl 30) *. total in
+    let lo = ref 0 and hi = ref (cfg.keys - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let key_of_op cfg i =
+  validate cfg;
+  (make_sampler cfg) (snd (op_draws cfg i))
+
+let is_write_op cfg i = fst (op_draws cfg i)
+
+(* the Poisson arrival schedule: cumulative exponential gaps *)
+let arrival_times cfg =
+  let r = Rng.create (cfg.seed lxor 0x5deece66) in
+  let t = ref 0.0 in
+  Array.init cfg.total_ops (fun _ ->
+      let u =
+        (float_of_int (Rng.int r ~bound:(1 lsl 30)) +. 1.0)
+        /. float_of_int ((1 lsl 30) + 1)
+      in
+      t := !t +. (-.Float.log u /. cfg.arrival_rate);
+      !t)
+
+let run ?sched ks cfg =
+  validate cfg;
+  let sample = make_sampler cfg in
+  let arrivals = arrival_times cfg in
+  let sleep s =
+    match sched with
+    | Some hook -> hook.Sched_hook.sleep s
+    | None -> Thread.delay s
+  in
+  let next = Atomic.make 0 in
+  let failed = Atomic.make 0 in
+  let max_late_ns = Atomic.make 0 in
+  let first_error = Atomic.make None in
+  let t0 = Clock.now_s () in
+  let worker w () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= cfg.total_ops then continue := false
+      else begin
+        let target = arrivals.(i) in
+        let rec pace () =
+          let elapsed = Clock.now_s () -. t0 in
+          if elapsed < target then begin
+            sleep (Float.min 0.05 (target -. elapsed));
+            pace ()
+          end
+          else elapsed
+        in
+        let started = pace () in
+        let late_ns = int_of_float ((started -. target) *. 1e9) in
+        let rec bump () =
+          let cur = Atomic.get max_late_ns in
+          if late_ns > cur then
+            if not (Atomic.compare_and_set max_late_ns cur late_ns) then bump ()
+        in
+        bump ();
+        let is_write, kdraw = op_draws cfg i in
+        let key = sample kdraw in
+        try
+          if is_write then
+            Kspace.write ks w ~key (Value.Str (Printf.sprintf "o%d" i))
+          else ignore (Kspace.read ks w ~key)
+        with
+        | Cluster.Unavailable _ | Cluster.Timeout _ -> Atomic.incr failed
+        | e ->
+            ignore (Atomic.compare_and_set first_error None (Some e));
+            continue := false
+      end
+    done
+  in
+  let workers = List.init cfg.window (fun _ -> Kspace.new_worker ks) in
+  (match sched with
+  | None ->
+      let threads =
+        List.map (fun w -> Thread.create (worker w) ()) workers
+      in
+      List.iter Thread.join threads
+  | Some hook ->
+      let live = Atomic.make cfg.window in
+      List.iteri
+        (fun i w ->
+          hook.Sched_hook.spawn ~name:(Fmt.str "openload-%d" i) (fun () ->
+              worker w ();
+              Atomic.decr live))
+        workers;
+      hook.Sched_hook.suspend (fun () -> Atomic.get live = 0));
+  (match Atomic.get first_error with Some e -> raise e | None -> ());
+  let elapsed_s = Float.max (Clock.now_s () -. t0) 1e-9 in
+  let failed = Atomic.get failed in
+  let issued = cfg.total_ops in
+  let completed = issued - failed in
+  {
+    issued;
+    completed;
+    failed;
+    elapsed_s;
+    ops_per_s = float_of_int completed /. elapsed_s;
+    max_lateness_s = float_of_int (Atomic.get max_late_ns) *. 1e-9;
+  }

@@ -1,0 +1,53 @@
+(** Open-loop load: Poisson arrivals over a zipf key popularity.
+
+    The closed-loop generator ({!Regemu_live.Load}) models N clients
+    who each wait for their previous operation — offered load falls
+    as latency rises, which is not how a population of millions of
+    independent users behaves.  Here the arrival {e schedule} is fixed
+    up front (Poisson process: exponential inter-arrival gaps at
+    [arrival_rate], drawn from the seed) and a bounded pool of
+    [window] workers executes operations at their scheduled times; a
+    worker that falls behind executes late and the {e lateness} is
+    reported, so saturation shows up as growing backlog instead of
+    silently throttled load — the open-loop distinction.
+
+    Everything about operation [i] — its arrival time, key (zipf over
+    [keys], skew [zipf]; [0.0] is uniform), kind, and written value —
+    is a pure function of [(seed, i)], independent of which worker
+    runs it and of timing: two runs issue the identical op stream.
+
+    Under a virtual scheduler ([?sched]) the workers are cooperative
+    actors and all waiting is in virtual time. *)
+
+type config = {
+  keys : int;
+  zipf : float;
+  arrival_rate : float;  (** ops per second *)
+  total_ops : int;
+  window : int;  (** worker-pool size — the in-flight bound *)
+  write_fraction : float;  (** of operations that are writes *)
+  seed : int;
+}
+
+val default_config : config
+
+type outcome = {
+  issued : int;
+  completed : int;
+  failed : int;  (** ops that escaped with [Unavailable]/[Timeout] *)
+  elapsed_s : float;
+  ops_per_s : float;
+  max_lateness_s : float;
+      (** worst gap between an op's scheduled arrival and its start *)
+}
+
+(** Raises [Invalid_argument] on a non-positive [keys], [arrival_rate],
+    [window], or a [write_fraction] outside [0, 1]. *)
+val run : ?sched:Regemu_live.Sched_hook.t -> Kspace.t -> config -> outcome
+
+(** The deterministic key of operation [i] — exposed so tests can
+    assert the stream is seed-stable and zipf-shaped. *)
+val key_of_op : config -> int -> int
+
+(** Whether operation [i] is a write. *)
+val is_write_op : config -> int -> bool

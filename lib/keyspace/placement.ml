@@ -1,0 +1,40 @@
+open Regemu_bounds
+
+type t = { n : int; f : int; r : int }
+
+let create ~n ~f =
+  let r = Formulas.replicas_per_key ~f in
+  if n < r then
+    invalid_arg
+      (Fmt.str "Placement.create: need n >= 2f+1 = %d servers, have %d" r n);
+  { n; f; r }
+
+let n t = t.n
+let f t = t.f
+let replicas_per_key t = t.r
+let quorum t = t.f + 1
+
+(* FNV-1a over the key's decimal digits: stable across processes,
+   OCaml versions, and architectures (unlike Hashtbl.hash, which is
+   seed- and version-dependent). *)
+let hash key =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    (string_of_int key);
+  (* keep 62 bits: [Int64.to_int] of a 63-bit value can wrap negative
+     on OCaml's 63-bit native int *)
+  Int64.to_int (Int64.logand !h 0x3FFF_FFFF_FFFF_FFFFL)
+
+let replicas t key =
+  let base = hash key mod t.n in
+  List.init t.r (fun i -> (base + i) mod t.n)
+
+let server_load t ~keys server =
+  let count = ref 0 in
+  for key = 0 to keys - 1 do
+    if List.mem server (replicas t key) then incr count
+  done;
+  !count

@@ -1,0 +1,45 @@
+(** Key → replica-set placement.
+
+    Each key of the keyspace is an independent [2f+1]-server
+    max-register emulation (Table 1 of the paper: the max-register
+    space bound is [2f+1] base objects, independent of the number of
+    writers and of [n]).  The placement function picks {e which}
+    [2f+1] servers hold a key's cells: a deterministic hash of the key
+    chooses a base server, and the replica set is the [2f+1]
+    consecutive servers from there — the keyed generalization of the
+    Figure 1 round-robin layout in {!Regemu_core.Layout}, spreading
+    cells evenly instead of piling every key on servers
+    [0 .. 2f].
+
+    The hash is FNV-1a over the key's decimal digits, {e not}
+    [Hashtbl.hash]: placement must be identical across processes and
+    OCaml versions (no hash-seed dependence), because two runs of the
+    same experiment must place — and therefore load — identically. *)
+
+type t
+
+(** [create ~n ~f] validates [n >= 2f+1] (otherwise no replica set
+    fits; raises [Invalid_argument]) and [f >= 1]. *)
+val create : n:int -> f:int -> t
+
+val n : t -> int
+val f : t -> int
+
+(** [2f+1]. *)
+val replicas_per_key : t -> int
+
+(** [f+1] — the quorum every per-key round awaits. *)
+val quorum : t -> int
+
+(** Deterministic non-negative hash of a key (FNV-1a, 63-bit). *)
+val hash : int -> int
+
+(** [replicas t key] is the key's replica set: [2f+1] distinct server
+    ids, consecutive from [hash key mod n].  Any two quorums of
+    [f+1] replicas of the same key intersect. *)
+val replicas : t -> int -> int list
+
+(** Expected number of distinct keys stored on [server] when [keys]
+    keys [0 .. keys-1] are placed — exact count, by enumeration.
+    O(keys); assertions and capacity tests only. *)
+val server_load : t -> keys:int -> int -> int

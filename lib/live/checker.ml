@@ -293,6 +293,17 @@ let spawn ?sched cluster ?(interval_s = 0.02) ?(final_atomic = false)
       t.checks);
   Sink.gauge_fn sink ~help:"1 iff a WS-Regularity violation was seen"
     "checker.violation" (fun () -> if t.violation = None then 0 else 1);
+  (* checker memory: this checker reads the full unbounded Histlog, so
+     its resident feed is the log itself — published here so the GC'd
+     keyspace checker ([Regemu_keyspace.Kchecker]) is directly
+     comparable in the same --metrics snapshot *)
+  let hlog = Cluster.log cluster in
+  Sink.gauge_fn sink ~unit_:"bytes"
+    ~help:"resident history feeding the checker (unbounded Histlog)"
+    "checker.resident_bytes" (fun () -> Histlog.approx_bytes hlog);
+  Sink.gauge_fn sink ~help:"invoked but not yet completed operations"
+    "checker.pending_ops" (fun () ->
+      Histlog.invoked hlog - Histlog.completed hlog);
   (match sched with
   | None -> t.thread <- Some (Thread.create (checker_loop ?sched:None) t)
   | Some hook ->

@@ -513,6 +513,8 @@ let exn_label = function
   | Timeout _ -> "timeout"
   | e -> Printexc.exn_slot_name e
 
+let begin_op cl = cl.op_t0 <- Clock.now_s ()
+
 let invoke _t cl hop body =
   cl.op_t0 <- Clock.now_s ();
   let ticket = Histlog.invoke cl.hlog hop in
@@ -691,6 +693,14 @@ let backoff_histogram t =
 let peek_reg t ~server reg =
   check_server t server;
   Proto.peek_reg t.servers.(server).store reg
+
+let server_num_keys t ~server =
+  check_server t server;
+  Proto.num_keys t.servers.(server).store
+
+let peek_kmax t ~server key =
+  check_server t server;
+  Proto.peek_kmax t.servers.(server).store key
 
 (* --- teardown ----------------------------------------------------------- *)
 

@@ -191,6 +191,11 @@ val await : t -> client -> ?need:int list * int -> (unit -> bool) -> unit
     pending operation as concurrent with everything after it. *)
 val invoke : t -> client -> Regemu_sim.Trace.hop -> (unit -> Value.t) -> Value.t
 
+(** Start the per-op retry-deadline clock {e without} taking a history
+    ticket — for layers ([Regemu_keyspace]) that keep their own
+    bounded operation log instead of the cluster {!Histlog}. *)
+val begin_op : client -> unit
+
 (** {2 Failures} *)
 
 val crash : t -> int -> unit
@@ -244,6 +249,13 @@ val backoff_histogram : t -> (int * int) list
 
 (** Peek a server's storage (assertions/debugging only). *)
 val peek_reg : t -> server:int -> int -> Value.t
+
+(** Distinct keys resident in a server's keyed max-register table —
+    the per-server space metric of the keyspace experiments. *)
+val server_num_keys : t -> server:int -> int
+
+(** Peek one key's max-register on a server. *)
+val peek_kmax : t -> server:int -> int -> Value.t
 
 (** Stop everything: revive crashed servers so they can exit, close
     mailboxes, stop the transport, join all threads.  Idempotent. *)

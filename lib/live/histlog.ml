@@ -204,6 +204,22 @@ let snapshot t =
 let completed t = Atomic.get t.completed
 let invoked t = Atomic.get t.invoked
 
+(* Resident footprint, for the checker-memory gauges: count whole
+   chunks (allocation is chunked, so that is what the GC sees) and
+   price each cell at a conservative boxed-record estimate. *)
+let cell_bytes = 96
+
+let resident_cells t =
+  List.fold_left
+    (fun acc w ->
+      Mutex.lock w.wm;
+      let n = ((w.nfull + 1) * chunk_size) in
+      Mutex.unlock w.wm;
+      acc + n)
+    0 (writers t)
+
+let approx_bytes t = resident_cells t * cell_bytes
+
 let latencies_ns t =
   let lats =
     List.fold_left

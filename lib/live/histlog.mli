@@ -73,6 +73,15 @@ val completed : t -> int
 (** Number of invoked operations. *)
 val invoked : t -> int
 
+(** Cells currently resident (whole preallocated chunks, summed across
+    writers).  Grows O(ops) — the quantity the keyspace's GC'd log
+    ([Regemu_keyspace.Klog]) keeps bounded instead. *)
+val resident_cells : t -> int
+
+(** [resident_cells] priced at a fixed per-cell estimate — the
+    checker-memory gauge's unit of account. *)
+val approx_bytes : t -> int
+
 (** Monotonic-clock latency of each completed operation, in
     nanoseconds, in invocation order. *)
 val latencies_ns : t -> int list

@@ -1,4 +1,5 @@
 open Regemu_bounds
+module Json = Regemu_obs.Json
 
 type algo = Abd | Abd_wb | Alg2
 

@@ -84,7 +84,7 @@ val suite : ?ops_per_client:int -> seed:int -> unit -> spec list
 val smoke_suite : unit -> spec list
 
 (** The [regemu-live-bench/1] document: schema id, specs, and results. *)
-val to_json : outcome list -> Json.t
+val to_json : outcome list -> Regemu_obs.Json.t
 
 (** {2 Saturation mode}
 
@@ -112,8 +112,8 @@ val seed_baseline_ops_s : (algo * int * float) list
 (** The [BENCH_live.json] document in the [regemu-bench/1] schema:
     one benchmark entry per outcome ([ns_per_run] = ns per completed
     op) with throughput, percentiles, and baseline/speedup extras. *)
-val saturate_json : outcome list -> Json.t
+val saturate_json : outcome list -> Regemu_obs.Json.t
 
 (** Structural validation of a [regemu-bench/1] document (also
     applicable to the micro-benchmark emitter's output). *)
-val validate_bench_json : Json.t -> (unit, string) result
+val validate_bench_json : Regemu_obs.Json.t -> (unit, string) result

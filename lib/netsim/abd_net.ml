@@ -47,7 +47,9 @@ let query_max t ~client =
       match reply with
       | Net.Query_reply { stored; _ } -> Value.max best stored
       | Net.Query _ | Net.Update _ | Net.Update_reply _ | Net.Reg_read _
-      | Net.Reg_read_reply _ | Net.Reg_write _ | Net.Reg_write_reply _ ->
+      | Net.Reg_read_reply _ | Net.Reg_write _ | Net.Reg_write_reply _
+      | Net.Kquery _ | Net.Kquery_reply _ | Net.Kupdate _ | Net.Kupdate_reply _
+        ->
           best)
 
 let update t ~client ts_val =

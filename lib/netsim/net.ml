@@ -11,6 +11,10 @@ type payload = Proto.payload =
   | Reg_read_reply of { rid : int; stored : Value.t }
   | Reg_write of { rid : int; reg : int; proposed : Value.t }
   | Reg_write_reply of { rid : int }
+  | Kquery of { rid : int; key : int }
+  | Kquery_reply of { rid : int; key : int; stored : Value.t }
+  | Kupdate of { rid : int; key : int; proposed : Value.t }
+  | Kupdate_reply of { rid : int; key : int }
 
 let payload_pp = Proto.payload_pp
 
@@ -267,7 +271,11 @@ let fire t ev =
                 | Reg_read { rid; _ }
                 | Reg_read_reply { rid; _ }
                 | Reg_write { rid; _ }
-                | Reg_write_reply { rid } ->
+                | Reg_write_reply { rid }
+                | Kquery { rid; _ }
+                | Kquery_reply { rid; _ }
+                | Kupdate { rid; _ }
+                | Kupdate_reply { rid; _ } ->
                     rid
               in
               match

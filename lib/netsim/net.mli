@@ -45,6 +45,12 @@ type payload = Proto.payload =
   | Reg_write of { rid : int; reg : int; proposed : Value.t }
       (** plain overwrite: last delivered wins *)
   | Reg_write_reply of { rid : int }
+  | Kquery of { rid : int; key : int }
+      (** read one key's max-register (keyspace; see {!Proto}) *)
+  | Kquery_reply of { rid : int; key : int; stored : Value.t }
+  | Kupdate of { rid : int; key : int; proposed : Value.t }
+      (** per-key write-max, the keyed twin of [Update] *)
+  | Kupdate_reply of { rid : int; key : int }
 
 val payload_pp : payload Fmt.t
 

@@ -9,6 +9,10 @@ type payload =
   | Reg_read_reply of { rid : int; stored : Value.t }
   | Reg_write of { rid : int; reg : int; proposed : Value.t }
   | Reg_write_reply of { rid : int }
+  | Kquery of { rid : int; key : int }
+  | Kquery_reply of { rid : int; key : int; stored : Value.t }
+  | Kupdate of { rid : int; key : int; proposed : Value.t }
+  | Kupdate_reply of { rid : int; key : int }
 
 let payload_pp ppf = function
   | Query { rid } -> Fmt.pf ppf "query#%d" rid
@@ -23,6 +27,12 @@ let payload_pp ppf = function
   | Reg_write { rid; reg; proposed } ->
       Fmt.pf ppf "reg-write#%d[r%d](%a)" rid reg Value.pp proposed
   | Reg_write_reply { rid } -> Fmt.pf ppf "reg-write-reply#%d" rid
+  | Kquery { rid; key } -> Fmt.pf ppf "kquery#%d[k%d]" rid key
+  | Kquery_reply { rid; key; stored } ->
+      Fmt.pf ppf "kquery-reply#%d[k%d](%a)" rid key Value.pp stored
+  | Kupdate { rid; key; proposed } ->
+      Fmt.pf ppf "kupdate#%d[k%d](%a)" rid key Value.pp proposed
+  | Kupdate_reply { rid; key } -> Fmt.pf ppf "kupdate-reply#%d[k%d]" rid key
 
 let rid_of = function
   | Query { rid }
@@ -32,17 +42,28 @@ let rid_of = function
   | Reg_read { rid; _ }
   | Reg_read_reply { rid; _ }
   | Reg_write { rid; _ }
-  | Reg_write_reply { rid } ->
+  | Reg_write_reply { rid }
+  | Kquery { rid; _ }
+  | Kquery_reply { rid; _ }
+  | Kupdate { rid; _ }
+  | Kupdate_reply { rid; _ } ->
       rid
 
 let is_reply = function
-  | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _ ->
+  | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _
+  | Kquery_reply _ | Kupdate_reply _ ->
       true
-  | Query _ | Update _ | Reg_read _ | Reg_write _ -> false
+  | Query _ | Update _ | Reg_read _ | Reg_write _ | Kquery _ | Kupdate _ ->
+      false
 
-type store = { mutable maxreg : Value.t; mutable regs : Value.t array }
+type store = {
+  mutable maxreg : Value.t;
+  mutable regs : Value.t array;
+  kmax : (int, Value.t) Hashtbl.t;
+}
 
-let store_create () = { maxreg = Value.v0; regs = [||] }
+let store_create () =
+  { maxreg = Value.v0; regs = [||]; kmax = Hashtbl.create 64 }
 
 let alloc_reg st =
   let ix = Array.length st.regs in
@@ -53,9 +74,15 @@ let num_regs st = Array.length st.regs
 let peek_reg st reg = st.regs.(reg)
 let peek_max st = st.maxreg
 
+let num_keys st = Hashtbl.length st.kmax
+
+let peek_kmax st key =
+  match Hashtbl.find_opt st.kmax key with Some v -> v | None -> Value.v0
+
 let reset st =
   st.maxreg <- Value.v0;
-  Array.iteri (fun i _ -> st.regs.(i) <- Value.v0) st.regs
+  Array.iteri (fun i _ -> st.regs.(i) <- Value.v0) st.regs;
+  Hashtbl.reset st.kmax
 
 let step st = function
   | Query { rid } -> [ Query_reply { rid; stored = st.maxreg } ]
@@ -67,5 +94,12 @@ let step st = function
       (* plain register: last delivered write wins, whenever it lands *)
       st.regs.(reg) <- proposed;
       [ Reg_write_reply { rid } ]
-  | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _ ->
+  | Kquery { rid; key } -> [ Kquery_reply { rid; key; stored = peek_kmax st key } ]
+  | Kupdate { rid; key; proposed } ->
+      (* per-key write-max: one ABD max-register per key, allocated on
+         first touch so an idle keyspace costs no server memory *)
+      Hashtbl.replace st.kmax key (Value.max (peek_kmax st key) proposed);
+      [ Kupdate_reply { rid; key } ]
+  | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _
+  | Kquery_reply _ | Kupdate_reply _ ->
       []

@@ -33,6 +33,12 @@ type payload =
   | Reg_write of { rid : int; reg : int; proposed : Value.t }
       (** plain overwrite: last delivered wins *)
   | Reg_write_reply of { rid : int }
+  | Kquery of { rid : int; key : int }
+      (** read one key's max-register in the keyspace ([Regemu_keyspace]) *)
+  | Kquery_reply of { rid : int; key : int; stored : Value.t }
+  | Kupdate of { rid : int; key : int; proposed : Value.t }
+      (** per-key write-max, the keyed twin of [Update] *)
+  | Kupdate_reply of { rid : int; key : int }
 
 val payload_pp : payload Fmt.t
 
@@ -58,6 +64,15 @@ val peek_reg : store -> int -> Value.t
 
 (** Current content of the built-in max-register. *)
 val peek_max : store -> Value.t
+
+(** Number of distinct keys this store has been asked to hold — the
+    per-server space metric of the keyspace experiments (cells are
+    allocated on first [Kupdate]/[Kquery] touch). *)
+val num_keys : store -> int
+
+(** Current content of one key's max-register; {!Value.v0} for a key
+    never written here. *)
+val peek_kmax : store -> int -> Value.t
 
 (** Wipe the store back to its initial state — every cell and the
     max-register to {!Value.v0}, allocation preserved.  A diskless

@@ -323,7 +323,7 @@ let replay_file_tests =
                   "file replays to its recorded verdict" true
                   (Dst_fuzz.replay_matched r)));
     test "parse_replay rejects wrong schemas and junk" (fun () ->
-        let open Regemu_live in
+        let open Regemu_obs in
         let reject doc =
           match Dst_fuzz.parse_replay doc with
           | Error _ -> ()

@@ -1,0 +1,303 @@
+(* Tests for the keyspace stack: placement, the trimmable op log, the
+   open-loop generator, the memory-bounded checker (GC soundness via
+   DST), and the bench JSON schema gate. *)
+
+open Regemu_keyspace
+
+let test name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+
+(* --- Placement ---------------------------------------------------- *)
+
+let arb_nf =
+  QCheck.make
+    ~print:(fun (n, f, key) -> Fmt.str "n=%d f=%d key=%d" n f key)
+    QCheck.Gen.(
+      let* f = 1 -- 4 in
+      let* n = (2 * f) + 1 -- 24 in
+      let* key = 0 -- 1_000_000 in
+      return (n, f, key))
+
+let prop name p =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 arb_nf p)
+
+let placement_tests =
+  [
+    prop "replica set has 2f+1 distinct in-range servers" (fun (n, f, key) ->
+        let p = Placement.create ~n ~f in
+        let reps = Placement.replicas p key in
+        List.length reps = (2 * f) + 1
+        && List.length (List.sort_uniq compare reps) = (2 * f) + 1
+        && List.for_all (fun s -> s >= 0 && s < n) reps);
+    prop "any two quorums of one key intersect" (fun (n, f, key) ->
+        (* every quorum is f+1 of the same 2f+1 replicas, so any two
+           must share a server — check the worst case: a prefix quorum
+           against a suffix quorum *)
+        let p = Placement.create ~n ~f in
+        let reps = Placement.replicas p key in
+        let q = Placement.quorum p in
+        let prefix = List.filteri (fun i _ -> i < q) reps in
+        let suffix = List.filteri (fun i _ -> i >= List.length reps - q) reps in
+        List.exists (fun s -> List.mem s suffix) prefix);
+    prop "placement is a pure function of (n, f, key)" (fun (n, f, key) ->
+        let a = Placement.create ~n ~f in
+        let b = Placement.create ~n ~f in
+        Placement.replicas a key = Placement.replicas b key);
+    test "hash matches golden values (no process/seed dependence)"
+      (fun () ->
+        (* FNV-1a over decimal digits, masked to 62 bits: these values
+           must never change, or every recorded placement shifts *)
+        List.iter
+          (fun (key, expect) -> check_int (Fmt.str "hash %d" key) expect
+              (Placement.hash key))
+          [
+            (0, 3414763486654340271);
+            (1, 3414762387142712060);
+            (7, 3414760188119455638);
+            (42, 571532774284038691);
+            (12345, 2699319223499327992);
+            (99999, 3420389540986028976);
+          ]);
+    test "hash is non-negative over a dense range" (fun () ->
+        for key = 0 to 20_000 do
+          if Placement.hash key < 0 then
+            Alcotest.failf "hash %d is negative" key
+        done);
+    test "n < 2f+1 rejected" (fun () ->
+        Alcotest.check_raises "too few servers"
+          (Invalid_argument
+             "Placement.create: need n >= 2f+1 = 5 servers, have 4")
+          (fun () -> ignore (Placement.create ~n:4 ~f:2)));
+    test "load spreads across servers" (fun () ->
+        (* with 10^4 keys over 8 servers, r=3: every server holds some
+           keys, and no server holds more than twice its fair share *)
+        let p = Placement.create ~n:8 ~f:1 in
+        let keys = 10_000 in
+        let fair = keys * 3 / 8 in
+        for s = 0 to 7 do
+          let l = Placement.server_load p ~keys s in
+          if l = 0 || l > 2 * fair then
+            Alcotest.failf "server %d holds %d keys (fair share %d)" s l fair
+        done);
+  ]
+
+(* --- Klog --------------------------------------------------------- *)
+
+open Regemu_objects
+
+let klog_tests =
+  [
+    test "invoke/return round trip with keys" (fun () ->
+        let t = Klog.create () in
+        let w = Klog.new_writer t ~client:(Id.Client.of_int 0) in
+        let tk = Klog.invoke w ~key:5 Regemu_sim.Trace.(H_write (Value.Int 1)) in
+        Klog.return tk (Value.Int 9);
+        let seen = ref [] in
+        let view = Klog.poll w ~from:0 (fun c -> seen := c :: !seen) in
+        check_int "len" 1 view.Klog.len;
+        match !seen with
+        | [ c ] ->
+            check_int "key" 5 c.Klog.k_key;
+            Alcotest.(check bool)
+              "result" true
+              (c.Klog.k_result = Some (Value.Int 9));
+            Alcotest.(check bool) "not aborted" false c.Klog.k_aborted
+        | _ -> Alcotest.fail "expected one cell");
+    test "trim releases whole chunks and poll skips them" (fun () ->
+        let t = Klog.create () in
+        let w = Klog.new_writer t ~client:(Id.Client.of_int 0) in
+        (* 3 chunks' worth of completed ops *)
+        let per_chunk = 256 in
+        for i = 0 to (3 * per_chunk) - 1 do
+          let tk = Klog.invoke w ~key:(i mod 7) Regemu_sim.Trace.(H_write (Value.Int 1)) in
+          Klog.return tk (Value.Int i)
+        done;
+        let before = Klog.resident_cells t in
+        Klog.trim w ~upto:(2 * per_chunk);
+        let after = Klog.resident_cells t in
+        Alcotest.(check bool)
+          "trim released memory" true
+          (after < before && after > 0);
+        let first = ref None in
+        let view =
+          Klog.poll w ~from:0 (fun c ->
+              if !first = None then first := Some c.Klog.k_invoked_at)
+        in
+        check_int "absolute length survives the trim" (3 * per_chunk)
+          view.Klog.len;
+        (* cells below the trim point are gone: the first visited cell
+           is the first of chunk 2, whose ticks start at 2*per_chunk *)
+        match !first with
+        | Some tick ->
+            Alcotest.(check bool)
+              "trimmed prefix not revisited" true (tick >= 2 * per_chunk)
+        | None -> Alcotest.fail "poll visited nothing");
+    test "aborted ops complete the cell" (fun () ->
+        let t = Klog.create () in
+        let w = Klog.new_writer t ~client:(Id.Client.of_int 0) in
+        let tk = Klog.invoke w ~key:1 Regemu_sim.Trace.(H_write (Value.Int 1)) in
+        Klog.abort tk;
+        check_int "completed" 1 (Klog.completed t);
+        check_int "aborted" 1 (Klog.aborted t);
+        let aborted = ref false in
+        ignore (Klog.poll w ~from:0 (fun c -> aborted := c.Klog.k_aborted));
+        Alcotest.(check bool) "cell marked aborted" true !aborted);
+  ]
+
+(* --- Openload determinism ----------------------------------------- *)
+
+let openload_tests =
+  [
+    test "op stream is a pure function of (seed, i)" (fun () ->
+        let cfg = { Openload.default_config with seed = 99; keys = 64 } in
+        for i = 0 to 499 do
+          check_int
+            (Fmt.str "key of op %d" i)
+            (Openload.key_of_op cfg i)
+            (Openload.key_of_op cfg i);
+          Alcotest.(check bool)
+            (Fmt.str "kind of op %d" i)
+            (Openload.is_write_op cfg i)
+            (Openload.is_write_op cfg i)
+        done);
+    test "different seeds give different streams" (fun () ->
+        let cfg s = { Openload.default_config with seed = s; keys = 1024 } in
+        let keys s = List.init 200 (Openload.key_of_op (cfg s)) in
+        Alcotest.(check bool) "streams differ" true (keys 1 <> keys 2));
+    test "zipf skew concentrates on few keys, uniform does not" (fun ()
+      ->
+        let draw zipf =
+          let cfg =
+            { Openload.default_config with seed = 5; keys = 1000; zipf }
+          in
+          let hits = Hashtbl.create 64 in
+          for i = 0 to 4_999 do
+            let k = Openload.key_of_op cfg i in
+            Hashtbl.replace hits k (1 + Option.value ~default:0
+                                          (Hashtbl.find_opt hits k))
+          done;
+          hits
+        in
+        let top hits =
+          Hashtbl.fold (fun _ c best -> max c best) hits 0
+        in
+        let skewed = draw 1.2 and uniform = draw 0.0 in
+        Alcotest.(check bool)
+          "hot key dominates under skew" true
+          (top skewed > 10 * top uniform);
+        Alcotest.(check bool)
+          "uniform touches most of the keyspace" true
+          (Hashtbl.length uniform > 900));
+  ]
+
+(* --- end-to-end: live smoke + checker GC soundness under DST ------- *)
+
+let dst_gc_test profile =
+  test
+    (Fmt.str "GC'd checker still catches a post-settle wipe (%s)"
+       (Regemu_dst.Dst_keyspace.profile_name profile))
+    (fun () ->
+      let cfg = Regemu_dst.Dst_keyspace.default_config ~profile ~seed:2026 in
+      let o = Regemu_dst.Dst_keyspace.run cfg in
+      (match o.Regemu_dst.Dst_keyspace.problems with
+      | [] -> ()
+      | ps -> Alcotest.failf "harness problems: %s" (String.concat "; " ps));
+      Alcotest.(check bool)
+        "a prefix was settled before the wipe" true
+        (o.Regemu_dst.Dst_keyspace.settled_at_wipe > 0);
+      Alcotest.(check bool)
+        "the checker caught the wipe" true o.Regemu_dst.Dst_keyspace.caught;
+      Alcotest.(check bool)
+        "gc_soundness_holds" true
+        (Regemu_dst.Dst_keyspace.gc_soundness_holds o))
+
+let e2e_tests =
+  [
+    test "clean DST run checks clean" (fun () ->
+        let cfg =
+          {
+            (Regemu_dst.Dst_keyspace.default_config ~profile:Regemu_dst.Dst_keyspace.Quiet ~seed:7)
+            with
+            wipe_frac = 0.0;
+          }
+        in
+        let o = Regemu_dst.Dst_keyspace.run cfg in
+        (match o.Regemu_dst.Dst_keyspace.problems with
+        | [] -> ()
+        | ps ->
+            Alcotest.failf "harness problems: %s" (String.concat "; " ps));
+        match o.Regemu_dst.Dst_keyspace.result with
+        | None -> Alcotest.fail "no result"
+        | Some r ->
+            check_int "no violations" 0 r.Kchecker.violations;
+            check_int "no deep mismatches" 0 r.Kchecker.deep_mismatches;
+            Alcotest.(check bool) "checks ran" true (r.Kchecker.checks > 0));
+    dst_gc_test Regemu_dst.Dst_keyspace.Quiet;
+    dst_gc_test Regemu_dst.Dst_keyspace.Chaos;
+    test "live smoke run stays within its memory budget" (fun () ->
+        let spec =
+          { Kbench.smoke_spec with zipfs = [ 0.9 ]; total_ops = 300 }
+        in
+        let o = Kbench.run spec in
+        match o.Kbench.skews with
+        | [ s ] ->
+            check_int "all completed" 300
+              (s.Kbench.completed + s.Kbench.failed);
+            check_int "no violations" 0 s.Kbench.violations;
+            check_int "no deep mismatches" 0 s.Kbench.deep_mismatches;
+            Alcotest.(check bool) "within budget" true s.Kbench.within_budget
+        | _ -> Alcotest.fail "expected one skew");
+  ]
+
+(* --- bench JSON schema gate --------------------------------------- *)
+
+let valid_doc () =
+  let spec = { Kbench.smoke_spec with zipfs = [ 0.5 ]; total_ops = 40 } in
+  Kbench.to_json (Kbench.run spec)
+
+let reject name doc =
+  test name (fun () ->
+      match Kbench.validate_keyspace_json doc with
+      | Ok () -> Alcotest.fail "validation accepted a malformed document"
+      | Error _ -> ())
+
+module Json = Regemu_obs.Json
+
+let rec strip key = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) -> if k = key then None else Some (k, strip key v))
+           fields)
+  | Json.List l -> Json.List (List.map (strip key) l)
+  | j -> j
+
+let schema_tests =
+  let doc = valid_doc () in
+  [
+    test "real outcome validates" (fun () ->
+        match Kbench.validate_keyspace_json doc with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "rejected a real outcome: %s" e);
+    reject "wrong schema tag rejected"
+      (strip "schema" doc |> function
+       | Json.Obj f -> Json.Obj (("schema", Json.Str "regemu-live/1") :: f)
+       | j -> j);
+    reject "missing schema rejected" (strip "schema" doc);
+    reject "missing spec rejected" (strip "spec" doc);
+    reject "empty skews rejected"
+      (strip "skews" doc |> function
+       | Json.Obj f -> Json.Obj (("skews", Json.List []) :: f)
+       | j -> j);
+    reject "skew without checker fields rejected" (strip "violations" doc);
+    reject "skew without budget verdict rejected" (strip "within_budget" doc);
+  ]
+
+let suites =
+  [
+    ("keyspace.placement", placement_tests);
+    ("keyspace.klog", klog_tests);
+    ("keyspace.openload", openload_tests);
+    ("keyspace.e2e", e2e_tests);
+    ("keyspace.schema", schema_tests);
+  ]

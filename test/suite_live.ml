@@ -3,6 +3,7 @@
 
 open Regemu_objects
 open Regemu_live
+module Json = Regemu_obs.Json
 
 let test name f = Alcotest.test_case name `Quick f
 
