@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test check bench perf-bench live-bench chaos-bench keyspace-bench dst-fuzz trace-demo verify examples clean loc
+.PHONY: all build test check bench perf-bench live-bench tail-bench chaos-bench keyspace-bench dst-fuzz trace-demo verify examples clean loc
 
 all: build
 
@@ -29,6 +29,12 @@ perf-bench:
 # real threads, fault injection, online checking; writes BENCH_live_suite.json
 live-bench:
 	dune exec bin/regemu.exe -- live --bench --json BENCH_live_suite.json
+
+# the tail-latency A/B: baseline vs unhedged vs hedged under a single
+# 10x gray straggler, median of 5 interleaved rounds per arm; writes
+# BENCH_tail.json in the regemu-tail/1 schema (validated before persisting)
+tail-bench:
+	dune exec bin/regemu.exe -- live --tail --json BENCH_tail.json
 
 # the full nemesis campaign against the live cluster; writes BENCH_chaos.json
 chaos-bench:

@@ -787,8 +787,57 @@ let live_cmd =
                 is reported.  Defaults to 3 for $(b,--saturate) sweeps \
                 (1 with $(b,--smoke)), 1 otherwise.")
   in
-  let run bench smoke saturate chaos algo k readers f n ops couriers json seed
-      reps trace sample metrics =
+  let tail_arg =
+    Arg.(
+      value & flag
+      & info [ "tail" ]
+          ~doc:"Tail-latency A/B bench: baseline, unhedged, and hedged arms \
+                under a single 10x gray straggler, reporting latency \
+                percentiles per arm and the hedged-p99-over-baseline-p99 \
+                ratio (regemu-tail/1 schema with $(b,--json)).  With \
+                $(b,--smoke), a bounded run for CI.")
+  in
+  let run bench smoke saturate tail chaos algo k readers f n ops couriers json
+      seed reps trace sample metrics =
+    if tail then
+      Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
+      let spec =
+        if smoke then Tail_bench.smoke_spec ~seed
+        else Tail_bench.default_spec ~seed
+      in
+      (* full tail runs report median-of-5 arms: single-core p99 is
+         noisy and a median, not one roll, is the number worth
+         committing to BENCH_tail.json *)
+      let reps =
+        match reps with Some r -> r | None -> if smoke then 1 else 5
+      in
+      match Tail_bench.run ~sink ~reps spec with
+      | exception Invalid_argument m ->
+          Fmt.epr "error: %s@." m;
+          1
+      | o -> (
+          Fmt.pr "%a@." Tail_bench.outcome_pp o;
+          let doc = Tail_bench.to_json o in
+          match Tail_bench.validate_tail_json doc with
+          | Error m ->
+              Fmt.epr
+                "error: emitted document fails the regemu-tail/1 schema \
+                 check: %s@."
+                m;
+              1
+          | Ok () -> (
+              match Option.iter (fun path -> Json.to_file path doc) json with
+              | exception Sys_error m ->
+                  Fmt.epr "error: %s@." m;
+                  1
+              | () ->
+                  if Tail_bench.clean o then 0
+                  else (
+                    Fmt.epr
+                      "error: a tail arm failed its consistency checks or \
+                       lost operations@.";
+                    1)))
+    else
     let specs =
       if saturate then
         let clients = if smoke then [ 2; 4 ] else Live_bench.saturate_clients in
@@ -862,7 +911,8 @@ let live_cmd =
          "Run a real concurrent cluster: server threads, load-generator \
           client threads, fault injection, and online consistency checking.")
     Term.(
-      const run $ bench_arg $ smoke_arg $ saturate_arg $ chaos_arg $ algo_arg
+      const run $ bench_arg $ smoke_arg $ saturate_arg $ tail_arg $ chaos_arg
+      $ algo_arg
       $ Arg.(value & opt int 1 & info [ "k" ] ~doc:"Number of writer threads.")
       $ readers_arg
       $ Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure threshold.")

@@ -3,9 +3,12 @@ open Regemu_objects
 open Regemu_live
 module Json = Regemu_obs.Json
 
-type algo = Abd | Alg2
+type algo = Abd | Alg2 | Keyed
 
-let algo_name = function Abd -> "abd" | Alg2 -> "algorithm2"
+let algo_name = function
+  | Abd -> "abd"
+  | Alg2 -> "algorithm2"
+  | Keyed -> "keyspace"
 
 type expectation = Clean | Degraded | Violation
 
@@ -36,6 +39,7 @@ type scenario = {
   dup_prob : float;
   delay_prob : float;
   max_delay_us : int;
+  hedge : bool;
   expect : expectation;
   seed : int;
   phases : phase list;
@@ -183,6 +187,8 @@ let run ?(log = ignore) ?(sink = Sink.none) s =
         op_timeout_s = 60.0;
         recovery = s.recovery;
         retry = Some retry_config;
+        hedge = (if s.hedge then Some Hedge.default_config else None);
+        deadline = (if s.hedge then Some Deadline.default_config else None);
       }
   in
   let writers = List.init s.k (fun _ -> Cluster.new_client cluster) in
@@ -196,6 +202,23 @@ let run ?(log = ignore) ?(sink = Sink.none) s =
         let p = Params.make_exn ~k:s.k ~f:s.f ~n:s.n in
         let alg2 = Alg2_live.create cluster p ~writers () in
         (Alg2_live.write alg2, Alg2_live.read alg2)
+    | Keyed ->
+        (* every operation targets key 0: the schedule partitions that
+           key's replica set, so the keyed retry/fail-fast path is what
+           gets exercised.  Keyed ops log to the kspace's Klog, not the
+           cluster Histlog, so the online checker sees an empty (clean)
+           history — judgment rides on the expectation instead. *)
+        let ks = Regemu_keyspace.Kspace.create cluster ~f:s.f () in
+        let worker =
+          let table =
+            List.map
+              (fun cl -> (cl, Regemu_keyspace.Kspace.worker_of ks cl))
+              (writers @ readers)
+          in
+          fun cl -> List.assq cl table
+        in
+        ( (fun cl v -> Regemu_keyspace.Kspace.write ks (worker cl) ~key:0 v),
+          fun cl -> Regemu_keyspace.Kspace.read ks (worker cl) ~key:0 )
   in
   Cluster.start cluster;
   let checker = Checker.spawn cluster ~interval_s:0.02 () in
@@ -240,6 +263,7 @@ let base ~seed =
     dup_prob = 0.0;
     delay_prob = 0.0;
     max_delay_us = 0;
+    hedge = false;
     expect = Clean;
     seed;
     phases = [];
@@ -260,7 +284,11 @@ let one_phase ?(may_fail = false) ~label ~writes ~reads ~gap_ms schedule =
 let rolling_crashes ~seed ~algo ~rounds ~ops =
   {
     (base ~seed) with
-    name = (match algo with Abd -> "rolling-crashes" | Alg2 -> "rolling-crashes-alg2");
+    name =
+      (match algo with
+      | Abd -> "rolling-crashes"
+      | Alg2 -> "rolling-crashes-alg2"
+      | Keyed -> "rolling-crashes-keyed");
     descr =
       Fmt.str
         "crash and restart every server %d time(s) in turn under message \
@@ -335,6 +363,81 @@ let amnesia ~seed ~ops =
       @ one_phase ~label:"stale-reads" ~writes:0 ~reads:ops ~gap_ms:15 [];
   }
 
+(* --- gray-failure scenarios --------------------------------------------- *)
+
+let one_straggler ~seed ~slow_us ~ops =
+  {
+    (base ~seed) with
+    name = "one-straggler";
+    descr =
+      Fmt.str
+        "one server's link turns gray (+%dus per message) mid-workload: \
+         hedged quorum rounds must keep every operation completing at \
+         healthy-replica speed"
+        slow_us;
+    hedge = true;
+    phases =
+      one_phase ~label:"straggle" ~writes:ops ~reads:ops ~gap_ms:30
+        (Schedule.one_straggler ~n:3 ~server:2 ~slow_us ~at_ms:60
+           ~heal_at_ms:900);
+  }
+
+let rotating_straggler ~seed ~slow_us ~ops =
+  {
+    (base ~seed) with
+    name = "rotating-straggler";
+    descr =
+      "the slowdown wanders: each server takes a turn as the gray \
+       straggler, so no fixed replica subset is safe — the adaptive \
+       deadline and health-biased hedging must keep adapting";
+    hedge = true;
+    phases =
+      one_phase ~label:"rotate" ~writes:ops ~reads:ops ~gap_ms:30
+        (Schedule.rotating_straggler ~n:3 ~slow_us ~start_ms:40 ~dwell_ms:250
+           ());
+  }
+
+(* one server crashed (the full f budget) while another limps: still
+   within the model — the slow server is alive, so a quorum of f+1
+   exists — but every round must now wait out or hedge around the
+   straggler *)
+let straggler_at_f ~seed ~slow_us ~ops =
+  {
+    (base ~seed) with
+    name = "straggler-at-f";
+    descr =
+      "a crash spends the whole f=1 budget while a second server turns \
+       gray: the quorum that remains includes the straggler, so only \
+       patience (adaptive deadlines) keeps operations completing";
+    hedge = true;
+    phases =
+      one_phase ~label:"squeeze" ~writes:ops ~reads:ops ~gap_ms:40
+        [
+          { Schedule.at_ms = 40; ev = Schedule.Slow (1, slow_us) };
+          { at_ms = 80; ev = Schedule.Crash 0 };
+          { at_ms = 700; ev = Schedule.Restart 0 };
+          { at_ms = 800; ev = Schedule.Heal_slow 1 };
+        ];
+  }
+
+let keyspace_outage ~seed ~heal_at_ms ~outage_ops =
+  {
+    (base ~seed) with
+    name = "keyspace-outage";
+    descr =
+      "cut the clients off from key 0's replica set beyond f: keyed \
+       operations must fail fast with Unavailable, then resume after \
+       the heal — the keyed retry path under partition";
+    algo = Keyed;
+    expect = Degraded;
+    phases =
+      one_phase ~label:"warmup" ~writes:4 ~reads:4 ~gap_ms:15 []
+      @ one_phase ~may_fail:true ~label:"outage" ~writes:outage_ops
+          ~reads:outage_ops ~gap_ms:40
+          (Schedule.beyond_f ~n:3 ~reach:1 ~at_ms:50 ~heal_at_ms)
+      @ one_phase ~label:"recovered" ~writes:4 ~reads:4 ~gap_ms:15 [];
+  }
+
 let campaign ~seed =
   [
     rolling_crashes ~seed ~algo:Abd ~rounds:2 ~ops:12;
@@ -343,6 +446,10 @@ let campaign ~seed =
     flapping ~seed:(seed + 3);
     beyond_f ~seed:(seed + 4) ~heal_at_ms:1500 ~outage_ops:5;
     amnesia ~seed:(seed + 5) ~ops:8;
+    one_straggler ~seed:(seed + 6) ~slow_us:5_000 ~ops:10;
+    rotating_straggler ~seed:(seed + 7) ~slow_us:4_000 ~ops:10;
+    straggler_at_f ~seed:(seed + 8) ~slow_us:3_000 ~ops:8;
+    keyspace_outage ~seed:(seed + 9) ~heal_at_ms:1500 ~outage_ops:5;
   ]
 
 let smoke ~seed =
@@ -350,6 +457,8 @@ let smoke ~seed =
     rolling_crashes ~seed ~algo:Abd ~rounds:1 ~ops:8;
     beyond_f ~seed:(seed + 4) ~heal_at_ms:800 ~outage_ops:3;
     amnesia ~seed:(seed + 5) ~ops:5;
+    one_straggler ~seed:(seed + 6) ~slow_us:4_000 ~ops:6;
+    keyspace_outage ~seed:(seed + 9) ~heal_at_ms:800 ~outage_ops:3;
   ]
 
 let names () = List.map (fun s -> s.name) (campaign ~seed:0)
@@ -417,6 +526,7 @@ let outcome_json o =
       ("drop_prob", Json.Float s.drop_prob);
       ("dup_prob", Json.Float s.dup_prob);
       ("delay_prob", Json.Float s.delay_prob);
+      ("hedge", Json.Bool s.hedge);
       ("seed", Json.Int s.seed);
       ("expect", Json.Str (expectation_name s.expect));
       ( "phases",
@@ -433,11 +543,14 @@ let outcome_json o =
             ("delayed", Json.Int stats.Cluster.msgs_delayed);
             ("dropped", Json.Int stats.Cluster.msgs_dropped);
             ("cut", Json.Int stats.Cluster.msgs_cut);
+            ("slowed", Json.Int stats.Cluster.msgs_slowed);
           ] );
       ("crashes", Json.Int stats.Cluster.crashes);
       ("restarts", Json.Int stats.Cluster.restarts);
       ("wipes", Json.Int stats.Cluster.wipes);
       ("retries", Json.Int stats.Cluster.retries);
+      ("hedges", Json.Int stats.Cluster.hedges);
+      ("hedge_wins", Json.Int stats.Cluster.hedge_wins);
       ("unavailable", Json.Int stats.Cluster.unavailable);
       ("ops_completed", Json.Int stats.Cluster.ops_completed);
       ( "backoff_hist_ms",

@@ -18,7 +18,13 @@
     fault stream, the retry jitter, and the seeded schedule generators.
     Two runs with the same seed replay the same campaign. *)
 
-type algo = Abd | Alg2
+type algo =
+  | Abd
+  | Alg2
+  | Keyed
+      (** drive {!Regemu_keyspace.Kspace} operations on key 0 — the
+          keyed retry path; keyed ops log to the kspace's Klog, so the
+          single-register online checker sees an empty history *)
 
 val algo_name : algo -> string
 
@@ -50,6 +56,10 @@ type scenario = {
   dup_prob : float;
   delay_prob : float;
   max_delay_us : int;
+  hedge : bool;
+      (** run with hedged quorum rounds and adaptive deadlines
+          ({!Regemu_live.Hedge.default_config} /
+          {!Regemu_live.Deadline.default_config}) *)
   expect : expectation;
   seed : int;
   phases : phase list;
@@ -94,11 +104,14 @@ val run_all :
   outcome list
 
 (** The full campaign: rolling crashes (ABD and Algorithm 2), a healed
-    majority partition, seeded flapping, a beyond-[f] outage, and the
-    amnesia wipe. *)
+    majority partition, seeded flapping, a beyond-[f] outage, the
+    amnesia wipe, and the gray-failure quartet — one straggler,
+    rotating straggler, a straggler squeezed against the [f] crash
+    budget (all hedged), and the keyspace outage. *)
 val campaign : seed:int -> scenario list
 
-(** The bounded subset for CI: rolling crashes, beyond-[f], amnesia. *)
+(** The bounded subset for CI: rolling crashes, beyond-[f], amnesia,
+    one-straggler, keyspace-outage. *)
 val smoke : seed:int -> scenario list
 
 val names : unit -> string list

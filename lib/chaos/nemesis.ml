@@ -7,11 +7,17 @@ type counters = {
   partitions : int;
   heals : int;
   drop_changes : int;
+  slows : int;
+  stutters : int;
+  heal_slows : int;
 }
 
 let counters_pp ppf c =
-  Fmt.pf ppf "%d crashes, %d restarts, %d partitions, %d heals, %d drop changes"
-    c.crashes c.restarts c.partitions c.heals c.drop_changes
+  Fmt.pf ppf
+    "%d crashes, %d restarts, %d partitions, %d heals, %d drop changes, %d \
+     slows, %d stutters, %d slow heals"
+    c.crashes c.restarts c.partitions c.heals c.drop_changes c.slows
+    c.stutters c.heal_slows
 
 let counters_json c =
   Json.Obj
@@ -21,6 +27,9 @@ let counters_json c =
       ("partitions", Json.Int c.partitions);
       ("heals", Json.Int c.heals);
       ("drop_changes", Json.Int c.drop_changes);
+      ("slows", Json.Int c.slows);
+      ("stutters", Json.Int c.stutters);
+      ("heal_slows", Json.Int c.heal_slows);
     ]
 
 type mode =
@@ -29,35 +38,69 @@ type mode =
 
 type t = { mode : mode; counters : counters ref }
 
-let apply cluster counters { Schedule.ev; _ } =
+(* The replay loop is strictly sequential, so a fault with a duration
+   ([Stutter]) cannot block in [apply]: schedules pre-expand into
+   instantaneous actions — a stutter becomes a freeze at [at_ms] and a
+   thaw at [at_ms + duration]. *)
+type action =
+  | Event of Schedule.event
+  | Thaw of int
+
+let expand events =
+  List.concat_map
+    (fun { Schedule.at_ms; ev } ->
+      match ev with
+      | Schedule.Stutter (s, ms) ->
+          [ (at_ms, Event ev); (at_ms + ms, Thaw s) ]
+      | _ -> [ (at_ms, Event ev) ])
+    events
+
+let apply cluster counters action =
   let c = !counters in
-  match ev with
-  | Schedule.Crash s ->
+  match action with
+  | Event (Schedule.Crash s) ->
       Cluster.crash cluster s;
       counters := { c with crashes = c.crashes + 1 }
-  | Schedule.Restart s ->
+  | Event (Schedule.Restart s) ->
       Cluster.restart cluster s;
       counters := { c with restarts = c.restarts + 1 }
-  | Schedule.Partition groups ->
+  | Event (Schedule.Partition groups) ->
       Cluster.split cluster ~groups ~clients_with:0;
       counters := { c with partitions = c.partitions + 1 }
-  | Schedule.Heal ->
+  | Event Schedule.Heal ->
       Cluster.heal cluster;
       counters := { c with heals = c.heals + 1 }
-  | Schedule.Drop_rate p ->
+  | Event (Schedule.Drop_rate p) ->
       Cluster.set_drop cluster ~requests:p ~replies:p ();
       counters := { c with drop_changes = c.drop_changes + 1 }
+  | Event (Schedule.Slow (s, us)) ->
+      Cluster.set_slow cluster ~server:s us;
+      counters := { c with slows = c.slows + 1 }
+  | Event (Schedule.Stutter (s, _ms)) ->
+      Cluster.freeze cluster ~server:s;
+      counters := { c with stutters = c.stutters + 1 }
+  | Event (Schedule.Heal_slow s) ->
+      Cluster.set_slow cluster ~server:s 0;
+      counters := { c with heal_slows = c.heal_slows + 1 }
+  | Thaw s -> Cluster.thaw cluster ~server:s
 
 let start ?sched cluster events =
   Schedule.validate ~n:(Cluster.num_servers cluster) events;
-  let events =
-    List.stable_sort
-      (fun a b -> compare a.Schedule.at_ms b.Schedule.at_ms)
-      events
+  let actions =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) (expand events)
   in
   let counters =
     ref
-      { crashes = 0; restarts = 0; partitions = 0; heals = 0; drop_changes = 0 }
+      {
+        crashes = 0;
+        restarts = 0;
+        partitions = 0;
+        heals = 0;
+        drop_changes = 0;
+        slows = 0;
+        stutters = 0;
+        heal_slows = 0;
+      }
   in
   (* the replay body, parameterized over how to wait: [Thread.delay] on
      the monotonic clock in the threaded mode, the scheduler's virtual
@@ -66,8 +109,8 @@ let start ?sched cluster events =
   let replay pause =
     let t0 = Clock.now_s () in
     List.iter
-      (fun ev ->
-        let due = t0 +. (float_of_int ev.Schedule.at_ms /. 1e3) in
+      (fun (at_ms, action) ->
+        let due = t0 +. (float_of_int at_ms /. 1e3) in
         let rec sleep_until () =
           let now = Clock.now_s () in
           if now < due then begin
@@ -76,8 +119,8 @@ let start ?sched cluster events =
           end
         in
         sleep_until ();
-        apply cluster counters ev)
-      events
+        apply cluster counters action)
+      actions
   in
   let mode =
     match sched with

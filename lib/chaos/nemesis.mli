@@ -13,6 +13,9 @@ type counters = {
   partitions : int;
   heals : int;
   drop_changes : int;
+  slows : int;  (** [Slow] events applied *)
+  stutters : int;  (** [Stutter] freezes applied (thaws not counted) *)
+  heal_slows : int;  (** [Heal_slow] events applied *)
 }
 
 val counters_pp : counters Fmt.t

@@ -4,6 +4,9 @@ type event =
   | Partition of int list list
   | Heal
   | Drop_rate of float
+  | Slow of int * int  (* server, added delivery delay in us *)
+  | Stutter of int * int  (* server, freeze duration in ms *)
+  | Heal_slow of int  (* clear a server's slow link *)
 
 type timed = { at_ms : int; ev : event }
 type t = timed list
@@ -17,6 +20,9 @@ let event_pp ppf = function
         groups
   | Heal -> Fmt.string ppf "heal"
   | Drop_rate p -> Fmt.pf ppf "drop-rate %.2f" p
+  | Slow (s, us) -> Fmt.pf ppf "slow %d +%dus" s us
+  | Stutter (s, ms) -> Fmt.pf ppf "stutter %d %dms" s ms
+  | Heal_slow s -> Fmt.pf ppf "heal-slow %d" s
 
 let pp ppf sched =
   Fmt.pf ppf "%a"
@@ -34,7 +40,13 @@ let validate ~n sched =
     (fun { at_ms; ev } ->
       if at_ms < 0 then invalid_arg "Schedule: negative event time";
       match ev with
-      | Crash s | Restart s -> check_server s
+      | Crash s | Restart s | Heal_slow s -> check_server s
+      | Slow (s, us) ->
+          check_server s;
+          if us < 0 then invalid_arg "Schedule: negative slow delay"
+      | Stutter (s, ms) ->
+          check_server s;
+          if ms <= 0 then invalid_arg "Schedule: stutter needs a positive duration"
       | Heal -> ()
       | Drop_rate p ->
           if not (p >= 0.0 && p <= 1.0) then
@@ -51,7 +63,12 @@ let validate ~n sched =
             groups)
     sched
 
-let duration_ms sched = List.fold_left (fun a { at_ms; _ } -> max a at_ms) 0 sched
+(* a stutter occupies [at_ms, at_ms + duration): its thaw counts *)
+let duration_ms sched =
+  List.fold_left
+    (fun a { at_ms; ev } ->
+      max a (match ev with Stutter (_, ms) -> at_ms + ms | _ -> at_ms))
+    0 sched
 
 (* the largest number of servers simultaneously crashed while the
    schedule runs (partitions not counted) *)
@@ -64,7 +81,8 @@ let max_down sched =
           incr down;
           worst := max !worst !down
       | Restart _ -> down := max 0 (!down - 1)
-      | Partition _ | Heal | Drop_rate _ -> ())
+      | Partition _ | Heal | Drop_rate _ | Slow _ | Stutter _ | Heal_slow _ ->
+          ())
     (List.stable_sort (fun a b -> compare a.at_ms b.at_ms) sched);
   !worst
 
@@ -162,6 +180,42 @@ let wipe_storm ~n ?(at_ms = 3) ?(down_ms = 2) ?(storms = 1) () =
          List.init n (fun s -> { at_ms = base; ev = Crash s })
          @ List.init n (fun s -> { at_ms = base + down_ms; ev = Restart s })))
 
+(* one server turns gray for a window, then heals: the single
+   straggler every quorum system eventually meets *)
+let one_straggler ~n ~server ~slow_us ~at_ms ~heal_at_ms =
+  if server < 0 || server >= n then
+    invalid_arg "Schedule.one_straggler: server out of range";
+  if heal_at_ms <= at_ms then
+    invalid_arg "Schedule.one_straggler: heal must come after the slowdown";
+  [
+    { at_ms; ev = Slow (server, slow_us) };
+    { at_ms = heal_at_ms; ev = Heal_slow server };
+  ]
+
+(* the slowdown wanders: each server takes a turn as the straggler,
+   healing before the next one degrades *)
+let rotating_straggler ~n ~slow_us ?(start_ms = 40) ~dwell_ms () =
+  if dwell_ms <= 0 then
+    invalid_arg "Schedule.rotating_straggler: dwell must be positive";
+  List.concat
+    (List.init n (fun s ->
+         let base = start_ms + (s * dwell_ms) in
+         [
+           { at_ms = base; ev = Slow (s, slow_us) };
+           { at_ms = base + dwell_ms; ev = Heal_slow s };
+         ]))
+
+(* periodic freeze/resume bursts of one server's request lane *)
+let stutter_bursts ~n ~server ~bursts ?(start_ms = 40) ~freeze_ms ~gap_ms () =
+  if server < 0 || server >= n then
+    invalid_arg "Schedule.stutter_bursts: server out of range";
+  if bursts < 1 then invalid_arg "Schedule.stutter_bursts: need >= 1 burst";
+  List.init bursts (fun i ->
+      {
+        at_ms = start_ms + (i * (freeze_ms + gap_ms));
+        ev = Stutter (server, freeze_ms);
+      })
+
 (* --- serialization ------------------------------------------------------ *)
 
 module Json = Regemu_obs.Json
@@ -179,6 +233,10 @@ let event_json = function
         ]
   | Heal -> Json.Str "heal"
   | Drop_rate p -> Json.Obj [ ("drop_rate", Json.Float p) ]
+  | Slow (s, us) -> Json.Obj [ ("slow", Json.List [ Json.Int s; Json.Int us ]) ]
+  | Stutter (s, ms) ->
+      Json.Obj [ ("stutter", Json.List [ Json.Int s; Json.Int ms ]) ]
+  | Heal_slow s -> Json.Obj [ ("heal_slow", Json.Int s) ]
 
 let to_json sched =
   Json.List
@@ -193,6 +251,11 @@ let event_of_json = function
   | Json.Obj [ ("restart", Json.Int s) ] -> Ok (Restart s)
   | Json.Obj [ ("drop_rate", ((Json.Float _ | Json.Int _) as p)) ] ->
       Ok (Drop_rate (Option.get (Json.to_float_opt p)))
+  | Json.Obj [ ("slow", Json.List [ Json.Int s; Json.Int us ]) ] ->
+      Ok (Slow (s, us))
+  | Json.Obj [ ("stutter", Json.List [ Json.Int s; Json.Int ms ]) ] ->
+      Ok (Stutter (s, ms))
+  | Json.Obj [ ("heal_slow", Json.Int s) ] -> Ok (Heal_slow s)
   | Json.Obj [ ("partition", Json.List gs) ] ->
       let group g =
         match Json.to_list_opt g with

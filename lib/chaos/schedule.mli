@@ -6,8 +6,11 @@
     attached to.  Events map 1:1 onto the cluster's fault surface:
     {!Regemu_live.Cluster.crash}/[restart] (whose semantics depend on
     the cluster's {!Regemu_live.Recovery.mode}),
-    [split]/[heal] (partitions; clients travel with group 0), and
-    [set_drop] (symmetric message-loss rate). *)
+    [split]/[heal] (partitions; clients travel with group 0),
+    [set_drop] (symmetric message-loss rate), and the gray-failure
+    surface: [set_slow] (a slow-not-dead replica link),
+    [freeze]/[thaw] (stutter bursts — the nemesis expands a [Stutter]
+    into its freeze and thaw), and [set_slow 0] ([Heal_slow]). *)
 
 type event =
   | Crash of int
@@ -16,6 +19,13 @@ type event =
       (** reachability groups; the clients are attached to the first *)
   | Heal
   | Drop_rate of float  (** set both request and reply loss to this *)
+  | Slow of int * int
+      (** [(server, us)]: add [us] microseconds to every envelope on
+          the server's link — a gray straggler *)
+  | Stutter of int * int
+      (** [(server, ms)]: freeze the server's request lane for [ms]
+          milliseconds, then thaw it (queued, not lost) *)
+  | Heal_slow of int  (** clear a server's slow link *)
 
 type timed = { at_ms : int; ev : event }
 type t = timed list
@@ -24,10 +34,11 @@ val event_pp : event Fmt.t
 val pp : t Fmt.t
 
 (** Raises [Invalid_argument] on a server id outside [0,n), a negative
-    time, a drop rate outside [0,1], or overlapping partition groups. *)
+    time, a drop rate outside [0,1], overlapping partition groups, a
+    negative slow delay, or a non-positive stutter duration. *)
 val validate : n:int -> t -> unit
 
-(** Time of the last event. *)
+(** Time of the last event (a stutter counts until its thaw). *)
 val duration_ms : t -> int
 
 (** Largest number of servers simultaneously crashed, replaying the
@@ -65,6 +76,28 @@ val wipe_all : n:int -> ?start_ms:int -> ?gap_ms:int -> unit -> t
     data.  Deliberately beyond any [f]. *)
 val wipe_storm :
   n:int -> ?at_ms:int -> ?down_ms:int -> ?storms:int -> unit -> t
+
+(** One server's link turns gray (+[slow_us] per envelope) for
+    [at_ms, heal_at_ms) — the single straggler. *)
+val one_straggler :
+  n:int -> server:int -> slow_us:int -> at_ms:int -> heal_at_ms:int -> t
+
+(** Each server in turn is the straggler for [dwell_ms], healing
+    before the next takes over. *)
+val rotating_straggler :
+  n:int -> slow_us:int -> ?start_ms:int -> dwell_ms:int -> unit -> t
+
+(** [bursts] freeze/thaw cycles of one server's request lane:
+    [freeze_ms] frozen, [gap_ms] recovering. *)
+val stutter_bursts :
+  n:int ->
+  server:int ->
+  bursts:int ->
+  ?start_ms:int ->
+  freeze_ms:int ->
+  gap_ms:int ->
+  unit ->
+  t
 
 val to_json : t -> Regemu_obs.Json.t
 

@@ -17,6 +17,7 @@ type config = {
   dup_prob : float;
   delay_prob : float;
   max_delay_us : int;
+  hedge : bool;
   nemesis : Schedule.t;
   step_ns : int;
   max_steps : int;
@@ -40,6 +41,7 @@ let default_config ~seed =
     dup_prob = 0.05;
     delay_prob = 0.0;
     max_delay_us = 0;
+    hedge = false;
     nemesis = [];
     step_ns = 20_000;
     max_steps = 400_000;
@@ -171,6 +173,9 @@ let run ?(choices = [||]) ?(sink = Sink.none) cfg =
               op_timeout_s = 300.0;
               recovery = cfg.recovery;
               retry = Some Retry.default_config;
+              hedge = (if cfg.hedge then Some Hedge.default_config else None);
+              deadline =
+                (if cfg.hedge then Some Deadline.default_config else None);
             }
         in
         let writers =
@@ -234,6 +239,9 @@ let run ?(choices = [||]) ?(sink = Sink.none) cfg =
                 partitions = 0;
                 heals = 0;
                 drop_changes = 0;
+                slows = 0;
+                stutters = 0;
+                heal_slows = 0;
               }
           | Some nm -> Nemesis.join nm
         in
@@ -273,6 +281,7 @@ let config_json cfg =
       ("dup_prob", Json.Float cfg.dup_prob);
       ("delay_prob", Json.Float cfg.delay_prob);
       ("max_delay_us", Json.Int cfg.max_delay_us);
+      ("hedge", Json.Bool cfg.hedge);
       ("step_ns", Json.Int cfg.step_ns);
       ("max_steps", Json.Int cfg.max_steps);
     ]
@@ -311,6 +320,12 @@ let config_of_json j =
   let* dup_prob = flt "dup_prob" in
   let* delay_prob = flt "delay_prob" in
   let* max_delay_us = int "max_delay_us" in
+  (* absent in pre-hedging replay files: default off *)
+  let hedge =
+    match Option.bind (Json.member "hedge" j) Json.to_bool_opt with
+    | Some b -> b
+    | None -> false
+  in
   let* step_ns = int "step_ns" in
   let* max_steps = int "max_steps" in
   Ok
@@ -328,6 +343,7 @@ let config_of_json j =
       dup_prob;
       delay_prob;
       max_delay_us;
+      hedge;
       nemesis = [];
       step_ns;
       max_steps;

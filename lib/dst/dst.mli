@@ -32,6 +32,10 @@ type config = {
   dup_prob : float;
   delay_prob : float;
   max_delay_us : int;
+  hedge : bool;
+      (** hedged quorum rounds + adaptive deadlines
+          ({!Regemu_live.Hedge.default_config} /
+          {!Regemu_live.Deadline.default_config}); default off *)
   nemesis : Schedule.t;  (** replayed in virtual time *)
   step_ns : int;  (** {!Sched.config} *)
   max_steps : int;

@@ -91,6 +91,8 @@ let run ?(sink = Sink.none) cfg =
               op_timeout_s = 300.0;
               recovery = Recovery.Amnesia;
               retry = Some Retry.default_config;
+              hedge = None;
+              deadline = None;
             }
         in
         let ks = Kspace.create cluster ~f:cfg.f () in

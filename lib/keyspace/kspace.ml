@@ -44,22 +44,28 @@ let new_worker t =
   let cl = Cluster.new_client t.cluster in
   { cl; kw = Klog.new_writer t.klog ~client:(Cluster.client_id cl) }
 
+(* wrap an existing cluster client (a chaos-campaign thread that also
+   runs single-register ops, say) as a keyspace worker *)
+let worker_of t cl =
+  { cl; kw = Klog.new_writer t.klog ~client:(Cluster.client_id cl) }
+
 let worker_client w = w.cl
 
 (* one per-key quorum round, the keyed twin of Abd_live.quorum_round:
-   broadcast to the key's replicas, await f+1 replies *)
+   contact the key's replicas (all of them, or a health-biased hedged
+   subset when the cluster has a hedge config), await f+1 replies.
+   [rpc] retransmits lost requests and dedupes replies per rid, so
+   keyed rounds survive drops exactly like single-register rounds. *)
 let quorum_round t w ~key ~request ~fold ~init =
   let replicas = Placement.replicas t.placement key in
   let quorum = t.f + 1 in
   let count = ref 0 in
   let acc = ref init in
   Cluster.locked w.cl (fun () ->
-      List.iter
-        (fun s ->
-          Cluster.rpc t.cluster ~src:w.cl s ~make:request
-            ~handler:(fun reply ->
-              acc := fold !acc reply;
-              incr count))
+      Cluster.rpc_quorum t.cluster ~src:w.cl ~quorum ~make:request
+        ~handler:(fun reply ->
+          acc := fold !acc reply;
+          incr count)
         replicas);
   Cluster.await t.cluster w.cl ~need:(replicas, quorum) (fun () ->
       !count >= quorum);

@@ -41,6 +41,11 @@ type worker
     bounded pool of these. *)
 val new_worker : t -> worker
 
+(** Wrap an existing cluster client as a worker — for harnesses (the
+    chaos campaign) that own their clients.  Each wrap allocates a
+    fresh {!Klog} writer; keep one worker per client. *)
+val worker_of : t -> Regemu_live.Cluster.client -> worker
+
 val worker_client : worker -> Regemu_live.Cluster.client
 
 (** [write t w ~key v] writes [v] to [key]'s register: query-max round

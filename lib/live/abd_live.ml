@@ -18,20 +18,21 @@ let create cluster ~f ?(write_back_reads = false) () =
 
 let replicas t = List.length t.replicas
 
-(* broadcast a request built from a fresh rid per server, await [f+1]
-   replies, fold them.  [rpc] retransmits lost requests; replies are
-   deduplicated per rid, so a reply counts toward the quorum once. *)
+(* issue a request built from a fresh rid per server, await [f+1]
+   replies, fold them.  Without hedging this broadcasts to all
+   replicas; with it, [rpc_quorum] contacts a health-biased subset
+   first and hedges the rest.  [rpc] retransmits lost requests;
+   replies are deduplicated per rid, so a reply counts toward the
+   quorum once. *)
 let quorum_round t cl ~request ~fold ~init =
   let quorum = t.f + 1 in
   let count = ref 0 in
   let acc = ref init in
   Cluster.locked cl (fun () ->
-      List.iter
-        (fun s ->
-          Cluster.rpc t.cluster ~src:cl s ~make:request
-            ~handler:(fun reply ->
-              acc := fold !acc reply;
-              incr count))
+      Cluster.rpc_quorum t.cluster ~src:cl ~quorum ~make:request
+        ~handler:(fun reply ->
+          acc := fold !acc reply;
+          incr count)
         t.replicas);
   Cluster.await t.cluster cl
     ~need:(t.replicas, quorum)

@@ -7,6 +7,8 @@ type config = {
   op_timeout_s : float;
   recovery : Recovery.mode;
   retry : Retry.config option;
+  hedge : Hedge.config option;
+  deadline : Deadline.config option;
 }
 
 let default_config ~n ~seed =
@@ -16,6 +18,8 @@ let default_config ~n ~seed =
     op_timeout_s = 30.0;
     recovery = Recovery.Persist;
     retry = Some Retry.default_config;
+    hedge = None;
+    deadline = None;
   }
 
 exception Timeout of string
@@ -55,6 +59,16 @@ type server = {
   mutable sthread : Thread.t option;
 }
 
+(* a hedged round's deferred sends, armed until the round completes or
+   the adaptive delay elapses; owned by the client mutex *)
+type hedge_pending = {
+  h_armed : float;  (* when the round's initial sends went out *)
+  h_due : float;  (* monotonic fire time *)
+  h_servers : int list;  (* the not-yet-contacted replicas *)
+  h_make : int -> Proto.payload;
+  h_handler : Proto.payload -> unit;
+}
+
 type client = {
   id : Id.Client.t;
   crec : Sink.Trace.recorder option;  (* this client's trace stream *)
@@ -67,6 +81,8 @@ type client = {
   pending : (int, Retry.pending) Hashtbl.t;  (* rid -> retransmission state *)
   crng : Regemu_sim.Rng.t;  (* jitter; touched only under [cm] *)
   hlog : Histlog.writer;  (* this client's private history shard *)
+  dl : Deadline.t option;  (* reply-latency estimator; under [cm] *)
+  mutable hedge : hedge_pending option;  (* armed hedge; under [cm] *)
   mutable op_t0 : float;  (* monotonic invocation time of the current op *)
   mutable waiting : bool;  (* a thread is blocked in [await]; under [cm],
                               read opportunistically by wakers *)
@@ -92,6 +108,7 @@ type t = {
   log : Histlog.t;
   mutable transport : Transport.t option;
   mutable heartbeat : Thread.t option;
+  mutable pacer : Thread.t option;  (* hedge timer thread (threaded mode) *)
   mutable running : bool;
   mutable shut : bool;
   mutable crashes : int;
@@ -99,6 +116,12 @@ type t = {
   mutable wipes : int;
   retries : int Atomic.t;
   unavailable : int Atomic.t;
+  health : float Atomic.t array;
+      (* per-server reply-latency EWMA (seconds, 0 = no data); feeds
+         hedged replica selection.  Benign races in threaded mode: a
+         lost update only staleness-shifts a score. *)
+  hedge_sent : int Atomic.t;
+  hedge_won : int Atomic.t;
   backoff_hist : Sink.Metrics.histogram;  (* backoff_ms per retransmission *)
 }
 
@@ -183,6 +206,8 @@ let create ?sched ?(sink = Sink.none) cfg =
   if not (cfg.op_timeout_s > 0.0) then
     invalid_arg "Cluster.create: op_timeout_s must be positive";
   Option.iter Retry.validate cfg.retry;
+  Option.iter Hedge.validate_config cfg.hedge;
+  Option.iter Deadline.validate_config cfg.deadline;
   let servers =
     Array.init cfg.n (fun sid ->
         {
@@ -209,6 +234,7 @@ let create ?sched ?(sink = Sink.none) cfg =
       log = Histlog.create ();
       transport = None;
       heartbeat = None;
+      pacer = None;
       running = false;
       shut = false;
       crashes = 0;
@@ -219,6 +245,13 @@ let create ?sched ?(sink = Sink.none) cfg =
       unavailable =
         Sink.counter sink ~help:"operations failed fast as Unavailable"
           "client.unavailable";
+      health = Array.init cfg.n (fun _ -> Atomic.make 0.0);
+      hedge_sent =
+        Sink.counter sink ~help:"hedged retransmissions to deferred replicas"
+          "client.hedge_sent";
+      hedge_won =
+        Sink.counter sink ~help:"replies from hedged requests that counted"
+          "client.hedge_won";
       backoff_hist =
         Sink.histogram sink ~unit_:"ms"
           ~help:"retransmission backoff at each resend" ~edges:backoff_edges_ms
@@ -245,43 +278,16 @@ let create ?sched ?(sink = Sink.none) cfg =
       t.restarts);
   Sink.gauge_fn sink ~help:"amnesia restarts that wiped a store"
     "cluster.wipes" (fun () -> t.wipes);
+  Sink.gauge_fn sink
+    ~help:"adaptive per-op deadline, microseconds (max over clients)"
+    "client.deadline_estimate_us" (fun () ->
+      Array.fold_left
+        (fun acc cl ->
+          match cl.dl with
+          | Some dl -> max acc (int_of_float (Deadline.estimate_s dl *. 1e6))
+          | None -> acc)
+        0 t.clients);
   t
-
-let heartbeat_loop t =
-  (* periodically wake awaiting clients so deadlines and due
-     retransmissions are checked even when no reply arrives; clients
-     not blocked in [await] are skipped *)
-  while t.running do
-    Thread.delay 0.05;
-    Array.iter
-      (fun cl ->
-        if cl.waiting then begin
-          Mutex.lock cl.cm;
-          if cl.waiting then Condition.signal cl.cc;
-          Mutex.unlock cl.cm
-        end)
-      t.clients
-  done
-
-let start t =
-  t.running <- true;
-  (match t.sched with
-  | None ->
-      Array.iter
-        (fun srv -> srv.sthread <- Some (Thread.create (server_loop t) srv))
-        t.servers
-  | Some hook ->
-      Array.iter
-        (fun srv ->
-          hook.spawn ~name:(Fmt.str "server-%d" srv.sid) (fun () ->
-              server_loop t srv))
-        t.servers);
-  Transport.start (transport t);
-  (* no heartbeat under a scheduler: [await] parks with a timeout
-     instead, so deadline and retransmission checks run off virtual
-     time rather than off a polling thread *)
-  if Option.is_none t.sched then
-    t.heartbeat <- Some (Thread.create heartbeat_loop t)
 
 let num_servers t = t.cfg.n
 let recovery_mode t = t.cfg.recovery
@@ -302,6 +308,14 @@ let new_client t =
       crng =
         Regemu_sim.Rng.create (t.cfg.transport.Transport.seed + (7919 * ix));
       hlog = Histlog.new_writer t.log ~client:id;
+      dl =
+        (* the estimator also runs when only hedging is on: the hedge
+           delay keys off the same observed-latency state *)
+        (match (t.cfg.deadline, t.cfg.hedge) with
+        | Some dcfg, _ -> Some (Deadline.create dcfg)
+        | None, Some _ -> Some (Deadline.create Deadline.default_config)
+        | None, None -> None);
+      hedge = None;
       op_t0 = 0.0;
       waiting = false;
       pred = None;
@@ -339,10 +353,45 @@ let send t ~src server payload =
       payload;
     }
 
+(* fold one observed reply latency into a server's health EWMA *)
+let health_alpha = 0.2
+
+let note_health t server lat =
+  let cell = t.health.(server) in
+  let prev = Atomic.get cell in
+  Atomic.set cell
+    (if prev <= 0.0 then lat
+     else ((1.0 -. health_alpha) *. prev) +. (health_alpha *. lat))
+
+(* raise a server's health score to at least [lat] — for lower-bound
+   evidence (a reply that never came), where an EWMA fold of a small
+   bound would wrongly signal speed *)
+let penalize_health t server lat =
+  let cell = t.health.(server) in
+  if lat > Atomic.get cell then Atomic.set cell lat
+
+let server_health t ~server =
+  check_server t server;
+  Atomic.get t.health.(server)
+
 let rpc t ~src:cl ?(sticky = false) server ~make ~handler =
   check_server t server;
   let rid = fresh_rid t in
   let payload = make rid in
+  let handler =
+    match cl.dl with
+    | None -> handler
+    | Some dl ->
+        (* reply latency includes any retransmission gap — that is the
+           latency the operation actually experienced.  Handlers run
+           under [cl.cm], so [observe] is serialized. *)
+        let sent_at = Clock.now_s () in
+        fun reply ->
+          let lat = Clock.now_s () -. sent_at in
+          Deadline.observe dl lat;
+          note_health t server lat;
+          handler reply
+  in
   Hashtbl.replace cl.handlers rid (fun reply ->
       Hashtbl.remove cl.pending rid;
       handler reply);
@@ -367,8 +416,10 @@ let rpc t ~src:cl ?(sticky = false) server ~make ~handler =
       payload;
     }
 
-(* caller holds [cl.cm] *)
+(* caller holds [cl.cm]; a hedge armed for the finished round dies
+   with it *)
 let clear_round_pendings cl =
+  cl.hedge <- None;
   let stale =
     Hashtbl.fold
       (fun rid (p : Retry.pending) acc ->
@@ -376,6 +427,135 @@ let clear_round_pendings cl =
       cl.pending []
   in
   List.iter (Hashtbl.remove cl.pending) stale
+
+(* send the deferred half of a hedged round; caller holds [cl.cm].
+   A hedge firing is a control event like a retransmission: always
+   recorded, never sampled away. *)
+let fire_hedge t cl hp =
+  cl.hedge <- None;
+  List.iter
+    (fun server ->
+      Atomic.incr t.hedge_sent;
+      Sink.instant cl.crec ~cat:"hedge"
+        ~args:[ ("server", Sink.Event.I server) ]
+        "hedge";
+      rpc t ~src:cl server ~make:hp.h_make ~handler:(fun reply ->
+          Atomic.incr t.hedge_won;
+          (* A won hedge is health evidence: every server still pending
+             has now been outrun by a request sent a whole hedge delay
+             later, and has been silent since the round was armed —
+             a lower bound on the latency it is inflicting.  Replies
+             landing after the round completes are dropped unmatched,
+             so without this penalty a straggler that never beats the
+             round's end would keep a pristine health score — and keep
+             being picked.  [penalize_health] is a max, not an EWMA
+             fold: a lower bound must never drag an estimate down. *)
+          let late = Clock.now_s () -. hp.h_armed in
+          Hashtbl.iter
+            (fun _rid (p : Retry.pending) ->
+              if not p.Retry.sticky then penalize_health t p.Retry.server late)
+            cl.pending;
+          hp.h_handler reply))
+    hp.h_servers
+
+(* caller holds [cl.cm] *)
+let fire_due_hedge t cl now =
+  match cl.hedge with
+  | Some hp when now >= hp.h_due -> fire_hedge t cl hp
+  | _ -> ()
+
+let rpc_quorum t ~src:cl ~quorum ~make ~handler replicas =
+  match t.cfg.hedge with
+  | None -> List.iter (fun s -> rpc t ~src:cl s ~make ~handler) replicas
+  | Some h ->
+      (* health-biased, seeded-rotation subset: contact quorum+spares
+         now, arm the rest behind the adaptive hedge delay *)
+      let n = List.length replicas in
+      let rot = if n = 0 then 0 else Regemu_sim.Rng.int cl.crng ~bound:n in
+      let health s = Atomic.get t.health.(s) in
+      let initial, deferred = Hedge.select h ~rot ~health ~quorum replicas in
+      List.iter (fun s -> rpc t ~src:cl s ~make ~handler) initial;
+      if deferred <> [] && h.Hedge.fire then begin
+        (* key the hedge delay off the EWMA (typical latency), not
+           [latency_s]'s tail quantile: one straggler-inflated sample
+           would otherwise hold the quantile — and with it the hedge
+           delay — above the very stall the hedge exists to cut short *)
+        let latency_s =
+          match cl.dl with Some dl -> Deadline.ewma dl | None -> 0.0
+        in
+        let now = Clock.now_s () in
+        cl.hedge <-
+          Some
+            {
+              h_armed = now;
+              h_due = now +. Hedge.delay_s h ~latency_s;
+              h_servers = deferred;
+              h_make = make;
+              h_handler = handler;
+            }
+      end
+
+(* --- background threads and startup ------------------------------------- *)
+
+let heartbeat_loop t =
+  (* periodically wake awaiting clients so deadlines and due
+     retransmissions are checked even when no reply arrives; clients
+     not blocked in [await] are skipped *)
+  while t.running do
+    Thread.delay 0.05;
+    Array.iter
+      (fun cl ->
+        if cl.waiting then begin
+          Mutex.lock cl.cm;
+          if cl.waiting then Condition.signal cl.cc;
+          Mutex.unlock cl.cm
+        end)
+      t.clients
+  done
+
+(* the hedge timer (threaded mode only): hedge delays sit well under
+   the 50ms heartbeat, so due hedges get their own fine-grained scan.
+   The unlocked [cl.hedge] peek is a benign race — the armed/not-armed
+   decision is re-made under the client mutex. *)
+let pacer_loop t (h : Hedge.config) =
+  while t.running do
+    Thread.delay h.Hedge.tick_s;
+    Array.iter
+      (fun cl ->
+        match cl.hedge with
+        | None -> ()
+        | Some _ ->
+            Mutex.lock cl.cm;
+            fire_due_hedge t cl (Clock.now_s ());
+            Mutex.unlock cl.cm)
+      t.clients
+  done
+
+let start t =
+  t.running <- true;
+  (match t.sched with
+  | None ->
+      Array.iter
+        (fun srv -> srv.sthread <- Some (Thread.create (server_loop t) srv))
+        t.servers
+  | Some hook ->
+      Array.iter
+        (fun srv ->
+          hook.spawn ~name:(Fmt.str "server-%d" srv.sid) (fun () ->
+              server_loop t srv))
+        t.servers);
+  Transport.start (transport t);
+  (* no heartbeat or pacer under a scheduler: [await] parks with a
+     timeout instead (shortened to an armed hedge's due time), so
+     deadline, retransmission, and hedge checks run off virtual time
+     rather than off polling threads *)
+  if Option.is_none t.sched then begin
+    t.heartbeat <- Some (Thread.create heartbeat_loop t);
+    match t.cfg.hedge with
+    | Some h when h.Hedge.fire ->
+        t.pacer <- Some (Thread.create (pacer_loop t) h)
+    | _ -> ()
+  end
 
 let note_retry t backoff_s =
   Atomic.incr t.retries;
@@ -436,6 +616,14 @@ let fail_unavailable t cl ~cause ~elapsed ~reachable ~required =
     (Unavailable
        { client = cl.id; cause; elapsed_s = elapsed; reachable; required })
 
+(* The per-op deadline: the static retry budget, tightened to the
+   adaptive estimate when the estimator is enabled and has evidence.
+   Caller holds [cl.cm]. *)
+let effective_deadline_s t cl (rcfg : Retry.config) =
+  match (t.cfg.deadline, cl.dl) with
+  | Some _, Some dl -> Float.min rcfg.Retry.deadline_s (Deadline.estimate_s dl)
+  | _ -> rcfg.Retry.deadline_s
+
 let await_body t cl ?need pred =
   let t_enter = Clock.now_s () in
   let op_t0 = if cl.op_t0 > 0.0 then cl.op_t0 else t_enter in
@@ -446,10 +634,11 @@ let await_body t cl ?need pred =
         else begin
           let now = Clock.now_s () in
           retransmit_due t cl now;
+          fire_due_hedge t cl now;
           (match t.cfg.retry with
           | None -> ()
           | Some rcfg ->
-              if now -. op_t0 > rcfg.Retry.deadline_s then begin
+              if now -. op_t0 > effective_deadline_s t cl rcfg then begin
                 clear_round_pendings cl;
                 let reachable, required =
                   match need with
@@ -490,8 +679,16 @@ let await_body t cl ?need pred =
           | Some hook ->
               (* park on the scheduler; the timeout stands in for the
                  heartbeat so retransmissions and deadlines are still
-                 checked when no reply flips the predicate *)
-              hook.suspend ~timeout_s:0.05 ~mutex:cl.cm pred);
+                 checked when no reply flips the predicate.  An armed
+                 hedge shortens the park so it fires on time (there is
+                 no pacer thread under the scheduler — the awaiting
+                 client is its own timer, in virtual time). *)
+              let timeout_s =
+                match cl.hedge with
+                | Some hp -> Float.max 1e-4 (Float.min 0.05 (hp.h_due -. now))
+                | None -> 0.05
+              in
+              hook.suspend ~timeout_s ~mutex:cl.cm pred);
           go ()
         end
       in
@@ -638,6 +835,35 @@ let set_drop t ?requests ?replies () =
          [ ("requests", requests); ("replies", replies) ])
     "set-drop"
 
+let set_slow t ~server us =
+  check_server t server;
+  Transport.set_slow (transport t) ~server us;
+  Sink.instant t.ctl ~cat:"fault"
+    ~args:[ ("server", Sink.Event.I server); ("slow_us", Sink.Event.I us) ]
+    "set-slow"
+
+let slow_us t ~server = Transport.slow_us (transport t) ~server
+
+let freeze t ~server =
+  check_server t server;
+  Transport.freeze (transport t) ~server;
+  Sink.instant t.ctl ~cat:"fault"
+    ~args:[ ("server", Sink.Event.I server) ]
+    "freeze"
+
+let thaw t ~server =
+  check_server t server;
+  Transport.thaw (transport t) ~server;
+  Sink.instant t.ctl ~cat:"fault"
+    ~args:[ ("server", Sink.Event.I server) ]
+    "thaw"
+
+let frozen t ~server = Transport.frozen (transport t) ~server
+
+let heal_gray t =
+  Transport.heal_gray (transport t);
+  Sink.instant t.ctl ~cat:"fault" "heal-gray"
+
 (* --- observation -------------------------------------------------------- *)
 
 let history t = Histlog.snapshot t.log
@@ -650,6 +876,7 @@ type stats = {
   msgs_delivered : int;
   msgs_duplicated : int;
   msgs_delayed : int;
+  msgs_slowed : int;
   msgs_dropped : int;
   msgs_cut : int;
   crashes : int;
@@ -657,6 +884,8 @@ type stats = {
   wipes : int;
   retries : int;
   unavailable : int;
+  hedges : int;
+  hedge_wins : int;
   ops_completed : int;
 }
 
@@ -670,6 +899,7 @@ let stats t =
     msgs_delivered = Transport.delivered tr;
     msgs_duplicated = Transport.duplicated tr;
     msgs_delayed = Transport.delayed tr;
+    msgs_slowed = Transport.slowed tr;
     msgs_dropped = Transport.dropped tr;
     msgs_cut = Transport.cut tr;
     crashes;
@@ -677,6 +907,8 @@ let stats t =
     wipes;
     retries = Atomic.get t.retries;
     unavailable = Atomic.get t.unavailable;
+    hedges = Atomic.get t.hedge_sent;
+    hedge_wins = Atomic.get t.hedge_won;
     ops_completed = Histlog.completed t.log;
   }
 
@@ -710,6 +942,8 @@ let shutdown t =
     t.running <- false;
     Option.iter Thread.join t.heartbeat;
     t.heartbeat <- None;
+    Option.iter Thread.join t.pacer;
+    t.pacer <- None;
     (* wake crashed servers and tell every server loop to exit *)
     Array.iter
       (fun srv ->

@@ -68,10 +68,20 @@ type config = {
       (** [None] disables retransmission and the watchdog (the loss-free
           PR 1 behaviour); [Some] makes clients survive a lossy
           transport *)
+  hedge : Hedge.config option;
+      (** [Some] makes {!rpc_quorum} contact a health-biased subset
+          first and retransmit to the rest after an adaptive delay —
+          the gray-failure defense; [None] (the default) broadcasts to
+          every replica as before *)
+  deadline : Deadline.config option;
+      (** [Some] tightens the static per-op retry deadline to an
+          adaptive estimate learned from this client's observed reply
+          latencies; [None] (the default) keeps the static budget *)
 }
 
 val default_config : n:int -> seed:int -> config
-(** [Persist] recovery, retry enabled with {!Retry.default_config}. *)
+(** [Persist] recovery, retry enabled with {!Retry.default_config},
+    hedging and adaptive deadlines off. *)
 
 exception Timeout of string
 
@@ -170,6 +180,27 @@ val rpc :
   handler:(Proto.payload -> unit) ->
   unit
 
+(** [rpc_quorum t ~src ~quorum ~make ~handler replicas] issues one
+    quorum round's RPCs.  Without a hedge config this is exactly
+    [List.iter (rpc ...)]: broadcast to every replica.  With one, the
+    round contacts an initial subset of [quorum + spares] replicas —
+    rotated by the client's seeded RNG, biased toward the healthiest
+    (lowest reply-latency EWMA) — and arms the deferred rest behind the
+    adaptive hedge delay; if the round is still open when it elapses,
+    the deferred replicas are contacted too (fresh rids, so the
+    one-shot dispatch dedupes hedged replies like retransmitted ones).
+    The hedge disarms with the round.  The caller must hold the
+    client's mutex and should pass the same [replicas] to [await]'s
+    [need] so the watchdog sees the whole replica set. *)
+val rpc_quorum :
+  t ->
+  src:client ->
+  quorum:int ->
+  make:(int -> Proto.payload) ->
+  handler:(Proto.payload -> unit) ->
+  int list ->
+  unit
+
 (** Block the calling thread until [pred] holds.  [pred] is evaluated
     under the client's mutex; it is re-checked whenever a reply is
     dispatched to this client and on a periodic heartbeat, and each
@@ -216,6 +247,28 @@ val split : t -> groups:int list list -> clients_with:int -> unit
 val heal : t -> unit
 val set_drop : t -> ?requests:float -> ?replies:float -> unit -> unit
 
+(** {2 Gray faults (nemesis passthroughs to {!Transport})} *)
+
+(** Add [us] microseconds to every envelope on a server's link
+    (0 heals); the replica is slow, not dead. *)
+val set_slow : t -> server:int -> int -> unit
+
+val slow_us : t -> server:int -> int
+
+(** Freeze / resume a server's request lane (a stutter burst). *)
+val freeze : t -> server:int -> unit
+
+val thaw : t -> server:int -> unit
+val frozen : t -> server:int -> bool
+
+(** Clear every slow link and frozen lane. *)
+val heal_gray : t -> unit
+
+(** A server's reply-latency EWMA as observed by the clients, seconds
+    (0 until a reply from it is seen; meaningful only with hedging or
+    adaptive deadlines on). *)
+val server_health : t -> server:int -> float
+
 (** {2 Observation} *)
 
 val history : t -> Regemu_history.History.t
@@ -231,6 +284,7 @@ type stats = {
   msgs_delivered : int;
   msgs_duplicated : int;
   msgs_delayed : int;
+  msgs_slowed : int;  (** held by a gray slow link *)
   msgs_dropped : int;  (** lost to the random drop rates *)
   msgs_cut : int;  (** lost to a partition *)
   crashes : int;
@@ -238,6 +292,8 @@ type stats = {
   wipes : int;  (** amnesia restarts that erased a store *)
   retries : int;  (** client retransmissions *)
   unavailable : int;  (** operations failed fast with {!Unavailable} *)
+  hedges : int;  (** hedged retransmissions to deferred replicas *)
+  hedge_wins : int;  (** hedged replies that counted toward a quorum *)
   ops_completed : int;
 }
 

@@ -1,0 +1,80 @@
+type config = {
+  window : int;
+  quantile : float;
+  ewma_alpha : float;
+  mult : float;
+  min_s : float;
+  max_s : float;
+}
+
+let default_config =
+  {
+    window = 64;
+    quantile = 0.95;
+    ewma_alpha = 0.2;
+    mult = 4.0;
+    min_s = 0.05;
+    max_s = 10.0;
+  }
+
+let validate_config cfg =
+  if cfg.window < 1 then invalid_arg "Deadline: window must be >= 1";
+  if not (cfg.quantile >= 0.0 && cfg.quantile <= 1.0) then
+    invalid_arg "Deadline: quantile must be in [0,1]";
+  if not (cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0) then
+    invalid_arg "Deadline: ewma_alpha must be in (0,1]";
+  if not (cfg.mult > 0.0) then invalid_arg "Deadline: mult must be > 0";
+  if not (cfg.min_s >= 0.0) then invalid_arg "Deadline: min_s must be >= 0";
+  if not (cfg.max_s >= cfg.min_s) then
+    invalid_arg "Deadline: max_s must be >= min_s"
+
+type t = {
+  cfg : config;
+  ring : float array;  (* last [window] samples, a circular buffer *)
+  mutable next : int;  (* write cursor into [ring] *)
+  mutable count : int;  (* samples seen, saturates at [window] *)
+  mutable ewma : float;  (* negative = no samples yet *)
+}
+
+let create cfg =
+  validate_config cfg;
+  { cfg; ring = Array.make cfg.window 0.0; next = 0; count = 0; ewma = -1.0 }
+
+let samples t = min t.count t.cfg.window
+
+let observe t s =
+  let s = Float.max 0.0 s in
+  t.ring.(t.next) <- s;
+  t.next <- (t.next + 1) mod t.cfg.window;
+  if t.count < t.cfg.window then t.count <- t.count + 1;
+  t.ewma <-
+    (if t.ewma < 0.0 then s
+     else ((1.0 -. t.cfg.ewma_alpha) *. t.ewma) +. (t.cfg.ewma_alpha *. s))
+
+let ewma t = if t.ewma < 0.0 then 0.0 else t.ewma
+
+(* the q-quantile of the current window by nearest-rank on a sorted
+   copy; the window is small (tens of samples) so the copy-and-sort is
+   cheaper than maintaining an order statistic online *)
+let quantile t =
+  let n = samples t in
+  if n = 0 then 0.0
+  else begin
+    let a = Array.sub t.ring 0 n in
+    Array.sort Float.compare a;
+    let rank =
+      int_of_float (Float.round (t.cfg.quantile *. float_of_int (n - 1)))
+    in
+    a.(max 0 (min (n - 1) rank))
+  end
+
+(* No samples yet means no evidence the cluster is fast: answer with
+   the clamp ceiling, which callers align with the static deadline so
+   behaviour before the first reply is unchanged. *)
+let latency_s t =
+  if samples t = 0 then 0.0 else Float.max (quantile t) (ewma t)
+
+let estimate_s t =
+  if samples t = 0 then t.cfg.max_s
+  else
+    Float.min t.cfg.max_s (Float.max t.cfg.min_s (t.cfg.mult *. latency_s t))

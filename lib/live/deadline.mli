@@ -1,0 +1,64 @@
+(** Adaptive per-operation deadlines from observed RPC latencies.
+
+    The static [Retry.deadline_s] treats a 10 ms cluster and a 10 s
+    cluster the same: an operation only fails after the full worst-case
+    budget even when every healthy round trip takes microseconds.  This
+    estimator watches the client's own reply latencies and answers
+    "how long should {e this} cluster be given?" — a windowed quantile
+    (robust to a few outliers) combined with an EWMA (fast to track
+    level shifts), scaled by a safety multiplier and clamped.
+
+    The estimator is a pure fold over its sample sequence: no clock, no
+    RNG, no allocation after {!create}.  Under {!Sched} the samples
+    themselves are virtual-time differences, so the estimate — and
+    every decision made from it — is a deterministic function of
+    (seed, config).
+
+    {!Hedge} reads the same state through {!latency_s} to derive its
+    retransmission delay, so one sample stream feeds both defenses. *)
+
+type config = {
+  window : int;  (** samples kept for the quantile; ≥ 1 *)
+  quantile : float;  (** nearest-rank quantile over the window, [0,1] *)
+  ewma_alpha : float;  (** EWMA weight of the newest sample, (0,1] *)
+  mult : float;  (** safety multiplier on the latency estimate; > 0 *)
+  min_s : float;  (** clamp floor for {!estimate_s}, seconds *)
+  max_s : float;
+      (** clamp ceiling, seconds — also the answer before any sample
+          arrives, so callers keep their static deadline until there
+          is evidence to tighten it *)
+}
+
+val default_config : config
+(** window 64, p95, α 0.2, ×4, clamped to [50 ms, 10 s] — the ceiling
+    matches [Retry.default_config.deadline_s]. *)
+
+val validate_config : config -> unit
+(** Raises [Invalid_argument] on a malformed field. *)
+
+type t
+
+val create : config -> t
+(** Validates, then allocates the sample window once. *)
+
+val observe : t -> float -> unit
+(** Record one reply latency in seconds (negative values clip to 0).
+    Not thread-safe: callers serialize under their own lock (the
+    cluster feeds this under the client mutex). *)
+
+val samples : t -> int
+(** Samples currently in the window (saturates at [window]). *)
+
+val ewma : t -> float
+(** The smoothed latency, 0 before any sample. *)
+
+val quantile : t -> float
+(** The configured window quantile, 0 before any sample. *)
+
+val latency_s : t -> float
+(** [max quantile ewma] — the raw latency level {!Hedge} keys off;
+    0 before any sample. *)
+
+val estimate_s : t -> float
+(** The adaptive deadline: [clamp (mult × latency_s)], or [max_s]
+    before any sample. *)

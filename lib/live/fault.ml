@@ -1,13 +1,33 @@
+(* the gray repertoire: slow-not-dead faults the crash/restart loop
+   cannot express.  Every mode is driven by the injector's seeded rng,
+   so a (seed, config) pair replays the same gray timeline. *)
+type gray =
+  | Straggler of int  (* one seeded server, fixed +us on its link *)
+  | Rotating of int  (* the +us slowdown re-picks its victim each step *)
+  | Stutter  (* freeze a random lane one step, thaw it the next *)
+  | Creep of { step_us : int; max_us : int }
+      (* one server degrades by [step_us] per step up to [max_us] *)
+
 type config = {
   f : int;
   pool : int;
   period_s : float;
   leave_crashed : int;
+  gray : gray option;
+  gray_period_s : float;
   seed : int;
 }
 
 let default_config ~f ~pool ~seed =
-  { f; pool; period_s = 0.002; leave_crashed = min f 1; seed }
+  {
+    f;
+    pool;
+    period_s = 0.002;
+    leave_crashed = min f 1;
+    gray = None;
+    gray_period_s = 0.01;
+    seed;
+  }
 
 type t = {
   cfg : config;
@@ -15,9 +35,15 @@ type t = {
   frec : Sink.Trace.recorder option;  (* the injector's decisions *)
   mutable running : bool;
   mutable thread : Thread.t option;
+  mutable gthread : Thread.t option;
   mutable crashed : int list;  (* injector-thread private *)
   mutable crashes : int;
   mutable restarts : int;
+  (* gray-thread private *)
+  mutable gtarget : int option;  (* the server currently slowed/frozen *)
+  mutable gcur_us : int;  (* creep's accumulated slowdown *)
+  mutable gfrozen : bool;  (* stutter: is the target mid-burst? *)
+  mutable grays : int;
 }
 
 let decide t name s =
@@ -27,10 +53,23 @@ let jitter rng p =
   (* 0.5x .. 1.5x the period *)
   p *. (0.5 +. float_of_int (Regemu_sim.Rng.int rng ~bound:1000) /. 1000.)
 
+(* threaded pauses sleep in short slices so [stop] never waits out a
+   long period; under [sched] the sleep is virtual and join-free, so
+   it stays a single (deterministic) timed park *)
+let interruptible_pause t d =
+  let slice = 0.025 in
+  let rec go left =
+    if t.running && left > 0.0 then begin
+      Thread.delay (Float.min slice left);
+      go (left -. slice)
+    end
+  in
+  go d
+
 let injector_loop ?sched t =
   let pause =
     match sched with
-    | None -> Thread.delay
+    | None -> interruptible_pause t
     | Some (hook : Sched_hook.t) -> hook.sleep
   in
   let rng = Regemu_sim.Rng.create t.cfg.seed in
@@ -62,6 +101,82 @@ let injector_loop ?sched t =
     end
   done
 
+(* One gray step.  Crashed servers are fair game — a slow link on a
+   down server is a no-op until it restarts, which is itself a gray
+   scenario (the replica comes back already degraded). *)
+let gray_step t rng mode =
+  let pick () = Regemu_sim.Rng.int rng ~bound:t.cfg.pool in
+  let slow s us =
+    decide t "inject-slow" s;
+    Cluster.set_slow t.cluster ~server:s us;
+    t.grays <- t.grays + 1
+  in
+  (match mode with
+  | Straggler us ->
+      (* fixed victim, picked (seeded) on the first step *)
+      let s =
+        match t.gtarget with
+        | Some s -> s
+        | None ->
+            let s = pick () in
+            t.gtarget <- Some s;
+            s
+      in
+      slow s us
+  | Rotating us ->
+      Option.iter
+        (fun prev ->
+          decide t "inject-heal-slow" prev;
+          Cluster.set_slow t.cluster ~server:prev 0)
+        t.gtarget;
+      let s = pick () in
+      t.gtarget <- Some s;
+      slow s us
+  | Stutter ->
+      if t.gfrozen then begin
+        Option.iter
+          (fun s ->
+            decide t "inject-thaw" s;
+            Cluster.thaw t.cluster ~server:s)
+          t.gtarget;
+        t.gfrozen <- false;
+        t.gtarget <- None
+      end
+      else begin
+        let s = pick () in
+        decide t "inject-freeze" s;
+        Cluster.freeze t.cluster ~server:s;
+        t.gtarget <- Some s;
+        t.gfrozen <- true;
+        t.grays <- t.grays + 1
+      end
+  | Creep { step_us; max_us } ->
+      let s =
+        match t.gtarget with
+        | Some s -> s
+        | None ->
+            let s = pick () in
+            t.gtarget <- Some s;
+            s
+      in
+      t.gcur_us <- min max_us (t.gcur_us + step_us);
+      slow s t.gcur_us);
+  ()
+
+let gray_loop ?sched t mode =
+  let pause =
+    match sched with
+    | None -> interruptible_pause t
+    | Some (hook : Sched_hook.t) -> hook.sleep
+  in
+  (* a distinct seeded stream: the gray timeline must not perturb the
+     crash/restart decisions (and vice versa) *)
+  let rng = Regemu_sim.Rng.create (t.cfg.seed + 0x9e37) in
+  while t.running do
+    pause (jitter rng t.cfg.gray_period_s);
+    if t.running then gray_step t rng mode
+  done
+
 let validate_config cfg =
   if cfg.f < 0 then invalid_arg "Fault: f must be >= 0";
   if cfg.leave_crashed < 0 || cfg.leave_crashed > cfg.f then
@@ -73,7 +188,15 @@ let validate_config cfg =
           pool of at least 2f+1=%d"
          cfg.pool cfg.f ((2 * cfg.f) + 1));
   if not (cfg.period_s > 0.0) then
-    invalid_arg "Fault: period_s must be positive"
+    invalid_arg "Fault: period_s must be positive";
+  if not (cfg.gray_period_s > 0.0) then
+    invalid_arg "Fault: gray_period_s must be positive";
+  match cfg.gray with
+  | Some (Straggler us | Rotating us) when us < 0 ->
+      invalid_arg "Fault: gray slowdown must be >= 0 us"
+  | Some (Creep { step_us; max_us }) when step_us <= 0 || max_us < step_us ->
+      invalid_arg "Fault: creep needs 0 < step_us <= max_us"
+  | _ -> ()
 
 let spawn ?sched cluster cfg =
   validate_config cfg;
@@ -84,22 +207,47 @@ let spawn ?sched cluster cfg =
       frec = Sink.recorder (Cluster.sink cluster) ~name:"injector";
       running = true;
       thread = None;
+      gthread = None;
       crashed = [];
       crashes = 0;
       restarts = 0;
+      gtarget = None;
+      gcur_us = 0;
+      gfrozen = false;
+      grays = 0;
     }
   in
   (match sched with
-  | None -> t.thread <- Some (Thread.create (injector_loop ?sched:None) t)
+  | None ->
+      t.thread <- Some (Thread.create (injector_loop ?sched:None) t);
+      Option.iter
+        (fun mode ->
+          t.gthread <- Some (Thread.create (gray_loop ?sched:None t) mode))
+        cfg.gray
   | Some hook ->
       hook.Sched_hook.spawn ~name:"injector" (fun () ->
-          injector_loop ~sched:hook t));
+          injector_loop ~sched:hook t);
+      Option.iter
+        (fun mode ->
+          hook.Sched_hook.spawn ~name:"gray-injector" (fun () ->
+              gray_loop ~sched:hook t mode))
+        cfg.gray);
   t
 
 let stop t =
   t.running <- false;
   Option.iter Thread.join t.thread;
   t.thread <- None;
+  Option.iter Thread.join t.gthread;
+  t.gthread <- None;
+  (* clear every gray fault we may have left behind: slow links reset,
+     frozen lanes thawed — gray faults never outlive their injector *)
+  if t.cfg.gray <> None then begin
+    Cluster.heal_gray t.cluster;
+    t.gtarget <- None;
+    t.gcur_us <- 0;
+    t.gfrozen <- false
+  end;
   (* leave at most [leave_crashed] down; revive the rest *)
   let rec revive = function
     | [] -> []
@@ -114,3 +262,4 @@ let stop t =
 
 let crashes t = t.crashes
 let restarts t = t.restarts
+let grays t = t.grays

@@ -4,13 +4,34 @@
     exceeded.
 
     Message-level faults (delay / duplication / reordering) are
-    configured on the {!Transport}; this module owns process faults. *)
+    configured on the {!Transport}; this module owns process faults —
+    including the {e gray} kind: with [gray] set, a second seeded loop
+    drives slow-not-dead faults ({!Cluster.set_slow} /
+    {!Cluster.freeze}) against random servers.  Gray faults never
+    count against the [f] crash budget (a slow server is still
+    correct) and are all cleared on {!stop}. *)
+
+(** Seeded slow-replica modes, paced by [gray_period_s]:
+    - [Straggler us]: one (seeded) server gets a fixed [+us] link;
+    - [Rotating us]: the slowdown re-picks its victim every step,
+      healing the previous one;
+    - [Stutter]: freeze a random server's request lane for one step,
+      thaw it the next — bursty, queued-not-lost;
+    - [Creep]: one server degrades by [step_us] per step up to
+      [max_us] — the failing-disk curve. *)
+type gray =
+  | Straggler of int
+  | Rotating of int
+  | Stutter
+  | Creep of { step_us : int; max_us : int }
 
 type config = {
   f : int;  (** never more than this many down at once *)
   pool : int;  (** target servers [0 .. pool-1] *)
   period_s : float;  (** mean delay between fault actions *)
   leave_crashed : int;  (** servers left permanently down on [stop], ≤ f *)
+  gray : gray option;  (** default [None]: crash/restart only *)
+  gray_period_s : float;  (** mean delay between gray steps *)
   seed : int;
 }
 
@@ -25,10 +46,15 @@ type t
 val spawn : ?sched:Sched_hook.t -> Cluster.t -> config -> t
 
 (** Stop injecting; restarts all but [leave_crashed] of the currently
-    crashed servers, then joins the injector thread. *)
+    crashed servers, clears every gray fault
+    ({!Cluster.heal_gray}), then joins the injector threads. *)
 val stop : t -> unit
 
 (** Counters (stable once [stop] has returned). *)
 val crashes : t -> int
 
 val restarts : t -> int
+
+(** Gray actions applied (slow-link sets, freezes; thaws and heals not
+    counted). *)
+val grays : t -> int

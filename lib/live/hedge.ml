@@ -1,0 +1,63 @@
+type config = {
+  spares : int;
+  delay_mult : float;
+  min_delay_s : float;
+  max_delay_s : float;
+  tick_s : float;
+  fire : bool;
+}
+
+let default_config =
+  {
+    spares = 0;
+    delay_mult = 3.0;
+    min_delay_s = 0.001;
+    max_delay_s = 0.5;
+    tick_s = 0.001;
+    fire = true;
+  }
+
+let validate_config cfg =
+  if cfg.spares < 0 then invalid_arg "Hedge: spares must be >= 0";
+  if not (cfg.delay_mult > 0.0) then
+    invalid_arg "Hedge: delay_mult must be > 0";
+  if not (cfg.min_delay_s >= 0.0) then
+    invalid_arg "Hedge: min_delay_s must be >= 0";
+  if not (cfg.max_delay_s >= cfg.min_delay_s) then
+    invalid_arg "Hedge: max_delay_s must be >= min_delay_s";
+  if not (cfg.tick_s > 0.0) then invalid_arg "Hedge: tick_s must be > 0"
+
+(* With no latency evidence yet, hedge at the floor: a cold round is
+   exactly the one that cannot tell a straggler from the network, and
+   the cost of a premature hedge is one duplicate request.  (The
+   opposite stance to Deadline's "no samples = no tightening" — a
+   hedge is a cheap bet, an abort is not.) *)
+let delay_s cfg ~latency_s =
+  if latency_s <= 0.0 then cfg.min_delay_s
+  else
+    Float.min cfg.max_delay_s
+      (Float.max cfg.min_delay_s (cfg.delay_mult *. latency_s))
+
+(* rotate by [rot] for load spreading, then stable-sort by health so
+   the slowest replicas sink to the deferred tail; ties keep the
+   rotated order, so equal-health clusters still spread load *)
+let select cfg ~rot ~health ~quorum replicas =
+  let n = List.length replicas in
+  if n = 0 then ([], [])
+  else begin
+    let arr = Array.of_list replicas in
+    let rot = ((rot mod n) + n) mod n in
+    let rotated = List.init n (fun i -> arr.((i + rot) mod n)) in
+    let ranked =
+      List.stable_sort
+        (fun a b -> Float.compare (health a) (health b))
+        rotated
+    in
+    let take = min n (quorum + cfg.spares) in
+    let rec split i acc = function
+      | [] -> (List.rev acc, [])
+      | rest when i = take -> (List.rev acc, rest)
+      | s :: rest -> split (i + 1) (s :: acc) rest
+    in
+    split 0 [] ranked
+  end

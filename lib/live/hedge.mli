@@ -1,0 +1,64 @@
+(** Hedged quorum requests: defend tail latency against gray failures.
+
+    ABD and Algorithm 2 need only the fastest [n − f] replies, yet the
+    classic broadcast-to-all round still {e pays} for a straggler
+    whenever the quorum happens to need it — and always pays its
+    bandwidth.  Hedging splits the round in two: contact a
+    health-biased initial subset (quorum + [spares]) immediately, and
+    only if the round is still open after an adaptive delay,
+    retransmit to the deferred replicas — first reply wins, duplicate
+    replies suppressed by the Retry rid machinery exactly as
+    retransmissions are.
+
+    This module is the pure policy: subset selection and delay
+    computation, no clocks, no threads.  {!Cluster} owns the pacer
+    that fires due hedges and the per-server health scores (reply-
+    latency EWMAs) that feed {!select}.  Both inputs derive from the
+    client's seeded RNG and observed virtual-time latencies, so under
+    {!Sched} every hedge decision is a deterministic function of
+    (seed, config). *)
+
+type config = {
+  spares : int;
+      (** replicas contacted immediately beyond the quorum size; 0 =
+          send exactly a quorum and rely on the hedge timer *)
+  delay_mult : float;
+      (** hedge delay = [delay_mult × Deadline.latency_s]; > 0.
+          Values ≥ 1 hedge only after a round has outlived a typical
+          round trip. *)
+  min_delay_s : float;  (** clamp floor for the hedge delay *)
+  max_delay_s : float;
+      (** clamp ceiling — also the delay before any latency sample
+          exists *)
+  tick_s : float;  (** resolution of the cluster's hedge pacer; > 0 *)
+  fire : bool;
+      (** [false] disables the timer but keeps subset selection: the
+          unhedged ablation arm of the tail bench *)
+}
+
+val default_config : config
+(** No spares, delay 3× the observed latency clamped to [1 ms, 0.5 s],
+    1 ms pacer tick, firing enabled. *)
+
+val validate_config : config -> unit
+(** Raises [Invalid_argument] on a malformed field. *)
+
+val delay_s : config -> latency_s:float -> float
+(** The adaptive hedge delay for the current latency level
+    ({!Deadline.latency_s}); the floor when [latency_s <= 0] (no
+    evidence yet — a cold round hedges eagerly, since a premature
+    hedge costs one duplicate request). *)
+
+val select :
+  config ->
+  rot:int ->
+  health:(int -> float) ->
+  quorum:int ->
+  int list ->
+  int list * int list
+(** [select cfg ~rot ~health ~quorum replicas] partitions the replica
+    list into [(initial, deferred)]: rotate by [rot] (spreads load
+    across equal replicas), stable-sort by [health] ascending (lower =
+    faster; unknown servers score 0 and stay explorable), then cut
+    after [quorum + spares].  Pure and total: empty input yields
+    [([], [])], and [initial] is never larger than the input. *)

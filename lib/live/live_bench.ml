@@ -91,6 +91,8 @@ let run ?(sink = Sink.none) spec =
         op_timeout_s = 30.0;
         recovery = Recovery.Persist;
         retry = Some Retry.default_config;
+        hedge = None;
+        deadline = None;
       }
   in
   let writers = List.init spec.k (fun _ -> Cluster.new_client cluster) in

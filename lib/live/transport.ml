@@ -40,12 +40,16 @@ let validate_config cfg =
 (* The runtime-adjustable hostile-network state, published as one
    immutable value so the send fast path reads it with a single
    [Atomic.get] instead of taking a lock.  [groups] is built once per
-   [split] and never mutated after publication. *)
+   [split] and never mutated after publication; [slow] and [frozen]
+   are copied on every write (gray-failure controls are nemesis-rate,
+   not send-rate). *)
 type net_state = {
   drop_requests : float;
   drop_replies : float;
   groups : (int, int) Hashtbl.t option;  (* server -> group id *)
   client_group : int;
+  slow : int array;  (* per-server added delivery delay, us; [||] = none *)
+  frozen : bool array;  (* per-server request-lane freeze; [||] = none *)
 }
 
 (* One delivery lane: its own queue, lock, condvar, seeded RNG, and
@@ -53,6 +57,7 @@ type net_state = {
    concurrent RPCs to different servers (and their replies) never
    contend on a common lock. *)
 type lane = {
+  lserver : int option;  (* Some s: this is server [s]'s request lane *)
   lm : Mutex.t;
   lc : Condition.t;
   buf : envelope Ringbuf.t;  (* protected by [lm] *)
@@ -73,6 +78,7 @@ type t = {
   sent : int Atomic.t;
   duplicated : int Atomic.t;
   delayed : int Atomic.t;
+  slowed : int Atomic.t;
   dropped : int Atomic.t;
   cut : int Atomic.t;
   delivered : int Atomic.t;
@@ -81,8 +87,9 @@ type t = {
 (* how many envelopes a courier drains per wakeup *)
 let batch_max = 32
 
-let make_lane ~seed ~sink ~name i =
+let make_lane ~seed ~sink ~name ~lserver i =
   {
+    lserver;
     lm = Mutex.create ();
     lc = Condition.create ();
     buf = Ringbuf.create ();
@@ -108,7 +115,10 @@ let create ?sched ?(sink = Sink.none) cfg ~servers ~deliver =
     nservers = servers;
     lanes =
       Array.init num_lanes (fun i ->
-          make_lane ~seed:cfg.seed ~sink ~name:(lane_name i) i);
+          let lserver =
+            if cfg.sharded && i < servers then Some i else None
+          in
+          make_lane ~seed:cfg.seed ~sink ~name:(lane_name i) ~lserver i);
     state =
       Atomic.make
         {
@@ -116,11 +126,14 @@ let create ?sched ?(sink = Sink.none) cfg ~servers ~deliver =
           drop_replies = cfg.drop_prob;
           groups = None;
           client_group = 0;
+          slow = [||];
+          frozen = [||];
         };
     stopped = Atomic.make false;
     sent = Sink.counter sink ~help:"envelopes accepted for delivery" "transport.sent";
     duplicated = Sink.counter sink ~help:"envelopes duplicated in flight" "transport.duplicated";
     delayed = Sink.counter sink ~help:"envelopes held by a delivery delay" "transport.delayed";
+    slowed = Sink.counter sink ~help:"envelopes held by a gray slow link" "transport.slowed";
     dropped = Sink.counter sink ~help:"envelopes lost to the drop rates" "transport.dropped";
     cut = Sink.counter sink ~help:"envelopes lost to a partition" "transport.cut";
     delivered = Sink.counter sink ~help:"envelopes handed to their destination" "transport.delivered";
@@ -163,20 +176,46 @@ let msg_point lane name env =
 let courier_pause t s =
   match t.sched with None -> Thread.delay s | Some hook -> hook.sleep s
 
+(* Which server is this envelope's link attached to?  (Clients are not
+   partitioned — or slowed — among themselves.) *)
+let link_server env =
+  match env.dest with To_server s -> s | To_client _ -> env.src
+
+let slow_of st ~server =
+  if server >= 0 && server < Array.length st.slow then st.slow.(server) else 0
+
+let frozen_of st ~server =
+  server >= 0 && server < Array.length st.frozen && st.frozen.(server)
+
+(* A frozen server lane stops draining: envelopes queue up exactly as
+   they would behind a stuttering NIC.  Only sharded server lanes can
+   freeze (the shared client/fallback lane carries everyone's traffic). *)
+let lane_frozen t lane =
+  match lane.lserver with
+  | None -> false
+  | Some s -> frozen_of (Atomic.get t.state) ~server:s
+
 let rec courier_loop t lane =
   Mutex.lock lane.lm;
   (match t.sched with
   | None ->
-      while Ringbuf.is_empty lane.buf && not (Atomic.get t.stopped) do
+      while
+        (Ringbuf.is_empty lane.buf || lane_frozen t lane)
+        && not (Atomic.get t.stopped)
+      do
         Condition.wait lane.lc lane.lm
       done
   | Some hook ->
       hook.suspend ~mutex:lane.lm (fun () ->
-          (not (Ringbuf.is_empty lane.buf)) || Atomic.get t.stopped));
+          ((not (Ringbuf.is_empty lane.buf)) && not (lane_frozen t lane))
+          || Atomic.get t.stopped));
   if Atomic.get t.stopped then Mutex.unlock lane.lm
   else begin
     (* drain a batch under one lock acquisition; fault decisions use
-       the lane's own rng, so each lane is a deterministic stream *)
+       the lane's own rng, so each lane is a deterministic stream.
+       Gray slowness reads the state once per batch: a slow link adds
+       a fixed per-envelope delay on top of any random delay drawn. *)
+    let st = Atomic.get t.state in
     let n = min batch_max (Ringbuf.length lane.buf) in
     let prompt = ref [] and held = ref [] in
     for _ = 1 to n do
@@ -198,6 +237,15 @@ let rec courier_loop t lane =
         end
         else 0
       in
+      let slow_us = slow_of st ~server:(link_server env) in
+      if slow_us > 0 then begin
+        Atomic.incr t.slowed;
+        if Sink.sample_msg lane.lrec then
+          Sink.instant lane.lrec ~cat:"msg"
+            ~args:(("slow_us", Sink.Event.I slow_us) :: env_args env)
+            "slow"
+      end;
+      let delay_us = delay_us + slow_us in
       if delay_us = 0 then prompt := env :: !prompt
       else held := (delay_us, env) :: !held
     done;
@@ -251,11 +299,6 @@ let start t =
           done)
         t.lanes
 
-(* Which server is this envelope's link attached to?  (Clients are not
-   partitioned among themselves.) *)
-let link_server env =
-  match env.dest with To_server s -> s | To_client _ -> env.src
-
 let reachable_of st ~server =
   match st.groups with
   | None -> true
@@ -292,6 +335,13 @@ let send t env =
           && t.cfg.delay_prob = 0.0
           && Ringbuf.is_empty lane.buf
           && lane.inflight = 0
+          (* a slow or frozen link must queue so the couriers apply
+             the gray delay (or hold the lane shut) *)
+          && slow_of st ~server:(link_server env) = 0
+          && not
+               (match env.dest with
+               | To_server s -> frozen_of st ~server:s
+               | To_client _ -> false)
         in
         if inline_ok then begin
           lane.inflight <- lane.inflight + 1;
@@ -364,6 +414,64 @@ let set_drop t ?requests ?replies () =
 
 let reachable t ~server = reachable_of (Atomic.get t.state) ~server
 
+(* --- gray-failure controls --------------------------------------------- *)
+
+let check_server t what server =
+  if server < 0 || server >= t.nservers then
+    invalid_arg
+      (Fmt.str "Transport.%s: server %d out of range [0,%d)" what server
+         t.nservers)
+
+(* grow-and-copy so the published arrays are never mutated in place *)
+let with_cell arr n server v ~default =
+  let a = Array.make (max n (Array.length arr)) default in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a.(server) <- v;
+  a
+
+let set_slow t ~server us =
+  check_server t "set_slow" server;
+  if us < 0 then invalid_arg "Transport.set_slow: negative delay";
+  update_state t (fun st ->
+      { st with slow = with_cell st.slow t.nservers server us ~default:0 })
+
+let slow_us t ~server =
+  check_server t "slow_us" server;
+  slow_of (Atomic.get t.state) ~server
+
+let set_frozen t ~server v =
+  update_state t (fun st ->
+      { st with frozen = with_cell st.frozen t.nservers server v ~default:false });
+  (* threaded couriers park on the lane condvar while frozen; wake them
+     so the predicate is re-checked (the DST runner re-polls on its own) *)
+  if not v then begin
+    let lane = lane_for t (To_server server) in
+    Mutex.lock lane.lm;
+    Condition.broadcast lane.lc;
+    Mutex.unlock lane.lm
+  end
+
+let freeze t ~server =
+  check_server t "freeze" server;
+  set_frozen t ~server true
+
+let thaw t ~server =
+  check_server t "thaw" server;
+  set_frozen t ~server false
+
+let frozen t ~server =
+  check_server t "frozen" server;
+  frozen_of (Atomic.get t.state) ~server
+
+let heal_gray t =
+  update_state t (fun st -> { st with slow = [||]; frozen = [||] });
+  Array.iter
+    (fun lane ->
+      Mutex.lock lane.lm;
+      Condition.broadcast lane.lc;
+      Mutex.unlock lane.lm)
+    t.lanes
+
 let stop t =
   Atomic.set t.stopped true;
   Array.iter
@@ -384,5 +492,6 @@ let sent t = Atomic.get t.sent
 let delivered t = Atomic.get t.delivered
 let duplicated t = Atomic.get t.duplicated
 let delayed t = Atomic.get t.delayed
+let slowed t = Atomic.get t.slowed
 let dropped t = Atomic.get t.dropped
 let cut t = Atomic.get t.cut

@@ -27,7 +27,13 @@
     - {e partition}: a dynamic reachability map over servers
       ({!split} / {!heal}); an envelope whose server-side endpoint is
       in a different group than the clients is cut, in both
-      directions.
+      directions;
+    - {e gray slowness}: a per-server added delivery delay
+      ({!set_slow}) applied to every envelope whose link touches that
+      server, in both directions — the replica is slow, not dead;
+    - {e stutter}: a server's request lane can be frozen and thawed
+      ({!freeze} / {!thaw}); queued requests wait, nothing is lost,
+      and replies the server already produced still flow.
 
     When [reorder] is off and a lane is completely idle (no backlog,
     no in-flight delivery), [send] delivers on the calling thread —
@@ -112,6 +118,37 @@ val set_drop : t -> ?requests:float -> ?replies:float -> unit -> unit
 (** Is [server] currently reachable from the clients? *)
 val reachable : t -> server:int -> bool
 
+(** {2 Gray-failure controls}
+
+    Gray faults model a replica that is {e slow, not dead}: the
+    quorum layers above must route around it rather than wait for it.
+    All controls are runtime-adjustable from the nemesis, like
+    {!split}/{!set_drop}. *)
+
+(** [set_slow t ~server us] adds [us] microseconds to the delivery of
+    every envelope on [server]'s link (requests to it and replies
+    from it); [0] heals the link.  Raises [Invalid_argument] on a
+    negative delay or an out-of-range server. *)
+val set_slow : t -> server:int -> int -> unit
+
+(** The current added delay on [server]'s link, microseconds. *)
+val slow_us : t -> server:int -> int
+
+(** [freeze t ~server] stops [server]'s request lane from draining:
+    requests queue (nothing is dropped) until {!thaw}.  Replies from
+    the server still flow.  Only effective with sharded lanes (the
+    default); the single shared lane cannot freeze one server. *)
+val freeze : t -> server:int -> unit
+
+(** Resume a frozen request lane, delivering its backlog. *)
+val thaw : t -> server:int -> unit
+
+(** Is [server]'s request lane currently frozen? *)
+val frozen : t -> server:int -> bool
+
+(** Clear every slow link and frozen lane at once. *)
+val heal_gray : t -> unit
+
 (** Stop accepting sends, discard the queues, join the couriers. *)
 val stop : t -> unit
 
@@ -124,6 +161,8 @@ val sent : t -> int  (** envelopes accepted, duplicates included *)
 val delivered : t -> int
 val duplicated : t -> int
 val delayed : t -> int
+
+val slowed : t -> int  (** envelopes held by a gray slow link *)
 
 val dropped : t -> int  (** lost to the random drop rates *)
 

@@ -38,6 +38,8 @@ let mk_cluster ?(recovery = Recovery.Persist) ?(retry = quick_retry)
       op_timeout_s = 20.0;
       recovery;
       retry = Some retry;
+      hedge = None;
+      deadline = None;
     }
 
 let check_clean what (r : Checker.result) =

@@ -175,6 +175,95 @@ let determinism_tests =
           ]);
   ]
 
+(* --- gray faults + hedging under the virtual scheduler ------------------- *)
+
+(* a run with a straggler, a stutter burst, and the hedge/deadline
+   defenses armed: every hedge decision must be a deterministic
+   function of (config, choices) *)
+let gray_cfg ~seed =
+  {
+    (Dst.default_config ~seed) with
+    Dst.hedge = true;
+    nemesis =
+      [
+        { Regemu_chaos.Schedule.at_ms = 2;
+          ev = Regemu_chaos.Schedule.Slow (1, 5000) };
+        { Regemu_chaos.Schedule.at_ms = 8;
+          ev = Regemu_chaos.Schedule.Stutter (2, 10) };
+        { Regemu_chaos.Schedule.at_ms = 40;
+          ev = Regemu_chaos.Schedule.Heal_slow 1 };
+      ];
+  }
+
+let hedge_stats o =
+  match o.Dst.stats with
+  | None -> Alcotest.fail "gray run never reached its end"
+  | Some s ->
+      ( s.Dst.cluster_stats.Regemu_live.Cluster.hedges,
+        s.Dst.cluster_stats.Regemu_live.Cluster.hedge_wins,
+        s.Dst.cluster_stats.Regemu_live.Cluster.msgs_slowed,
+        s.Dst.nemesis_counters )
+
+let gray_determinism_tests =
+  [
+    test "hedge decisions replay byte-identically from the seed" (fun () ->
+        let cfg = gray_cfg ~seed:31 in
+        let o1 = Dst.run cfg and o2 = Dst.run cfg in
+        Alcotest.(check bool) "clean" true (Dst.passed o1);
+        Alcotest.(check string) "digest" (Dst.run_digest o1)
+          (Dst.run_digest o2);
+        let h1, w1, sl1, nem1 = hedge_stats o1 in
+        let h2, w2, sl2, nem2 = hedge_stats o2 in
+        Alcotest.(check int) "hedges" h1 h2;
+        Alcotest.(check int) "hedge wins" w1 w2;
+        Alcotest.(check int) "slowed envelopes" sl1 sl2;
+        Alcotest.(check bool) "nemesis counters" true (nem1 = nem2);
+        Alcotest.(check int) "the straggler was applied" 1
+          nem1.Regemu_chaos.Nemesis.slows;
+        Alcotest.(check int) "the stutter was applied" 1
+          nem1.Regemu_chaos.Nemesis.stutters;
+        Alcotest.(check int) "the heal was applied" 1
+          nem1.Regemu_chaos.Nemesis.heal_slows;
+        Alcotest.(check bool) "the slow link held envelopes" true (sl1 > 0));
+    test "a recorded gray interleaving replays its hedge decisions"
+      (fun () ->
+        let cfg = gray_cfg ~seed:32 in
+        let o1 = Dst.run cfg in
+        let o2 = Dst.run ~choices:o1.Dst.report.Sched.choices cfg in
+        Alcotest.(check string) "digest" (Dst.run_digest o1)
+          (Dst.run_digest o2);
+        Alcotest.(check bool) "hedge counters" true
+          (hedge_stats o1 = hedge_stats o2));
+    test "traced gray replays are byte-identical" (fun () ->
+        let open Regemu_obs in
+        let cfg = gray_cfg ~seed:33 in
+        let o = Dst.run cfg in
+        let traced () =
+          let tr = Trace.create () in
+          let o' =
+            Dst.run ~choices:o.Dst.report.Sched.choices
+              ~sink:(Regemu_live.Sink.make ~trace:tr ())
+              cfg
+          in
+          Alcotest.(check string) "digest reproduced" (Dst.run_digest o)
+            (Dst.run_digest o');
+          Json.to_string (Export.chrome_json tr)
+        in
+        Alcotest.(check string) "identical trace exports" (traced ())
+          (traced ()));
+    test "hedging changes the run, gray faults change it again" (fun () ->
+        (* hedge on/off and nemesis on/off must all be visible in the
+           digest: the flag is doing something, and so is the fault *)
+        let base = gray_cfg ~seed:34 in
+        let o_gray = Dst.run base in
+        let o_nohedge = Dst.run { base with Dst.hedge = false } in
+        let o_quiet = Dst.run { base with Dst.nemesis = [] } in
+        Alcotest.(check bool) "all clean" true
+          (Dst.passed o_gray && Dst.passed o_nohedge && Dst.passed o_quiet);
+        Alcotest.(check bool) "hedge flag visible" true
+          (Dst.run_digest o_gray <> Dst.run_digest o_nohedge));
+  ]
+
 (* --- online checker vs full pass ----------------------------------------- *)
 
 (* the satellite: on 200 fuzzed seeds, the incremental online verdict
@@ -374,6 +463,7 @@ let suites =
   [
     ("dst.sched", sched_tests);
     ("dst.determinism", determinism_tests);
+    ("dst.gray", gray_determinism_tests);
     ("dst.equivalence", equivalence_tests);
     ("dst.shrink", shrink_tests);
     ("dst.replayfile", replay_file_tests);
