@@ -20,11 +20,12 @@ check: build test
 bench:
 	dune exec bench/main.exe
 
-# the tracked perf trajectory: saturation sweep (2..16 client threads,
-# ABD + Algorithm 2, median of 5 per point) in the regemu-bench/1
-# schema, with the recorded pre-sharding baseline and speedup per point
+# the tracked perf trajectory: the interleaved three-way backend A/B
+# (threads vs domains vs socket, ABD, 16..256 client threads, median of
+# 3 per point) in the regemu-bench/2 schema, with per-point
+# speedup-vs-threads on the non-threads rows
 perf-bench:
-	dune exec bin/regemu.exe -- live --saturate --ops 200 --seed 42 --reps 5 --json BENCH_live.json
+	dune exec bin/regemu.exe -- live --saturate --ops 200 --seed 42 --json BENCH_live.json
 
 # real threads, fault injection, online checking; writes BENCH_live_suite.json
 live-bench:

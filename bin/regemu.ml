@@ -761,22 +761,44 @@ let live_cmd =
       value & opt int 3
       & info [ "couriers" ] ~doc:"Transport delivery threads.")
   in
+  let backend_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("threads", Transport.Threads);
+               ("domains", Transport.Domains);
+               ("socket", Transport.Socket);
+             ])
+          Transport.Threads
+      & info [ "backend" ]
+          ~doc:"Message fabric: $(b,threads) (the deterministic in-process \
+                courier fabric), $(b,domains) (one OCaml domain per server \
+                lane over lock-free rings), or $(b,socket) (forked server \
+                processes speaking the binary codec over Unix-domain \
+                sockets).  A full $(b,--saturate) sweep ignores this and \
+                runs the three-way A/B.")
+  in
   let json_arg =
     Arg.(
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the results as JSON (regemu-live-bench/1 schema; \
-                regemu-bench/1 with $(b,--saturate)).")
+                regemu-bench/2 with $(b,--saturate)).")
   in
   let saturate_arg =
     Arg.(
       value & flag
       & info [ "saturate" ]
-          ~doc:"Saturation sweep: ABD and Algorithm 2 across client-thread \
-                counts on a quiet non-reordering transport, reporting ops/s \
-                and latency percentiles against the recorded baseline.  With \
-                $(b,--smoke), a bounded sweep for CI.")
+          ~doc:"Saturation sweep on a quiet non-reordering transport.  The \
+                full sweep is the three-way backend A/B: ABD at each client \
+                count on the threads, domains, and socket fabrics \
+                interleaved, reporting ops/s, latency percentiles, and \
+                per-backend speedup over threads.  With $(b,--smoke), a \
+                bounded single-backend sweep for CI (honours \
+                $(b,--backend)).")
   in
   let reps_arg =
     Arg.(
@@ -797,13 +819,13 @@ let live_cmd =
                 ratio (regemu-tail/1 schema with $(b,--json)).  With \
                 $(b,--smoke), a bounded run for CI.")
   in
-  let run bench smoke saturate tail chaos algo k readers f n ops couriers json
-      seed reps trace sample metrics =
+  let run bench smoke saturate tail chaos algo k readers f n ops couriers
+      backend json seed reps trace sample metrics =
     if tail then
       Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
       let spec =
-        if smoke then Tail_bench.smoke_spec ~seed
-        else Tail_bench.default_spec ~seed
+        if smoke then Tail_bench.smoke_spec ~backend ~seed ()
+        else Tail_bench.default_spec ~backend ~seed ()
       in
       (* full tail runs report median-of-5 arms: single-core p99 is
          noisy and a median, not one roll, is the number worth
@@ -840,16 +862,20 @@ let live_cmd =
     else
     let specs =
       if saturate then
-        let clients = if smoke then [ 2; 4 ] else Live_bench.saturate_clients in
-        let ops_per_client = if smoke then 40 else ops in
-        Live_bench.saturate_specs ~clients ~ops_per_client ~seed ()
-      else if smoke then Live_bench.smoke_suite ()
-      else if bench then Live_bench.suite ~ops_per_client:ops ~seed ()
+        if smoke then
+          Live_bench.saturate_specs ~backend ~clients:[ 2; 4 ]
+            ~ops_per_client:40 ~seed ()
+        else Live_bench.saturate_ab_specs ~ops_per_client:ops ~seed ()
+      else if smoke then Live_bench.smoke_suite ~backend ()
+      else if bench then
+        List.map
+          (fun s -> { s with Live_bench.backend })
+          (Live_bench.suite ~ops_per_client:ops ~seed ())
       else
         [
           {
             Live_bench.algo; k; readers; f; n; ops_per_client = ops;
-            couriers; chaos; reorder = true; seed;
+            couriers; chaos; reorder = true; backend; seed;
           };
         ]
     in
@@ -890,7 +916,7 @@ let live_cmd =
           if saturate then Live_bench.validate_bench_json doc else Ok ()
         with
         | Error m ->
-            Fmt.epr "error: emitted document fails the regemu-bench/1 schema \
+            Fmt.epr "error: emitted document fails the regemu-bench/2 schema \
                      check: %s@." m;
             1
         | Ok () -> (
@@ -917,7 +943,7 @@ let live_cmd =
       $ readers_arg
       $ Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure threshold.")
       $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of server threads.")
-      $ ops_arg $ couriers_arg $ json_arg $ seed_arg $ reps_arg
+      $ ops_arg $ couriers_arg $ backend_arg $ json_arg $ seed_arg $ reps_arg
       $ Obs_cli.trace_arg
       $ Obs_cli.sample_arg ~default:64
       $ Obs_cli.metrics_arg)
@@ -1424,8 +1450,24 @@ let keyspace_cmd =
       value & flag
       & info [ "quiet" ] ~doc:"Suppress per-skew progress lines.")
   in
-  let run smoke keys zipfs rate ops window budget nval fval json quiet seed
-      trace sample metrics =
+  let backend_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("threads", Regemu_live.Transport.Threads);
+               ("domains", Regemu_live.Transport.Domains);
+               ("socket", Regemu_live.Transport.Socket);
+             ])
+          Regemu_live.Transport.Threads
+      & info [ "backend" ]
+          ~doc:
+            "Message fabric under each skew's cluster: $(b,threads), \
+             $(b,domains), or $(b,socket).")
+  in
+  let run smoke keys zipfs rate ops window budget nval fval backend json
+      quiet seed trace sample metrics =
     let spec = if smoke then Kbench.smoke_spec else Kbench.default_spec in
     let spec =
       {
@@ -1439,6 +1481,7 @@ let keyspace_cmd =
         total_ops = Option.value ops ~default:spec.Kbench.total_ops;
         window = Option.value window ~default:spec.Kbench.window;
         budget_ops = Option.value budget ~default:spec.Kbench.budget_ops;
+        backend;
       }
     in
     Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
@@ -1495,7 +1538,7 @@ let keyspace_cmd =
           value
           & opt (some int) None
           & info [ "f" ] ~doc:"Failure threshold.")
-      $ json_arg $ quiet_arg $ seed_arg $ Obs_cli.trace_arg
+      $ backend_arg $ json_arg $ quiet_arg $ seed_arg $ Obs_cli.trace_arg
       $ Obs_cli.sample_arg ~default:64
       $ Obs_cli.metrics_arg)
 
@@ -1622,6 +1665,11 @@ let trace_cmd =
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
+
+(* Must run before argument parsing: when the socket transport
+   re-execs this binary as a server child, [child_check] serves and
+   exits instead of entering the CLI. *)
+let () = Regemu_live.Transport_socket.child_check ()
 
 let () =
   let info =

@@ -176,6 +176,7 @@ let run ?(log = ignore) ?(sink = Sink.none) s =
       drop_prob = s.drop_prob;
       reorder = true;
       sharded = true;
+      backend = Transport.Threads;
       seed = s.seed;
     }
   in

@@ -162,6 +162,9 @@ let run ?(choices = [||]) ?(sink = Sink.none) cfg =
             drop_prob = cfg.drop_prob;
             reorder = cfg.reorder;
             sharded = true;
+            (* a DST run is scheduler-driven: Threads is the only backend
+               the cooperative scheduler can replay *)
+            backend = Transport.Threads;
             seed = cfg.seed;
           }
         in

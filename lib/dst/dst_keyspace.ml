@@ -65,6 +65,7 @@ let transport_of cfg =
       drop_prob = 0.0;
       reorder = false;
       sharded = true;
+      backend = Transport.Threads;
       seed = cfg.seed;
     }
   in

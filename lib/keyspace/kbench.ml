@@ -13,6 +13,7 @@ type spec = {
   seed : int;
   deep_sample : int;
   budget_ops : int;
+  backend : Transport.backend;
 }
 
 let default_spec =
@@ -28,6 +29,7 @@ let default_spec =
     seed = 42;
     deep_sample = 512;
     budget_ops = 50_000;
+    backend = Transport.Threads;
   }
 
 let smoke_spec =
@@ -43,6 +45,7 @@ let smoke_spec =
     seed = 7;
     deep_sample = 8;
     budget_ops = 4_096;
+    backend = Transport.Threads;
   }
 
 type skew_outcome = {
@@ -67,7 +70,13 @@ type outcome = { spec : spec; skews : skew_outcome list }
 
 let run_skew ?(quiet = true) ?(sink = Sink.none) spec zipf =
   let cluster =
-    Cluster.create ~sink (Cluster.default_config ~n:spec.n ~seed:spec.seed)
+    let base = Cluster.default_config ~n:spec.n ~seed:spec.seed in
+    Cluster.create ~sink
+      {
+        base with
+        Cluster.transport =
+          { base.Cluster.transport with Transport.backend = spec.backend };
+      }
   in
   let ks = Kspace.create cluster ~f:spec.f () in
   Cluster.start cluster;
@@ -141,6 +150,7 @@ let spec_json s =
       ("seed", Json.Int s.seed);
       ("deep_sample", Json.Int s.deep_sample);
       ("budget_ops", Json.Int s.budget_ops);
+      ("backend", Json.Str (Transport.backend_name s.backend));
     ]
 
 let skew_json (o : skew_outcome) =

@@ -19,6 +19,8 @@ type spec = {
   seed : int;
   deep_sample : int;
   budget_ops : int;  (** resident-op budget the checker must stay under *)
+  backend : Regemu_live.Transport.backend;
+      (** message fabric under each skew's cluster *)
 }
 
 val default_spec : spec

@@ -1,0 +1,46 @@
+(* A one-shot interruptible sleep: a self-pipe plus [Unix.select],
+   because the stdlib's [Condition] has no timed wait.  Loops that used
+   to pay a fixed [Thread.delay] tail on shutdown (heartbeat, pacer,
+   fault injectors) park here instead; [ring] ends every current and
+   future wait immediately.
+
+   Sticky by design: once rung, the alarm stays rung.  That is exactly
+   the shutdown protocol — set your [running] flag false, then [ring];
+   the loop can never sleep through the stop, no matter how the flag
+   write and the park interleave. *)
+
+type t = {
+  r : Unix.file_descr;
+  w : Unix.file_descr;
+  rung : bool Atomic.t;
+}
+
+let create () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  { r; w; rung = Atomic.make false }
+
+let rung t = Atomic.get t.rung
+
+let ring t =
+  if not (Atomic.exchange t.rung true) then
+    (* one byte is enough: waits never drain the pipe *)
+    try ignore (Unix.write t.w (Bytes.of_string "!") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let wait t d =
+  let deadline = Clock.now_s () +. d in
+  let rec go left =
+    if (not (Atomic.get t.rung)) && left > 0.0 then
+      match Unix.select [ t.r ] [] [] left with
+      | [], _, _ -> ()  (* timed out *)
+      | _ -> ()  (* readable: rung *)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          go (deadline -. Clock.now_s ())
+  in
+  go d
+
+let close t =
+  ring t;
+  (* safe only once no thread can wait again; callers close after join *)
+  (try Unix.close t.r with Unix.Unix_error _ -> ());
+  try Unix.close t.w with Unix.Unix_error _ -> ()

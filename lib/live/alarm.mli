@@ -1,0 +1,25 @@
+(** A one-shot interruptible sleep (self-pipe + [select]), standing in
+    for the timed condition-variable wait the stdlib lacks.
+
+    Periodic loops park in {!wait} instead of [Thread.delay]; {!ring}
+    wakes every current waiter and makes every future wait return
+    immediately (sticky), so a [stop] never pays the period as a
+    shutdown tail.  One alarm serves one component for one lifetime —
+    create a fresh one to run again. *)
+
+type t
+
+val create : unit -> t
+
+(** Sleep up to [d] seconds; returns early — immediately, once rung —
+    when {!ring} fires.  Multiple threads may wait on one alarm. *)
+val wait : t -> float -> unit
+
+(** Wake all waiters, now and forever (idempotent). *)
+val ring : t -> unit
+
+(** Has {!ring} fired? *)
+val rung : t -> bool
+
+(** Release the pipe; call only after the waiting threads are joined. *)
+val close : t -> unit

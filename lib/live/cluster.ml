@@ -99,8 +99,11 @@ let backoff_edges_ms = [| 100; 250; 500; 1000; 2000; 4000 |]
 type t = {
   cfg : config;
   sched : Sched_hook.t option;
+  backend : Transport.backend;  (* the fabric actually running (sched forces
+                                   [Threads]); decides where servers execute *)
   sink : Sink.t;
   ctl : Sink.Trace.recorder option;  (* control-plane events: faults, nemesis *)
+  alarm : Alarm.t;  (* interrupts the heartbeat/pacer sleeps at shutdown *)
   servers : server array;
   mutable clients : client array;
   gm : Mutex.t;  (* guards [clients] growth and fault counters *)
@@ -157,10 +160,40 @@ let dispatch_to_client t cid payload =
     Mutex.unlock cl.cm
   end
 
+(* Execute one server step on the delivering thread — the [Domains]
+   backend's request path: the lane's domain is the server's execution
+   context, so there is no mailbox and no server thread.  A crashed
+   server blocks its lane head-of-line (messages wait, exactly like
+   mail to a crashed-but-reachable server); the transport gates the
+   lane too, so this wait only catches envelopes already drained when
+   the crash landed. *)
+let step_here t srv src payload =
+  Mutex.lock srv.sm;
+  while (not srv.up) && not srv.closing do
+    Condition.wait srv.sc srv.sm
+  done;
+  let closing = srv.closing in
+  Mutex.unlock srv.sm;
+  if not closing then
+    List.iter
+      (fun reply ->
+        Transport.send (transport t)
+          {
+            Transport.src = srv.sid;
+            dest = Transport.To_client src;
+            payload = reply;
+          })
+      (Proto.step srv.store payload)
+
 let deliver t (env : Transport.envelope) =
   match env.dest with
-  | Transport.To_server i ->
-      Mailbox.push t.servers.(i).mailbox (env.src, env.payload)
+  | Transport.To_server i -> (
+      match t.backend with
+      | Transport.Domains -> step_here t t.servers.(i) env.src env.payload
+      | Transport.Threads | Transport.Socket ->
+          (* [Socket] never routes a request here — children serve
+             them — but a stray one waits in the mailbox harmlessly *)
+          Mailbox.push t.servers.(i).mailbox (env.src, env.payload))
   | Transport.To_client c -> dispatch_to_client t c env.payload
 
 (* --- servers ----------------------------------------------------------- *)
@@ -225,8 +258,10 @@ let create ?sched ?(sink = Sink.none) cfg =
     {
       cfg;
       sched;
+      backend = Transport.effective_backend ?sched cfg.transport;
       sink;
       ctl = Sink.recorder sink ~name:"cluster";
+      alarm = Alarm.create ();
       servers;
       clients = [||];
       gm = Mutex.create ();
@@ -260,8 +295,10 @@ let create ?sched ?(sink = Sink.none) cfg =
   in
   t.transport <-
     Some
-      (Transport.create ?sched ~sink cfg.transport ~servers:cfg.n
-         ~deliver:(deliver t));
+      (Transport.create ?sched ~sink
+         ~server_regs:(fun s ->
+           if s >= 0 && s < cfg.n then Proto.num_regs servers.(s).store else 0)
+         cfg.transport ~servers:cfg.n ~deliver:(deliver t));
   Sink.gauge_fn sink ~help:"operations invoked" "ops.invoked" (fun () ->
       Histlog.invoked t.log);
   Sink.gauge_fn sink ~help:"operations completed" "ops.completed" (fun () ->
@@ -500,17 +537,20 @@ let rpc_quorum t ~src:cl ~quorum ~make ~handler replicas =
 let heartbeat_loop t =
   (* periodically wake awaiting clients so deadlines and due
      retransmissions are checked even when no reply arrives; clients
-     not blocked in [await] are skipped *)
+     not blocked in [await] are skipped.  The sleep is an {!Alarm}
+     wait, not [Thread.delay]: {!shutdown} rings it, so stopping never
+     pays the period as a tail. *)
   while t.running do
-    Thread.delay 0.05;
-    Array.iter
-      (fun cl ->
-        if cl.waiting then begin
-          Mutex.lock cl.cm;
-          if cl.waiting then Condition.signal cl.cc;
-          Mutex.unlock cl.cm
-        end)
-      t.clients
+    Alarm.wait t.alarm 0.05;
+    if t.running then
+      Array.iter
+        (fun cl ->
+          if cl.waiting then begin
+            Mutex.lock cl.cm;
+            if cl.waiting then Condition.signal cl.cc;
+            Mutex.unlock cl.cm
+          end)
+        t.clients
   done
 
 (* the hedge timer (threaded mode only): hedge delays sit well under
@@ -519,25 +559,30 @@ let heartbeat_loop t =
    decision is re-made under the client mutex. *)
 let pacer_loop t (h : Hedge.config) =
   while t.running do
-    Thread.delay h.Hedge.tick_s;
-    Array.iter
-      (fun cl ->
-        match cl.hedge with
-        | None -> ()
-        | Some _ ->
-            Mutex.lock cl.cm;
-            fire_due_hedge t cl (Clock.now_s ());
-            Mutex.unlock cl.cm)
-      t.clients
+    Alarm.wait t.alarm h.Hedge.tick_s;
+    if t.running then
+      Array.iter
+        (fun cl ->
+          match cl.hedge with
+          | None -> ()
+          | Some _ ->
+              Mutex.lock cl.cm;
+              fire_due_hedge t cl (Clock.now_s ());
+              Mutex.unlock cl.cm)
+        t.clients
   done
 
 let start t =
   t.running <- true;
   (match t.sched with
   | None ->
-      Array.iter
-        (fun srv -> srv.sthread <- Some (Thread.create (server_loop t) srv))
-        t.servers
+      (* only the threaded backend hosts servers in this process's
+         threads: [Domains] executes them in the lane domains
+         ([step_here]), [Socket] in forked children *)
+      if t.backend = Transport.Threads then
+        Array.iter
+          (fun srv -> srv.sthread <- Some (Thread.create (server_loop t) srv))
+          t.servers
   | Some hook ->
       Array.iter
         (fun srv ->
@@ -760,6 +805,10 @@ let crash t i =
   srv.up <- false;
   Mutex.unlock srv.sm;
   if was_up then begin
+    (* tell the fabric too: [Domains] parks the server's lane, [Socket]
+       SIGKILLs the child process; [Threads] ignores it (the mailbox
+       gates) *)
+    Transport.set_server_up (transport t) ~server:i false;
     Mutex.lock t.gm;
     t.crashes <- t.crashes + 1;
     Mutex.unlock t.gm;
@@ -773,23 +822,31 @@ let restart t i =
   let srv = t.servers.(i) in
   Mutex.lock srv.sm;
   let was_down = not srv.up in
-  if was_down && t.cfg.recovery = Recovery.Amnesia then
-    (* a diskless reboot: the server comes back with an empty store *)
+  if
+    was_down
+    && t.cfg.recovery = Recovery.Amnesia
+    && t.backend <> Transport.Socket
+  then
+    (* a diskless reboot: the server comes back with an empty store.
+       [Socket] skips the wipe — its restart execs a fresh process, so
+       recovery is amnesiac by construction, and the parent-side store
+       must keep its register count for [Ensure_regs] forwarding. *)
     Proto.reset srv.store;
   srv.up <- true;
   Condition.broadcast srv.sc;
   Mutex.unlock srv.sm;
   if was_down then begin
+    let wiped =
+      t.cfg.recovery = Recovery.Amnesia || t.backend = Transport.Socket
+    in
+    Transport.set_server_up (transport t) ~server:i true;
     Mutex.lock t.gm;
     t.restarts <- t.restarts + 1;
-    if t.cfg.recovery = Recovery.Amnesia then t.wipes <- t.wipes + 1;
+    if wiped then t.wipes <- t.wipes + 1;
     Mutex.unlock t.gm;
     Sink.instant t.ctl ~cat:"fault"
       ~args:
-        [
-          ("server", Sink.Event.I i);
-          ("wiped", Sink.Event.B (t.cfg.recovery = Recovery.Amnesia));
-        ]
+        [ ("server", Sink.Event.I i); ("wiped", Sink.Event.B wiped) ]
       "restart"
   end
 
@@ -940,6 +997,8 @@ let shutdown t =
   if not t.shut then begin
     t.shut <- true;
     t.running <- false;
+    (* interrupt the periodic sleeps: joining must not wait out a tick *)
+    Alarm.ring t.alarm;
     Option.iter Thread.join t.heartbeat;
     t.heartbeat <- None;
     Option.iter Thread.join t.pacer;
@@ -958,5 +1017,6 @@ let shutdown t =
       (fun srv ->
         Option.iter Thread.join srv.sthread;
         srv.sthread <- None)
-      t.servers
+      t.servers;
+    Alarm.close t.alarm
   end

@@ -1,0 +1,34 @@
+(** Length-prefixed binary codec for the {!Transport} [Socket]
+    backend: every Proto payload (plain and keyed), wrapped in an
+    envelope, as one [[len : u32 BE]][body] frame.
+
+    The encoding is canonical — each message has exactly one byte
+    representation — so [encode (decode s) = s] for every well-formed
+    body [s].  Integers are 8-byte big-endian, strings u32-length
+    prefixed, unions single-byte tagged.  The framing carries no
+    process-local state, so the same codec serves a Unix-domain
+    socketpair or a TCP stream. *)
+
+exception Malformed of string
+(** Raised on truncated input, an unknown tag, a non-canonical byte,
+    trailing garbage, or an absurd frame length. *)
+
+type msg =
+  | Env of Transport_intf.envelope  (** a routed protocol message *)
+  | Ensure_regs of int
+      (** control, parent→child: grow the register file to [n] cells
+          (idempotent), forwarding parent-side [alloc_reg] calls *)
+
+(** One message body, unframed. *)
+val encode : msg -> string
+
+(** Inverse of {!encode} on exactly one body; raises {!Malformed}
+    otherwise. *)
+val decode : string -> msg
+
+(** Write one framed message; blocks until fully written. *)
+val write_msg : Unix.file_descr -> msg -> unit
+
+(** Read one framed message; [None] on a clean EOF at a frame
+    boundary, {!Malformed} on a mid-frame EOF or a bad body. *)
+val read_msg : Unix.file_descr -> msg option

@@ -36,6 +36,7 @@ type t = {
   mutable running : bool;
   mutable thread : Thread.t option;
   mutable gthread : Thread.t option;
+  alarm : Alarm.t;  (* interrupts the threaded pauses at [stop] *)
   mutable crashed : int list;  (* injector-thread private *)
   mutable crashes : int;
   mutable restarts : int;
@@ -53,18 +54,12 @@ let jitter rng p =
   (* 0.5x .. 1.5x the period *)
   p *. (0.5 +. float_of_int (Regemu_sim.Rng.int rng ~bound:1000) /. 1000.)
 
-(* threaded pauses sleep in short slices so [stop] never waits out a
-   long period; under [sched] the sleep is virtual and join-free, so
-   it stays a single (deterministic) timed park *)
-let interruptible_pause t d =
-  let slice = 0.025 in
-  let rec go left =
-    if t.running && left > 0.0 then begin
-      Thread.delay (Float.min slice left);
-      go (left -. slice)
-    end
-  in
-  go d
+(* threaded pauses park on the injector's {!Alarm}: [stop] rings it,
+   so ending a run never waits out a pending period (the old
+   slice-and-poll loop still paid up to one 25ms slice).  Under
+   [sched] the sleep is virtual and join-free, so it stays a single
+   (deterministic) timed park. *)
+let interruptible_pause t d = if t.running then Alarm.wait t.alarm d
 
 let injector_loop ?sched t =
   let pause =
@@ -208,6 +203,7 @@ let spawn ?sched cluster cfg =
       running = true;
       thread = None;
       gthread = None;
+      alarm = Alarm.create ();
       crashed = [];
       crashes = 0;
       restarts = 0;
@@ -236,10 +232,12 @@ let spawn ?sched cluster cfg =
 
 let stop t =
   t.running <- false;
+  Alarm.ring t.alarm;
   Option.iter Thread.join t.thread;
   t.thread <- None;
   Option.iter Thread.join t.gthread;
   t.gthread <- None;
+  Alarm.close t.alarm;
   (* clear every gray fault we may have left behind: slow links reset,
      frozen lanes thawed — gray faults never outlive their injector *)
   if t.cfg.gray <> None then begin

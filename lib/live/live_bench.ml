@@ -24,12 +24,13 @@ type spec = {
   couriers : int;
   chaos : bool;
   reorder : bool;
+  backend : Transport.backend;
   seed : int;
 }
 
-let default_spec ~algo ~chaos ~seed =
+let default_spec ?(backend = Transport.Threads) ~algo ~chaos ~seed () =
   { algo; k = 1; readers = 3; f = 1; n = 3; ops_per_client = 150;
-    couriers = 3; chaos; reorder = true; seed }
+    couriers = 3; chaos; reorder = true; backend; seed }
 
 type outcome = {
   spec : spec;
@@ -57,10 +58,11 @@ let clean o =
 
 let outcome_pp ppf o =
   Fmt.pf ppf
-    "%-10s %s k=%d readers=%d f=%d n=%d: %d ops in %.3fs (%.0f ops/s), \
+    "%-10s %-7s %s k=%d readers=%d f=%d n=%d: %d ops in %.3fs (%.0f ops/s), \
      latency µs mean=%.0f %a; %d msgs (%d dup, %d delayed, %d dropped), %d \
      crashes / %d restarts, %d retries, %d unavailable; %a"
     (algo_name o.spec.algo)
+    (Transport.backend_name o.spec.backend)
     (if o.spec.chaos then "chaos" else "quiet")
     o.spec.k o.spec.readers o.spec.f o.spec.n o.ops o.wall_s o.throughput
     o.mean_us
@@ -80,6 +82,7 @@ let run ?(sink = Sink.none) spec =
       drop_prob = (if spec.chaos then 0.03 else 0.0);
       reorder = spec.reorder;
       sharded = true;
+      backend = spec.backend;
       seed = spec.seed;
     }
   in
@@ -214,15 +217,25 @@ let suite ?(ops_per_client = 150) ~seed () =
   List.concat_map
     (fun algo ->
       List.map
-        (fun chaos -> { (default_spec ~algo ~chaos ~seed) with ops_per_client })
+        (fun chaos ->
+          { (default_spec ~algo ~chaos ~seed ()) with ops_per_client })
         [ false; true ])
     [ Abd; Abd_wb; Alg2 ]
 
-let smoke_suite () =
+(* The socket smoke runs quiet: a killed child execs back with an empty
+   store whatever the recovery mode, and ABD under quorum-visible
+   amnesia is not WS-regular — a chaos run would (correctly) trip the
+   checker.  The other backends keep the crash/restart chaos. *)
+let smoke_suite ?(backend = Transport.Threads) () =
+  let chaos = backend <> Transport.Socket in
   [
-    { (default_spec ~algo:Abd ~chaos:true ~seed:42) with ops_per_client = 40 };
     {
-      (default_spec ~algo:Alg2 ~chaos:true ~seed:43) with ops_per_client = 40;
+      (default_spec ~backend ~algo:Abd ~chaos ~seed:42 ()) with
+      ops_per_client = 40;
+    };
+    {
+      (default_spec ~backend ~algo:Alg2 ~chaos ~seed:43 ()) with
+      ops_per_client = 40;
     };
   ]
 
@@ -238,6 +251,7 @@ let spec_json s =
       ("couriers", Json.Int s.couriers);
       ("chaos", Json.Bool s.chaos);
       ("reorder", Json.Bool s.reorder);
+      ("backend", Json.Str (Transport.backend_name s.backend));
       ("seed", Json.Int s.seed);
     ]
 
@@ -288,7 +302,8 @@ let to_json outcomes =
 
 (* --- saturation mode ---------------------------------------------------- *)
 
-let saturate_spec ~algo ~clients ~ops_per_client ~seed =
+let saturate_spec ?(backend = Transport.Threads) ~algo ~clients
+    ~ops_per_client ~seed () =
   if clients < 2 then invalid_arg "saturate: need at least 2 clients";
   {
     algo;
@@ -302,19 +317,40 @@ let saturate_spec ~algo ~clients ~ops_per_client ~seed =
     (* peak-pipeline mode: no artificial reordering in the lanes —
        chaos and correctness suites keep reorder on *)
     reorder = false;
+    backend;
     seed;
   }
 
 let saturate_clients = [ 2; 4; 8; 16 ]
 
-let saturate_specs ?(clients = saturate_clients) ?(ops_per_client = 200) ~seed
-    () =
+let saturate_specs ?(backend = Transport.Threads) ?(clients = saturate_clients)
+    ?(ops_per_client = 200) ~seed () =
   List.concat_map
     (fun algo ->
       List.map
-        (fun c -> saturate_spec ~algo ~clients:c ~ops_per_client ~seed)
+        (fun c ->
+          saturate_spec ~backend ~algo ~clients:c ~ops_per_client ~seed ())
         clients)
     [ Abd; Alg2 ]
+
+(* The head-to-head sweep: the same saturation point on every backend,
+   backends adjacent in the run order (and the whole list round-robined
+   by [run_sweep_median]), so each threads/domains/socket triple is
+   measured under the same machine weather. *)
+let saturate_ab_clients = [ 16; 32; 64; 128; 256 ]
+
+let saturate_ab_backends =
+  [ Transport.Threads; Transport.Domains; Transport.Socket ]
+
+let saturate_ab_specs ?(clients = saturate_ab_clients)
+    ?(ops_per_client = 200) ~seed () =
+  List.concat_map
+    (fun c ->
+      List.map
+        (fun backend ->
+          saturate_spec ~backend ~algo:Abd ~clients:c ~ops_per_client ~seed ())
+        saturate_ab_backends)
+    clients
 
 (* Throughput of the pre-sharding runtime on the reference machine
    (same spec shape: quiet, reorder off, ops_per_client 200, seed 42),
@@ -333,27 +369,45 @@ let seed_baseline_ops_s =
 
 let clients_of_spec s = s.k + s.readers
 
+(* regemu-bench/2: the [backend] column arrives, the never-populated
+   [r_square] column of /1 is gone (the live sweep has no regression
+   fit; the micro-bench emitter in bench/main.ml, which does, stays on
+   /1), and non-threads rows carry [speedup_vs_threads] against the
+   same-algo same-clients threads row of the same document. *)
 let saturate_json outcomes =
+  let threads_row algo clients =
+    List.find_opt
+      (fun o ->
+        o.spec.algo = algo
+        && o.spec.backend = Transport.Threads
+        && clients_of_spec o.spec = clients)
+      outcomes
+  in
   let bench o =
     let clients = clients_of_spec o.spec in
     let pct p = try List.assoc p o.pcts_us with Not_found -> 0.0 in
     let baseline =
-      List.find_opt
-        (fun (a, c, _) -> a = o.spec.algo && c = clients)
-        seed_baseline_ops_s
+      (* the pre-sharding baseline was recorded on the threaded
+         runtime: it is only an apples-to-apples column there *)
+      if o.spec.backend <> Transport.Threads then None
+      else
+        List.find_opt
+          (fun (a, c, _) -> a = o.spec.algo && c = clients)
+          seed_baseline_ops_s
     in
     Json.Obj
       ([
          ( "name",
            Json.Str
-             (Fmt.str "saturate/%s/clients=%d" (algo_name o.spec.algo) clients)
-         );
+             (Fmt.str "saturate/%s/%s/clients=%d" (algo_name o.spec.algo)
+                (Transport.backend_name o.spec.backend)
+                clients) );
          ("measure", Json.Str "throughput");
+         ("backend", Json.Str (Transport.backend_name o.spec.backend));
          (* ns per completed operation, the schema's canonical unit *)
          ( "ns_per_run",
            if o.throughput > 0.0 then Json.Float (1e9 /. o.throughput)
            else Json.Null );
-         ("r_square", Json.Null);
          ("clients", Json.Int clients);
          ("ops", Json.Int o.ops);
          ("ops_per_s", Json.Float o.throughput);
@@ -362,6 +416,18 @@ let saturate_json outcomes =
          ("latency_p99_us", Json.Float (pct 0.99));
          ("clean", Json.Bool (clean o));
        ]
+      @ (match
+           if o.spec.backend = Transport.Threads then None
+           else threads_row o.spec.algo clients
+         with
+        | None -> []
+        | Some th ->
+            [
+              ( "speedup_vs_threads",
+                if th.throughput > 0.0 then
+                  Json.Float (o.throughput /. th.throughput)
+                else Json.Null );
+            ])
       @
       match baseline with
       | None -> []
@@ -374,13 +440,16 @@ let saturate_json outcomes =
   in
   Json.Obj
     [
-      ("schema", Json.Str "regemu-bench/1");
+      ("schema", Json.Str "regemu-bench/2");
       ("benchmarks", Json.List (List.map bench outcomes));
     ]
 
-(* Structural check of the regemu-bench/1 document (shared with the
-   micro-benchmark emitter in bench/main.ml): catches a schema drift
-   before a dashboard does. *)
+let backend_names = List.map Transport.backend_name saturate_ab_backends
+
+(* Structural check of the regemu-bench/2 document, run before every
+   write: catches a schema drift before a dashboard does.  /2 requires
+   a valid [backend] on every row and rejects a lingering [r_square]
+   (always null in /1, dropped rather than carried dead). *)
 let validate_bench_json json =
   let ( let* ) = Result.bind in
   let field name = function
@@ -393,7 +462,7 @@ let validate_bench_json json =
   let* schema = field "schema" json in
   let* () =
     match schema with
-    | Json.Str "regemu-bench/1" -> Ok ()
+    | Json.Str "regemu-bench/2" -> Ok ()
     | Json.Str s -> Error (Fmt.str "bad schema %S" s)
     | _ -> Error "schema must be a string"
   in
@@ -418,12 +487,29 @@ let validate_bench_json json =
         | Json.Str _ -> Ok ()
         | _ -> Error "measure must be a string"
       in
+      let* backend = field "backend" b in
+      let* () =
+        match backend with
+        | Json.Str s when List.mem s backend_names -> Ok ()
+        | Json.Str s -> Error (Fmt.str "unknown backend %S" s)
+        | _ -> Error "backend must be a string"
+      in
+      let* () =
+        match b with
+        | Json.Obj kvs when List.mem_assoc "r_square" kvs ->
+            Error "r_square was dropped in regemu-bench/2"
+        | _ -> Ok ()
+      in
       let numeric what = function
         | Json.Float _ | Json.Int _ | Json.Null -> Ok ()
         | _ -> Error (Fmt.str "%s must be a number or null" what)
       in
       let* ns = field "ns_per_run" b in
       let* () = numeric "ns_per_run" ns in
-      let* r2 = field "r_square" b in
-      numeric "r_square" r2)
+      match b with
+      | Json.Obj kvs -> (
+          match List.assoc_opt "speedup_vs_threads" kvs with
+          | Some v -> numeric "speedup_vs_threads" v
+          | None -> Ok ())
+      | _ -> Ok ())
     (Ok ()) bs

@@ -23,11 +23,14 @@ type spec = {
   couriers : int;
   chaos : bool;  (** crash/restart injector + delays + duplication *)
   reorder : bool;  (** transport reordering (off in saturation mode) *)
+  backend : Transport.backend;  (** message fabric under the cluster *)
   seed : int;
 }
 
-(** [k + readers = 4] client threads, [n = 2f+1] servers by default. *)
-val default_spec : algo:algo -> chaos:bool -> seed:int -> spec
+(** [k + readers = 4] client threads, [n = 2f+1] servers by default;
+    [backend] defaults to [Threads]. *)
+val default_spec :
+  ?backend:Transport.backend -> algo:algo -> chaos:bool -> seed:int -> unit -> spec
 
 type outcome = {
   spec : spec;
@@ -80,8 +83,12 @@ val run_sweep_median : ?reps:int -> ?sink:Sink.t -> spec list -> outcome list
 (** The standard suite: quiet and chaos runs of each algorithm. *)
 val suite : ?ops_per_client:int -> seed:int -> unit -> spec list
 
-(** The bounded, seed-fixed smoke suite for CI. *)
-val smoke_suite : unit -> spec list
+(** The bounded, seed-fixed smoke suite for CI on the given backend
+    (default [Threads]).  The [Socket] backend's smoke runs quiet
+    (no chaos): a SIGKILLed child execs back with an empty store, and
+    ABD under quorum-visible amnesia is not WS-regular — the checker
+    would rightly flag it. *)
+val smoke_suite : ?backend:Transport.backend -> unit -> spec list
 
 (** The [regemu-live-bench/1] document: schema id, specs, and results. *)
 val to_json : outcome list -> Regemu_obs.Json.t
@@ -96,24 +103,55 @@ val to_json : outcome list -> Regemu_obs.Json.t
 
 (** One saturation point.  Raises [Invalid_argument] if [clients < 2]. *)
 val saturate_spec :
-  algo:algo -> clients:int -> ops_per_client:int -> seed:int -> spec
+  ?backend:Transport.backend ->
+  algo:algo ->
+  clients:int ->
+  ops_per_client:int ->
+  seed:int ->
+  unit ->
+  spec
 
 (** The default sweep: [2; 4; 8; 16]. *)
 val saturate_clients : int list
 
-(** The full sweep, ABD and Algorithm 2 at each client count. *)
+(** The full single-backend sweep, ABD and Algorithm 2 at each client
+    count. *)
 val saturate_specs :
+  ?backend:Transport.backend ->
+  ?clients:int list ->
+  ?ops_per_client:int ->
+  seed:int ->
+  unit ->
+  spec list
+
+(** {2 The three-way backend A/B}
+
+    ABD at each client count on each backend, backends adjacent per
+    count so {!run_sweep_median}'s round-robin repeats every
+    (clients, backend) triple under the same machine weather. *)
+
+(** The A/B client counts: [16; 32; 64; 128; 256]. *)
+val saturate_ab_clients : int list
+
+(** [Threads; Domains; Socket] — the A/B arms, in emission order. *)
+val saturate_ab_backends : Transport.backend list
+
+val saturate_ab_specs :
   ?clients:int list -> ?ops_per_client:int -> seed:int -> unit -> spec list
 
 (** Pre-sharding throughput on the reference machine, [(algo, clients,
     ops/s)] — the "before" column baked into the emitted document. *)
 val seed_baseline_ops_s : (algo * int * float) list
 
-(** The [BENCH_live.json] document in the [regemu-bench/1] schema:
+(** The [BENCH_live.json] document in the [regemu-bench/2] schema:
     one benchmark entry per outcome ([ns_per_run] = ns per completed
-    op) with throughput, percentiles, and baseline/speedup extras. *)
+    op) with throughput, percentiles, and a [backend] column; a
+    non-threads row carries [speedup_vs_threads] against the
+    same-algo same-clients threads row, a threads row the recorded
+    pre-sharding [baseline_ops_per_s]/[speedup] extras. *)
 val saturate_json : outcome list -> Regemu_obs.Json.t
 
-(** Structural validation of a [regemu-bench/1] document (also
-    applicable to the micro-benchmark emitter's output). *)
+(** Structural validation of a [regemu-bench/2] document: schema id,
+    a valid [backend] on every row, numeric [ns_per_run], and no
+    lingering [r_square] (dropped in /2). *)
 val validate_bench_json : Regemu_obs.Json.t -> (unit, string) result

@@ -1,0 +1,105 @@
+(* A lock-free multi-producer single-consumer queue (Vyukov's
+   intrusive MPSC), plus an eventcount so the consumer can park when
+   the queue is truly idle.
+
+   Push is one [Atomic.exchange] on the tail followed by one
+   [Atomic.set] linking the predecessor — no mutex, no condvar, no CAS
+   retry loop on the send path.  The only lock is the park mutex, and
+   a producer touches it only when the consumer has published that it
+   is parked (an idle lane), so the hot path of a busy lane is purely
+   atomic.
+
+   Ordering guarantees: the total pop order is some interleaving of
+   the producers' push orders, and each producer's elements come out
+   in its own push order (per-producer FIFO).  With a single producer
+   the queue is exactly FIFO.
+
+   The park protocol is the standard eventcount argument, relying on
+   OCaml [Atomic] operations being sequentially consistent: the
+   consumer publishes [parked := true] *before* re-checking emptiness,
+   and a producer reads [parked] *after* linking its node.  Either the
+   consumer's emptiness check observes the new node, or that check
+   precedes the link in the SC total order — in which case the
+   consumer's [parked := true] precedes the producer's [parked] read,
+   so the producer takes the mutex and signals.  Because the consumer
+   holds the park mutex from publishing [parked] until the condvar
+   wait releases it, the signal cannot fire in the gap. *)
+
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  mutable head : 'a node;  (* consumer-owned; a consumed stub *)
+  tail : 'a node Atomic.t;
+  parked : bool Atomic.t;
+  m : Mutex.t;
+  c : Condition.t;
+  pushed : int Atomic.t;
+  popped : int Atomic.t;
+}
+
+let create () =
+  let stub = { value = None; next = Atomic.make None } in
+  {
+    head = stub;
+    tail = Atomic.make stub;
+    parked = Atomic.make false;
+    m = Mutex.create ();
+    c = Condition.create ();
+    pushed = Atomic.make 0;
+    popped = Atomic.make 0;
+  }
+
+let push t x =
+  let n = { value = Some x; next = Atomic.make None } in
+  let prev = Atomic.exchange t.tail n in
+  (* the queue is momentarily "torn" between the exchange and this
+     link; the consumer treats an unlinked suffix as not-yet-there *)
+  Atomic.set prev.next (Some n);
+  Atomic.incr t.pushed;
+  if Atomic.get t.parked then begin
+    Mutex.lock t.m;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+  end
+
+(* single consumer only *)
+let try_pop t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n ->
+      let v = n.value in
+      n.value <- None;  (* drop the reference; [n] becomes the stub *)
+      t.head <- n;
+      Atomic.incr t.popped;
+      v
+
+(* Conservative: [true] may be stale the instant it returns, and a
+   pushed-but-not-yet-linked node reads as absent — the park protocol
+   compensates (the producer signals after linking). *)
+let is_empty t = Atomic.get t.head.next = None
+
+let length t = Atomic.get t.pushed - Atomic.get t.popped
+
+(* Park until [ready ()] — re-checked after every wake-up.  The
+   predicate must read only [Atomic] state (the queue itself, stop
+   flags, gate flags): producers and [wake] callers signal blindly and
+   the predicate decides. *)
+let park t ~ready =
+  Mutex.lock t.m;
+  Atomic.set t.parked true;
+  while not (ready ()) do
+    Condition.wait t.c t.m
+  done;
+  Atomic.set t.parked false;
+  Mutex.unlock t.m
+
+(* Wake a parked consumer so it re-evaluates its predicate (used by
+   stop, crash/restart gating, freeze/thaw — anything that changes
+   [ready] without pushing). *)
+let wake t =
+  Mutex.lock t.m;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m
+
+let pushed t = Atomic.get t.pushed
+let popped t = Atomic.get t.popped

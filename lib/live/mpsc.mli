@@ -1,0 +1,47 @@
+(** A lock-free multi-producer single-consumer queue (Vyukov's
+    intrusive MPSC) with an eventcount for idle parking.
+
+    The send path is wait-free-ish: one [Atomic.exchange] plus one
+    [Atomic.set], never a mutex or condvar — except that a producer
+    which observes the consumer parked (a truly idle lane) takes the
+    park mutex once to wake it.
+
+    Pop order is an interleaving of the producers' push orders with
+    {e per-producer FIFO}: each producer's elements come out in its
+    own push order.  Exactly-once: every pushed element is popped by
+    the (single) consumer exactly once.
+
+    All consumer-side operations ([try_pop], [park]) must be called
+    from one thread/domain at a time. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Enqueue; safe from any thread or domain. *)
+val push : 'a t -> 'a -> unit
+
+(** Dequeue the oldest linked element; [None] when (conservatively)
+    empty.  Single consumer only. *)
+val try_pop : 'a t -> 'a option
+
+(** [true] when no linked element is visible.  Conservative: an
+    element mid-push may read as absent; the {!park} protocol
+    guarantees its producer will wake a parked consumer once the
+    element is linked. *)
+val is_empty : 'a t -> bool
+
+(** [pushed - popped]; approximate under concurrency. *)
+val length : 'a t -> int
+
+(** [park t ~ready] blocks the consumer until [ready ()] is [true],
+    re-checking after every wake-up.  [ready] must read only atomic
+    state.  Producers wake a parked consumer automatically; other
+    state changes feeding [ready] must call {!wake}. *)
+val park : 'a t -> ready:(unit -> bool) -> unit
+
+(** Wake a parked consumer so it re-evaluates its predicate. *)
+val wake : 'a t -> unit
+
+val pushed : 'a t -> int
+val popped : 'a t -> int

@@ -9,10 +9,11 @@ type spec = {
   straggler_us : int;
   straggler : int;
   couriers : int;
+  backend : Transport.backend;
   seed : int;
 }
 
-let default_spec ~seed =
+let default_spec ?(backend = Transport.Threads) ~seed () =
   {
     readers = 3;
     f = 1;
@@ -22,10 +23,12 @@ let default_spec ~seed =
     straggler_us = 10_000;
     straggler = 2;
     couriers = 3;
+    backend;
     seed;
   }
 
-let smoke_spec ~seed = { (default_spec ~seed) with ops_per_client = 25 }
+let smoke_spec ?backend ~seed () =
+  { (default_spec ?backend ~seed ()) with ops_per_client = 25 }
 
 let validate_spec s =
   if s.readers < 1 then invalid_arg "Tail_bench: need at least one reader";
@@ -89,6 +92,7 @@ let run_arm ?(sink = Sink.none) s arm =
       drop_prob = 0.0;
       reorder = true;
       sharded = true;
+      backend = s.backend;
       seed = s.seed;
     }
   in

@@ -26,15 +26,16 @@ type spec = {
   straggler_us : int;  (** the straggler's per-envelope delay *)
   straggler : int;  (** which server turns gray *)
   couriers : int;
+  backend : Transport.backend;  (** message fabric (default [Threads]) *)
   seed : int;
 }
 
 (** 1+3 clients, f=1 n=3, 120 ops/client, base 1ms, straggler 10ms on
     server 2. *)
-val default_spec : seed:int -> spec
+val default_spec : ?backend:Transport.backend -> seed:int -> unit -> spec
 
 (** [default_spec] cut to 25 ops/client for CI. *)
-val smoke_spec : seed:int -> spec
+val smoke_spec : ?backend:Transport.backend -> seed:int -> unit -> spec
 
 type arm = Baseline | Unhedged | Hedged
 

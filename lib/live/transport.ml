@@ -1,8 +1,30 @@
-type dest = To_server of int | To_client of int
+(* The transport seam: one message-fabric API, three backends.
 
-type envelope = { src : int; dest : dest; payload : Regemu_netsim.Proto.payload }
+   [Threads] is the seeded in-process courier fabric
+   ({!Transport_courier}) — the deterministic backend, and the only
+   one a {!Sched_hook} can drive, so the presence of a scheduler
+   forces it regardless of the configured backend.  [Domains] runs
+   each server lane in its own OCaml 5 domain over lock-free MPSC
+   rings ({!Transport_domains}); [Socket] runs each server as a
+   forked process behind the binary codec ({!Transport_socket}).
+   Everything above this module — Cluster, the algorithms, the
+   nemesis, the checkers — is backend-agnostic. *)
 
-type config = {
+type backend = Transport_intf.backend = Threads | Domains | Socket
+
+let backend_name = Transport_intf.backend_name
+let backend_of_name = Transport_intf.backend_of_name
+let backend_pp = Transport_intf.backend_pp
+
+type dest = Transport_intf.dest = To_server of int | To_client of int
+
+type envelope = Transport_intf.envelope = {
+  src : int;
+  dest : dest;
+  payload : Regemu_netsim.Proto.payload;
+}
+
+type config = Transport_intf.config = {
   couriers : int;
   delay_prob : float;
   max_delay_us : int;
@@ -10,6 +32,7 @@ type config = {
   drop_prob : float;
   reorder : bool;
   sharded : bool;
+  backend : backend;
   seed : int;
 }
 
@@ -22,476 +45,147 @@ let default_config ~seed =
     drop_prob = 0.0;
     reorder = true;
     sharded = true;
+    backend = Threads;
     seed;
   }
 
-let check_prob what p =
-  if not (p >= 0.0 && p <= 1.0) then
-    invalid_arg (Fmt.str "Transport: %s=%g not a probability in [0,1]" what p)
+(* the scheduler owns all concurrency in a DST run: only the courier
+   fabric cooperates with it, so [?sched] wins over [cfg.backend] *)
+let effective_backend ?sched cfg =
+  match sched with Some _ -> Threads | None -> cfg.backend
 
-let validate_config cfg =
-  if cfg.couriers < 1 then invalid_arg "Transport.create: need >= 1 courier";
-  if cfg.max_delay_us < 0 then
-    invalid_arg "Transport.create: max_delay_us must be >= 0";
-  check_prob "delay_prob" cfg.delay_prob;
-  check_prob "dup_prob" cfg.dup_prob;
-  check_prob "drop_prob" cfg.drop_prob
+type t =
+  | C of Transport_courier.t
+  | D of Transport_domains.t
+  | S of Transport_socket.t
 
-(* The runtime-adjustable hostile-network state, published as one
-   immutable value so the send fast path reads it with a single
-   [Atomic.get] instead of taking a lock.  [groups] is built once per
-   [split] and never mutated after publication; [slow] and [frozen]
-   are copied on every write (gray-failure controls are nemesis-rate,
-   not send-rate). *)
-type net_state = {
-  drop_requests : float;
-  drop_replies : float;
-  groups : (int, int) Hashtbl.t option;  (* server -> group id *)
-  client_group : int;
-  slow : int array;  (* per-server added delivery delay, us; [||] = none *)
-  frozen : bool array;  (* per-server request-lane freeze; [||] = none *)
-}
+let create ?sched ?sink ?server_regs cfg ~servers ~deliver =
+  match effective_backend ?sched cfg with
+  | Threads -> C (Transport_courier.create ?sched ?sink cfg ~servers ~deliver)
+  | Domains -> D (Transport_domains.create ?sink cfg ~servers ~deliver)
+  | Socket ->
+      S
+        (Transport_socket.create ?sink cfg ~servers ~deliver
+           ~server_regs:(Option.value server_regs ~default:(fun _ -> 0)))
 
-(* One delivery lane: its own queue, lock, condvar, seeded RNG, and
-   courier pool.  Sharding assigns each destination its own lane, so
-   concurrent RPCs to different servers (and their replies) never
-   contend on a common lock. *)
-type lane = {
-  lserver : int option;  (* Some s: this is server [s]'s request lane *)
-  lm : Mutex.t;
-  lc : Condition.t;
-  buf : envelope Ringbuf.t;  (* protected by [lm] *)
-  lrng : Regemu_sim.Rng.t;  (* protected by [lm] *)
-  lrec : Sink.Trace.recorder option;  (* this lane's trace stream *)
-  mutable inflight : int;  (* popped but not yet delivered; under [lm] *)
-  mutable lthreads : Thread.t list;
-}
+let backend = function C _ -> Threads | D _ -> Domains | S _ -> Socket
 
-type t = {
-  cfg : config;
-  sched : Sched_hook.t option;
-  deliver : envelope -> unit;
-  nservers : int;
-  lanes : lane array;  (* sharded: one per server + a client lane *)
-  state : net_state Atomic.t;
-  stopped : bool Atomic.t;
-  sent : int Atomic.t;
-  duplicated : int Atomic.t;
-  delayed : int Atomic.t;
-  slowed : int Atomic.t;
-  dropped : int Atomic.t;
-  cut : int Atomic.t;
-  delivered : int Atomic.t;
-}
-
-(* how many envelopes a courier drains per wakeup *)
-let batch_max = 32
-
-let make_lane ~seed ~sink ~name ~lserver i =
-  {
-    lserver;
-    lm = Mutex.create ();
-    lc = Condition.create ();
-    buf = Ringbuf.create ();
-    lrng = Regemu_sim.Rng.create (seed + ((i + 1) * 0x9e3779b9));
-    lrec = Sink.recorder sink ~name;
-    inflight = 0;
-    lthreads = [];
-  }
-
-let create ?sched ?(sink = Sink.none) cfg ~servers ~deliver =
-  validate_config cfg;
-  if servers < 1 then invalid_arg "Transport.create: need >= 1 server";
-  let num_lanes = if cfg.sharded then servers + 1 else 1 in
-  let lane_name i =
-    if num_lanes = 1 then "lane-all"
-    else if i < servers then Fmt.str "lane-s%d" i
-    else "lane-client"
-  in
-  {
-    cfg;
-    sched;
-    deliver;
-    nservers = servers;
-    lanes =
-      Array.init num_lanes (fun i ->
-          let lserver =
-            if cfg.sharded && i < servers then Some i else None
-          in
-          make_lane ~seed:cfg.seed ~sink ~name:(lane_name i) ~lserver i);
-    state =
-      Atomic.make
-        {
-          drop_requests = cfg.drop_prob;
-          drop_replies = cfg.drop_prob;
-          groups = None;
-          client_group = 0;
-          slow = [||];
-          frozen = [||];
-        };
-    stopped = Atomic.make false;
-    sent = Sink.counter sink ~help:"envelopes accepted for delivery" "transport.sent";
-    duplicated = Sink.counter sink ~help:"envelopes duplicated in flight" "transport.duplicated";
-    delayed = Sink.counter sink ~help:"envelopes held by a delivery delay" "transport.delayed";
-    slowed = Sink.counter sink ~help:"envelopes held by a gray slow link" "transport.slowed";
-    dropped = Sink.counter sink ~help:"envelopes lost to the drop rates" "transport.dropped";
-    cut = Sink.counter sink ~help:"envelopes lost to a partition" "transport.cut";
-    delivered = Sink.counter sink ~help:"envelopes handed to their destination" "transport.delivered";
-  }
-
-(* server lanes first, then the client lane; servers beyond the
-   declared count (impossible through Cluster) fold into the client
-   lane.  (Splitting the client lane into a hashed per-client pool was
-   measured and is a wash on a single core: replies to different
-   clients rarely collide for long, and the extra courier threads cost
-   as much as the collisions.) *)
-let lane_for t dest =
-  if Array.length t.lanes = 1 then t.lanes.(0)
-  else
-    match dest with
-    | To_server s when s >= 0 && s < t.nservers -> t.lanes.(s)
-    | To_server _ | To_client _ -> t.lanes.(t.nservers)
-
-(* [p] as an event on a seeded integer rng *)
-let hit rng p =
-  p > 0.0 && Regemu_sim.Rng.int rng ~bound:1_000_000 < int_of_float (p *. 1e6)
-
-let dest_str = function
-  | To_server s -> "s" ^ string_of_int s
-  | To_client c -> "c" ^ string_of_int c
-
-let env_args env =
-  [
-    ("src", Sink.Event.I env.src);
-    ("dest", Sink.Event.S (dest_str env.dest));
-    ("rid", Sink.Event.I (Regemu_netsim.Proto.rid_of env.payload));
-  ]
-
-(* a sampled message point event on a lane's recorder *)
-let msg_point lane name env =
-  if Sink.sample_msg lane.lrec then
-    Sink.instant lane.lrec ~cat:"msg" ~args:(env_args env) name
-
-(* pause a courier that drew a delivery delay — virtual time under DST *)
-let courier_pause t s =
-  match t.sched with None -> Thread.delay s | Some hook -> hook.sleep s
-
-(* Which server is this envelope's link attached to?  (Clients are not
-   partitioned — or slowed — among themselves.) *)
-let link_server env =
-  match env.dest with To_server s -> s | To_client _ -> env.src
-
-let slow_of st ~server =
-  if server >= 0 && server < Array.length st.slow then st.slow.(server) else 0
-
-let frozen_of st ~server =
-  server >= 0 && server < Array.length st.frozen && st.frozen.(server)
-
-(* A frozen server lane stops draining: envelopes queue up exactly as
-   they would behind a stuttering NIC.  Only sharded server lanes can
-   freeze (the shared client/fallback lane carries everyone's traffic). *)
-let lane_frozen t lane =
-  match lane.lserver with
-  | None -> false
-  | Some s -> frozen_of (Atomic.get t.state) ~server:s
-
-let rec courier_loop t lane =
-  Mutex.lock lane.lm;
-  (match t.sched with
-  | None ->
-      while
-        (Ringbuf.is_empty lane.buf || lane_frozen t lane)
-        && not (Atomic.get t.stopped)
-      do
-        Condition.wait lane.lc lane.lm
-      done
-  | Some hook ->
-      hook.suspend ~mutex:lane.lm (fun () ->
-          ((not (Ringbuf.is_empty lane.buf)) && not (lane_frozen t lane))
-          || Atomic.get t.stopped));
-  if Atomic.get t.stopped then Mutex.unlock lane.lm
-  else begin
-    (* drain a batch under one lock acquisition; fault decisions use
-       the lane's own rng, so each lane is a deterministic stream.
-       Gray slowness reads the state once per batch: a slow link adds
-       a fixed per-envelope delay on top of any random delay drawn. *)
-    let st = Atomic.get t.state in
-    let n = min batch_max (Ringbuf.length lane.buf) in
-    let prompt = ref [] and held = ref [] in
-    for _ = 1 to n do
-      let len = Ringbuf.length lane.buf in
-      let env =
-        if t.cfg.reorder && len > 1 then
-          Ringbuf.take_at lane.buf (Regemu_sim.Rng.int lane.lrng ~bound:len)
-        else Ringbuf.pop lane.buf
-      in
-      let delay_us =
-        if hit lane.lrng t.cfg.delay_prob && t.cfg.max_delay_us > 0 then begin
-          Atomic.incr t.delayed;
-          let d = 1 + Regemu_sim.Rng.int lane.lrng ~bound:t.cfg.max_delay_us in
-          if Sink.sample_msg lane.lrec then
-            Sink.instant lane.lrec ~cat:"msg"
-              ~args:(("delay_us", Sink.Event.I d) :: env_args env)
-              "delay";
-          d
-        end
-        else 0
-      in
-      let slow_us = slow_of st ~server:(link_server env) in
-      if slow_us > 0 then begin
-        Atomic.incr t.slowed;
-        if Sink.sample_msg lane.lrec then
-          Sink.instant lane.lrec ~cat:"msg"
-            ~args:(("slow_us", Sink.Event.I slow_us) :: env_args env)
-            "slow"
-      end;
-      let delay_us = delay_us + slow_us in
-      if delay_us = 0 then prompt := env :: !prompt
-      else held := (delay_us, env) :: !held
-    done;
-    lane.inflight <- lane.inflight + n;
-    Mutex.unlock lane.lm;
-    List.iter
-      (fun env ->
-        t.deliver env;
-        Atomic.incr t.delivered;
-        msg_point lane "recv" env)
-      (List.rev !prompt);
-    (* deliver the held envelopes in delay order, sleeping only the
-       remaining gap — the courier holds exactly these messages while
-       its lane's other couriers keep delivering past it *)
-    let held =
-      List.sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev !held)
-    in
-    let slept = ref 0 in
-    List.iter
-      (fun (d, env) ->
-        if d > !slept then begin
-          courier_pause t (float_of_int (d - !slept) *. 1e-6);
-          slept := d
-        end;
-        t.deliver env;
-        Atomic.incr t.delivered;
-        msg_point lane "recv" env)
-      held;
-    Mutex.lock lane.lm;
-    lane.inflight <- lane.inflight - n;
-    Mutex.unlock lane.lm;
-    courier_loop t lane
-  end
-
-let start t =
-  match t.sched with
-  | None ->
-      Array.iter
-        (fun lane ->
-          lane.lthreads <-
-            List.init t.cfg.couriers (fun _ ->
-                Thread.create (fun () -> courier_loop t lane) ()))
-        t.lanes
-  | Some hook ->
-      Array.iteri
-        (fun li lane ->
-          for ci = 0 to t.cfg.couriers - 1 do
-            hook.spawn
-              ~name:(Fmt.str "courier-%d.%d" li ci)
-              (fun () -> courier_loop t lane)
-          done)
-        t.lanes
-
-let reachable_of st ~server =
-  match st.groups with
-  | None -> true
-  | Some g -> Hashtbl.find_opt g server = Some st.client_group
+let start = function
+  | C x -> Transport_courier.start x
+  | D x -> Transport_domains.start x
+  | S x -> Transport_socket.start x
 
 let send t env =
-  if not (Atomic.get t.stopped) then begin
-    let st = Atomic.get t.state in
-    let lane = lane_for t env.dest in
-    if not (reachable_of st ~server:(link_server env)) then begin
-      Atomic.incr t.cut;
-      msg_point lane "cut" env
-    end
-    else begin
-      let drop_p =
-        if Regemu_netsim.Proto.is_reply env.payload then st.drop_replies
-        else st.drop_requests
-      in
-      Mutex.lock lane.lm;
-      if hit lane.lrng drop_p then begin
-        Mutex.unlock lane.lm;
-        Atomic.incr t.dropped;
-        msg_point lane "drop" env
-      end
-      else begin
-        let dup = hit lane.lrng t.cfg.dup_prob in
-        (* fast path: without reordering, an idle lane (nothing queued,
-           nothing popped-but-undelivered) may deliver on the sending
-           thread — same FIFO order, two context switches fewer.  Any
-           backlog, in-flight delayed message, or reorder mode goes
-           through the couriers. *)
-        let inline_ok =
-          (not t.cfg.reorder)
-          && t.cfg.delay_prob = 0.0
-          && Ringbuf.is_empty lane.buf
-          && lane.inflight = 0
-          (* a slow or frozen link must queue so the couriers apply
-             the gray delay (or hold the lane shut) *)
-          && slow_of st ~server:(link_server env) = 0
-          && not
-               (match env.dest with
-               | To_server s -> frozen_of st ~server:s
-               | To_client _ -> false)
-        in
-        if inline_ok then begin
-          lane.inflight <- lane.inflight + 1;
-          if dup then Ringbuf.push lane.buf env;
-          if dup then Condition.signal lane.lc;
-          Mutex.unlock lane.lm;
-          t.deliver env;
-          Atomic.incr t.delivered;
-          msg_point lane "recv" env;
-          Mutex.lock lane.lm;
-          lane.inflight <- lane.inflight - 1;
-          Mutex.unlock lane.lm
-        end
-        else begin
-          Ringbuf.push lane.buf env;
-          if dup then Ringbuf.push lane.buf env;
-          Condition.signal lane.lc;
-          if dup then Condition.signal lane.lc;
-          Mutex.unlock lane.lm
-        end;
-        Atomic.incr t.sent;
-        msg_point lane "send" env;
-        if dup then begin
-          Atomic.incr t.sent;
-          Atomic.incr t.duplicated;
-          msg_point lane "dup" env
-        end
-      end
-    end
-  end
+  match t with
+  | C x -> Transport_courier.send x env
+  | D x -> Transport_domains.send x env
+  | S x -> Transport_socket.send x env
 
-(* --- hostile-network controls ------------------------------------------ *)
-
-(* swap in a new state derived from the current one; sole writers are
-   the nemesis thread, so a plain read-modify-write is enough *)
-let update_state t f = Atomic.set t.state (f (Atomic.get t.state))
+let set_server_up t ~server v =
+  match t with
+  | C _ -> ()  (* courier delivery is up-agnostic: the mailbox gates *)
+  | D x -> Transport_domains.set_server_up x ~server v
+  | S x -> Transport_socket.set_server_up x ~server v
 
 let split t ~groups ~clients_with =
-  if groups = [] then invalid_arg "Transport.split: no groups";
-  if clients_with < 0 || clients_with >= List.length groups then
-    invalid_arg
-      (Fmt.str "Transport.split: clients_with=%d not a group index"
-         clients_with);
-  let h = Hashtbl.create 16 in
-  List.iteri
-    (fun gi servers ->
-      List.iter
-        (fun s ->
-          if s < 0 then invalid_arg "Transport.split: negative server id";
-          if Hashtbl.mem h s then
-            invalid_arg
-              (Fmt.str "Transport.split: server %d appears in two groups" s);
-          Hashtbl.replace h s gi)
-        servers)
-    groups;
-  update_state t (fun st ->
-      { st with groups = Some h; client_group = clients_with })
+  match t with
+  | C x -> Transport_courier.split x ~groups ~clients_with
+  | D x -> Transport_domains.split x ~groups ~clients_with
+  | S x -> Transport_socket.split x ~groups ~clients_with
 
-let heal t = update_state t (fun st -> { st with groups = None; client_group = 0 })
+let heal = function
+  | C x -> Transport_courier.heal x
+  | D x -> Transport_domains.heal x
+  | S x -> Transport_socket.heal x
 
 let set_drop t ?requests ?replies () =
-  Option.iter (check_prob "requests") requests;
-  Option.iter (check_prob "replies") replies;
-  update_state t (fun st ->
-      {
-        st with
-        drop_requests = Option.value ~default:st.drop_requests requests;
-        drop_replies = Option.value ~default:st.drop_replies replies;
-      })
+  match t with
+  | C x -> Transport_courier.set_drop x ?requests ?replies ()
+  | D x -> Transport_domains.set_drop x ?requests ?replies ()
+  | S x -> Transport_socket.set_drop x ?requests ?replies ()
 
-let reachable t ~server = reachable_of (Atomic.get t.state) ~server
-
-(* --- gray-failure controls --------------------------------------------- *)
-
-let check_server t what server =
-  if server < 0 || server >= t.nservers then
-    invalid_arg
-      (Fmt.str "Transport.%s: server %d out of range [0,%d)" what server
-         t.nservers)
-
-(* grow-and-copy so the published arrays are never mutated in place *)
-let with_cell arr n server v ~default =
-  let a = Array.make (max n (Array.length arr)) default in
-  Array.blit arr 0 a 0 (Array.length arr);
-  a.(server) <- v;
-  a
+let reachable t ~server =
+  match t with
+  | C x -> Transport_courier.reachable x ~server
+  | D x -> Transport_domains.reachable x ~server
+  | S x -> Transport_socket.reachable x ~server
 
 let set_slow t ~server us =
-  check_server t "set_slow" server;
-  if us < 0 then invalid_arg "Transport.set_slow: negative delay";
-  update_state t (fun st ->
-      { st with slow = with_cell st.slow t.nservers server us ~default:0 })
+  match t with
+  | C x -> Transport_courier.set_slow x ~server us
+  | D x -> Transport_domains.set_slow x ~server us
+  | S x -> Transport_socket.set_slow x ~server us
 
 let slow_us t ~server =
-  check_server t "slow_us" server;
-  slow_of (Atomic.get t.state) ~server
-
-let set_frozen t ~server v =
-  update_state t (fun st ->
-      { st with frozen = with_cell st.frozen t.nservers server v ~default:false });
-  (* threaded couriers park on the lane condvar while frozen; wake them
-     so the predicate is re-checked (the DST runner re-polls on its own) *)
-  if not v then begin
-    let lane = lane_for t (To_server server) in
-    Mutex.lock lane.lm;
-    Condition.broadcast lane.lc;
-    Mutex.unlock lane.lm
-  end
+  match t with
+  | C x -> Transport_courier.slow_us x ~server
+  | D x -> Transport_domains.slow_us x ~server
+  | S x -> Transport_socket.slow_us x ~server
 
 let freeze t ~server =
-  check_server t "freeze" server;
-  set_frozen t ~server true
+  match t with
+  | C x -> Transport_courier.freeze x ~server
+  | D x -> Transport_domains.freeze x ~server
+  | S x -> Transport_socket.freeze x ~server
 
 let thaw t ~server =
-  check_server t "thaw" server;
-  set_frozen t ~server false
+  match t with
+  | C x -> Transport_courier.thaw x ~server
+  | D x -> Transport_domains.thaw x ~server
+  | S x -> Transport_socket.thaw x ~server
 
 let frozen t ~server =
-  check_server t "frozen" server;
-  frozen_of (Atomic.get t.state) ~server
+  match t with
+  | C x -> Transport_courier.frozen x ~server
+  | D x -> Transport_domains.frozen x ~server
+  | S x -> Transport_socket.frozen x ~server
 
-let heal_gray t =
-  update_state t (fun st -> { st with slow = [||]; frozen = [||] });
-  Array.iter
-    (fun lane ->
-      Mutex.lock lane.lm;
-      Condition.broadcast lane.lc;
-      Mutex.unlock lane.lm)
-    t.lanes
+let heal_gray = function
+  | C x -> Transport_courier.heal_gray x
+  | D x -> Transport_domains.heal_gray x
+  | S x -> Transport_socket.heal_gray x
 
-let stop t =
-  Atomic.set t.stopped true;
-  Array.iter
-    (fun lane ->
-      Mutex.lock lane.lm;
-      Ringbuf.clear lane.buf;
-      Condition.broadcast lane.lc;
-      Mutex.unlock lane.lm)
-    t.lanes;
-  Array.iter
-    (fun lane ->
-      List.iter Thread.join lane.lthreads;
-      lane.lthreads <- [])
-    t.lanes
+let stop = function
+  | C x -> Transport_courier.stop x
+  | D x -> Transport_domains.stop x
+  | S x -> Transport_socket.stop x
 
-let lanes t = Array.length t.lanes
-let sent t = Atomic.get t.sent
-let delivered t = Atomic.get t.delivered
-let duplicated t = Atomic.get t.duplicated
-let delayed t = Atomic.get t.delayed
-let slowed t = Atomic.get t.slowed
-let dropped t = Atomic.get t.dropped
-let cut t = Atomic.get t.cut
+let lanes = function
+  | C x -> Transport_courier.lanes x
+  | D x -> Transport_domains.lanes x
+  | S x -> Transport_socket.lanes x
+
+let sent = function
+  | C x -> Transport_courier.sent x
+  | D x -> Transport_domains.sent x
+  | S x -> Transport_socket.sent x
+
+let delivered = function
+  | C x -> Transport_courier.delivered x
+  | D x -> Transport_domains.delivered x
+  | S x -> Transport_socket.delivered x
+
+let duplicated = function
+  | C x -> Transport_courier.duplicated x
+  | D x -> Transport_domains.duplicated x
+  | S x -> Transport_socket.duplicated x
+
+let delayed = function
+  | C x -> Transport_courier.delayed x
+  | D x -> Transport_domains.delayed x
+  | S x -> Transport_socket.delayed x
+
+let slowed = function
+  | C x -> Transport_courier.slowed x
+  | D x -> Transport_domains.slowed x
+  | S x -> Transport_socket.slowed x
+
+let dropped = function
+  | C x -> Transport_courier.dropped x
+  | D x -> Transport_domains.dropped x
+  | S x -> Transport_socket.dropped x
+
+let cut = function
+  | C x -> Transport_courier.cut x
+  | D x -> Transport_domains.cut x
+  | S x -> Transport_socket.cut x

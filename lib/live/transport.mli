@@ -1,4 +1,34 @@
-(** The live message fabric: an asynchronous, reordering, duplicating,
+(** The live message fabric behind a pluggable backend seam: one
+    nemesis-ready network API, three implementations.
+
+    {ul
+    {- [Threads] (the default): the seeded in-process courier fabric
+       described below — deterministic per lane, DST-replayable, and
+       the backend every existing digest was recorded against.}
+    {- [Domains]: each server lane is its own OCaml 5 [Domain.t]
+       draining a lock-free MPSC ring ({!Mpsc}); a send is one atomic
+       exchange, with no lock or condvar on the path, and the lane's
+       domain doubles as the server's execution context.  Fault
+       rates and seeds are honoured, but decisions are made by the
+       consuming domain, so runs are {e not} DST-replayable; delivery
+       delays are served head-of-line, preserving per-destination
+       FIFO.}
+    {- [Socket]: each server is a forked process of the current
+       executable speaking the length-prefixed binary {!Codec} over a
+       Unix-domain socketpair (TCP-ready framing).  Crash injection
+       SIGKILLs the process; restarts exec a fresh image, so recovery
+       is inherently amnesiac, and in-kernel bytes die with the child
+       (real message loss, absorbed by the retry layer).  [reorder]
+       is ignored: a stream socket is FIFO.  Executables hosting this
+       backend must call {!Transport_socket.child_check} first thing
+       in [main].}}
+
+    A {!Sched_hook} forces the [Threads] backend regardless of the
+    configured one ({!effective_backend}): the deterministic scheduler
+    owns all concurrency in a DST run, and only the courier fabric
+    cooperates with it.
+
+    The [Threads] backend: an asynchronous, reordering, duplicating,
     delaying — and, when asked, lossy and partitionable — network made
     of real threads, sharded into per-destination {e lanes}.
 
@@ -50,11 +80,23 @@
     exactly the asynchronous model's treatment of crashes.  Drops and
     cuts, by contrast, lose the message for good. *)
 
-type dest = To_server of int | To_client of int
+type backend = Transport_intf.backend = Threads | Domains | Socket
 
-type envelope = { src : int; dest : dest; payload : Regemu_netsim.Proto.payload }
+val backend_name : backend -> string
+(** ["threads"], ["domains"], ["socket"] — the CLI/JSON spelling. *)
 
-type config = {
+val backend_of_name : string -> backend option
+val backend_pp : backend Fmt.t
+
+type dest = Transport_intf.dest = To_server of int | To_client of int
+
+type envelope = Transport_intf.envelope = {
+  src : int;
+  dest : dest;
+  payload : Regemu_netsim.Proto.payload;
+}
+
+type config = Transport_intf.config = {
   couriers : int;  (** delivery threads {e per lane}; ≥ 2 interleaves *)
   delay_prob : float;  (** chance a delivery sleeps first *)
   max_delay_us : int;  (** uniform sleep bound, microseconds *)
@@ -65,35 +107,57 @@ type config = {
   reorder : bool;  (** couriers pick a random queued envelope *)
   sharded : bool;
       (** one lane per destination (the default); [false] forces the
-          single-queue fallback — every envelope through one lane *)
+          single-queue fallback — every envelope through one lane.
+          [Threads] only; the other backends are always sharded *)
+  backend : backend;  (** which fabric carries the messages *)
   seed : int;
 }
 
 val default_config : seed:int -> config
-(** 2 couriers per lane, sharded, reorder on, no delays, no
-    duplication, no loss. *)
+(** [Threads] backend: 2 couriers per lane, sharded, reorder on, no
+    delays, no duplication, no loss. *)
+
+(** The backend a given configuration will actually run: [cfg.backend],
+    except that a scheduler forces [Threads]. *)
+val effective_backend : ?sched:Sched_hook.t -> config -> backend
 
 type t
 
 (** [create ?sched cfg ~servers ~deliver] builds the fabric for a
     cluster of [servers] server endpoints; no thread runs until
     {!start}.  With [sched], couriers run as cooperative actors and
-    delivery delays elapse in virtual time ({!Sched_hook}).  With
-    [sink] ({!Sink.none} by default), every lane records sampled
+    delivery delays elapse in virtual time ({!Sched_hook}) — and the
+    backend is forced to [Threads].  With [sink] ({!Sink.none} by
+    default), every lane records sampled
     [send]/[recv]/[drop]/[cut]/[dup]/[delay] point events on its own
     trace recorder and the message counters below register in the
-    metrics registry.  Raises [Invalid_argument] if a probability is
+    metrics registry.  [server_regs] (used by the [Socket] backend
+    only) reports the parent-side register-cell count of a server, so
+    freshly spawned or restarted children can mirror parent-side
+    [alloc_reg] calls.  Raises [Invalid_argument] if a probability is
     outside [0,1], [couriers < 1], [servers < 1], or
     [max_delay_us < 0]. *)
 val create :
   ?sched:Sched_hook.t ->
   ?sink:Sink.t ->
+  ?server_regs:(int -> int) ->
   config ->
   servers:int ->
   deliver:(envelope -> unit) ->
   t
 
+(** The backend this fabric runs on. *)
+val backend : t -> backend
+
 val start : t -> unit
+
+(** [set_server_up t ~server up] tells the fabric about a crash or
+    restart.  [Threads]: a no-op (the server's mailbox gates).
+    [Domains]: the server's lane parks while down — queued messages
+    wait, like mail to a crashed-but-reachable server.  [Socket]:
+    down SIGKILLs the child process; up execs a fresh one (empty
+    store) and resumes the parent-side outbox. *)
+val set_server_up : t -> server:int -> bool -> unit
 
 (** Enqueue an envelope (dropped silently after {!stop}). *)
 val send : t -> envelope -> unit

@@ -1,0 +1,134 @@
+(* The types every transport backend shares: destinations, envelopes,
+   the configuration record, and the runtime-adjustable hostile-network
+   state.  Pulling them out of [Transport] lets the three backends —
+   the seeded in-process courier ([Threads]), the multi-core
+   [Domains] fabric, and the forked-process [Socket] fabric — agree on
+   one wire-level vocabulary while [Transport] itself is only a
+   dispatcher. *)
+
+type backend = Threads | Domains | Socket
+
+let backend_name = function
+  | Threads -> "threads"
+  | Domains -> "domains"
+  | Socket -> "socket"
+
+let backend_of_name = function
+  | "threads" -> Some Threads
+  | "domains" -> Some Domains
+  | "socket" -> Some Socket
+  | _ -> None
+
+let backend_pp ppf b = Fmt.string ppf (backend_name b)
+
+type dest = To_server of int | To_client of int
+
+type envelope = { src : int; dest : dest; payload : Regemu_netsim.Proto.payload }
+
+type config = {
+  couriers : int;
+  delay_prob : float;
+  max_delay_us : int;
+  dup_prob : float;
+  drop_prob : float;
+  reorder : bool;
+  sharded : bool;
+  backend : backend;
+  seed : int;
+}
+
+let check_prob what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Fmt.str "Transport: %s=%g not a probability in [0,1]" what p)
+
+let validate_config cfg =
+  if cfg.couriers < 1 then invalid_arg "Transport.create: need >= 1 courier";
+  if cfg.max_delay_us < 0 then
+    invalid_arg "Transport.create: max_delay_us must be >= 0";
+  check_prob "delay_prob" cfg.delay_prob;
+  check_prob "dup_prob" cfg.dup_prob;
+  check_prob "drop_prob" cfg.drop_prob
+
+(* The runtime-adjustable hostile-network state, published as one
+   immutable value so the send fast path reads it with a single
+   [Atomic.get] instead of taking a lock.  [groups] is built once per
+   [split] and never mutated after publication; [slow] and [frozen]
+   are copied on every write (gray-failure controls are nemesis-rate,
+   not send-rate).  Shared by all backends so the nemesis API behaves
+   identically regardless of how messages move. *)
+type net_state = {
+  drop_requests : float;
+  drop_replies : float;
+  groups : (int, int) Hashtbl.t option;  (* server -> group id *)
+  client_group : int;
+  slow : int array;  (* per-server added delivery delay, us; [||] = none *)
+  frozen : bool array;  (* per-server request-lane freeze; [||] = none *)
+}
+
+let initial_state cfg =
+  {
+    drop_requests = cfg.drop_prob;
+    drop_replies = cfg.drop_prob;
+    groups = None;
+    client_group = 0;
+    slow = [||];
+    frozen = [||];
+  }
+
+(* Which server is this envelope's link attached to?  (Clients are not
+   partitioned — or slowed — among themselves.) *)
+let link_server env =
+  match env.dest with To_server s -> s | To_client _ -> env.src
+
+let slow_of st ~server =
+  if server >= 0 && server < Array.length st.slow then st.slow.(server) else 0
+
+let frozen_of st ~server =
+  server >= 0 && server < Array.length st.frozen && st.frozen.(server)
+
+let reachable_of st ~server =
+  match st.groups with
+  | None -> true
+  | Some g -> Hashtbl.find_opt g server = Some st.client_group
+
+(* build the [split] reachability map, validating the groups *)
+let groups_table ~groups ~clients_with =
+  if groups = [] then invalid_arg "Transport.split: no groups";
+  if clients_with < 0 || clients_with >= List.length groups then
+    invalid_arg
+      (Fmt.str "Transport.split: clients_with=%d not a group index" clients_with);
+  let h = Hashtbl.create 16 in
+  List.iteri
+    (fun gi servers ->
+      List.iter
+        (fun s ->
+          if s < 0 then invalid_arg "Transport.split: negative server id";
+          if Hashtbl.mem h s then
+            invalid_arg
+              (Fmt.str "Transport.split: server %d appears in two groups" s);
+          Hashtbl.replace h s gi)
+        servers)
+    groups;
+  h
+
+(* grow-and-copy so the published arrays are never mutated in place *)
+let with_cell arr n server v ~default =
+  let a = Array.make (max n (Array.length arr)) default in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a.(server) <- v;
+  a
+
+let dest_str = function
+  | To_server s -> "s" ^ string_of_int s
+  | To_client c -> "c" ^ string_of_int c
+
+let env_args env =
+  [
+    ("src", Sink.Event.I env.src);
+    ("dest", Sink.Event.S (dest_str env.dest));
+    ("rid", Sink.Event.I (Regemu_netsim.Proto.rid_of env.payload));
+  ]
+
+(* [p] as an event on a seeded integer rng *)
+let hit rng p =
+  p > 0.0 && Regemu_sim.Rng.int rng ~bound:1_000_000 < int_of_float (p *. 1e6)

@@ -33,6 +33,7 @@ let mk_cluster ?(recovery = Recovery.Persist) ?(retry = quick_retry)
           drop_prob = 0.0;
           reorder = true;
           sharded = true;
+          backend = Transport.Threads;
           seed;
         };
       op_timeout_s = 20.0;

@@ -312,6 +312,7 @@ let mk_cluster ?(hedge = None) ?(deadline = None) ~seed () =
           drop_prob = 0.0;
           reorder = true;
           sharded = true;
+          backend = Transport.Threads;
           seed;
         };
       op_timeout_s = 20.0;

@@ -648,7 +648,7 @@ let cluster_tests =
           Live_bench.run
             {
               (Live_bench.default_spec ~algo:Live_bench.Abd_wb ~chaos:false
-                 ~seed:1)
+                 ~seed:1 ())
               with k = 1; readers = 2; ops_per_client = 60;
             }
         in
@@ -660,7 +660,7 @@ let cluster_tests =
           Live_bench.run
             {
               (Live_bench.default_spec ~algo:Live_bench.Alg2 ~chaos:false
-                 ~seed:2)
+                 ~seed:2 ())
               with readers = 2; ops_per_client = 50;
             }
         in
@@ -700,7 +700,7 @@ let cluster_tests =
         let o =
           Live_bench.run
             {
-              (Live_bench.default_spec ~algo:Live_bench.Abd ~chaos:true ~seed:4)
+              (Live_bench.default_spec ~algo:Live_bench.Abd ~chaos:true ~seed:4 ())
               with readers = 2; ops_per_client = 40;
             }
         in
@@ -716,7 +716,7 @@ let bench_tests =
       (fun () ->
         let spec =
           Live_bench.saturate_spec ~algo:Live_bench.Abd ~clients:2
-            ~ops_per_client:10 ~seed:5
+            ~ops_per_client:10 ~seed:5 ()
         in
         let o = Live_bench.run_median ~reps:2 spec in
         Alcotest.(check bool) "clean" true (Live_bench.clean o);
@@ -730,7 +730,8 @@ let bench_tests =
             match List.assoc "benchmarks" kvs with
             | Json.List [ Json.Obj b ] ->
                 Alcotest.(check bool) "benchmark name" true
-                  (List.assoc "name" b = Json.Str "saturate/abd/clients=2")
+                  (List.assoc "name" b
+                  = Json.Str "saturate/abd/threads/clients=2")
             | _ -> Alcotest.fail "expected one benchmark entry")
         | _ -> Alcotest.fail "expected an object");
     test "schema check rejects malformed documents" (fun () ->
@@ -774,7 +775,7 @@ let bench_tests =
         Alcotest.(check bool) "raises" true
           (match
              Live_bench.saturate_spec ~algo:Live_bench.Abd ~clients:1
-               ~ops_per_client:10 ~seed:1
+               ~ops_per_client:10 ~seed:1 ()
            with
           | exception Invalid_argument _ -> true
           | _ -> false));
