@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test check bench perf-bench live-bench tail-bench chaos-bench keyspace-bench dst-fuzz trace-demo verify examples clean loc
+.PHONY: all build test check bench perf-bench live-bench tail-bench chaos-bench keyspace-bench dst-fuzz explore-smoke explore-exhaustive experiments trace-demo verify examples clean loc
 
 all: build
 
@@ -53,6 +53,23 @@ dst-fuzz:
 	dune exec bin/regemu.exe -- dst --fuzz 500 --profile quiet --seed 1
 	dune exec bin/regemu.exe -- dst --fuzz 500 --profile chaos --seed 1
 	dune exec bin/regemu.exe -- dst --fuzz 50 --profile hunt --seed 1 --shrink --out dst_counterexample.json
+
+# the bounded explore suite dune runtest also replays: a tiny
+# exhaustive DPOR run whose certificate must round-trip and validate,
+# plus a 200-schedule coverage-guided burst that must stay clean (≤30 s)
+explore-smoke:
+	dune exec bin/regemu.exe -- explore --smoke
+
+# prove the acceptance configuration violation-free and keep the
+# machine-checkable certificates
+explore-exhaustive:
+	dune exec bin/regemu.exe -- explore --exhaustive --algo abd-max -f 1 -n 3 --ops-each 2 --cert-out experiments/exhaustive-abd/cert.json
+	dune exec bin/regemu.exe -- explore --exhaustive --algo algorithm2 -f 1 -n 3 --ops-each 2 --cert-out experiments/exhaustive-alg2/cert.json
+
+# the whole campaign matrix: run every arm, then append its trend
+# record to BENCH_explore.json (see EXPERIMENTS.md)
+experiments:
+	for d in experiments/*/; do $(MAKE) -C $$d run analyze || exit $$?; done
 
 # re-execute the committed DST counterexample with tracing on and
 # write the Chrome trace + text timeline the observability docs walk

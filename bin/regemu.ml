@@ -420,7 +420,10 @@ let explore_cmd =
   let budget =
     Arg.(
       value & opt int 2_000_000
-      & info [ "budget" ] ~doc:"Maximum events fired across all replays.")
+      & info [ "budget" ]
+          ~doc:
+            "Maximum events fired (sampling mode) or transitions executed \
+             (--exhaustive) across all replays.")
   in
   let writes =
     Arg.(
@@ -439,38 +442,314 @@ let explore_cmd =
       & info [ "crashes" ]
           ~doc:"Also explore crash timings, up to this many crashes.")
   in
-  let run (name, factory) f n budget writes eager crashes =
-    exit_of
-      (Result.map
-         (fun p ->
-           let scenario =
-             Regemu_mcheck.Explore.emulation_scenario factory p
-               ~mode:
-                 (if eager then Regemu_mcheck.Explore.Eager
-                  else Regemu_mcheck.Explore.Sequential)
-               ~crashes
-               ~writer_ops:
-                 (List.init p.Params.k (fun i ->
-                      [ Regemu_objects.Value.Str (Fmt.str "v%d" i) ]))
-               ~readers:1 ~reads_each:1 ()
-           in
-           let r = Regemu_mcheck.Explore.run scenario ~max_fired:budget in
-           Fmt.pr "explore %s at %a: %a@." name Params.pp p
-             Regemu_mcheck.Explore.result_pp r;
-           List.iter
-             (fun h ->
-               Fmt.pr "violating schedule:@.%a@." Regemu_history.History.pp h)
-             r.ws_safe_violations)
-         (params_of writes f n))
+  let exhaustive_arg =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Bounded-exhaustive search with dynamic partial-order reduction \
+             instead of enumerating every enabled transition at every state: \
+             backtrack points are planted only where two transitions \
+             genuinely race, so the reduced search covers every \
+             Mazurkiewicz trace class with far fewer executions.")
+  in
+  let brute_arg =
+    Arg.(
+      value & flag
+      & info [ "brute" ]
+          ~doc:
+            "With --exhaustive: disable the reduction (every enabled \
+             transition becomes a backtrack point) — the differential \
+             baseline the DPOR run is checked against in the tests.")
+  in
+  let ops_each_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "ops-each" ]
+          ~doc:"Write operations per writer and reads per reader.")
+  in
+  let cert_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert-out" ] ~docv:"FILE"
+          ~doc:
+            "With --exhaustive: write the regemu-cert/1 certificate (config, \
+             transition counts, pruning ratio, verdict) to $(docv).")
+  in
+  let fuzz_cg_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz-cg" ] ~docv:"N"
+          ~doc:
+            "Coverage-guided schedule fuzzing: run $(docv) simulations of \
+             the live DST stack, mutating branch-choice traces from a \
+             corpus and keeping the ones that reach new schedule-edge \
+             coverage or new schedule digests.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("quiet", Regemu_dst.Dst_fuzz.Quiet);
+               ("chaos", Regemu_dst.Dst_fuzz.Chaos);
+               ("hunt", Regemu_dst.Dst_fuzz.Hunt);
+             ])
+          Regemu_dst.Dst_fuzz.Quiet
+      & info [ "profile" ]
+          ~doc:"Fault profile for --fuzz-cg (as in $(b,regemu dst)).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Seed the --fuzz-cg corpus with the choice traces of every \
+             regemu-dst/1 replay file in $(docv) (each is executed first).")
+  in
+  let readers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ] ~doc:"Reader fibers for --fuzz-cg.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "ops" ] ~doc:"Operations per client fiber for --fuzz-cg.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the campaign report (regemu-cgfuzz/1 or regemu-cert/1) \
+                to $(docv).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Bounded smoke suite (used by dune runtest): a tiny exhaustive \
+             DPOR run whose certificate must round-trip and validate, plus \
+             a 200-schedule coverage-guided burst on the quiet profile that \
+             must find no violations.")
+  in
+  let live_algo_of_name = function
+    | "algorithm2" -> Some Regemu_live.Live_bench.Alg2
+    | "abd-max" | "abd-max-atomic" -> Some Regemu_live.Live_bench.Abd
+    | _ -> None
+  in
+  let scenario_of factory p ~eager ~crashes ~ops_each =
+    Regemu_mcheck.Explore.emulation_scenario factory p
+      ~mode:
+        (if eager then Regemu_mcheck.Explore.Eager
+         else Regemu_mcheck.Explore.Sequential)
+      ~crashes
+      ~writer_ops:
+        (List.init p.Params.k (fun i ->
+             List.init ops_each (fun j ->
+                 Regemu_objects.Value.Str (Fmt.str "v%d.%d" i j))))
+      ~readers:1 ~reads_each:ops_each ()
+  in
+  let cert_config name p ~eager ~crashes ~ops_each ~budget =
+    {
+      Regemu_explore.Cert.algo = name;
+      k = p.Params.k;
+      f = p.Params.f;
+      n = p.Params.n;
+      mode = (if eager then "eager" else "sequential");
+      writer_ops = List.init p.Params.k (fun _ -> ops_each);
+      readers = 1;
+      reads_each = ops_each;
+      crashes;
+      max_explored = budget;
+    }
+  in
+  let run_exhaustive (name, factory) p ~eager ~crashes ~ops_each ~budget
+      ~brute ~cert_out ~json =
+    let scenario = scenario_of factory p ~eager ~crashes ~ops_each in
+    (* the naive baseline violates the pending-write invariants by
+       design; keep the checks for the algorithms that promise them *)
+    let check_invariants = name <> "naive-reg" in
+    let stats =
+      Regemu_mcheck.Dpor.run ~dpor:(not brute) ~sleep:(not brute)
+        ~check_invariants scenario ~max_explored:budget
+    in
+    Fmt.pr "explore --exhaustive %s at %a:@.%a@." name Params.pp p
+      Regemu_mcheck.Dpor.stats_pp stats;
+    let cert =
+      Regemu_explore.Cert.make
+        ~config:(cert_config name p ~eager ~crashes ~ops_each ~budget)
+        ~dpor:(not brute) ~sleep:(not brute) stats
+    in
+    Fmt.pr "%a@." Regemu_explore.Cert.pp cert;
+    let cert_json = Regemu_explore.Cert.to_json cert in
+    List.iter
+      (fun path ->
+        Json.to_file path cert_json;
+        Fmt.pr "wrote certificate to %s@." path)
+      (List.filter_map Fun.id [ cert_out; json ]);
+    match Regemu_explore.Cert.validate cert with
+    | Error m ->
+        Fmt.epr "error: certificate invalid: %s@." m;
+        1
+    | Ok () -> if cert.Regemu_explore.Cert.verdict = "violations-found" then 1 else 0
+  in
+  let load_corpus dir =
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           match Regemu_dst.Dst_fuzz.read_replay path with
+           | Ok spec ->
+               Fmt.pr "corpus: %s (%d-entry trace)@." path
+                 (Array.length spec.Regemu_dst.Dst_fuzz.r_choices);
+               Some spec.Regemu_dst.Dst_fuzz.r_choices
+           | Error m ->
+               Fmt.epr "warning: skipping %s: %s@." path m;
+               None)
+  in
+  let run_fuzz_cg name ~writers ~readers ~f ~n ~ops ~seed ~profile ~corpus
+      ~budget ~json =
+    match live_algo_of_name name with
+    | None ->
+        Fmt.epr
+          "error: --fuzz-cg drives the live stack; use --algo algorithm2 or \
+           --algo abd-max@.";
+        1
+    | Some algo ->
+        let base =
+          {
+            (Regemu_dst.Dst.default_config ~seed) with
+            Regemu_dst.Dst.algo;
+            writers;
+            readers;
+            f;
+            n;
+            ops_per_client = ops;
+          }
+        in
+        let init = match corpus with None -> [] | Some d -> load_corpus d in
+        let report =
+          Regemu_explore.Cgfuzz.fuzz ~init ~profile ~base ~budget ()
+        in
+        Fmt.pr "%a@." Regemu_explore.Cgfuzz.report_pp report;
+        Option.iter
+          (fun path ->
+            Json.to_file path (Regemu_explore.Cgfuzz.report_json report);
+            Fmt.pr "wrote report to %s@." path)
+          json;
+        (match profile with
+        | Regemu_dst.Dst_fuzz.Hunt -> 0
+        | _ -> if report.Regemu_explore.Cgfuzz.violations = [] then 0 else 1)
+  in
+  let run_smoke ~seed =
+    (* 1: tiny exhaustive run; certificate must round-trip and validate *)
+    let p = Params.make_exn ~k:1 ~f:1 ~n:3 in
+    let scenario =
+      scenario_of Regemu_baselines.Abd_max.factory p ~eager:false ~crashes:0
+        ~ops_each:1
+    in
+    let stats = Regemu_mcheck.Dpor.run scenario ~max_explored:200_000 in
+    let cert =
+      Regemu_explore.Cert.make
+        ~config:
+          (cert_config "abd-max" p ~eager:false ~crashes:0 ~ops_each:1
+             ~budget:200_000)
+        ~dpor:true ~sleep:true stats
+    in
+    let roundtrip =
+      match
+        Regemu_explore.Cert.of_json (Regemu_explore.Cert.to_json cert)
+      with
+      | Error m -> Error m
+      | Ok c -> Result.map (fun () -> c) (Regemu_explore.Cert.validate c)
+    in
+    let cert_ok =
+      match roundtrip with
+      | Ok c -> c = cert && c.Regemu_explore.Cert.verdict = "verified-clean"
+      | Error _ -> false
+    in
+    Fmt.pr "smoke exhaustive: %a@." Regemu_explore.Cert.pp cert;
+    Fmt.pr "smoke certificate round-trip: %s@."
+      (match roundtrip with
+      | Ok _ when cert_ok -> "ok"
+      | Ok _ -> "MISMATCH"
+      | Error m -> "INVALID: " ^ m);
+    (* 2: a coverage-guided burst on the quiet profile must stay clean *)
+    let base =
+      {
+        (Regemu_dst.Dst.default_config ~seed) with
+        Regemu_dst.Dst.readers = 1;
+        ops_per_client = 4;
+      }
+    in
+    let report =
+      Regemu_explore.Cgfuzz.fuzz ~profile:Regemu_dst.Dst_fuzz.Quiet ~base
+        ~budget:200 ()
+    in
+    Fmt.pr "smoke cgfuzz: %a@." Regemu_explore.Cgfuzz.report_pp report;
+    let cg_ok =
+      report.Regemu_explore.Cgfuzz.violations = []
+      && report.Regemu_explore.Cgfuzz.schedules > 1
+    in
+    if cert_ok && cg_ok then 0
+    else begin
+      Fmt.epr "error: explore smoke failed (cert=%b cgfuzz=%b)@." cert_ok
+        cg_ok;
+      1
+    end
+  in
+  let run (name, factory) f n budget writes eager crashes exhaustive brute
+      ops_each cert_out fuzz_cg profile corpus readers ops json smoke seed =
+    if smoke then run_smoke ~seed
+    else
+      match fuzz_cg with
+      | Some cg_budget ->
+          run_fuzz_cg name ~writers:writes ~readers ~f ~n ~ops ~seed ~profile
+            ~corpus ~budget:cg_budget ~json
+      | None ->
+          exit_of
+            (Result.map
+               (fun p ->
+                 if exhaustive || brute then
+                   exit
+                     (run_exhaustive (name, factory) p ~eager ~crashes
+                        ~ops_each ~budget ~brute ~cert_out ~json)
+                 else begin
+                   let scenario =
+                     scenario_of factory p ~eager ~crashes ~ops_each
+                   in
+                   let r =
+                     Regemu_mcheck.Explore.run scenario ~max_fired:budget
+                   in
+                   Fmt.pr "explore %s at %a: %a@." name Params.pp p
+                     Regemu_mcheck.Explore.result_pp r;
+                   List.iter
+                     (fun h ->
+                       Fmt.pr "violating schedule:@.%a@."
+                         Regemu_history.History.pp h)
+                     r.ws_safe_violations
+                 end)
+               (params_of writes f n))
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
-         "Systematically enumerate schedules of a small scenario \
-          (exhaustive on tiny configurations).")
+         "Systematically explore schedules: enumerate or DPOR-reduce small \
+          scenarios exhaustively (--exhaustive, with a regemu-cert/1 \
+          certificate), or coverage-guided-fuzz the live DST stack \
+          (--fuzz-cg).")
     Term.(
       const run $ algo_arg $ f_arg $ n_arg $ budget $ writes $ eager
-      $ crashes)
+      $ crashes $ exhaustive_arg $ brute_arg $ ops_each_arg $ cert_out_arg
+      $ fuzz_cg_arg $ profile_arg $ corpus_arg $ readers_arg $ ops_arg
+      $ json_arg $ smoke_arg $ seed_arg)
 
 let run_cmd =
   let algo =

@@ -1,0 +1,30 @@
+# Shared plumbing for the campaign matrix.  Each experiment directory
+# defines EXPERIMENT and RUN_CMD (its `params` file carries the knobs)
+# and includes this; see ../../EXPERIMENTS.md for the layout.
+
+ROOT := $(abspath $(dir $(lastword $(MAKEFILE_LIST)))/..)
+REGEMU := $(ROOT)/_build/default/bin/regemu.exe
+TREND := $(ROOT)/BENCH_explore.json
+OUT ?= out.json
+
+.PHONY: all run analyze clean binary
+
+all: run analyze
+
+binary:
+	dune build --root $(ROOT) bin/regemu.exe
+
+# run the experiment, timing it so analyze can report throughput
+run: binary
+	@start=$$(date +%s.%N); \
+	$(RUN_CMD) || exit $$?; \
+	end=$$(date +%s.%N); \
+	awk -v a=$$start -v b=$$end 'BEGIN { printf "%.3f\n", b - a }' \
+	  > elapsed_s.txt; \
+	echo "run complete: $(OUT) in $$(cat elapsed_s.txt)s"
+
+analyze:
+	./analyze.sh
+
+clean:
+	rm -f out.json cert.json elapsed_s.txt

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Distill the regemu-cert/1 certificate into a trend record.
+set -e
+cd "$(dirname "$0")"
+exec python3 ../append_trend.py exhaustive-alg2 cert.json ../../BENCH_explore.json

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Distill the cgfuzz report into a trend record beside BENCH_live.json.
+set -e
+cd "$(dirname "$0")"
+exec python3 ../append_trend.py hunt out.json ../../BENCH_explore.json

@@ -140,19 +140,52 @@ type shrink_result = {
   choices : int array;  (* minimized interleaving trace *)
   outcome : Dst.outcome;  (* the minimized failing run *)
   runs_spent : int;
+  memo_hits : int;
 }
 
 let shrink ?(budget = 250) (cfg0 : Dst.config) (original : Dst.outcome) =
   let key = failure_key original in
   if key = [] then invalid_arg "Dst_fuzz.shrink: outcome is not a failure";
-  let spent = ref 0 in
+  let spent = ref 0 and memo_hits = ref 0 in
+  (* Runs are pure functions of (config, nemesis, choices), so identical
+     candidates — ddmin retests subsets and complements it has already
+     seen, and later passes re-probe the current best — need not
+     re-execute the whole virtual cluster.  Memoized replays cost a
+     table lookup and don't count against the budget. *)
+  let memo : (string, Dst.outcome) Hashtbl.t = Hashtbl.create 64 in
+  let memo_key ?choices (cfg : Dst.config) =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Json.to_string (Dst.config_json cfg));
+    Buffer.add_string b (Json.to_string (Schedule.to_json cfg.Dst.nemesis));
+    (match choices with
+    | None -> Buffer.add_string b "|prng"
+    | Some cs ->
+        Buffer.add_char b '|';
+        Array.iter
+          (fun c ->
+            Buffer.add_string b (string_of_int c);
+            Buffer.add_char b ',')
+          cs);
+    Buffer.contents b
+  in
+  let run_always ?choices cfg =
+    let k = memo_key ?choices cfg in
+    match Hashtbl.find_opt memo k with
+    | Some o ->
+        incr memo_hits;
+        o
+    | None ->
+        incr spent;
+        let o = Dst.run ?choices cfg in
+        Hashtbl.add memo k o;
+        o
+  in
   let try_run ?choices cfg =
-    if !spent >= budget then None
-    else begin
-      incr spent;
-      let o = Dst.run ?choices cfg in
+    let cached = Hashtbl.mem memo (memo_key ?choices cfg) in
+    if (not cached) && !spent >= budget then None
+    else
+      let o = run_always ?choices cfg in
       if (not (Dst.passed o)) && failure_key o = key then Some o else None
-    end
   in
   (* pass 1: minimal fault schedule *)
   let cfg = ref cfg0 in
@@ -184,8 +217,7 @@ let shrink ?(budget = 250) (cfg0 : Dst.config) (original : Dst.outcome) =
      let candidate = { !cfg with Dst.writers = 1 } in
      if Option.is_some (try_run candidate) then cfg := candidate);
   (* record the minimized config's own interleaving as the trace *)
-  incr spent;
-  let witness = Dst.run !cfg in
+  let witness = run_always !cfg in
   let witness =
     if (not (Dst.passed witness)) && failure_key witness = key then witness
     else original
@@ -238,14 +270,13 @@ let shrink ?(budget = 250) (cfg0 : Dst.config) (original : Dst.outcome) =
   in
   zero_chunks (max 1 (Array.length !choices / 4));
   (* final witness under the minimized (config, trace) *)
-  incr spent;
-  let outcome = Dst.run ~choices:!choices cfg in
+  let outcome = run_always ~choices:!choices cfg in
   let outcome, choices =
     if (not (Dst.passed outcome)) && failure_key outcome = key then
       (outcome, !choices)
     else (witness, witness.Dst.report.Sched.choices)
   in
-  { cfg; choices; outcome; runs_spent = !spent }
+  { cfg; choices; outcome; runs_spent = !spent; memo_hits = !memo_hits }
 
 (* --- the regemu-dst/1 replay file ---------------------------------------- *)
 

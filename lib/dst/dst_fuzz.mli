@@ -68,12 +68,17 @@ type shrink_result = {
   cfg : Dst.config;  (** minimized config (nemesis, ops, clients) *)
   choices : int array;  (** minimized interleaving trace *)
   outcome : Dst.outcome;  (** the minimized failing run *)
-  runs_spent : int;
+  runs_spent : int;  (** distinct runs actually executed *)
+  memo_hits : int;
+      (** candidates answered from the memo table: runs are pure in
+          (config, nemesis, choices), so ddmin's repeated subsets and
+          complements replay for free and don't touch the budget *)
 }
 
 (** [shrink cfg outcome] minimizes a failing run within a [budget] of
-    re-executions (default 250).  Raises [Invalid_argument] if
-    [outcome] did not fail. *)
+    re-executions (default 250); identical candidates are memoized and
+    cost nothing.  Raises [Invalid_argument] if [outcome] did not
+    fail. *)
 val shrink : ?budget:int -> Dst.config -> Dst.outcome -> shrink_result
 
 (** {2 regemu-dst/1 replay files} *)

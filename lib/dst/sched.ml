@@ -38,8 +38,10 @@ type t = {
   mutable steps : int;
   mutable digest : int64;  (* FNV-1a over every step's chosen actor *)
   mutable choices_rev : int list;  (* recorded branch choices, newest first *)
+  mutable sites_rev : int list;  (* branch-point sites (aid, width), newest first *)
   replay : int array;
   mutable replay_pos : int;
+  mutable replay_clamped : int;  (* replayed values folded back in range *)
   mutable stopping : bool;
   mutable deadlock : string list option;
   mutable stalled : bool;
@@ -51,6 +53,9 @@ type report = {
   vtime_ns : int64;
   digest : string;
   choices : int array;
+  sites : int array;
+  replay_clamped : int;
+  replay_unused : int;
   deadlock : string list option;
   stalled : bool;
   actor_crashes : (string * string) list;
@@ -231,7 +236,9 @@ let choose t n =
     let k =
       if t.replay_pos < Array.length t.replay then begin
         let v = t.replay.(t.replay_pos) in
-        ((v mod n) + n) mod n
+        let k = ((v mod n) + n) mod n in
+        if k <> v then t.replay_clamped <- t.replay_clamped + 1;
+        k
       end
       else Regemu_sim.Rng.int t.rng ~bound:n
     in
@@ -239,6 +246,10 @@ let choose t n =
     t.choices_rev <- k :: t.choices_rev;
     k
   end
+
+(* a coverage site for the branch point that picked actor [a] among [n]
+   eligible ones; sites feed the coverage-guided fuzzer's edge bitmap *)
+let site_of aid n = ((aid land 0xffff) lsl 8) lor (n land 0xff)
 
 let run ?(replay = [||]) cfg f =
   validate_config cfg;
@@ -257,8 +268,10 @@ let run ?(replay = [||]) cfg f =
       steps = 0;
       digest = fnv_offset;
       choices_rev = [];
+      sites_rev = [];
       replay;
       replay_pos = 0;
+      replay_clamped = 0;
       stopping = false;
       deadlock = None;
       stalled = false;
@@ -288,6 +301,7 @@ let run ?(replay = [||]) cfg f =
     | elig ->
         let n = List.length elig in
         let a = List.nth elig (choose t n) in
+        if n > 1 then t.sites_rev <- site_of a.aid n :: t.sites_rev;
         t.steps <- t.steps + 1;
         t.digest <- fnv_mix (fnv_mix t.digest a.aid) n;
         t.now <- Int64.add t.now (Int64.of_int cfg.step_ns);
@@ -321,6 +335,9 @@ let run ?(replay = [||]) cfg f =
       vtime_ns = t.now;
       digest = hex_of_digest t.digest;
       choices = Array.of_list (List.rev t.choices_rev);
+      sites = Array.of_list (List.rev t.sites_rev);
+      replay_clamped = t.replay_clamped;
+      replay_unused = max 0 (Array.length t.replay - t.replay_pos);
       deadlock = t.deadlock;
       stalled = t.stalled;
       actor_crashes = List.rev t.crashes;

@@ -56,6 +56,16 @@ type report = {
   vtime_ns : int64;  (** final virtual clock *)
   digest : string;  (** FNV-1a over the schedule, hex *)
   choices : int array;  (** recorded branch choices, replayable *)
+  sites : int array;
+      (** per-branch-point coverage sites, aligned with [choices]: each
+          packs the chosen actor's id and the branch width, the raw
+          signal for the coverage-guided fuzzer's edge bitmap *)
+  replay_clamped : int;
+      (** replayed values that were out of range for their branch point
+          and folded back in modulo the width *)
+  replay_unused : int;
+      (** replay entries left unconsumed because the run branched fewer
+          times than the trace is long *)
   deadlock : string list option;  (** parked actors, if wedged *)
   stalled : bool;  (** hit [max_steps] *)
   actor_crashes : (string * string) list;  (** actor name, exception *)

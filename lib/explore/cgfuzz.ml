@@ -1,0 +1,180 @@
+open Regemu_dst
+
+type entry = {
+  choices : int array;
+  digest : string;
+  mutable hits : int;
+  mutable wins : int;
+}
+
+type violation = {
+  v_key : string list;
+  v_choices : int array;
+  v_run : int;
+}
+
+type report = {
+  profile : Dst_fuzz.profile;
+  runs : int;
+  corpus : entry list;
+  schedules : int;
+  edges : int;
+  failing_runs : int;
+  violations : violation list;
+}
+
+(* Branch widths are small (a handful of runnable actors), and replay
+   folds out-of-range values back in modulo the width, so mutated
+   values need only a little headroom. *)
+let rand_choice rng = Random.State.int rng 6
+
+let mutate rng corpus parent =
+  let c = parent.choices in
+  let n = Array.length c in
+  let pick_other () = List.nth corpus (Random.State.int rng (List.length corpus)) in
+  match Random.State.int rng 4 with
+  | 0 when n > 1 ->
+      (* truncate: keep a prefix, let the PRNG improvise the tail *)
+      Array.sub c 0 (1 + Random.State.int rng (n - 1))
+  | 1 when n > 0 ->
+      (* flip: redirect a few branch points *)
+      let m = Array.copy c in
+      let flips = 1 + Random.State.int rng 4 in
+      for _ = 1 to flips do
+        m.(Random.State.int rng n) <- rand_choice rng
+      done;
+      m
+  | 2 when n > 0 && List.length corpus > 1 ->
+      (* splice: our prefix, another entry's suffix *)
+      let o = (pick_other ()).choices in
+      let on = Array.length o in
+      let cut = Random.State.int rng (n + 1) in
+      let ocut = if on = 0 then 0 else Random.State.int rng on in
+      Array.append (Array.sub c 0 cut) (Array.sub o ocut (on - ocut))
+  | _ ->
+      (* extend: push the trace deeper into the run *)
+      let extra = 1 + Random.State.int rng 32 in
+      Array.append c (Array.init extra (fun _ -> rand_choice rng))
+
+(* Energy: reward entries whose children keep being novel, damp
+   entries that have been hammered without paying off. *)
+let energy e =
+  (1.0 +. float_of_int e.wins) /. (1.0 +. (float_of_int e.hits /. 8.0))
+
+let select rng corpus =
+  let total = List.fold_left (fun a e -> a +. energy e) 0.0 corpus in
+  let r = Random.State.float rng total in
+  let rec go acc = function
+    | [ e ] -> e
+    | e :: tl ->
+        let acc = acc +. energy e in
+        if r < acc then e else go acc tl
+    | [] -> invalid_arg "select: empty corpus"
+  in
+  go 0.0 corpus
+
+let fuzz ?progress ?(init = []) ~profile ~base ~budget () =
+  if budget < 1 then invalid_arg "Cgfuzz.fuzz: budget must be >= 1";
+  let cfg = Dst_fuzz.config_for profile ~base ~seed:base.Dst.seed in
+  let rng = Random.State.make [| base.Dst.seed; 0x5eed |] in
+  let cov = Coverage.create () in
+  let digests = Hashtbl.create 256 in
+  let seen_keys = Hashtbl.create 8 in
+  let corpus = ref [] and corpus_n = ref 0 in
+  let violations = ref [] in
+  let runs = ref 0 and failing = ref 0 in
+  let execute ?parent choices =
+    incr runs;
+    let o = Dst.run ~choices cfg in
+    let rep = o.Dst.report in
+    let fresh_edges = Coverage.add_run cov ~sites:rep.Sched.sites in
+    let fresh_digest = not (Hashtbl.mem digests rep.Sched.digest) in
+    if fresh_digest then Hashtbl.add digests rep.Sched.digest ();
+    if fresh_edges > 0 || fresh_digest then begin
+      (* store the canonical recorded trace, not the mutant: replay
+         clamps and PRNG tails are folded into real branch choices *)
+      corpus :=
+        !corpus
+        @ [ { choices = rep.Sched.choices; digest = rep.Sched.digest;
+              hits = 0; wins = 0 } ];
+      incr corpus_n;
+      Option.iter (fun p -> p.wins <- p.wins + 1) parent
+    end;
+    if not (Dst.passed o) then begin
+      incr failing;
+      let key = Dst_fuzz.failure_key o in
+      let tag = String.concat "|" key in
+      if not (Hashtbl.mem seen_keys tag) then begin
+        Hashtbl.add seen_keys tag ();
+        violations :=
+          !violations
+          @ [ { v_key = key; v_choices = rep.Sched.choices; v_run = !runs } ]
+      end
+    end;
+    Option.iter (fun p -> p o) progress
+  in
+  (* seed phase: the provided corpus first, then the PRNG baseline *)
+  List.iter (fun c -> if !runs < budget then execute c) init;
+  if !runs < budget && !corpus = [] then execute [||];
+  while !runs < budget do
+    match !corpus with
+    | [] -> execute [||]
+    | c ->
+        let parent = select rng c in
+        parent.hits <- parent.hits + 1;
+        execute ~parent (mutate rng c parent)
+  done;
+  {
+    profile;
+    runs = !runs;
+    corpus = !corpus;
+    schedules = Hashtbl.length digests;
+    edges = Coverage.covered cov;
+    failing_runs = !failing;
+    violations = !violations;
+  }
+
+let violation_keys r = List.map (fun v -> v.v_key) r.violations
+let found r key = List.exists (fun v -> v.v_key = key) r.violations
+
+let report_pp ppf r =
+  Fmt.pf ppf
+    "cgfuzz[%s]: %d runs, %d corpus, %d schedules, %d edges, %d failing, %d \
+     violation kind(s)%a"
+    (Dst_fuzz.profile_name r.profile)
+    r.runs
+    (List.length r.corpus)
+    r.schedules r.edges r.failing_runs
+    (List.length r.violations)
+    (Fmt.list ~sep:Fmt.nop (fun ppf v ->
+         Fmt.pf ppf "@.  run %d: %a" v.v_run
+           Fmt.(list ~sep:(any ",") string)
+           v.v_key))
+    r.violations
+
+let report_json r =
+  let open Regemu_obs in
+  Json.Obj
+    [
+      ("schema", Json.Str "regemu-cgfuzz/1");
+      ("profile", Json.Str (Dst_fuzz.profile_name r.profile));
+      ("runs", Json.Int r.runs);
+      ("corpus", Json.Int (List.length r.corpus));
+      ("schedules", Json.Int r.schedules);
+      ("edges", Json.Int r.edges);
+      ("failing_runs", Json.Int r.failing_runs);
+      ( "violations",
+        Json.List
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   ("key", Json.List (List.map (fun s -> Json.Str s) v.v_key));
+                   ("run", Json.Int v.v_run);
+                   ( "choices",
+                     Json.List
+                       (Array.to_list
+                          (Array.map (fun c -> Json.Int c) v.v_choices)) );
+                 ])
+             r.violations) );
+    ]

@@ -1,0 +1,72 @@
+(** Coverage-guided schedule fuzzing over {!Regemu_dst.Dst} — the {e
+    searching} counterpart to {!Regemu_dst.Dst_fuzz}'s seed sweeps.
+
+    Where the seed sweep samples interleavings independently, this
+    loop keeps a {e corpus} of branch-choice traces and mutates them
+    (truncate / flip / splice / extend), holding the config and fault
+    schedule fixed so the choice trace is the only input.  A mutant
+    earns a place in the corpus when its run is {e novel}: it sets a
+    new edge in the {!Coverage} bitmap or produces a schedule digest
+    never seen before.  Corpus entries that keep producing novel
+    children accumulate {e energy} and are mutated more often — the
+    classic AFL feedback loop, transplanted onto a deterministic
+    scheduler where an "input" is literally the interleaving.
+
+    Every failing run is tallied by its violation-kind key
+    ({!Regemu_dst.Dst_fuzz.failure_key}); the first witness trace of
+    each distinct kind is kept, replayable via [Dst.run ~choices]. *)
+
+open Regemu_dst
+
+type entry = {
+  choices : int array;  (** canonical recorded trace of the novel run *)
+  digest : string;  (** its schedule digest *)
+  mutable hits : int;  (** times picked as a mutation parent *)
+  mutable wins : int;  (** children that turned out novel *)
+}
+
+type violation = {
+  v_key : string list;  (** {!Dst_fuzz.failure_key} of the failing run *)
+  v_choices : int array;  (** witness trace: replay with [Dst.run ~choices] *)
+  v_run : int;  (** 1-based index of the run that found it *)
+}
+
+type report = {
+  profile : Dst_fuzz.profile;
+  runs : int;  (** total [Dst.run] executions *)
+  corpus : entry list;  (** final corpus, in discovery order *)
+  schedules : int;  (** distinct schedule digests observed *)
+  edges : int;  (** coverage slots set ({!Coverage.covered}) *)
+  failing_runs : int;
+  violations : violation list;
+      (** one per distinct violation kind, in discovery order *)
+}
+
+(** [fuzz ~profile ~base ~budget ()] runs at most [budget] simulations
+    against [Dst_fuzz.config_for profile ~base ~seed:base.seed] —
+    config and nemesis fixed, interleaving searched.  [init] traces
+    are executed first (each costs a run) and seed the corpus; an
+    empty corpus bootstraps from the PRNG schedule.  [progress] fires
+    after every run.  The mutation PRNG is seeded from [base.seed], so
+    the whole campaign is deterministic.  Raises [Invalid_argument] if
+    [budget < 1]. *)
+val fuzz :
+  ?progress:(Dst.outcome -> unit) ->
+  ?init:int array list ->
+  profile:Dst_fuzz.profile ->
+  base:Dst.config ->
+  budget:int ->
+  unit ->
+  report
+
+(** The distinct violation-kind keys, in discovery order. *)
+val violation_keys : report -> string list list
+
+(** [found report key] — did some run fail with exactly [key]? *)
+val found : report -> string list -> bool
+
+val report_pp : report Fmt.t
+
+(** [regemu-cgfuzz/1]: campaign counters plus each violation kind and
+    its witness trace. *)
+val report_json : report -> Regemu_obs.Json.t

@@ -1,0 +1,35 @@
+type t = { bits : Bytes.t; mutable set : int }
+
+let slots = 1 lsl 16
+let create () = { bits = Bytes.make (slots / 8) '\000'; set = 0 }
+
+(* Fibonacci-hash the (prev, site) pair into a slot.  [prev] is
+   rotated (AFL's [prev >> 1]) so that A->B and B->A land in different
+   slots. *)
+let edge_slot prev site =
+  let h = (prev lsl 1) lxor (site * 0x9E3779B1) in
+  (h lxor (h lsr 13)) land (slots - 1)
+
+let mark t slot =
+  let byte = slot lsr 3 and bit = slot land 7 in
+  let b = Char.code (Bytes.get t.bits byte) in
+  let mask = 1 lsl bit in
+  if b land mask = 0 then begin
+    Bytes.set t.bits byte (Char.chr (b lor mask));
+    t.set <- t.set + 1;
+    true
+  end
+  else false
+
+let add_run t ~sites =
+  let fresh = ref 0 in
+  let prev = ref 0 in
+  Array.iter
+    (fun site ->
+      if mark t (edge_slot !prev site) then incr fresh;
+      prev := site)
+    sites;
+  !fresh
+
+let covered t = t.set
+let ratio t = float_of_int t.set /. float_of_int slots

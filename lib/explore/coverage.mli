@@ -1,0 +1,29 @@
+(** Schedule-edge coverage map for the coverage-guided fuzzer.
+
+    {!Regemu_dst.Sched} reports one {e site} per branch point — a
+    packing of the chosen actor's id and the branch width
+    ([Sched.report.sites]).  This module folds consecutive sites into
+    {e edges} the way AFL folds basic-block transitions: each pair
+    [(prev, site)] hashes into a fixed 64 Ki-slot bitmap, so an
+    interleaving is "new" when it drives the scheduler through an
+    actor-to-actor handoff no earlier run took at that branch shape.
+    Collisions just merge two edges into one slot — acceptable for a
+    novelty signal, exactly as in AFL. *)
+
+type t
+
+val slots : int
+(** Bitmap width (65536). *)
+
+val create : unit -> t
+
+val add_run : t -> sites:int array -> int
+(** Fold one run's site sequence into the map; returns the number of
+    edge slots set for the first time — [0] means the schedule walked
+    only known territory. *)
+
+val covered : t -> int
+(** Total slots ever set. *)
+
+val ratio : t -> float
+(** [covered / slots]. *)

@@ -201,15 +201,22 @@ let deliver t (env : Transport.envelope) =
 let server_loop t srv =
   let handle (src, payload) =
     Mutex.lock srv.sm;
-    (match t.sched with
-    | None ->
-        while (not srv.up) && not srv.closing do
-          Condition.wait srv.sc srv.sm
-        done
-    | Some hook ->
-        hook.suspend ~mutex:srv.sm (fun () -> srv.up || srv.closing));
-    let closing = srv.closing in
-    Mutex.unlock srv.sm;
+    (* protect, not straight-line unlock: on scheduler teardown the
+       suspend raises with [srv.sm] re-held, and a leaked [sm] wedges
+       every other actor that touches this server *)
+    let closing =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock srv.sm)
+        (fun () ->
+          (match t.sched with
+          | None ->
+              while (not srv.up) && not srv.closing do
+                Condition.wait srv.sc srv.sm
+              done
+          | Some hook ->
+              hook.suspend ~mutex:srv.sm (fun () -> srv.up || srv.closing));
+          srv.closing)
+    in
     if closing then false
     else begin
       let replies = Proto.step srv.store payload in

@@ -125,10 +125,17 @@ let rec courier_loop t lane =
       do
         Condition.wait lane.lc lane.lm
       done
-  | Some hook ->
-      hook.suspend ~mutex:lane.lm (fun () ->
-          ((not (Ringbuf.is_empty lane.buf)) && not (lane_frozen t lane))
-          || Atomic.get t.stopped));
+  | Some hook -> (
+      try
+        hook.suspend ~mutex:lane.lm (fun () ->
+            ((not (Ringbuf.is_empty lane.buf)) && not (lane_frozen t lane))
+            || Atomic.get t.stopped)
+      with exn ->
+        (* scheduler teardown: the halt arrives with [lane.lm] re-held;
+           release it, or the lane's other couriers wedge forever on a
+           mutex owned by a finished thread *)
+        Mutex.unlock lane.lm;
+        raise exn));
   if Atomic.get t.stopped then Mutex.unlock lane.lm
   else begin
     (* drain a batch under one lock acquisition; fault decisions use

@@ -1,0 +1,72 @@
+(** Bounded-exhaustive exploration with dynamic partial-order
+    reduction (Flanagan–Godefroid style), over the same scenarios as
+    {!Explore}.
+
+    Where {!Explore.run} fires every enabled transition at every state,
+    this engine executes one transition per state and plants {e
+    backtrack points} only where two transitions genuinely race:
+    happens-before is tracked with vector clocks over a component
+    model — a per-client component (predicate wake-ups and response
+    delivery), a per-object component (state application at respond),
+    and a history component carried by every step that records an
+    invocation or return — and a transition is re-ordered against an
+    earlier one only when their footprints intersect and neither is in
+    the other's causal past.  Sleep sets prune the remaining
+    commutative permutations.  Crash choices are treated as globally
+    dependent, so every crash placement is still explored.
+
+    Soundness relies on two facts about the substrate checked in
+    test/suite_explore.ml: high-level history entries are recorded
+    only during [Step] events (so any two history-recording
+    transitions share the history component and the WS verdict is
+    invariant across a Mazurkiewicz trace class), and commuting
+    independent transitions changes at most low-level operation
+    numbering, which no recorded verdict reads.  Dependence is
+    over-approximated (a step's static footprint includes the history
+    component even if it ends up recording nothing), which can only
+    cost pruning, never soundness.
+
+    Every terminal (and stuck) state is checked for WS-Safety,
+    WS-Regularity, and the algorithm-level invariants of
+    {!Regemu_history.Invariants}; a fingerprint of the high-level
+    history, final register values, and verdict class is collected so
+    reduced and brute-force searches can be compared for state
+    equality. *)
+
+type stats = {
+  explored : int;  (** transitions executed (DFS edges) *)
+  replayed : int;  (** prefix transitions re-fired to rebuild states *)
+  pruned : int;
+      (** enabled transitions never fired at visited states — a lower
+          bound on the extra work brute force would have done, since
+          each also roots an unexplored subtree *)
+  sleep_skipped : int;  (** backtrack picks skipped as sleeping *)
+  terminal_runs : int;
+  stuck_runs : int;
+  distinct_states : int;  (** distinct terminal fingerprints *)
+  max_depth : int;
+  exhaustive : bool;  (** finished within [max_explored] *)
+  ws_safe_violations : int;
+  ws_regular_violations : int;
+  invariant_violations : int;
+  first_violation : string option;
+  state_fingerprints : string list;
+      (** sorted; for DPOR-vs-brute-force equivalence checks *)
+}
+
+val stats_pp : stats Fmt.t
+
+(** [run scenario ~max_explored] explores until done or until
+    [max_explored] transitions have been executed.  [~dpor:false]
+    disables the reduction (every enabled transition is a backtrack
+    point — brute force in the same engine, for differential testing);
+    [~sleep:false] disables sleep sets only.  [~check_invariants:false]
+    skips the {!Regemu_history.Invariants} checks (the naive algorithm
+    violates them by design). *)
+val run :
+  ?dpor:bool ->
+  ?sleep:bool ->
+  ?check_invariants:bool ->
+  Explore.scenario ->
+  max_explored:int ->
+  stats

@@ -62,31 +62,20 @@ let result_pp ppf r =
     (List.length r.ws_safe_violations)
     (List.length r.ws_regular_violations)
 
-type session = {
-  sim : Sim.t;
-  calls : unit -> Sim.call list;
-  all_invoked : unit -> bool;
-  advance : int -> unit;  (* fire the idx-th enabled event, auto-invoke *)
-}
+(* A live run that can be advanced one chosen event at a time,
+   auto-invoking eligible script operations after every event.  Exposed
+   so other search strategies (the DPOR engine in {!Dpor}) can drive
+   the same scenarios. *)
+module Session = struct
+  type t = {
+    scenario : scenario;
+    sim : Sim.t;
+    get_calls : unit -> Sim.call list;
+    all_invoked : unit -> bool;
+    advance : int -> unit;  (* fire the idx-th enabled event, auto-invoke *)
+  }
 
-let run ?(stop_on_violation = false) scenario ~max_fired =
-  let fired = ref 0 in
-  let truncated = ref false in
-  let halted = ref false in
-  let distinct : (string, unit) Hashtbl.t = Hashtbl.create 64 in
-  let terminal = ref 0 in
-  let stuck = ref 0 in
-  let max_depth = ref 0 in
-  let safe_bad = ref [] in
-  let regular_bad = ref [] in
-  let first_violation = ref None in
-  let keep_violation store h =
-    if !first_violation = None then first_violation := Some !fired;
-    if List.length !store < 3 then store := h :: !store
-  in
-  (* A live run that can be advanced one chosen event at a time,
-     auto-invoking eligible script operations after every event. *)
-  let fresh_session () =
+  let create scenario =
     let sim, invoke1, script = scenario.make () in
     let remaining = Hashtbl.create 8 in
     List.iter
@@ -94,7 +83,12 @@ let run ?(stop_on_violation = false) scenario ~max_fired =
       script;
     let calls = ref [] in
     (* script-order queue for Sequential mode *)
-    let seq_queue = ref (List.concat_map (fun (c, ops) -> List.map (fun o -> (c, o)) ops) script) in
+    let seq_queue =
+      ref
+        (List.concat_map
+           (fun (c, ops) -> List.map (fun o -> (c, o)) ops)
+           script)
+    in
     let rec auto_invoke () =
       match scenario.mode with
       | Eager ->
@@ -124,8 +118,9 @@ let run ?(stop_on_violation = false) scenario ~max_fired =
     in
     auto_invoke ();
     {
+      scenario;
       sim;
-      calls = (fun () -> !calls);
+      get_calls = (fun () -> !calls);
       all_invoked =
         (fun () ->
           Hashtbl.fold (fun _ (_, ops) acc -> acc && ops = []) remaining true);
@@ -143,13 +138,58 @@ let run ?(stop_on_violation = false) scenario ~max_fired =
             in
             Sim.crash_server sim (List.nth correct (idx - n_ev))
           end;
-          incr fired;
           auto_invoke ());
     }
+
+  let sim t = t.sim
+  let calls t = t.get_calls ()
+  let advance t idx = t.advance idx
+
+  let finished t =
+    t.all_invoked () && List.for_all Sim.call_returned (t.get_calls ())
+
+  let crash_candidates t =
+    let so_far = Id.Server.Set.cardinal (Sim.crashed_servers t.sim) in
+    if so_far < t.scenario.crashes then
+      List.filter
+        (fun s -> not (Sim.server_crashed t.sim s))
+        (Sim.servers t.sim)
+    else []
+
+  let enabled_events t = Sim.enabled t.sim
+
+  let width t =
+    List.length (enabled_events t) + List.length (crash_candidates t)
+
+  let replay scenario prefix =
+    let t = create scenario in
+    List.iter (advance t) prefix;
+    t
+end
+
+let run ?(stop_on_violation = false) scenario ~max_fired =
+  let fired = ref 0 in
+  let truncated = ref false in
+  let halted = ref false in
+  let distinct : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let terminal = ref 0 in
+  let stuck = ref 0 in
+  let max_depth = ref 0 in
+  let safe_bad = ref [] in
+  let regular_bad = ref [] in
+  let first_violation = ref None in
+  let keep_violation store h =
+    if !first_violation = None then first_violation := Some !fired;
+    if List.length !store < 3 then store := h :: !store
+  in
+  let fresh_session () = Session.create scenario in
+  let advance s idx =
+    Session.advance s idx;
+    incr fired
   in
   let replay prefix =
     let s = fresh_session () in
-    List.iter s.advance prefix;
+    List.iter (advance s) prefix;
     s
   in
   let record_history ?(terminal_run = false) sim =
@@ -178,34 +218,19 @@ let run ?(stop_on_violation = false) scenario ~max_fired =
     else begin
       let depth = List.length prefix in
       if depth > !max_depth then max_depth := depth;
-      let finished =
-        session.all_invoked ()
-        && List.for_all Sim.call_returned (session.calls ())
-      in
-      if finished then begin
+      if Session.finished session then begin
         incr terminal;
-        record_history ~terminal_run:true session.sim
+        record_history ~terminal_run:true (Session.sim session)
       end
       else
-        let crashes_so_far =
-          Regemu_objects.Id.Server.Set.cardinal
-            (Sim.crashed_servers session.sim)
-        in
-        let crash_choices =
-          if crashes_so_far < scenario.crashes then
-            List.length
-              (List.filter
-                 (fun s -> not (Sim.server_crashed session.sim s))
-                 (Sim.servers session.sim))
-          else 0
-        in
-        match Sim.enabled session.sim with
+        let crash_choices = List.length (Session.crash_candidates session) in
+        match Session.enabled_events session with
         | [] when crash_choices = 0 ->
             incr stuck;
-            record_history session.sim
+            record_history (Session.sim session)
         | evs ->
             let width = List.length evs + crash_choices in
-            session.advance 0;
+            advance session 0;
             dfs session (prefix @ [ 0 ]);
             for i = 1 to width - 1 do
               if (not !halted) && !fired < max_fired then

@@ -66,6 +66,42 @@ val emulation_scenario :
   unit ->
   scenario
 
+(** A live run of a scenario that can be advanced one chosen transition
+    at a time, auto-invoking eligible script operations after every
+    event.  The brute-force search below and the DPOR engine
+    ({!Dpor}) both drive scenarios through this interface. *)
+module Session : sig
+  type t
+
+  (** Fresh run, with the initially eligible operations invoked. *)
+  val create : scenario -> t
+
+  val sim : t -> Sim.t
+  val calls : t -> Sim.call list
+
+  (** [advance t idx] fires the [idx]-th choice: indices below the
+      number of enabled simulator events fire that event; the rest
+      index into {!crash_candidates}.  Auto-invokes afterwards. *)
+  val advance : t -> int -> unit
+
+  (** Every scripted operation invoked and returned. *)
+  val finished : t -> bool
+
+  (** Servers that may still be crashed, in choice order — empty once
+      the scenario's crash budget is spent. *)
+  val crash_candidates : t -> Id.Server.t list
+
+  val enabled_events : t -> Sim.event list
+
+  (** Number of choices available now (events + crashes). *)
+  val width : t -> int
+
+  (** [replay scenario prefix] rebuilds a run and advances it through
+      [prefix] — choices are deterministic, so this reproduces the
+      state exactly. *)
+  val replay : scenario -> int list -> t
+end
+
 type result = {
   terminal_runs : int;  (** complete schedules explored *)
   distinct_histories : int;

@@ -136,6 +136,81 @@ let sched_tests =
         | Some waited ->
             Alcotest.(check bool) "timeout elapsed virtually" true
               (waited >= 2.0 && waited < 60.0));
+    (* a little program with real branch points, for the replay
+       edge-case tests below *)
+    (let branchy t =
+       let left = ref 4 in
+       for i = 1 to 4 do
+         Sched.spawn t ~name:(Fmt.str "b%d" i) (fun () -> decr left)
+       done;
+       let hook = Sched.hook t in
+       hook.Regemu_live.Sched_hook.suspend (fun () -> !left = 0);
+       !left
+     in
+     test "an empty replay trace behaves exactly like no trace" (fun () ->
+         let _, bare = Sched.run (Sched.default_config ~seed:21) branchy in
+         let r, rep =
+           Sched.run ~replay:[||] (Sched.default_config ~seed:21) branchy
+         in
+         Alcotest.(check (option int)) "completes" (Some 0) r;
+         Alcotest.(check string) "PRNG takes over from step one"
+           bare.Sched.digest rep.Sched.digest;
+         Alcotest.(check int) "nothing clamped" 0 rep.Sched.replay_clamped;
+         Alcotest.(check int) "nothing left over" 0 rep.Sched.replay_unused));
+    (let branchy t =
+       let left = ref 4 in
+       for i = 1 to 4 do
+         Sched.spawn t ~name:(Fmt.str "b%d" i) (fun () -> decr left)
+       done;
+       let hook = Sched.hook t in
+       hook.Regemu_live.Sched_hook.suspend (fun () -> !left = 0);
+       !left
+     in
+     test "a too-long replay trace completes and reports the leftovers"
+       (fun () ->
+         let _, short = Sched.run (Sched.default_config ~seed:22) branchy in
+         let padded =
+           Array.append short.Sched.choices (Array.make 50 0)
+         in
+         let r, rep =
+           Sched.run ~replay:padded (Sched.default_config ~seed:22) branchy
+         in
+         Alcotest.(check (option int)) "completes cleanly" (Some 0) r;
+         Alcotest.(check bool) "no deadlock" true (rep.Sched.deadlock = None);
+         Alcotest.(check bool) "not stalled" false rep.Sched.stalled;
+         Alcotest.(check string) "prefix still steers the run"
+           short.Sched.digest rep.Sched.digest;
+         Alcotest.(check bool) "unused tail reported" true
+           (rep.Sched.replay_unused > 0)));
+    (let branchy t =
+       let left = ref 4 in
+       for i = 1 to 4 do
+         Sched.spawn t ~name:(Fmt.str "b%d" i) (fun () -> decr left)
+       done;
+       let hook = Sched.hook t in
+       hook.Regemu_live.Sched_hook.suspend (fun () -> !left = 0);
+       !left
+     in
+     test "out-of-range replay values fold in range and are counted"
+       (fun () ->
+         let _, base = Sched.run (Sched.default_config ~seed:23) branchy in
+         Alcotest.(check bool) "the program really branches" true
+           (Array.length base.Sched.choices > 0);
+         (* huge and negative values both fold back modulo the width *)
+         let wild =
+           Array.map
+             (fun v -> if v mod 2 = 0 then v + 1_000_000 else v - 1_000_000)
+             base.Sched.choices
+         in
+         let r, rep =
+           Sched.run ~replay:wild (Sched.default_config ~seed:23) branchy
+         in
+         Alcotest.(check (option int)) "completes cleanly" (Some 0) r;
+         Alcotest.(check bool) "no deadlock" true (rep.Sched.deadlock = None);
+         Alcotest.(check bool) "clamps counted" true
+           (rep.Sched.replay_clamped > 0);
+         Alcotest.(check int) "every choice consumed" 0
+           rep.Sched.replay_unused));
   ]
 
 (* --- whole-run determinism ----------------------------------------------- *)
