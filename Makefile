@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test check bench perf-bench live-bench tail-bench chaos-bench keyspace-bench dst-fuzz explore-smoke explore-exhaustive experiments trace-demo verify examples clean loc
+.PHONY: all build test check bench perf-bench live-bench tail-bench compare-bench chaos-bench keyspace-bench dst-fuzz explore-smoke explore-exhaustive experiments trace-demo verify examples clean loc
 
 all: build
 
@@ -36,6 +36,14 @@ live-bench:
 # BENCH_tail.json in the regemu-tail/1 schema (validated before persisting)
 tail-bench:
 	dune exec bin/regemu.exe -- live --tail --json BENCH_tail.json
+
+# the three-way space-vs-throughput-vs-fault-tolerance race: ABD,
+# Algorithm 2, and the CDS data store at each load point on the
+# threads and domains fabrics, median of 3 per cell; writes
+# BENCH_compare.json in the regemu-compare/1 schema (validated before
+# the write and re-parsed from disk after it)
+compare-bench:
+	dune exec bin/regemu.exe -- compare --json BENCH_compare.json
 
 # the full nemesis campaign against the live cluster; writes BENCH_chaos.json
 chaos-bench:

@@ -990,21 +990,32 @@ end
 
 (* --- live --------------------------------------------------------------- *)
 
+(* One source of truth for live algorithm names: parse through
+   Live_bench.algo_of_name, so an unknown name is rejected with the
+   valid list quoted — never silently defaulted — and a newly
+   registered algorithm reaches every command that uses this conv. *)
+let live_algo_conv =
+  let parse s =
+    match Regemu_live.Live_bench.algo_of_name s with
+    | Some a -> Ok a
+    | None ->
+        Error
+          (`Msg
+             (Fmt.str "unknown algorithm %S; valid: %s" s
+                (String.concat ", " Regemu_live.Live_bench.algo_names)))
+  in
+  Arg.conv
+    (parse, fun ppf a -> Fmt.string ppf (Regemu_live.Live_bench.algo_name a))
+
 let live_cmd =
   let open Regemu_live in
   let algo_arg =
     Arg.(
       value
-      & opt
-          (enum
-             [
-               ("abd", Live_bench.Abd);
-               ("abd-wb", Live_bench.Abd_wb);
-               ("algorithm2", Live_bench.Alg2);
-             ])
-          Live_bench.Abd
-      & info [ "algo" ] ~doc:"Protocol to run: $(b,abd), $(b,abd-wb), or \
-                              $(b,algorithm2).")
+      & opt live_algo_conv Live_bench.Abd
+      & info [ "algo" ]
+          ~doc:"Protocol to run: $(b,abd), $(b,abd-wb), $(b,algorithm2), or \
+                $(b,cds).")
   in
   let bench_arg =
     Arg.(
@@ -1095,16 +1106,16 @@ let live_cmd =
           ~doc:"Tail-latency A/B bench: baseline, unhedged, and hedged arms \
                 under a single 10x gray straggler, reporting latency \
                 percentiles per arm and the hedged-p99-over-baseline-p99 \
-                ratio (regemu-tail/1 schema with $(b,--json)).  With \
-                $(b,--smoke), a bounded run for CI.")
+                ratio (regemu-tail/1 schema with $(b,--json)).  Honours \
+                $(b,--algo).  With $(b,--smoke), a bounded run for CI.")
   in
   let run bench smoke saturate tail chaos algo k readers f n ops couriers
       backend json seed reps trace sample metrics =
     if tail then
       Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
       let spec =
-        if smoke then Tail_bench.smoke_spec ~backend ~seed ()
-        else Tail_bench.default_spec ~backend ~seed ()
+        if smoke then Tail_bench.smoke_spec ~backend ~algo ~seed ()
+        else Tail_bench.default_spec ~backend ~algo ~seed ()
       in
       (* full tail runs report median-of-5 arms: single-core p99 is
          noisy and a median, not one roll, is the number worth
@@ -1223,6 +1234,108 @@ let live_cmd =
       $ Arg.(value & opt int 1 & info [ "f" ] ~doc:"Failure threshold.")
       $ Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of server threads.")
       $ ops_arg $ couriers_arg $ backend_arg $ json_arg $ seed_arg $ reps_arg
+      $ Obs_cli.trace_arg
+      $ Obs_cli.sample_arg ~default:64
+      $ Obs_cli.metrics_arg)
+
+(* --- compare ------------------------------------------------------------- *)
+
+let compare_cmd =
+  let open Regemu_live in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Bounded single-load run for CI (used by dune runtest): the \
+                light load point, fewer readers, 25 ops per client.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the table as JSON (regemu-compare/1 schema), \
+                validated both before the write and re-parsed from the \
+                bytes on disk.")
+  in
+  let reps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Repetitions per (algorithm, backend, load) cell; the \
+                median-throughput run is reported.  Defaults to 3 \
+                (1 with $(b,--smoke)).")
+  in
+  let run smoke json seed reps trace sample metrics =
+    Obs_cli.with_sink ~trace ~sample ~metrics @@ fun sink ->
+    let pairs =
+      if smoke then Compare_bench.smoke_specs ~seed ()
+      else Compare_bench.specs ~seed ()
+    in
+    let reps =
+      match reps with Some r -> r | None -> if smoke then 1 else 3
+    in
+    match Compare_bench.run ~sink ~reps pairs with
+    | exception Invalid_argument m ->
+        Fmt.epr "error: %s@." m;
+        1
+    | rows -> (
+        List.iter (Fmt.pr "%a@." Compare_bench.row_pp) rows;
+        let doc = Compare_bench.to_json ~seed ~smoke rows in
+        match Compare_bench.validate_compare_json doc with
+        | Error m ->
+            Fmt.epr
+              "error: refusing to write: emitted document fails the \
+               regemu-compare/1 schema check: %s@."
+              m;
+            1
+        | Ok () -> (
+            let persisted =
+              match json with
+              | None -> Ok ()
+              | Some path -> (
+                  match Json.to_file path doc with
+                  | exception Sys_error m -> Error m
+                  | () -> (
+                      (* re-validate what actually landed on disk, not
+                         the in-memory value we meant to write *)
+                      match Json.of_file path with
+                      | Error m ->
+                          Error (Fmt.str "read-back of %s failed: %s" path m)
+                      | Ok disk -> (
+                          match Compare_bench.validate_compare_json disk with
+                          | Error m ->
+                              Error
+                                (Fmt.str
+                                   "read-back of %s fails the schema check: \
+                                    %s"
+                                   path m)
+                          | Ok () -> Ok ())))
+            in
+            match persisted with
+            | Error m ->
+                Fmt.epr "error: %s@." m;
+                1
+            | Ok () ->
+                if Compare_bench.clean rows then 0
+                else (
+                  Fmt.epr
+                    "error: a comparison run failed its online consistency \
+                     checks or lost operations@.";
+                  1)))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Race the three emulations — ABD, Algorithm 2, and the CDS \
+          multi-writer data store — at the same load points on the threads \
+          and domains fabrics, and report space (measured resident cells \
+          and bytes per server, plus the paper-side formula), throughput, \
+          and latency side by side (regemu-compare/1 schema with \
+          $(b,--json)).")
+    Term.(
+      const run $ smoke_arg $ json_arg $ seed_arg $ reps_arg
       $ Obs_cli.trace_arg
       $ Obs_cli.sample_arg ~default:64
       $ Obs_cli.metrics_arg)
@@ -1408,15 +1521,10 @@ let dst_cmd =
   let algo_arg =
     Arg.(
       value
-      & opt
-          (enum
-             [
-               ("abd", Regemu_live.Live_bench.Abd);
-               ("abd-wb", Regemu_live.Live_bench.Abd_wb);
-               ("algorithm2", Regemu_live.Live_bench.Alg2);
-             ])
-          Regemu_live.Live_bench.Abd
-      & info [ "algo" ] ~doc:"Protocol under test.")
+      & opt live_algo_conv Regemu_live.Live_bench.Abd
+      & info [ "algo" ]
+          ~doc:"Protocol under test: $(b,abd), $(b,abd-wb), \
+                $(b,algorithm2), or $(b,cds).")
   in
   let writers_arg =
     Arg.(
@@ -1745,13 +1853,22 @@ let keyspace_cmd =
             "Message fabric under each skew's cluster: $(b,threads), \
              $(b,domains), or $(b,socket).")
   in
-  let run smoke keys zipfs rate ops window budget nval fval backend json
+  let kalgo_arg =
+    Arg.(
+      value
+      & opt live_algo_conv Regemu_live.Live_bench.Abd
+      & info [ "algo" ]
+          ~doc:"Emulation running the per-key quorums.  Only $(b,abd) has \
+                a keyed form today; anything else is rejected.")
+  in
+  let run smoke keys zipfs rate ops window budget nval fval algo backend json
       quiet seed trace sample metrics =
     let spec = if smoke then Kbench.smoke_spec else Kbench.default_spec in
     let spec =
       {
         spec with
-        Kbench.seed;
+        Kbench.algo;
+        seed;
         n = Option.value nval ~default:spec.Kbench.n;
         f = Option.value fval ~default:spec.Kbench.f;
         keys = Option.value keys ~default:spec.Kbench.keys;
@@ -1817,6 +1934,7 @@ let keyspace_cmd =
           value
           & opt (some int) None
           & info [ "f" ] ~doc:"Failure threshold.")
+      $ kalgo_arg
       $ backend_arg $ json_arg $ quiet_arg $ seed_arg $ Obs_cli.trace_arg
       $ Obs_cli.sample_arg ~default:64
       $ Obs_cli.metrics_arg)
@@ -1966,6 +2084,7 @@ let () =
             thm5_cmd; thm6_cmd; thm7_cmd; thm8_cmd; plan_cmd; alg1_cmd;
             classification_cmd; rspace_cmd; inversion_cmd;
             latency_cmd; fuzz_cmd; explore_cmd; run_cmd; verify_cmd;
-            sweep_cmd; netabd_cmd; live_cmd; chaos_cmd; dst_cmd; keyspace_cmd; trace_cmd;
+            sweep_cmd; netabd_cmd; live_cmd; compare_cmd; chaos_cmd; dst_cmd;
+            keyspace_cmd; trace_cmd;
             all_cmd;
           ]))

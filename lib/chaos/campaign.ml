@@ -3,12 +3,20 @@ open Regemu_objects
 open Regemu_live
 module Json = Regemu_obs.Json
 
-type algo = Abd | Alg2 | Keyed
+type algo = Abd | Alg2 | Cds | Keyed
 
 let algo_name = function
   | Abd -> "abd"
   | Alg2 -> "algorithm2"
+  | Cds -> "cds"
   | Keyed -> "keyspace"
+
+(* scenario-name suffix: the ABD arms keep their historical bare names *)
+let algo_suffix = function
+  | Abd -> ""
+  | Alg2 -> "-alg2"
+  | Cds -> "-cds"
+  | Keyed -> "-keyed"
 
 type expectation = Clean | Degraded | Violation
 
@@ -203,6 +211,9 @@ let run ?(log = ignore) ?(sink = Sink.none) s =
         let p = Params.make_exn ~k:s.k ~f:s.f ~n:s.n in
         let alg2 = Alg2_live.create cluster p ~writers () in
         (Alg2_live.write alg2, Alg2_live.read alg2)
+    | Cds ->
+        let cds = Cds_live.create cluster ~f:s.f ~writers () in
+        (Cds_live.write cds, Cds_live.read cds)
     | Keyed ->
         (* every operation targets key 0: the schedule partitions that
            key's replica set, so the keyed retry/fail-fast path is what
@@ -285,11 +296,7 @@ let one_phase ?(may_fail = false) ~label ~writes ~reads ~gap_ms schedule =
 let rolling_crashes ~seed ~algo ~rounds ~ops =
   {
     (base ~seed) with
-    name =
-      (match algo with
-      | Abd -> "rolling-crashes"
-      | Alg2 -> "rolling-crashes-alg2"
-      | Keyed -> "rolling-crashes-keyed");
+    name = "rolling-crashes" ^ algo_suffix algo;
     descr =
       Fmt.str
         "crash and restart every server %d time(s) in turn under message \
@@ -305,39 +312,48 @@ let rolling_crashes ~seed ~algo ~rounds ~ops =
         (Schedule.rolling_crashes ~n:3 ~rounds ~gap_ms:90 ());
   }
 
-let majority_partition ~seed =
+let majority_partition ?(algo = Abd) ~seed () =
   {
     (base ~seed) with
-    name = "majority-partition";
+    name = "majority-partition" ^ algo_suffix algo;
     descr =
-      "isolate the minority server for half a second; clients keep a \
-       majority and every operation completes";
+      Fmt.str
+        "isolate the minority server for half a second; clients keep a \
+         majority and every operation completes (%s)"
+        (algo_name algo);
+    algo;
     drop_prob = 0.02;
     phases =
       one_phase ~label:"split" ~writes:10 ~reads:10 ~gap_ms:55
         (Schedule.minority_partition ~n:3 ~at_ms:80 ~heal_at_ms:600);
   }
 
-let flapping ~seed =
+let flapping ?(algo = Abd) ~seed () =
   {
     (base ~seed) with
-    name = "flapping";
+    name = "flapping" ^ algo_suffix algo;
     descr =
-      "seeded flapping: loss-rate pulses interleaved with single-server \
-       crash/restart flips";
+      Fmt.str
+        "seeded flapping: loss-rate pulses interleaved with single-server \
+         crash/restart flips (%s)"
+        (algo_name algo);
+    algo;
     phases =
       one_phase ~label:"flap" ~writes:12 ~reads:12 ~gap_ms:60
         (Schedule.flapping ~n:3 ~flips:5 ~gap_ms:100 ~seed:(seed + 100));
   }
 
-let beyond_f ~seed ~heal_at_ms ~outage_ops =
+let beyond_f ?(algo = Abd) ~seed ~heal_at_ms ~outage_ops () =
   {
     (base ~seed) with
-    name = "beyond-f";
+    name = "beyond-f" ^ algo_suffix algo;
     descr =
-      "cut the clients down to a single reachable server (beyond f=1): \
-       operations must fail fast with Unavailable, then resume after the \
-       heal";
+      Fmt.str
+        "cut the clients down to a single reachable server (beyond f=1): \
+         operations must fail fast with Unavailable, then resume after the \
+         heal (%s)"
+        (algo_name algo);
+    algo;
     expect = Degraded;
     phases =
       one_phase ~label:"warmup" ~writes:4 ~reads:4 ~gap_ms:15 []
@@ -347,14 +363,17 @@ let beyond_f ~seed ~heal_at_ms ~outage_ops =
       @ one_phase ~label:"recovered" ~writes:4 ~reads:4 ~gap_ms:15 [];
   }
 
-let amnesia ~seed ~ops =
+let amnesia ?(algo = Abd) ~seed ~ops () =
   {
     (base ~seed) with
-    name = "amnesia";
+    name = "amnesia" ^ algo_suffix algo;
     descr =
-      "diskless rolling reboot of every server (never more than one down \
-       at once) erases all state: stale reads must be flagged by the \
-       WS-Regularity checker";
+      Fmt.str
+        "diskless rolling reboot of every server (never more than one down \
+         at once) erases all state: stale reads must be flagged by the \
+         WS-Regularity checker (%s)"
+        (algo_name algo);
+    algo;
     recovery = Recovery.Amnesia;
     expect = Violation;
     phases =
@@ -366,16 +385,17 @@ let amnesia ~seed ~ops =
 
 (* --- gray-failure scenarios --------------------------------------------- *)
 
-let one_straggler ~seed ~slow_us ~ops =
+let one_straggler ?(algo = Abd) ~seed ~slow_us ~ops () =
   {
     (base ~seed) with
-    name = "one-straggler";
+    name = "one-straggler" ^ algo_suffix algo;
     descr =
       Fmt.str
         "one server's link turns gray (+%dus per message) mid-workload: \
          hedged quorum rounds must keep every operation completing at \
-         healthy-replica speed"
-        slow_us;
+         healthy-replica speed (%s)"
+        slow_us (algo_name algo);
+    algo;
     hedge = true;
     phases =
       one_phase ~label:"straggle" ~writes:ops ~reads:ops ~gap_ms:30
@@ -443,23 +463,33 @@ let campaign ~seed =
   [
     rolling_crashes ~seed ~algo:Abd ~rounds:2 ~ops:12;
     rolling_crashes ~seed:(seed + 1) ~algo:Alg2 ~rounds:1 ~ops:10;
-    majority_partition ~seed:(seed + 2);
-    flapping ~seed:(seed + 3);
-    beyond_f ~seed:(seed + 4) ~heal_at_ms:1500 ~outage_ops:5;
-    amnesia ~seed:(seed + 5) ~ops:8;
-    one_straggler ~seed:(seed + 6) ~slow_us:5_000 ~ops:10;
+    majority_partition ~seed:(seed + 2) ();
+    flapping ~seed:(seed + 3) ();
+    beyond_f ~seed:(seed + 4) ~heal_at_ms:1500 ~outage_ops:5 ();
+    amnesia ~seed:(seed + 5) ~ops:8 ();
+    one_straggler ~seed:(seed + 6) ~slow_us:5_000 ~ops:10 ();
     rotating_straggler ~seed:(seed + 7) ~slow_us:4_000 ~ops:10;
     straggler_at_f ~seed:(seed + 8) ~slow_us:3_000 ~ops:8;
     keyspace_outage ~seed:(seed + 9) ~heal_at_ms:1500 ~outage_ops:5;
+    (* the CDS arms: the rival emulation through the same nemeses,
+       including the two model-edge scenarios (beyond-f, amnesia) *)
+    rolling_crashes ~seed:(seed + 10) ~algo:Cds ~rounds:1 ~ops:10;
+    majority_partition ~algo:Cds ~seed:(seed + 11) ();
+    flapping ~algo:Cds ~seed:(seed + 12) ();
+    beyond_f ~algo:Cds ~seed:(seed + 13) ~heal_at_ms:1500 ~outage_ops:5 ();
+    amnesia ~algo:Cds ~seed:(seed + 14) ~ops:8 ();
+    one_straggler ~algo:Cds ~seed:(seed + 15) ~slow_us:5_000 ~ops:10 ();
   ]
 
 let smoke ~seed =
   [
     rolling_crashes ~seed ~algo:Abd ~rounds:1 ~ops:8;
-    beyond_f ~seed:(seed + 4) ~heal_at_ms:800 ~outage_ops:3;
-    amnesia ~seed:(seed + 5) ~ops:5;
-    one_straggler ~seed:(seed + 6) ~slow_us:4_000 ~ops:6;
+    beyond_f ~seed:(seed + 4) ~heal_at_ms:800 ~outage_ops:3 ();
+    amnesia ~seed:(seed + 5) ~ops:5 ();
+    one_straggler ~seed:(seed + 6) ~slow_us:4_000 ~ops:6 ();
     keyspace_outage ~seed:(seed + 9) ~heal_at_ms:800 ~outage_ops:3;
+    rolling_crashes ~seed:(seed + 10) ~algo:Cds ~rounds:1 ~ops:8;
+    amnesia ~algo:Cds ~seed:(seed + 14) ~ops:5 ();
   ]
 
 let names () = List.map (fun s -> s.name) (campaign ~seed:0)

@@ -21,6 +21,7 @@
 type algo =
   | Abd
   | Alg2
+  | Cds  (** the CDS multi-writer data store ({!Regemu_live.Cds_live}) *)
   | Keyed
       (** drive {!Regemu_keyspace.Kspace} operations on key 0 — the
           keyed retry path; keyed ops log to the kspace's Klog, so the
@@ -105,13 +106,17 @@ val run_all :
 
 (** The full campaign: rolling crashes (ABD and Algorithm 2), a healed
     majority partition, seeded flapping, a beyond-[f] outage, the
-    amnesia wipe, and the gray-failure quartet — one straggler,
-    rotating straggler, a straggler squeezed against the [f] crash
-    budget (all hedged), and the keyspace outage. *)
+    amnesia wipe, the gray-failure quartet — one straggler, rotating
+    straggler, a straggler squeezed against the [f] crash budget (all
+    hedged) — the keyspace outage, and the CDS arms: the rival
+    emulation through rolling crashes, the partition, flapping, the
+    beyond-[f] outage, amnesia, and the straggler ([-cds]-suffixed
+    scenario names). *)
 val campaign : seed:int -> scenario list
 
-(** The bounded subset for CI: rolling crashes, beyond-[f], amnesia,
-    one-straggler, keyspace-outage. *)
+(** The bounded subset for CI: rolling crashes (ABD and CDS),
+    beyond-[f], amnesia (ABD and CDS), one-straggler,
+    keyspace-outage. *)
 val smoke : seed:int -> scenario list
 
 val names : unit -> string list

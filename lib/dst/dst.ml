@@ -201,6 +201,9 @@ let run ?(choices = [||]) ?(sink = Sink.none) cfg =
               in
               let alg2 = Alg2_live.create cluster p ~writers () in
               (Alg2_live.write alg2, Alg2_live.read alg2)
+          | Live_bench.Cds ->
+              let cds = Cds_live.create cluster ~f:cfg.f ~writers () in
+              (Cds_live.write cds, Cds_live.read cds)
         in
         Cluster.start cluster;
         let checker = Checker.spawn ~sched:hook cluster ~interval_s:0.005 () in
@@ -305,7 +308,10 @@ let config_of_json j =
   let* algo =
     match Live_bench.algo_of_name algo_s with
     | Some a -> Ok a
-    | None -> Error (Fmt.str "config: unknown algo %S" algo_s)
+    | None ->
+        Error
+          (Fmt.str "config: unknown algo %S; valid: %s" algo_s
+             (String.concat ", " Live_bench.algo_names))
   in
   let* writers = int "writers" in
   let* readers = int "readers" in

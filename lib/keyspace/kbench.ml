@@ -2,6 +2,7 @@ open Regemu_live
 module Json = Regemu_obs.Json
 
 type spec = {
+  algo : Live_bench.algo;
   n : int;
   f : int;
   keys : int;
@@ -18,6 +19,7 @@ type spec = {
 
 let default_spec =
   {
+    algo = Live_bench.Abd;
     n = 7;
     f = 1;
     keys = 100_000;
@@ -34,6 +36,7 @@ let default_spec =
 
 let smoke_spec =
   {
+    algo = Live_bench.Abd;
     n = 5;
     f = 1;
     keys = 128;
@@ -133,6 +136,14 @@ let run_skew ?(quiet = true) ?(sink = Sink.none) spec zipf =
   o
 
 let run ?(quiet = true) ?(sink = Sink.none) spec =
+  (* the keyspace's per-key quorum ops are the keyed ABD construction;
+     other live algorithms have no keyed form (yet), so anything else
+     is a spec error, not a silent fallback *)
+  if spec.algo <> Live_bench.Abd then
+    invalid_arg
+      (Fmt.str "Kbench: the keyspace runs per-key %s quorums only (got %s)"
+         (Live_bench.algo_name Live_bench.Abd)
+         (Live_bench.algo_name spec.algo));
   { spec; skews = List.map (run_skew ~quiet ~sink spec) spec.zipfs }
 
 let schema = "regemu-keyspace/1"
@@ -140,6 +151,7 @@ let schema = "regemu-keyspace/1"
 let spec_json s =
   Json.Obj
     [
+      ("algo", Json.Str (Live_bench.algo_name s.algo));
       ("n", Json.Int s.n);
       ("f", Json.Int s.f);
       ("keys", Json.Int s.keys);
@@ -198,7 +210,14 @@ let validate_keyspace_json doc =
           ( Option.bind (Json.member "keys" s) Json.to_int_opt,
             Option.bind (Json.member "budget_ops" s) Json.to_int_opt )
         with
-        | Some keys, Some budget when keys > 0 && budget > 0 -> Ok ()
+        | Some keys, Some budget when keys > 0 && budget > 0 -> (
+            match
+              Option.bind
+                (Option.bind (Json.member "algo" s) Json.to_str_opt)
+                Live_bench.algo_of_name
+            with
+            | Some _ -> Ok ()
+            | None -> err "spec: missing or unknown algo")
         | _ -> err "spec: missing or non-positive keys/budget_ops")
     | _ -> err "missing spec object"
   in

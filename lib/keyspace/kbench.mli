@@ -8,6 +8,9 @@
     the measured form of the bounded-memory claim. *)
 
 type spec = {
+  algo : Regemu_live.Live_bench.algo;
+      (** which emulation runs the per-key quorums; only [Abd] has a
+          keyed form — {!run} rejects anything else *)
   n : int;
   f : int;
   keys : int;
@@ -50,7 +53,8 @@ type outcome = { spec : spec; skews : skew_outcome list }
 
 (** One fresh cluster + keyspace + checker per skew; [quiet] silences
     the per-skew progress lines.  [sink] reaches each skew's cluster,
-    keyspace gauges, and checker. *)
+    keyspace gauges, and checker.  Raises [Invalid_argument] when
+    [spec.algo] is not [Abd] (the only algorithm with a keyed form). *)
 val run : ?quiet:bool -> ?sink:Regemu_live.Sink.t -> spec -> outcome
 
 val schema : string

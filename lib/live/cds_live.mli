@@ -1,0 +1,41 @@
+(** The Chockler–Dobre–Shraer–Spiegelman reliable multi-writer data
+    store (arXiv:1508.03762) over a live {!Cluster} — the third live
+    algorithm beside {!Abd_live} and {!Alg2_live}, at a different point
+    of the space/progress tradeoff.
+
+    Each of the [2f+1] replicas holds one base register {e per writer}
+    (a slot, allocated on first touch), together forming the paper's
+    layered [k]-writer max-register: a server applies write-max within
+    a slot, and a collect returns every resident slot.  A write
+    collects from a quorum of [f+1] to learn the largest timestamp,
+    then writes [(seq+1, v)] into {e its own} slot at a quorum; a read
+    collects from a quorum and returns the lexicographically largest
+    timestamped value.  Timestamps embed the writer's slot index, so
+    concurrent writers never tie.
+
+    Both sides are wait-free with at most [f] crashed servers, and no
+    covering discipline is needed — the price is [k] registers on
+    every replica ([(2f+1)k] total), against Algorithm 2's
+    [kf + ⌈k/z⌉(f+1)] total and ABD's [2f+1] (one max-register each,
+    but of unbounded domain). *)
+
+open Regemu_objects
+
+type t
+
+(** Needs at least [2f+1] servers; uses the first [2f+1].  [writers]
+    fixes the slot assignment: writer [i] of the list owns slot [i].
+    At most 1024 writers. *)
+val create :
+  Cluster.t -> f:int -> writers:Cluster.client list -> unit -> t
+
+val replicas : t -> int
+
+(** Number of writer slots this emulation was created with. *)
+val writer_slots : t -> int
+
+(** Blocking; records the operation in the cluster history.  Raises
+    [Invalid_argument] for a client not in [writers]. *)
+val write : t -> Cluster.client -> Value.t -> unit
+
+val read : t -> Cluster.client -> Value.t

@@ -323,6 +323,18 @@ let create ?sched ?(sink = Sink.none) cfg =
   Sink.gauge_fn sink ~help:"amnesia restarts that wiped a store"
     "cluster.wipes" (fun () -> t.wipes);
   Sink.gauge_fn sink
+    ~help:"resident register cells, max over servers (space axis)"
+    "store.resident_cells" (fun () ->
+      Array.fold_left
+        (fun a s -> max a (Proto.resident_cells s.store))
+        0 t.servers);
+  Sink.gauge_fn sink
+    ~help:"resident cell bytes (canonical encoding), max over servers"
+    "store.resident_bytes" (fun () ->
+      Array.fold_left
+        (fun a s -> max a (Proto.resident_bytes s.store))
+        0 t.servers);
+  Sink.gauge_fn sink
     ~help:"adaptive per-op deadline, microseconds (max over clients)"
     "client.deadline_estimate_us" (fun () ->
       Array.fold_left
@@ -997,6 +1009,32 @@ let server_num_keys t ~server =
 let peek_kmax t ~server key =
   check_server t server;
   Proto.peek_kmax t.servers.(server).store key
+
+let peek_slot t ~server slot =
+  check_server t server;
+  Proto.peek_slot t.servers.(server).store slot
+
+let server_resident_cells t ~server =
+  check_server t server;
+  Proto.resident_cells t.servers.(server).store
+
+let server_resident_bytes t ~server =
+  check_server t server;
+  Proto.resident_bytes t.servers.(server).store
+
+(* On the [Socket] backend only the parent-side mirror store is
+   visible here (children own the real ones), so resident space reads
+   as the parent's view: allocated plain cells, nothing touched by
+   traffic.  The space benches therefore report on the in-process
+   backends. *)
+let resident_space t =
+  Array.fold_left
+    (fun (cells, bytes, total) srv ->
+      let c = Proto.resident_cells srv.store in
+      ( max cells c,
+        max bytes (Proto.resident_bytes srv.store),
+        total + c ))
+    (0, 0, 0) t.servers
 
 (* --- teardown ----------------------------------------------------------- *)
 

@@ -313,6 +313,24 @@ val server_num_keys : t -> server:int -> int
 (** Peek one key's max-register on a server. *)
 val peek_kmax : t -> server:int -> int -> Value.t
 
+(** One CDS per-writer slot of one server's store; {!Value.v0} for a
+    slot never written there. *)
+val peek_slot : t -> server:int -> int -> Value.t
+
+(** Cells resident on one server's store — see
+    {!Regemu_netsim.Proto.resident_cells}. *)
+val server_resident_cells : t -> server:int -> int
+
+(** Bytes resident on one server's store (canonical wire encoding). *)
+val server_resident_bytes : t -> server:int -> int
+
+(** [(cells_max, bytes_max, cells_total)] over all servers: the
+    per-server maxima of resident cells and bytes plus the cluster-wide
+    cell total.  Best-effort on the [Domains] backend (stores are
+    sampled without synchronisation) and parent-side only on [Socket]
+    (children own the real stores). *)
+val resident_space : t -> int * int * int
+
 (** Stop everything: revive crashed servers so they can exit, close
     mailboxes, stop the transport, join all threads.  Idempotent. *)
 val shutdown : t -> unit

@@ -161,6 +161,27 @@ let add_payload b = function
       add_byte b 11;
       add_int b rid;
       add_int b key
+  | Proto.Cquery { rid } ->
+      add_byte b 12;
+      add_int b rid
+  | Proto.Cquery_reply { rid; slots } ->
+      add_byte b 13;
+      add_int b rid;
+      add_u32 b (List.length slots);
+      List.iter
+        (fun (slot, v) ->
+          add_int b slot;
+          add_value b v)
+        slots
+  | Proto.Cwrite { rid; slot; proposed } ->
+      add_byte b 14;
+      add_int b rid;
+      add_int b slot;
+      add_value b proposed
+  | Proto.Cwrite_reply { rid; slot } ->
+      add_byte b 15;
+      add_int b rid;
+      add_int b slot
 
 let get_payload r =
   match get_byte r "payload tag" with
@@ -197,6 +218,24 @@ let get_payload r =
   | 11 ->
       let rid = get_int r "rid" in
       Proto.Kupdate_reply { rid; key = get_int r "key" }
+  | 12 -> Proto.Cquery { rid = get_int r "rid" }
+  | 13 ->
+      let rid = get_int r "rid" in
+      let count = get_u32 r "slot count" in
+      let slots = ref [] in
+      for _ = 1 to count do
+        let slot = get_int r "slot" in
+        let v = get_value r in
+        slots := (slot, v) :: !slots
+      done;
+      Proto.Cquery_reply { rid; slots = List.rev !slots }
+  | 14 ->
+      let rid = get_int r "rid" in
+      let slot = get_int r "slot" in
+      Proto.Cwrite { rid; slot; proposed = get_value r }
+  | 15 ->
+      let rid = get_int r "rid" in
+      Proto.Cwrite_reply { rid; slot = get_int r "slot" }
   | n -> bad "payload tag %d" n
 
 (* --- messages ------------------------------------------------------------ *)

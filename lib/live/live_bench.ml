@@ -1,17 +1,21 @@
 open Regemu_bounds
 module Json = Regemu_obs.Json
 
-type algo = Abd | Abd_wb | Alg2
+type algo = Abd | Abd_wb | Alg2 | Cds
 
 let algo_name = function
   | Abd -> "abd"
   | Abd_wb -> "abd-wb"
   | Alg2 -> "algorithm2"
+  | Cds -> "cds"
+
+let algo_names = List.map algo_name [ Abd; Abd_wb; Alg2; Cds ]
 
 let algo_of_name = function
   | "abd" -> Some Abd
   | "abd-wb" -> Some Abd_wb
   | "algorithm2" | "alg2" -> Some Alg2
+  | "cds" -> Some Cds
   | _ -> None
 
 type spec = {
@@ -49,6 +53,9 @@ type outcome = {
   restarts : int;
   retries : int;
   unavailable : int;
+  space_cells : int;  (* resident cells, max over servers, max over run *)
+  space_bytes : int;  (* resident bytes likewise *)
+  space_cells_total : int;  (* cluster-wide resident cells at the peak *)
   check : Checker.result;
 }
 
@@ -112,8 +119,34 @@ let run ?(sink = Sink.none) spec =
         let p = Params.make_exn ~k:spec.k ~f:spec.f ~n:spec.n in
         let alg2 = Alg2_live.create cluster p ~writers () in
         (Alg2_live.write alg2, Alg2_live.read alg2)
+    | Cds ->
+        let cds = Cds_live.create cluster ~f:spec.f ~writers () in
+        (Cds_live.write cds, Cds_live.read cds)
   in
   Cluster.start cluster;
+  (* the space axis: sample resident cells/bytes through the run and
+     keep the maxima.  Sampling is unsynchronised (a gauge, not an
+     invariant) — a mid-rehash glance on the domains backend may throw,
+     so each sample is best-effort; the final sample after the load
+     drains is quiescent and authoritative for these monotone stores. *)
+  let space = ref (0, 0, 0) in
+  let sample_space () =
+    try
+      let c, b, tot = Cluster.resident_space cluster in
+      let c0, b0, t0 = !space in
+      space := (max c c0, max b b0, max tot t0)
+    with _ -> ()
+  in
+  let sampling = Atomic.make true in
+  let sampler =
+    Thread.create
+      (fun () ->
+        while Atomic.get sampling do
+          sample_space ();
+          Thread.delay 0.005
+        done)
+      ()
+  in
   (* atomicity is only promised by the write-back variant, and the
      brute-force checker needs a write-sequential-ish history: check it
      for single-writer write-back runs *)
@@ -139,6 +172,10 @@ let run ?(sink = Sink.none) spec =
   in
   let wall_s = Clock.now_s () -. t0 in
   Option.iter Fault.stop injector;
+  Atomic.set sampling false;
+  Thread.join sampler;
+  sample_space ();
+  let space_cells, space_bytes, space_cells_total = !space in
   let check = Checker.stop checker in
   let stats = Cluster.stats cluster in
   let lats = Cluster.latencies_ns cluster in
@@ -172,6 +209,9 @@ let run ?(sink = Sink.none) spec =
     restarts = stats.Cluster.restarts;
     retries = stats.Cluster.retries;
     unavailable = stats.Cluster.unavailable;
+    space_cells;
+    space_bytes;
+    space_cells_total;
     check;
   }
 
@@ -220,7 +260,7 @@ let suite ?(ops_per_client = 150) ~seed () =
         (fun chaos ->
           { (default_spec ~algo ~chaos ~seed ()) with ops_per_client })
         [ false; true ])
-    [ Abd; Abd_wb; Alg2 ]
+    [ Abd; Abd_wb; Alg2; Cds ]
 
 (* The socket smoke runs quiet: a killed child execs back with an empty
    store whatever the recovery mode, and ABD under quorum-visible
@@ -235,6 +275,10 @@ let smoke_suite ?(backend = Transport.Threads) () =
     };
     {
       (default_spec ~backend ~algo:Alg2 ~chaos ~seed:43 ()) with
+      ops_per_client = 40;
+    };
+    {
+      (default_spec ~backend ~algo:Cds ~chaos ~seed:44 ()) with
       ops_per_client = 40;
     };
   ]
@@ -281,6 +325,9 @@ let outcome_json o =
       ("restarts", Json.Int o.restarts);
       ("retries", Json.Int o.retries);
       ("unavailable", Json.Int o.unavailable);
+      ("space_resident_cells", Json.Int o.space_cells);
+      ("space_resident_bytes", Json.Int o.space_bytes);
+      ("space_cells_total", Json.Int o.space_cells_total);
       ("online_checks", Json.Int o.check.Checker.checks);
       ( "ws_regular",
         Json.Str
@@ -331,7 +378,7 @@ let saturate_specs ?(backend = Transport.Threads) ?(clients = saturate_clients)
         (fun c ->
           saturate_spec ~backend ~algo ~clients:c ~ops_per_client ~seed ())
         clients)
-    [ Abd; Alg2 ]
+    [ Abd; Alg2; Cds ]
 
 (* The head-to-head sweep: the same saturation point on every backend,
    backends adjacent in the run order (and the whole list round-robined
@@ -414,6 +461,8 @@ let saturate_json outcomes =
          ("latency_p50_us", Json.Float (pct 0.50));
          ("latency_p95_us", Json.Float (pct 0.95));
          ("latency_p99_us", Json.Float (pct 0.99));
+         ("space_resident_cells", Json.Int o.space_cells);
+         ("space_resident_bytes", Json.Int o.space_bytes);
          ("clean", Json.Bool (clean o));
        ]
       @ (match

@@ -1,16 +1,23 @@
 (** Throughput/latency benchmark of the live cluster runtime: ABD (and
-    its atomic write-back variant) vs the paper's Algorithm 2, across
-    client-thread counts and fault rates, every run validated online by
-    the consistency checkers.
+    its atomic write-back variant) vs the paper's Algorithm 2 vs the
+    CDS multi-writer data store ({!Cds_live}), across client-thread
+    counts and fault rates, every run validated online by the
+    consistency checkers.
 
     A run spawns [n] server threads, [k] writer + [readers] reader
     threads, an online {!Checker}, optionally a {!Fault} injector, and
-    measures wall-clock ops/s and p50/p95/p99 operation latency
-    (via {!Regemu_sim.Stats.percentiles}). *)
+    measures wall-clock ops/s, p50/p95/p99 operation latency (via
+    {!Regemu_sim.Stats.percentiles}), and the resident-space maxima
+    sampled from the server stores through the run. *)
 
-type algo = Abd | Abd_wb | Alg2
+type algo = Abd | Abd_wb | Alg2 | Cds
 
 val algo_name : algo -> string
+
+(** Every valid {!algo_name}, in declaration order — the list CLI
+    errors quote. *)
+val algo_names : string list
+
 val algo_of_name : string -> algo option
 
 type spec = {
@@ -49,6 +56,11 @@ type outcome = {
   restarts : int;
   retries : int;  (** client retransmissions *)
   unavailable : int;  (** operations failed fast *)
+  space_cells : int;
+      (** resident cells, max over servers and over the run — sampled
+          every 5 ms plus once at quiesce ({!Cluster.resident_space}) *)
+  space_bytes : int;  (** resident bytes, same maxima *)
+  space_cells_total : int;  (** cluster-wide resident cells at the peak *)
   check : Checker.result;
 }
 
@@ -114,8 +126,8 @@ val saturate_spec :
 (** The default sweep: [2; 4; 8; 16]. *)
 val saturate_clients : int list
 
-(** The full single-backend sweep, ABD and Algorithm 2 at each client
-    count. *)
+(** The full single-backend sweep, ABD, Algorithm 2, and CDS at each
+    client count. *)
 val saturate_specs :
   ?backend:Transport.backend ->
   ?clients:int list ->

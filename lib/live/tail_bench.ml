@@ -1,6 +1,7 @@
 module Json = Regemu_obs.Json
 
 type spec = {
+  algo : Live_bench.algo;
   readers : int;
   f : int;
   n : int;
@@ -13,8 +14,10 @@ type spec = {
   seed : int;
 }
 
-let default_spec ?(backend = Transport.Threads) ~seed () =
+let default_spec ?(backend = Transport.Threads) ?(algo = Live_bench.Abd) ~seed
+    () =
   {
+    algo;
     readers = 3;
     f = 1;
     n = 3;
@@ -27,8 +30,8 @@ let default_spec ?(backend = Transport.Threads) ~seed () =
     seed;
   }
 
-let smoke_spec ?backend ~seed () =
-  { (default_spec ?backend ~seed ()) with ops_per_client = 25 }
+let smoke_spec ?backend ?algo ~seed () =
+  { (default_spec ?backend ?algo ~seed ()) with ops_per_client = 25 }
 
 let validate_spec s =
   if s.readers < 1 then invalid_arg "Tail_bench: need at least one reader";
@@ -116,7 +119,22 @@ let run_arm ?(sink = Sink.none) s arm =
   in
   let writers = [ Cluster.new_client cluster ] in
   let readers = List.init s.readers (fun _ -> Cluster.new_client cluster) in
-  let abd = Abd_live.create cluster ~f:s.f () in
+  let write, read =
+    match s.algo with
+    | Live_bench.Abd | Live_bench.Abd_wb ->
+        let abd =
+          Abd_live.create cluster ~f:s.f
+            ~write_back_reads:(s.algo = Live_bench.Abd_wb) ()
+        in
+        (Abd_live.write abd, Abd_live.read abd)
+    | Live_bench.Alg2 ->
+        let p = Regemu_bounds.Params.make_exn ~k:1 ~f:s.f ~n:s.n in
+        let alg2 = Alg2_live.create cluster p ~writers () in
+        (Alg2_live.write alg2, Alg2_live.read alg2)
+    | Live_bench.Cds ->
+        let cds = Cds_live.create cluster ~f:s.f ~writers () in
+        (Cds_live.write cds, Cds_live.read cds)
+  in
   Cluster.start cluster;
   (* the gray injection: a uniform per-envelope delay on every link
      models the network floor, and one server gets the 10x version *)
@@ -129,8 +147,8 @@ let run_arm ?(sink = Sink.none) s arm =
   let t0 = Clock.now_s () in
   let result =
     try
-      Load.run ~write:(Abd_live.write abd) ~read:(Abd_live.read abd) ~writers
-        ~readers ~ops_per_client:s.ops_per_client;
+      Load.run ~write ~read ~writers ~readers
+        ~ops_per_client:s.ops_per_client;
       Ok ()
     with e -> Error e
   in
@@ -243,6 +261,7 @@ let to_json o =
   Json.Obj
     [
       ("schema", Json.Str "regemu-tail/1");
+      ("algo", Json.Str (Live_bench.algo_name o.spec.algo));
       ("seed", Json.Int o.spec.seed);
       ("n", Json.Int o.spec.n);
       ("f", Json.Int o.spec.f);

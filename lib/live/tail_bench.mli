@@ -1,6 +1,7 @@
 (** The tail-latency A/B bench: what a single 10x gray straggler does
-    to ABD operation latency, and how much of it hedged quorum rounds
-    claw back.
+    to operation latency (ABD by default, any {!Live_bench.algo} via
+    the [algo] field), and how much of it hedged quorum rounds claw
+    back.
 
     Three arms run the same seeded workload on the same cluster shape,
     all with the hedge/deadline machinery armed (so subset selection
@@ -18,6 +19,7 @@
     written to the [regemu-tail/1] document. *)
 
 type spec = {
+  algo : Live_bench.algo;  (** which emulation runs the arms *)
   readers : int;  (** reader clients; always exactly one writer *)
   f : int;
   n : int;
@@ -31,11 +33,21 @@ type spec = {
 }
 
 (** 1+3 clients, f=1 n=3, 120 ops/client, base 1ms, straggler 10ms on
-    server 2. *)
-val default_spec : ?backend:Transport.backend -> seed:int -> unit -> spec
+    server 2; [algo] defaults to [Abd]. *)
+val default_spec :
+  ?backend:Transport.backend ->
+  ?algo:Live_bench.algo ->
+  seed:int ->
+  unit ->
+  spec
 
 (** [default_spec] cut to 25 ops/client for CI. *)
-val smoke_spec : ?backend:Transport.backend -> seed:int -> unit -> spec
+val smoke_spec :
+  ?backend:Transport.backend ->
+  ?algo:Live_bench.algo ->
+  seed:int ->
+  unit ->
+  spec
 
 type arm = Baseline | Unhedged | Hedged
 

@@ -49,6 +49,7 @@ let query_max t ~client =
       | Net.Query _ | Net.Update _ | Net.Update_reply _ | Net.Reg_read _
       | Net.Reg_read_reply _ | Net.Reg_write _ | Net.Reg_write_reply _
       | Net.Kquery _ | Net.Kquery_reply _ | Net.Kupdate _ | Net.Kupdate_reply _
+      | Net.Cquery _ | Net.Cquery_reply _ | Net.Cwrite _ | Net.Cwrite_reply _
         ->
           best)
 

@@ -15,6 +15,10 @@ type payload = Proto.payload =
   | Kquery_reply of { rid : int; key : int; stored : Value.t }
   | Kupdate of { rid : int; key : int; proposed : Value.t }
   | Kupdate_reply of { rid : int; key : int }
+  | Cquery of { rid : int }
+  | Cquery_reply of { rid : int; slots : (int * Value.t) list }
+  | Cwrite of { rid : int; slot : int; proposed : Value.t }
+  | Cwrite_reply of { rid : int; slot : int }
 
 let payload_pp = Proto.payload_pp
 
@@ -275,7 +279,11 @@ let fire t ev =
                 | Kquery { rid; _ }
                 | Kquery_reply { rid; _ }
                 | Kupdate { rid; _ }
-                | Kupdate_reply { rid; _ } ->
+                | Kupdate_reply { rid; _ }
+                | Cquery { rid }
+                | Cquery_reply { rid; _ }
+                | Cwrite { rid; _ }
+                | Cwrite_reply { rid; _ } ->
                     rid
               in
               match

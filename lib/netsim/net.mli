@@ -51,6 +51,12 @@ type payload = Proto.payload =
   | Kupdate of { rid : int; key : int; proposed : Value.t }
       (** per-key write-max, the keyed twin of [Update] *)
   | Kupdate_reply of { rid : int; key : int }
+  | Cquery of { rid : int }
+      (** collect every resident CDS per-writer slot (see {!Proto}) *)
+  | Cquery_reply of { rid : int; slots : (int * Value.t) list }
+  | Cwrite of { rid : int; slot : int; proposed : Value.t }
+      (** per-writer write-max into slot [slot] *)
+  | Cwrite_reply of { rid : int; slot : int }
 
 val payload_pp : payload Fmt.t
 

@@ -13,6 +13,10 @@ type payload =
   | Kquery_reply of { rid : int; key : int; stored : Value.t }
   | Kupdate of { rid : int; key : int; proposed : Value.t }
   | Kupdate_reply of { rid : int; key : int }
+  | Cquery of { rid : int }
+  | Cquery_reply of { rid : int; slots : (int * Value.t) list }
+  | Cwrite of { rid : int; slot : int; proposed : Value.t }
+  | Cwrite_reply of { rid : int; slot : int }
 
 let payload_pp ppf = function
   | Query { rid } -> Fmt.pf ppf "query#%d" rid
@@ -33,6 +37,16 @@ let payload_pp ppf = function
   | Kupdate { rid; key; proposed } ->
       Fmt.pf ppf "kupdate#%d[k%d](%a)" rid key Value.pp proposed
   | Kupdate_reply { rid; key } -> Fmt.pf ppf "kupdate-reply#%d[k%d]" rid key
+  | Cquery { rid } -> Fmt.pf ppf "cquery#%d" rid
+  | Cquery_reply { rid; slots } ->
+      Fmt.pf ppf "cquery-reply#%d(%a)" rid
+        Fmt.(
+          list ~sep:(any ",") (fun ppf (s, v) ->
+              Fmt.pf ppf "s%d=%a" s Value.pp v))
+        slots
+  | Cwrite { rid; slot; proposed } ->
+      Fmt.pf ppf "cwrite#%d[s%d](%a)" rid slot Value.pp proposed
+  | Cwrite_reply { rid; slot } -> Fmt.pf ppf "cwrite-reply#%d[s%d]" rid slot
 
 let rid_of = function
   | Query { rid }
@@ -46,24 +60,35 @@ let rid_of = function
   | Kquery { rid; _ }
   | Kquery_reply { rid; _ }
   | Kupdate { rid; _ }
-  | Kupdate_reply { rid; _ } ->
+  | Kupdate_reply { rid; _ }
+  | Cquery { rid }
+  | Cquery_reply { rid; _ }
+  | Cwrite { rid; _ }
+  | Cwrite_reply { rid; _ } ->
       rid
 
 let is_reply = function
   | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _
-  | Kquery_reply _ | Kupdate_reply _ ->
+  | Kquery_reply _ | Kupdate_reply _ | Cquery_reply _ | Cwrite_reply _ ->
       true
-  | Query _ | Update _ | Reg_read _ | Reg_write _ | Kquery _ | Kupdate _ ->
+  | Query _ | Update _ | Reg_read _ | Reg_write _ | Kquery _ | Kupdate _
+  | Cquery _ | Cwrite _ ->
       false
 
 type store = {
   mutable maxreg : Value.t;
   mutable regs : Value.t array;
   kmax : (int, Value.t) Hashtbl.t;
+  cslots : (int, Value.t) Hashtbl.t;
 }
 
 let store_create () =
-  { maxreg = Value.v0; regs = [||]; kmax = Hashtbl.create 64 }
+  {
+    maxreg = Value.v0;
+    regs = [||];
+    kmax = Hashtbl.create 64;
+    cslots = Hashtbl.create 8;
+  }
 
 let alloc_reg st =
   let ix = Array.length st.regs in
@@ -79,10 +104,41 @@ let num_keys st = Hashtbl.length st.kmax
 let peek_kmax st key =
   match Hashtbl.find_opt st.kmax key with Some v -> v | None -> Value.v0
 
+let num_slots st = Hashtbl.length st.cslots
+
+let peek_slot st slot =
+  match Hashtbl.find_opt st.cslots slot with Some v -> v | None -> Value.v0
+
+(* size of [v]'s canonical wire encoding (mirrors the live codec's
+   [add_value]): 1 tag byte, plus 1 for bools, 8 for ints, 4+len for
+   strings, both branches for pairs.  The resident-bytes metric is the
+   sum of this over every resident cell — a backend-independent measure
+   of what the server actually holds. *)
+let rec value_bytes = function
+  | Value.Unit -> 1
+  | Value.Bool _ -> 2
+  | Value.Int _ -> 9
+  | Value.Str s -> 5 + String.length s
+  | Value.Pair (l, r) -> 1 + value_bytes l + value_bytes r
+
+(* the built-in max-register counts as resident once something was
+   stored in it; plain cells count from allocation (that is Algorithm
+   2's space commitment), keyed and per-writer cells from first touch *)
+let resident_cells st =
+  (if Value.equal st.maxreg Value.v0 then 0 else 1)
+  + Array.length st.regs + Hashtbl.length st.kmax + Hashtbl.length st.cslots
+
+let resident_bytes st =
+  (if Value.equal st.maxreg Value.v0 then 0 else value_bytes st.maxreg)
+  + Array.fold_left (fun a v -> a + value_bytes v) 0 st.regs
+  + Hashtbl.fold (fun _ v a -> a + value_bytes v) st.kmax 0
+  + Hashtbl.fold (fun _ v a -> a + value_bytes v) st.cslots 0
+
 let reset st =
   st.maxreg <- Value.v0;
   Array.iteri (fun i _ -> st.regs.(i) <- Value.v0) st.regs;
-  Hashtbl.reset st.kmax
+  Hashtbl.reset st.kmax;
+  Hashtbl.reset st.cslots
 
 let step st = function
   | Query { rid } -> [ Query_reply { rid; stored = st.maxreg } ]
@@ -100,6 +156,19 @@ let step st = function
          first touch so an idle keyspace costs no server memory *)
       Hashtbl.replace st.kmax key (Value.max (peek_kmax st key) proposed);
       [ Kupdate_reply { rid; key } ]
+  | Cquery { rid } ->
+      (* collect every resident per-writer slot; sorted so the reply is
+         canonical whatever the hash order *)
+      let slots =
+        List.sort compare
+          (Hashtbl.fold (fun s v acc -> (s, v) :: acc) st.cslots [])
+      in
+      [ Cquery_reply { rid; slots } ]
+  | Cwrite { rid; slot; proposed } ->
+      (* per-writer write-max: slot [slot] is one base register of the
+         CDS layered max-register, allocated on first touch *)
+      Hashtbl.replace st.cslots slot (Value.max (peek_slot st slot) proposed);
+      [ Cwrite_reply { rid; slot } ]
   | Query_reply _ | Update_reply _ | Reg_read_reply _ | Reg_write_reply _
-  | Kquery_reply _ | Kupdate_reply _ ->
+  | Kquery_reply _ | Kupdate_reply _ | Cquery_reply _ | Cwrite_reply _ ->
       []

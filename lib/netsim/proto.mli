@@ -39,6 +39,16 @@ type payload =
   | Kupdate of { rid : int; key : int; proposed : Value.t }
       (** per-key write-max, the keyed twin of [Update] *)
   | Kupdate_reply of { rid : int; key : int }
+  | Cquery of { rid : int }
+      (** collect every resident per-writer slot — the read side of the
+          CDS layered multi-writer register ([Regemu_live.Cds_live]) *)
+  | Cquery_reply of { rid : int; slots : (int * Value.t) list }
+      (** resident [(slot, value)] pairs, sorted by slot index so the
+          reply is canonical *)
+  | Cwrite of { rid : int; slot : int; proposed : Value.t }
+      (** per-writer write-max: slot [slot] keeps
+          [max(stored, proposed)], allocated on first touch *)
+  | Cwrite_reply of { rid : int; slot : int }
 
 val payload_pp : payload Fmt.t
 
@@ -73,6 +83,26 @@ val num_keys : store -> int
 (** Current content of one key's max-register; {!Value.v0} for a key
     never written here. *)
 val peek_kmax : store -> int -> Value.t
+
+(** Number of resident per-writer slots (the CDS space metric: slots
+    are allocated on first [Cwrite] touch). *)
+val num_slots : store -> int
+
+(** Current content of one per-writer slot; {!Value.v0} for a slot
+    never written here. *)
+val peek_slot : store -> int -> Value.t
+
+(** Size in bytes of a value's canonical wire encoding — the unit the
+    resident-space metrics are reported in. *)
+val value_bytes : Value.t -> int
+
+(** Cells this store currently holds: the built-in max-register once
+    non-initial, every allocated plain cell, and every touched keyed or
+    per-writer cell.  The per-server space metric the benches sample. *)
+val resident_cells : store -> int
+
+(** Sum of {!value_bytes} over every resident cell. *)
+val resident_bytes : store -> int
 
 (** Wipe the store back to its initial state — every cell and the
     max-register to {!Value.v0}, allocation preserved.  A diskless
